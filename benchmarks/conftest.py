@@ -1,0 +1,115 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Sec. V). Campaign fixtures are session-scoped: several figures share the
+same underlying sweeps (Figs. 8, 9 and 10 all consume the BV single/double
+campaigns), so they are computed once.
+
+Grid resolution: the paper uses a 15-degree step (312 configurations per
+fault site). Benchmarks default to 45 degrees, which preserves every shape
+the paper reports at ~1/8 of the cost; pass ``--paper-grid`` to pytest to
+run the full 15-degree grid.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms import bernstein_vazirani, deutsch_jozsa, qft
+from repro.faults import QuFI, fault_grid, find_neighbor_couples
+from repro.machines import fake_jakarta
+from repro.simulators import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    ReadoutError,
+    depolarizing_channel,
+)
+from repro.transpiler import jakarta_topology
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-grid",
+        action="store_true",
+        default=False,
+        help="use the paper's full 15-degree fault grid (slow)",
+    )
+
+
+@pytest.fixture(scope="session")
+def grid_step(request):
+    return 15.0 if request.config.getoption("--paper-grid") else 45.0
+
+
+def build_noise_model(num_qubits: int) -> NoiseModel:
+    """Scenario-(2) style noise at IBM-like magnitudes, on logical qubits."""
+    model = NoiseModel("bench")
+    model.add_all_qubit_error(
+        depolarizing_channel(0.002),
+        ["h", "x", "y", "z", "s", "t", "u", "p", "rx", "ry", "rz", "sx", "id"],
+    )
+    model.add_all_qubit_error(
+        depolarizing_channel(0.01, num_qubits=2), ["cx", "cz", "cp", "swap"]
+    )
+    for qubit in range(num_qubits):
+        model.add_readout_error(ReadoutError(0.015, 0.03), qubit)
+    return model
+
+
+def make_injector(num_qubits: int) -> QuFI:
+    return QuFI(DensityMatrixSimulator(build_noise_model(num_qubits)))
+
+
+@pytest.fixture(scope="session")
+def fig5_campaigns(grid_step):
+    """Single-fault campaigns for the three 4-qubit circuits (Fig. 5)."""
+    qufi = make_injector(4)
+    faults = fault_grid(step_deg=grid_step)
+    return {
+        "bv": qufi.run_campaign(bernstein_vazirani(4), faults=faults),
+        "dj": qufi.run_campaign(deutsch_jozsa(4), faults=faults),
+        "qft": qufi.run_campaign(qft(4), faults=faults),
+    }
+
+
+@pytest.fixture(scope="session")
+def bv_single_campaign(grid_step):
+    """BV single faults restricted to phi in [0, pi] (Figs. 8a, 9, 10)."""
+    qufi = make_injector(4)
+    faults = fault_grid(
+        step_deg=grid_step, phi_max_deg=180, include_phi_endpoint=True
+    )
+    return qufi.run_campaign(bernstein_vazirani(4), faults=faults)
+
+
+@pytest.fixture(scope="session")
+def bv_double_campaign(grid_step):
+    """BV double faults over the transpiled neighbour couples (Fig. 8b/c)."""
+    spec = bernstein_vazirani(4)
+    report = find_neighbor_couples(spec, jakarta_topology())
+    qufi = make_injector(4)
+    faults = fault_grid(
+        step_deg=grid_step, phi_max_deg=180, include_phi_endpoint=True
+    )
+    return qufi.run_double_campaign(spec, report.couples, faults=faults)
+
+
+@pytest.fixture(scope="session")
+def jakarta_backend():
+    return fake_jakarta()
+
+
+def print_heatmap_table(result, title):
+    """Render a campaign's (phi, theta) mean-QVF grid as the paper's rows."""
+    thetas, phis, grid = result.heatmap()
+    print(f"\n{title}")
+    header = "phi\\theta " + " ".join(
+        f"{math.degrees(t):6.0f}" for t in thetas
+    )
+    print(header)
+    for i in reversed(range(len(phis))):
+        cells = " ".join(
+            f"{grid[i, j]:6.3f}" if grid[i, j] == grid[i, j] else "   -  "
+            for j in range(len(thetas))
+        )
+        print(f"{math.degrees(phis[i]):8.0f}  {cells}")

@@ -1,0 +1,157 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* exact distributions vs shot sampling (the 285M-run substitution);
+* routing lookahead vs naive routing (SWAP counts);
+* noise on/off: scenario (1) vs scenario (2) fault-free QVF;
+* transpiler optimization levels: layout density and gate counts.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bernstein_vazirani, qft
+from repro.faults import InjectionPoint, PhaseShiftFault, QuFI
+from repro.simulators import DensityMatrixSimulator, StatevectorSimulator
+from repro.transpiler import (
+    jakarta_topology,
+    linear_topology,
+    lower_to_basis,
+    route,
+    transpile,
+    trivial_layout,
+)
+
+from .conftest import build_noise_model
+
+
+class TestShotsAblation:
+    """Sampled QVF converges to the exact value as shots grow."""
+
+    def test_convergence(self, benchmark):
+        spec = bernstein_vazirani(4)
+        backend = DensityMatrixSimulator(build_noise_model(4))
+        point = InjectionPoint(0, 0, "h")
+        fault = PhaseShiftFault(math.pi / 3, math.pi / 4)
+        exact = QuFI(backend).run_injection(
+            spec.circuit, spec.correct_states, point, fault
+        ).qvf
+
+        def sweep():
+            errors = {}
+            for shots in (64, 256, 1024, 4096):
+                estimates = [
+                    QuFI(backend, shots=shots, seed=seed)
+                    .run_injection(
+                        spec.circuit, spec.correct_states, point, fault
+                    )
+                    .qvf
+                    for seed in range(8)
+                ]
+                errors[shots] = float(
+                    np.mean([abs(e - exact) for e in estimates])
+                )
+            return errors
+
+        errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print(f"\nmean |QVF error| vs shots (exact={exact:.4f}):")
+        for shots, error in errors.items():
+            print(f"  {shots:5d} shots: {error:.4f}")
+        assert errors[4096] < errors[64]
+        assert errors[1024] < 0.03  # the paper's budget is adequate
+
+
+class TestRoutingAblation:
+    """Lookahead routing needs no more SWAPs than naive routing."""
+
+    def test_swap_counts(self, benchmark):
+        spec = qft(6)
+        lowered = lower_to_basis(spec.circuit)
+        coupling = linear_topology(6)
+        layout = trivial_layout(lowered, coupling)
+
+        def compare():
+            naive = route(lowered, coupling, layout, lookahead=0)
+            smart = route(lowered, coupling, layout, lookahead=8)
+            return naive.swap_count, smart.swap_count
+
+        naive_swaps, smart_swaps = benchmark(compare)
+        print(f"\nQFT-6 on a 6-qubit chain: naive {naive_swaps} SWAPs, "
+              f"lookahead {smart_swaps} SWAPs")
+        assert smart_swaps <= naive_swaps
+
+
+class TestNoiseAblation:
+    """Scenario (1) vs (2): fault-free QVF is exactly 0 only without noise."""
+
+    def test_fault_free_qvf(self, benchmark):
+        spec = bernstein_vazirani(4)
+        ideal = QuFI(StatevectorSimulator())
+        noisy = QuFI(DensityMatrixSimulator(build_noise_model(4)))
+
+        def measure():
+            return (
+                ideal.fault_free_qvf(spec.circuit, spec.correct_states),
+                noisy.fault_free_qvf(spec.circuit, spec.correct_states),
+            )
+
+        qvf_ideal, qvf_noisy = benchmark(measure)
+        print(f"\nfault-free QVF: ideal {qvf_ideal:.6f} | noisy {qvf_noisy:.4f}")
+        assert qvf_ideal == pytest.approx(0.0, abs=1e-9)
+        assert 0.0 < qvf_noisy < 0.45
+
+    def test_fault_ranking_stable_across_scenarios(self, benchmark):
+        """Noise shifts QVF but does not reorder fault severities."""
+        spec = bernstein_vazirani(4)
+        ideal = QuFI(StatevectorSimulator())
+        noisy = QuFI(DensityMatrixSimulator(build_noise_model(4)))
+        point = InjectionPoint(0, 0, "h")
+        faults = [
+            PhaseShiftFault(0.0, 0.0),
+            PhaseShiftFault(math.pi / 4, 0.0),
+            PhaseShiftFault(math.pi / 2, 0.0),
+            PhaseShiftFault(math.pi, 0.0),
+        ]
+        ideal_values = [
+            ideal.run_injection(spec.circuit, spec.correct_states, point, f).qvf
+            for f in faults
+        ]
+        noisy_values = [
+            noisy.run_injection(spec.circuit, spec.correct_states, point, f).qvf
+            for f in faults
+        ]
+        print(f"ideal: {[round(v, 3) for v in ideal_values]}")
+        print(f"noisy: {[round(v, 3) for v in noisy_values]}")
+        assert ideal_values == sorted(ideal_values)
+        assert noisy_values == sorted(noisy_values)
+
+
+class TestOptimizationLevelAblation:
+    """Level 3 produces the densest layout and fewest SWAPs (Sec. IV-C)."""
+
+    def test_levels(self, benchmark):
+        spec = qft(5)
+        coupling = jakarta_topology()
+
+        def sweep():
+            return {
+                level: transpile(spec.circuit, coupling, level)
+                for level in range(4)
+            }
+
+        results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print("\ntranspile(QFT-5 -> jakarta) per optimization level:")
+        print("level  swaps  ops  depth  couples")
+        for level, result in results.items():
+            ops = result.circuit.size()
+            print(
+                f"{level:5d}  {result.swap_count:5d}  {ops:4d} "
+                f"{result.circuit.depth():5d}  {len(result.neighbor_couples())}"
+            )
+        assert results[3].swap_count <= results[0].swap_count
+        assert results[3].circuit.size() <= results[0].circuit.size()
+        # Dense layout finds at least as many physically adjacent couples.
+        assert len(results[3].neighbor_couples()) >= len(
+            results[0].neighbor_couples()
+        )

@@ -1,0 +1,72 @@
+"""E1 — Fig. 5: QVF heatmaps for the 4-qubit BV, DJ and QFT circuits.
+
+Regenerates the mean-QVF-per-(phi, theta) grids and checks the shapes the
+paper reports: the worst faults sit at theta = pi, theta shifts dominate phi
+shifts, the (pi, pi) combination is tolerable for BV/DJ but not for QFT,
+and BV/DJ are phi-symmetric about pi.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import heatmap_data, render_ascii
+
+from .conftest import print_heatmap_table
+
+
+@pytest.mark.parametrize("name", ["bv", "dj", "qft"])
+def test_fig5_heatmap(benchmark, fig5_campaigns, name):
+    result = fig5_campaigns[name]
+
+    def regenerate():
+        return result.heatmap()
+
+    thetas, phis, grid = benchmark(regenerate)
+    print_heatmap_table(result, f"Fig. 5 ({name}): mean QVF per (phi, theta)")
+    print(render_ascii(heatmap_data(result), f"Fig. 5 ({name}) classified"))
+    print(
+        f"mean QVF {result.mean_qvf():.4f} | fault-free "
+        f"{result.fault_free_qvf:.4f} | injections {result.num_injections}"
+    )
+
+    # Shape assertions shared by all three circuits.
+    assert result.qvf_at(0.0, 0.0) < 0.45  # fault-free corner masked
+    assert result.qvf_at(math.pi, 0.0) > 0.55  # theta flip is silent
+    # Theta shifts dominate phi shifts.
+    assert result.qvf_at(math.pi, 0.0) > result.qvf_at(0.0, math.pi)
+
+
+def test_fig5_pi_pi_circuit_dependence(benchmark, fig5_campaigns):
+    """'A fault of (phi=pi, theta=pi) is critical for QFT, but is harmless
+    for Bernstein-Vazirani and Deutsch-Jozsa.'"""
+    bv = fig5_campaigns["bv"].qvf_at(math.pi, math.pi)
+    dj = fig5_campaigns["dj"].qvf_at(math.pi, math.pi)
+    qft_value = fig5_campaigns["qft"].qvf_at(math.pi, math.pi)
+    print(f"QVF at (pi, pi): bv={bv:.4f} dj={dj:.4f} qft={qft_value:.4f}")
+    assert bv < 0.45 and dj < 0.45
+    assert qft_value > bv and qft_value > dj
+
+
+def test_fig5_phi_symmetry(benchmark, fig5_campaigns):
+    """BV and DJ heatmaps are symmetric in phi about pi; QFT is not."""
+    def asymmetry(result):
+        data = heatmap_data(result)
+        total, count = 0.0, 0
+        for phi in data.phis:
+            mirror = 2 * math.pi - phi
+            if mirror <= math.pi or mirror >= 2 * math.pi:
+                continue
+            for theta in data.thetas:
+                total += abs(
+                    data.value_at(theta, phi) - data.value_at(theta, mirror)
+                )
+                count += 1
+        return total / max(count, 1)
+
+    bv = asymmetry(fig5_campaigns["bv"])
+    dj = asymmetry(fig5_campaigns["dj"])
+    qft_value = asymmetry(fig5_campaigns["qft"])
+    print(f"phi-asymmetry: bv={bv:.4f} dj={dj:.4f} qft={qft_value:.4f}")
+    assert bv < 0.05 and dj < 0.05
+    assert qft_value > 2 * max(bv, dj)

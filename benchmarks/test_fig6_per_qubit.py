@@ -1,0 +1,63 @@
+"""E2 — Fig. 6: per-qubit QVF heatmaps for the 4-qubit QFT.
+
+The paper highlights the injection (phi = pi, theta = pi/4): its QVF grows
+monotonically from qubit 1 to qubit 4 (0.4279, 0.4922, 0.5548, 0.6909), so
+the same fault is masked on one qubit and silent on another. We reproduce
+the per-qubit slicing and assert the profile *spread* — different qubits,
+different reliability — plus a non-trivial ordering at the probe point.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import heatmap_data
+
+from .conftest import print_heatmap_table
+
+PROBE = (math.pi / 4, math.pi)  # (theta, phi) of the highlighted square
+
+
+def test_fig6_per_qubit_heatmaps(benchmark, fig5_campaigns):
+    result = fig5_campaigns["qft"]
+
+    def regenerate():
+        return {q: result.for_qubit(q).heatmap() for q in result.qubits()}
+
+    grids = benchmark(regenerate)
+    assert len(grids) == 4
+
+    probe_values = {}
+    for qubit in result.qubits():
+        sliced = result.for_qubit(qubit)
+        print_heatmap_table(
+            sliced, f"Fig. 6 qubit #{qubit + 1}: mean QVF per (phi, theta)"
+        )
+        probe_values[qubit] = sliced.qvf_at(*PROBE)
+
+    print(
+        "QVF at (theta=pi/4, phi=pi) per qubit: "
+        + ", ".join(f"q{q}={v:.4f}" for q, v in probe_values.items())
+    )
+    values = list(probe_values.values())
+    # Paper: the same fault is masked on some qubits, silent on others —
+    # the per-qubit spread is substantial.
+    assert max(values) - min(values) > 0.05
+    # And per-qubit mean profiles genuinely differ.
+    means = [result.for_qubit(q).mean_qvf() for q in result.qubits()]
+    assert np.std(means) > 0.005
+
+
+def test_fig6_qubit_profiles_not_identical(benchmark, fig5_campaigns):
+    """No two qubits share the same heatmap (each has a unique profile)."""
+    result = fig5_campaigns["qft"]
+    grids = []
+    for qubit in result.qubits():
+        _, _, grid = result.for_qubit(qubit).heatmap()
+        grids.append(grid)
+    for i in range(len(grids)):
+        for j in range(i + 1, len(grids)):
+            assert not np.allclose(grids[i], grids[j], atol=1e-3), (
+                f"qubits {i} and {j} have identical QVF profiles"
+            )

@@ -1,0 +1,72 @@
+"""E4 — Fig. 8: single vs double fault injection on Bernstein-Vazirani.
+
+(a) single-fault heatmap restricted to phi in [0, pi] (the BV map is
+symmetric about pi); (b) double-fault heatmap averaging over all second
+faults with theta1 <= theta0, phi1 <= phi0; (c) the detail surface for the
+first fault fixed at (pi, pi).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from .conftest import print_heatmap_table
+
+
+def test_fig8a_single_heatmap(benchmark, bv_single_campaign):
+    thetas, phis, grid = benchmark(bv_single_campaign.heatmap)
+    print_heatmap_table(
+        bv_single_campaign, "Fig. 8a: BV single-fault QVF (phi in [0, pi])"
+    )
+    assert grid.shape[0] >= 3 and grid.shape[1] >= 3
+    # The paper's tolerable corner: (pi, pi) is masked for single faults.
+    assert bv_single_campaign.qvf_at(math.pi, math.pi) < 0.45
+
+
+def test_fig8b_double_heatmap(benchmark, bv_double_campaign, bv_single_campaign):
+    thetas, phis, grid = benchmark(bv_double_campaign.heatmap)
+    print_heatmap_table(
+        bv_double_campaign,
+        "Fig. 8b: BV double-fault QVF (averaged over second faults)",
+    )
+    # 'The second injection worsens (increases) the mean QVF.'
+    assert bv_double_campaign.mean_qvf() > bv_single_campaign.mean_qvf()
+    # 'There is not the tolerable effect ... in the case of theta0 = pi and
+    # phi0 = pi (no longer green squares in the top right corner).'
+    single_pi_pi = bv_single_campaign.qvf_at(math.pi, math.pi)
+    double_pi_pi = bv_double_campaign.qvf_at(math.pi, math.pi)
+    print(f"QVF at (pi, pi): single={single_pi_pi:.4f} double={double_pi_pi:.4f}")
+    assert double_pi_pi > single_pi_pi
+
+
+def test_fig8c_detail_surface(benchmark, bv_double_campaign):
+    """All second faults for the first fault fixed at (pi, pi)."""
+    def regenerate():
+        return bv_double_campaign.detail_surface(math.pi, math.pi)
+
+    thetas1, phis1, surface = benchmark(regenerate)
+    print("\nFig. 8c: QVF per second fault, first fault fixed at (pi, pi)")
+    header = "phi1\\theta1 " + " ".join(
+        f"{math.degrees(t):6.0f}" for t in thetas1
+    )
+    print(header)
+    for i in reversed(range(len(phis1))):
+        cells = " ".join(
+            f"{surface[i, j]:6.3f}" if surface[i, j] == surface[i, j] else "   -  "
+            for j in range(len(thetas1))
+        )
+        print(f"{math.degrees(phis1[i]):10.0f}  {cells}")
+
+    reference = bv_double_campaign.metadata.get("reference_single")
+    # 'A lower impact of the second injection when both phi1 and theta1
+    # assume values closer to pi, while the worst QVF values are obtained
+    # when only one of the two shifts is close to pi.'
+    both_pi = surface[-1, -1]
+    theta_only = surface[0, -1]  # theta1 = pi, phi1 = 0
+    phi_only = surface[-1, 0]  # phi1 = pi, theta1 = 0
+    print(
+        f"second fault (pi,pi): {both_pi:.4f} | (pi,0): {theta_only:.4f} | "
+        f"(0,pi): {phi_only:.4f}"
+    )
+    assert max(theta_only, phi_only) > both_pi

@@ -1,0 +1,52 @@
+"""E5 — Fig. 9: delta QVF (double minus single) for Bernstein-Vazirani.
+
+The paper's reading: 'The QVF worsens, particularly when the phase shifts
+have higher magnitudes (close to (pi, pi)).'
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import delta_heatmap
+
+
+def test_fig9_delta_heatmap(benchmark, bv_single_campaign, bv_double_campaign):
+    def regenerate():
+        return delta_heatmap(bv_double_campaign, bv_single_campaign)
+
+    thetas, phis, delta = benchmark(regenerate)
+
+    print("\nFig. 9: delta QVF = double - single, per (phi, theta)")
+    header = "phi\\theta " + " ".join(f"{math.degrees(t):6.0f}" for t in thetas)
+    print(header)
+    for i in reversed(range(len(phis))):
+        cells = " ".join(f"{delta[i, j]:+6.3f}" for j in range(len(thetas)))
+        print(f"{math.degrees(phis[i]):8.0f}  {cells}")
+
+    # Overall the double fault worsens QVF.
+    assert np.nanmean(delta) > 0.0
+
+    # The worsening is strongest near (pi, pi) relative to the fault-free
+    # corner (0, 0), where both campaigns see nearly-null injections.
+    corner_origin = delta[0, 0]
+    corner_pi_pi = delta[-1, -1]
+    print(
+        f"delta at (0,0): {corner_origin:+.4f} | "
+        f"delta at (pi,pi): {corner_pi_pi:+.4f}"
+    )
+    assert corner_pi_pi > corner_origin
+
+
+def test_fig9_delta_statistics(benchmark, bv_single_campaign, bv_double_campaign):
+    """Most cells worsen; none improves dramatically."""
+    _, _, delta = delta_heatmap(bv_double_campaign, bv_single_campaign)
+    flat = delta[~np.isnan(delta)]
+    worsened = float(np.mean(flat > 0))
+    print(
+        f"cells worsened: {worsened:.1%} | "
+        f"mean delta {flat.mean():+.4f} | max delta {flat.max():+.4f}"
+    )
+    assert worsened > 0.5
+    assert flat.min() > -0.3

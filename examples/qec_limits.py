@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Why QEC does not save you from radiation faults (paper Sec. II-C).
+
+Encodes a logical qubit in the 3-qubit bit-flip and phase-flip repetition
+codes, injects QuFI's phase-shift faults inside the protected region, and
+measures the logical error probability. The sweep shows the paper's
+argument concretely: each code perfectly corrects its design error type,
+is blind to the orthogonal type, and a radiation-induced shift of
+arbitrary direction slips partially through both.
+
+Run:  python examples/qec_limits.py
+"""
+
+import math
+
+from repro.faults import PhaseShiftFault
+from repro.qec import logical_error_probability
+from repro.simulators import DensityMatrixSimulator
+
+
+def main() -> None:
+    backend = DensityMatrixSimulator()
+
+    named_faults = [
+        ("X gate equivalent (theta=pi, phi=pi)", PhaseShiftFault(math.pi, math.pi)),
+        ("Z gate equivalent (phi=pi)", PhaseShiftFault(0.0, math.pi)),
+        ("S gate equivalent (phi=pi/2)", PhaseShiftFault(0.0, math.pi / 2)),
+        ("radiation-like (pi/2, pi/2)", PhaseShiftFault(math.pi / 2, math.pi / 2)),
+        ("weak strike (pi/6, pi/4)", PhaseShiftFault(math.pi / 6, math.pi / 4)),
+    ]
+
+    print("logical error probability per fault and protection scheme\n")
+    print(f"{'fault':40s} {'unprotected':>12s} {'bit-flip':>10s} {'phase-flip':>11s}")
+    for label, fault in named_faults:
+        unprotected = logical_error_probability(backend, fault, code=None)
+        bit_flip = logical_error_probability(backend, fault, "bit_flip")
+        phase_flip = logical_error_probability(backend, fault, "phase_flip")
+        print(
+            f"{label:40s} {unprotected:12.4f} {bit_flip:10.4f} "
+            f"{phase_flip:11.4f}"
+        )
+
+    print("\ntheta sweep at phi = 0 (Y-like faults, bit-flip protected):")
+    print("the code corrects the X component; the Z component survives, so")
+    print("protection buys nothing against this family.")
+    print(f"{'theta':>8s} {'unprotected':>12s} {'bit-flip':>10s}")
+    for theta_deg in (15, 30, 60, 90, 120, 150, 180):
+        fault = PhaseShiftFault(math.radians(theta_deg), 0.0)
+        unprotected = logical_error_probability(backend, fault, None)
+        protected = logical_error_probability(backend, fault, "bit_flip")
+        print(f"{theta_deg:7d}d {unprotected:12.4f} {protected:10.4f}")
+
+    print(
+        "\nconclusion: per-error-type repetition codes contain their design"
+        "\nerror exactly, but QuFI's arbitrary-direction phase shifts leave"
+        "\nsubstantial residual logical error — understanding fault"
+        "\npropagation (what QuFI measures) is prerequisite to hardening."
+    )
+
+
+if __name__ == "__main__":
+    main()

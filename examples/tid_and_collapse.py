@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Beyond the paper's campaigns: accumulated dose (TID) and qubit collapse.
+
+Sec. III of the paper distinguishes transient charge deposition (its focus)
+from two effects it leaves out: Total Ionizing Dose — charge accumulating
+under gamma/beta/X-ray exposure — and the full qubit collapse a
+sufficiently energetic strike can cause. This example exercises both
+extensions:
+
+1. a dose sweep showing the QVF of Bernstein-Vazirani degrading as the
+   accumulated drift rate grows (an accelerated-aging curve);
+2. a collapse campaign showing that a projective reset mid-circuit is far
+   more destructive than the average phase-shift fault.
+
+Run:  python examples/tid_and_collapse.py
+"""
+
+from repro import QuFI, bernstein_vazirani, fault_grid
+from repro.faults import TIDModel, run_collapse_campaign, tid_dose_sweep
+from repro.simulators import DensityMatrixSimulator
+
+
+def main() -> None:
+    spec = bernstein_vazirani(4)
+    qufi = QuFI(DensityMatrixSimulator())
+
+    # --- TID dose sweep -------------------------------------------------
+    print("--- accumulated-dose (TID) sweep ---")
+    scales = [0.0, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0]
+    sweep = tid_dose_sweep(spec, qufi, dose_scales=scales, base_model=TIDModel())
+    print("dose scale   QVF")
+    for scale in scales:
+        bar = "#" * int(40 * sweep[scale])
+        print(f"{scale:10.1f}   {sweep[scale]:.4f} {bar}")
+    print()
+
+    # --- collapse campaign ----------------------------------------------
+    print("--- qubit-collapse campaign ---")
+    phase_campaign = qufi.run_campaign(spec, faults=fault_grid(step_deg=45))
+    collapse_campaign = run_collapse_campaign(spec, qufi)
+    print(
+        f"mean QVF, phase-shift grid:  {phase_campaign.mean_qvf():.4f} "
+        f"({phase_campaign.num_injections} injections)"
+    )
+    print(
+        f"mean QVF, collapse per site: {collapse_campaign.mean_qvf():.4f} "
+        f"({collapse_campaign.num_injections} injections)"
+    )
+    print("\nper-site collapse QVF:")
+    for record in collapse_campaign.records:
+        marker = record.classification().value
+        print(
+            f"  after #{record.point.position:2d} "
+            f"{record.point.gate_name:3s} on q{record.point.qubit}: "
+            f"{record.qvf:.4f} ({marker})"
+        )
+
+
+if __name__ == "__main__":
+    main()

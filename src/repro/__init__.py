@@ -1,0 +1,58 @@
+"""repro — a from-scratch reproduction of QuFI (DSN 2022).
+
+QuFI is a fault injector that measures the sensitivity of qubits and quantum
+circuits to radiation-induced transient faults, modelled as parametrized
+phase shifts. This package rebuilds the full stack the paper runs on —
+circuit IR, simulators with calibrated noise, transpiler, fake IBM machines,
+the three benchmark algorithms — and the injector, QVF metric and analysis
+tooling on top.
+
+Quickstart::
+
+    from repro import QuFI, fault_grid, bernstein_vazirani
+    from repro.simulators import DensityMatrixSimulator
+
+    spec = bernstein_vazirani(4)
+    qufi = QuFI(DensityMatrixSimulator())
+    campaign = qufi.run_campaign(spec, faults=fault_grid(step_deg=45))
+    print(campaign.mean_qvf())
+"""
+
+from .algorithms import bernstein_vazirani, deutsch_jozsa, qft
+from .faults import (
+    CampaignResult,
+    FaultClass,
+    InjectionPoint,
+    InjectionRecord,
+    PhaseShiftFault,
+    QuFI,
+    classify_qvf,
+    fault_grid,
+    find_neighbor_couples,
+    michelson_contrast,
+    qvf_from_probabilities,
+)
+from .quantum import DensityMatrix, QuantumCircuit, Statevector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuantumCircuit",
+    "Statevector",
+    "DensityMatrix",
+    "QuFI",
+    "PhaseShiftFault",
+    "fault_grid",
+    "InjectionPoint",
+    "InjectionRecord",
+    "CampaignResult",
+    "FaultClass",
+    "classify_qvf",
+    "michelson_contrast",
+    "qvf_from_probabilities",
+    "find_neighbor_couples",
+    "bernstein_vazirani",
+    "deutsch_jozsa",
+    "qft",
+    "__version__",
+]

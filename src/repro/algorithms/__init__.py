@@ -1,0 +1,37 @@
+"""The paper's three benchmark circuits, parameterized by width."""
+
+from typing import Callable, Dict
+
+from .bernstein_vazirani import bernstein_vazirani, default_secret
+from .deutsch_jozsa import deutsch_jozsa
+from .ghz import ghz
+from .grover import grover
+from .qft import inverse_qft_transform, qft, qft_transform
+from .qpe import qpe
+from .spec import AlgorithmSpec
+
+ALGORITHMS: Dict[str, Callable[[int], AlgorithmSpec]] = {
+    "bv": bernstein_vazirani,
+    "dj": deutsch_jozsa,
+    "qft": qft,
+    "ghz": ghz,
+    "grover": grover,
+    "qpe": qpe,
+}
+"""Registry used by benchmarks, examples and the CLI:
+short name -> builder(width). The first three are the paper's circuits;
+ghz/grover/qpe extend the suite."""
+
+__all__ = [
+    "AlgorithmSpec",
+    "bernstein_vazirani",
+    "default_secret",
+    "deutsch_jozsa",
+    "ghz",
+    "grover",
+    "qpe",
+    "qft",
+    "qft_transform",
+    "inverse_qft_transform",
+    "ALGORITHMS",
+]

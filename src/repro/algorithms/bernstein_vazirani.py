@@ -1,0 +1,72 @@
+"""Bernstein-Vazirani circuit generator.
+
+BV recovers a hidden bitstring ``s`` with a single oracle call: put the
+inputs in superposition, phase-kick through the oracle ``f(x) = s . x``, and
+interfere back. The fault-free output is exactly ``s``, which makes BV a
+sharp QVF target — any probability mass off ``s`` is fault propagation.
+
+The paper's "4-qubit Bernstein-Vazirani" counts the ancilla, so a width-``n``
+instance hides an ``n-1``-bit secret (Fig. 4 shows n=4 with output ``101``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..quantum.circuit import QuantumCircuit
+from .spec import AlgorithmSpec
+
+__all__ = ["bernstein_vazirani", "default_secret"]
+
+
+def default_secret(num_bits: int) -> str:
+    """Alternating pattern starting with 1 (``101`` at 3 bits, as in Fig. 4)."""
+    if num_bits < 1:
+        raise ValueError("secret needs at least one bit")
+    return ("10" * num_bits)[:num_bits]
+
+
+def bernstein_vazirani(
+    num_qubits: int, secret: Optional[str] = None
+) -> AlgorithmSpec:
+    """Build a BV instance of total width ``num_qubits`` (inputs + ancilla).
+
+    ``secret`` is the hidden string over the ``num_qubits - 1`` input qubits,
+    written highest-input-qubit first, exactly as it appears in the output
+    bitstring.
+    """
+    if num_qubits < 2:
+        raise ValueError("Bernstein-Vazirani needs at least 2 qubits")
+    num_inputs = num_qubits - 1
+    if secret is None:
+        secret = default_secret(num_inputs)
+    if len(secret) != num_inputs or set(secret) - {"0", "1"}:
+        raise ValueError(
+            f"secret must be a {num_inputs}-bit string, got {secret!r}"
+        )
+
+    circuit = QuantumCircuit(num_qubits, num_inputs, name=f"bv{num_qubits}")
+    ancilla = num_qubits - 1
+
+    for qubit in range(num_inputs):
+        circuit.h(qubit)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+
+    # Oracle: CX from every input qubit whose secret bit is 1 into the
+    # ancilla. secret[0] is the highest input qubit.
+    for position, bit in enumerate(secret):
+        if bit == "1":
+            circuit.cx(num_inputs - 1 - position, ancilla)
+
+    for qubit in range(num_inputs):
+        circuit.h(qubit)
+    for qubit in range(num_inputs):
+        circuit.measure(qubit, qubit)
+
+    return AlgorithmSpec(
+        name=f"bernstein_vazirani_{num_qubits}q",
+        circuit=circuit,
+        correct_states=(secret,),
+        metadata={"secret": secret, "ancilla": ancilla},
+    )

@@ -1,0 +1,73 @@
+"""Deutsch-Jozsa circuit generator.
+
+DJ decides whether an oracle is constant or balanced with one call. With a
+balanced parity oracle ``f(x) = s . x`` the interference pattern outputs
+``s`` deterministically; with a constant oracle it outputs all zeros. Either
+way the fault-free answer is a single basis state, so QVF applies directly.
+
+Width convention matches the paper: an ``n``-qubit DJ uses ``n-1`` input
+qubits plus one ancilla.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..quantum.circuit import QuantumCircuit
+from .spec import AlgorithmSpec
+
+__all__ = ["deutsch_jozsa"]
+
+
+def deutsch_jozsa(
+    num_qubits: int,
+    oracle: str = "balanced",
+    secret: Optional[str] = None,
+) -> AlgorithmSpec:
+    """Build a DJ instance of total width ``num_qubits``.
+
+    ``oracle`` selects ``"balanced"`` (parity of ``secret``, default
+    all-ones) or ``"constant"`` (f == 1 implemented as an X on the ancilla).
+    """
+    if num_qubits < 2:
+        raise ValueError("Deutsch-Jozsa needs at least 2 qubits")
+    if oracle not in ("balanced", "constant"):
+        raise ValueError(f"unknown oracle kind {oracle!r}")
+    num_inputs = num_qubits - 1
+    if secret is None:
+        secret = "1" * num_inputs
+    if len(secret) != num_inputs or set(secret) - {"0", "1"}:
+        raise ValueError(
+            f"secret must be a {num_inputs}-bit string, got {secret!r}"
+        )
+    if oracle == "balanced" and secret == "0" * num_inputs:
+        raise ValueError("all-zero secret makes the oracle constant")
+
+    circuit = QuantumCircuit(num_qubits, num_inputs, name=f"dj{num_qubits}")
+    ancilla = num_qubits - 1
+
+    for qubit in range(num_inputs):
+        circuit.h(qubit)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+
+    if oracle == "balanced":
+        for position, bit in enumerate(secret):
+            if bit == "1":
+                circuit.cx(num_inputs - 1 - position, ancilla)
+        expected = secret
+    else:
+        circuit.x(ancilla)
+        expected = "0" * num_inputs
+
+    for qubit in range(num_inputs):
+        circuit.h(qubit)
+    for qubit in range(num_inputs):
+        circuit.measure(qubit, qubit)
+
+    return AlgorithmSpec(
+        name=f"deutsch_jozsa_{num_qubits}q_{oracle}",
+        circuit=circuit,
+        correct_states=(expected,),
+        metadata={"oracle": oracle, "secret": secret, "ancilla": ancilla},
+    )

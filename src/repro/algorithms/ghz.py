@@ -1,0 +1,35 @@
+"""GHZ state preparation benchmark.
+
+The maximally entangled GHZ state is the standard probe for correlated
+errors: a single phase fault anywhere in the CX chain corrupts the global
+parity. Its two correct outputs (all-zeros and all-ones) also exercise
+QVF's multi-correct-state aggregation, which BV/DJ/QFT never do.
+"""
+
+from __future__ import annotations
+
+from ..quantum.circuit import QuantumCircuit
+from .spec import AlgorithmSpec
+
+__all__ = ["ghz"]
+
+
+def ghz(num_qubits: int) -> AlgorithmSpec:
+    """H + CX chain preparing (|0...0> + |1...1>)/sqrt(2), measured.
+
+    Correct outputs are both all-zeros and all-ones (each with ideal
+    probability 1/2); QVF aggregates them into P(A).
+    """
+    if num_qubits < 2:
+        raise ValueError("GHZ needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"ghz{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    circuit.measure_all()
+    return AlgorithmSpec(
+        name=f"ghz_{num_qubits}q",
+        circuit=circuit,
+        correct_states=("0" * num_qubits, "1" * num_qubits),
+        metadata={"entangled": True},
+    )

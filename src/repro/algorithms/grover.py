@@ -1,0 +1,116 @@
+"""Grover search benchmark.
+
+Grover's algorithm is the canonical amplitude-amplification workload (the
+paper's introduction cites it among the algorithms motivating quantum
+speedups). As a QuFI target it complements BV/DJ/QFT: its output is
+*probabilistically* dominant rather than deterministic, so the fault-free
+QVF is small but non-zero even without noise — a different reliability
+baseline than the interference-exact circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..quantum.circuit import QuantumCircuit
+from .spec import AlgorithmSpec
+
+__all__ = ["grover"]
+
+
+def _multi_controlled_z(circuit: QuantumCircuit, qubits: range) -> None:
+    """Apply a Z controlled on all of ``qubits`` being |1>.
+
+    Uses the standard H-CX ladder construction for up to 3 qubits (the
+    scales QuFI campaigns run at); larger registers use a recursive
+    phase-rotation network.
+    """
+    qubits = list(qubits)
+    if len(qubits) == 1:
+        circuit.z(qubits[0])
+    elif len(qubits) == 2:
+        circuit.cz(qubits[0], qubits[1])
+    elif len(qubits) == 3:
+        circuit.h(qubits[2])
+        circuit.ccx(qubits[0], qubits[1], qubits[2])
+        circuit.h(qubits[2])
+    else:
+        # CP cascade: exact multi-controlled phase of pi.
+        angle = math.pi
+        _cp_cascade(circuit, qubits, angle)
+
+
+def _cp_cascade(circuit: QuantumCircuit, qubits, angle: float) -> None:
+    """Recursive multi-controlled phase via controlled-phase halving."""
+    if len(qubits) == 2:
+        circuit.cp(angle, qubits[0], qubits[1])
+        return
+    circuit.cp(angle / 2, qubits[-2], qubits[-1])
+    _cp_cascade(circuit, qubits[:-1], angle / 2)
+    # Uncompute trick: CP(angle/2) sandwiched by the recursion on controls
+    circuit.cx(qubits[-3] if len(qubits) > 2 else qubits[0], qubits[-2])
+    circuit.cp(-angle / 2, qubits[-2], qubits[-1])
+    circuit.cx(qubits[-3] if len(qubits) > 2 else qubits[0], qubits[-2])
+    circuit.cp(angle / 2, qubits[-2], qubits[-1])
+
+
+def grover(
+    num_qubits: int,
+    marked: Optional[int] = None,
+    iterations: Optional[int] = None,
+) -> AlgorithmSpec:
+    """Grover search over ``num_qubits`` qubits for basis state ``marked``.
+
+    ``iterations`` defaults to the optimal
+    ``floor(pi/4 * sqrt(N))`` rounds, which leaves the marked state with
+    the maximum achievable probability (1.0 at n=2, ~0.945 at n=3, ...).
+    """
+    if num_qubits < 2:
+        raise ValueError("Grover needs at least 2 qubits")
+    if num_qubits > 3:
+        raise ValueError(
+            "this benchmark implements 2-3 qubit Grover (QuFI campaign scale)"
+        )
+    size = 2**num_qubits
+    if marked is None:
+        marked = size - 1  # all-ones by default
+    if not 0 <= marked < size:
+        raise ValueError(f"marked state {marked} out of range")
+    if iterations is None:
+        iterations = max(1, int(math.floor(math.pi / 4 * math.sqrt(size))))
+
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"grover{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+
+    marked_bits = [(marked >> q) & 1 for q in range(num_qubits)]
+
+    for _ in range(iterations):
+        # Oracle: phase-flip the marked state. X-conjugate the zero bits so
+        # the multi-controlled Z fires exactly on |marked>.
+        for qubit, bit in enumerate(marked_bits):
+            if bit == 0:
+                circuit.x(qubit)
+        _multi_controlled_z(circuit, range(num_qubits))
+        for qubit, bit in enumerate(marked_bits):
+            if bit == 0:
+                circuit.x(qubit)
+
+        # Diffusion: reflect about the uniform superposition.
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+            circuit.x(qubit)
+        _multi_controlled_z(circuit, range(num_qubits))
+        for qubit in range(num_qubits):
+            circuit.x(qubit)
+            circuit.h(qubit)
+
+    circuit.measure_all()
+    expected = format(marked, f"0{num_qubits}b")
+    return AlgorithmSpec(
+        name=f"grover_{num_qubits}q",
+        circuit=circuit,
+        correct_states=(expected,),
+        metadata={"marked": marked, "iterations": iterations},
+    )

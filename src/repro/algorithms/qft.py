@@ -1,0 +1,88 @@
+"""Quantum Fourier Transform benchmark.
+
+The raw QFT of |0...0> is a uniform superposition, which has no "correct
+state" for QVF to compare against. Like the original QuFI benchmark suite we
+therefore use the standard *QFT round-trip* construction: prepare the Fourier
+phase state that encodes an integer ``x`` (H on every qubit followed by the
+appropriate phase rotations), then apply the inverse QFT. A fault-free run
+outputs ``x`` deterministically while the circuit body is pure QFT machinery
+— exactly the gates whose fault sensitivity Figs. 5c, 6 and 7c measure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..quantum.circuit import QuantumCircuit
+from .spec import AlgorithmSpec
+
+__all__ = ["qft_transform", "inverse_qft_transform", "qft"]
+
+
+def qft_transform(num_qubits: int, with_swaps: bool = True) -> QuantumCircuit:
+    """Textbook QFT: H + controlled-phase ladder (+ bit-reversal swaps)."""
+    circuit = QuantumCircuit(num_qubits, name=f"qft{num_qubits}")
+    for target in reversed(range(num_qubits)):
+        circuit.h(target)
+        for control in reversed(range(target)):
+            angle = math.pi / 2 ** (target - control)
+            circuit.cp(angle, control, target)
+    if with_swaps:
+        for low in range(num_qubits // 2):
+            circuit.swap(low, num_qubits - 1 - low)
+    return circuit
+
+
+def inverse_qft_transform(num_qubits: int, with_swaps: bool = True) -> QuantumCircuit:
+    """Adjoint of :func:`qft_transform`."""
+    inverse = qft_transform(num_qubits, with_swaps).inverse()
+    inverse.name = f"iqft{num_qubits}"
+    return inverse
+
+
+def default_encoded_value(num_qubits: int) -> int:
+    """Alternating bit pattern ``1010...`` (highest qubit first)."""
+    return int(("10" * num_qubits)[:num_qubits], 2)
+
+
+def qft(num_qubits: int, encoded_value: Optional[int] = None) -> AlgorithmSpec:
+    """QFT round-trip benchmark of width ``num_qubits`` encoding ``x``.
+
+    The preparation stage writes the Fourier state of ``x`` directly:
+    qubit ``q`` gets an H and then the phase ``2 pi x / 2^(q+1)``, which is
+    the state QFT would produce from ``|x>``. The inverse QFT then maps it
+    back to the basis state ``|x>``.
+    """
+    if num_qubits < 1:
+        raise ValueError("QFT needs at least 1 qubit")
+    if encoded_value is None:
+        encoded_value = default_encoded_value(num_qubits)
+    if not 0 <= encoded_value < 2**num_qubits:
+        raise ValueError(
+            f"encoded value {encoded_value} out of range for "
+            f"{num_qubits} qubits"
+        )
+
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"qft{num_qubits}")
+    # Fourier state of x: qubit q holds phase 2*pi*x / 2^(q+1).
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+        angle = 2.0 * math.pi * encoded_value / 2 ** (qubit + 1)
+        angle = math.fmod(angle, 2.0 * math.pi)
+        if abs(angle) > 1e-12:
+            circuit.p(angle, qubit)
+
+    # The prepared product state equals the *swap-free* QFT of |x>, so the
+    # swap-free inverse QFT maps it straight back to |x>.
+    body = inverse_qft_transform(num_qubits, with_swaps=False)
+    composed = circuit.compose(body)
+    composed.measure_all()
+
+    expected = format(encoded_value, f"0{num_qubits}b")
+    return AlgorithmSpec(
+        name=f"qft_{num_qubits}q",
+        circuit=composed,
+        correct_states=(expected,),
+        metadata={"encoded_value": encoded_value},
+    )

@@ -1,0 +1,77 @@
+"""Quantum Phase Estimation benchmark.
+
+The paper singles out QFT as "a fundamental part of many quantum
+algorithms, such as Shor's factoring algorithm, Quantum Phase Estimation
+(QPE), and the computing of discrete logs". QPE is the natural next rung:
+it embeds the inverse QFT inside a larger interference pattern, so fault
+sensitivity of the QFT block is measured in situ rather than in isolation.
+
+This instance estimates the phase of a P(2 pi * phase) gate acting on a
+|1>-prepared eigenstate qubit, using ``num_qubits - 1`` counting qubits.
+Exact dyadic phases give a deterministic output register.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..quantum.circuit import QuantumCircuit
+from .qft import inverse_qft_transform
+from .spec import AlgorithmSpec
+
+__all__ = ["qpe"]
+
+
+def qpe(num_qubits: int, phase: Optional[float] = None) -> AlgorithmSpec:
+    """Phase estimation of U = P(2 pi * phase) with ``num_qubits - 1``
+    counting qubits and one eigenstate qubit.
+
+    ``phase`` must be a dyadic rational representable in the counting
+    register (k / 2^(n-1)) for a deterministic output; the default is the
+    alternating-bit value matching the other benchmarks.
+    """
+    if num_qubits < 2:
+        raise ValueError("QPE needs at least 2 qubits")
+    counting = num_qubits - 1
+    size = 2**counting
+    if phase is None:
+        encoded = int(("10" * counting)[:counting], 2)
+        phase = encoded / size
+    encoded = round(phase * size)
+    if abs(phase * size - encoded) > 1e-9:
+        raise ValueError(
+            f"phase {phase} is not representable in {counting} bits"
+        )
+    encoded %= size
+
+    circuit = QuantumCircuit(num_qubits, counting, name=f"qpe{num_qubits}")
+    eigenstate = num_qubits - 1
+
+    # Eigenstate |1> of the phase gate.
+    circuit.x(eigenstate)
+    for qubit in range(counting):
+        circuit.h(qubit)
+    # Controlled-U^(2^q): phase kickback onto counting qubit q.
+    for qubit in range(counting):
+        angle = 2.0 * math.pi * phase * (2**qubit)
+        angle = math.fmod(angle, 2.0 * math.pi)
+        if abs(angle) > 1e-12:
+            circuit.cp(angle, qubit, eigenstate)
+
+    # Counting qubit q accumulates phase 2 pi enc 2^q / 2^c, which is the
+    # swap-free Fourier state of |enc> in *reversed* qubit order: qubit q
+    # plays Fourier-qubit c-1-q. Run the swap-free inverse QFT on reversed
+    # wires and un-reverse the bits at measurement.
+    body = inverse_qft_transform(counting, with_swaps=False)
+    composed = circuit.compose(body, qubits=list(reversed(range(counting))))
+    for qubit in range(counting):
+        composed.measure(qubit, counting - 1 - qubit)
+
+    expected = format(encoded, f"0{counting}b")
+    return AlgorithmSpec(
+        name=f"qpe_{num_qubits}q",
+        circuit=composed,
+        correct_states=(expected,),
+        metadata={"phase": phase, "encoded": encoded},
+    )

@@ -1,0 +1,49 @@
+"""Algorithm specification: a circuit plus its fault-free answer.
+
+QVF (Eq. 1) needs P(A), "the probability of the correct state(s) in a
+fault-free execution". An :class:`AlgorithmSpec` carries the circuit together
+with that ground truth so campaigns never have to re-derive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..quantum.circuit import QuantumCircuit
+
+__all__ = ["AlgorithmSpec"]
+
+
+@dataclass
+class AlgorithmSpec:
+    """A benchmark circuit and its expected (fault-free) output states."""
+
+    name: str
+    circuit: QuantumCircuit
+    correct_states: Tuple[str, ...]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.correct_states:
+            raise ValueError("at least one correct state is required")
+        width = len(self.correct_states[0])
+        for state in self.correct_states:
+            if len(state) != width or set(state) - {"0", "1"}:
+                raise ValueError(f"malformed correct state {state!r}")
+        expected = self.circuit.num_clbits or self.circuit.num_qubits
+        if width != expected:
+            raise ValueError(
+                f"correct states are {width} bits but the circuit measures "
+                f"{expected} clbits"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        return self.circuit.num_qubits
+
+    def __repr__(self) -> str:
+        return (
+            f"AlgorithmSpec({self.name!r}, qubits={self.num_qubits}, "
+            f"correct={list(self.correct_states)})"
+        )

@@ -1,0 +1,41 @@
+"""Campaign analysis: heatmaps, histograms, cross-campaign comparisons."""
+
+from .compare import (
+    MachineComparison,
+    SingleVsDouble,
+    compare_backends,
+    compare_single_double,
+)
+from .heatmap import HeatmapData, gate_reference_lines, heatmap_data, render_ascii
+from .image import heatmap_to_ppm, qvf_color, save_heatmap_ppm
+from .mitigation import mitigate_readout, mitigation_matrix
+from .report import campaign_report
+from .histogram import (
+    DistributionSummary,
+    distribution_distance,
+    histogram_series,
+    peak_concentration,
+    summarize,
+)
+
+__all__ = [
+    "HeatmapData",
+    "heatmap_data",
+    "render_ascii",
+    "gate_reference_lines",
+    "DistributionSummary",
+    "summarize",
+    "histogram_series",
+    "distribution_distance",
+    "peak_concentration",
+    "SingleVsDouble",
+    "compare_single_double",
+    "MachineComparison",
+    "compare_backends",
+    "campaign_report",
+    "qvf_color",
+    "heatmap_to_ppm",
+    "save_heatmap_ppm",
+    "mitigate_readout",
+    "mitigation_matrix",
+]

@@ -1,0 +1,120 @@
+"""Cross-campaign comparisons (Figs. 9, 10 and 11).
+
+* single vs double faults: delta heatmaps and moment tables;
+* simulation vs physical machine: per-fault QVF deltas, which the paper
+  bounds at ~0.05 absolute for IBM-Q Jakarta.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..faults.campaign import CampaignResult, delta_heatmap
+
+__all__ = [
+    "SingleVsDouble",
+    "compare_single_double",
+    "MachineComparison",
+    "compare_backends",
+]
+
+
+@dataclass(frozen=True)
+class SingleVsDouble:
+    """Moment comparison between a single- and a double-fault campaign."""
+
+    single_mean: float
+    single_std: float
+    double_mean: float
+    double_std: float
+
+    @property
+    def mean_increase(self) -> float:
+        return self.double_mean - self.single_mean
+
+    def double_is_worse(self) -> bool:
+        """The paper's headline claim: double faults raise the mean QVF."""
+        return self.double_mean > self.single_mean
+
+    def table(self) -> str:
+        return (
+            "            mean     std\n"
+            f"single    {self.single_mean:.4f}  {self.single_std:.4f}\n"
+            f"double    {self.double_mean:.4f}  {self.double_std:.4f}\n"
+            f"delta     {self.mean_increase:+.4f}"
+        )
+
+
+def compare_single_double(
+    single: CampaignResult, double: CampaignResult
+) -> SingleVsDouble:
+    return SingleVsDouble(
+        single_mean=single.mean_qvf(),
+        single_std=single.std_qvf(),
+        double_mean=double.mean_qvf(),
+        double_std=double.std_qvf(),
+    )
+
+
+@dataclass
+class MachineComparison:
+    """Per-fault QVF on two backends (Fig. 11's grouped bars)."""
+
+    labels: List[str]
+    qvf_a: List[float]
+    qvf_b: List[float]
+    name_a: str = "simulation"
+    name_b: str = "machine"
+
+    def deltas(self) -> List[float]:
+        return [abs(a - b) for a, b in zip(self.qvf_a, self.qvf_b)]
+
+    def max_delta(self) -> float:
+        return max(self.deltas(), default=math.nan)
+
+    def within(self, bound: float) -> bool:
+        """True when every per-fault |delta QVF| is below ``bound``.
+
+        The paper reports absolute differences lower than 0.052 between the
+        Jakarta noise-model simulation and the physical machine.
+        """
+        return all(delta <= bound for delta in self.deltas())
+
+    def table(self) -> str:
+        width = max(len(label) for label in self.labels) if self.labels else 4
+        header = (
+            f"{'fault'.ljust(width)}  {self.name_a:>12}  "
+            f"{self.name_b:>12}  {'|delta|':>8}"
+        )
+        lines = [header]
+        for label, a, b, d in zip(
+            self.labels, self.qvf_a, self.qvf_b, self.deltas()
+        ):
+            lines.append(
+                f"{label.ljust(width)}  {a:12.4f}  {b:12.4f}  {d:8.4f}"
+            )
+        lines.append(f"max |delta| = {self.max_delta():.4f}")
+        return "\n".join(lines)
+
+
+def compare_backends(
+    per_fault_a: Mapping[str, float],
+    per_fault_b: Mapping[str, float],
+    name_a: str = "simulation",
+    name_b: str = "machine",
+) -> MachineComparison:
+    """Align two per-fault QVF tables on their common fault labels."""
+    labels = sorted(set(per_fault_a) & set(per_fault_b))
+    if not labels:
+        raise ValueError("no common fault labels to compare")
+    return MachineComparison(
+        labels=labels,
+        qvf_a=[float(per_fault_a[l]) for l in labels],
+        qvf_b=[float(per_fault_b[l]) for l in labels],
+        name_a=name_a,
+        name_b=name_b,
+    )

@@ -1,0 +1,107 @@
+"""QVF heatmap rendering (the data behind Figs. 5, 6 and 8).
+
+Heatmaps come out of :meth:`CampaignResult.heatmap` as numpy grids; this
+module classifies the cells with the paper's green/white/red thresholds,
+renders an ASCII view for terminals, and marks the dotted gate-equivalence
+reference lines (T, S, Z at phi = pi/4, pi/2, pi and X/Y at theta = pi).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..faults.campaign import CampaignResult
+from ..faults.qvf import FaultClass, classify_qvf
+
+__all__ = ["HeatmapData", "heatmap_data", "render_ascii", "gate_reference_lines"]
+
+
+@dataclass
+class HeatmapData:
+    """A QVF grid with its axes and classification."""
+
+    thetas: List[float]
+    phis: List[float]
+    grid: np.ndarray  # [len(phis), len(thetas)]
+
+    def classify(self) -> np.ndarray:
+        """Cell classes as an object array of :class:`FaultClass`."""
+        classes = np.empty(self.grid.shape, dtype=object)
+        for i in range(self.grid.shape[0]):
+            for j in range(self.grid.shape[1]):
+                value = self.grid[i, j]
+                classes[i, j] = (
+                    None if np.isnan(value) else classify_qvf(float(value))
+                )
+        return classes
+
+    def fraction(self, fault_class: FaultClass) -> float:
+        """Share of grid cells in the given class."""
+        classes = self.classify()
+        valid = sum(1 for c in classes.flat if c is not None)
+        if valid == 0:
+            return math.nan
+        return sum(1 for c in classes.flat if c is fault_class) / valid
+
+    def worst_cell(self) -> Tuple[float, float, float]:
+        """(theta, phi, qvf) of the most vulnerable phase shift."""
+        masked = np.where(np.isnan(self.grid), -np.inf, self.grid)
+        i, j = np.unravel_index(int(np.argmax(masked)), self.grid.shape)
+        return self.thetas[j], self.phis[i], float(self.grid[i, j])
+
+    def value_at(self, theta: float, phi: float) -> float:
+        j = int(np.argmin([abs(t - theta) for t in self.thetas]))
+        i = int(np.argmin([abs(p - phi) for p in self.phis]))
+        return float(self.grid[i, j])
+
+
+def heatmap_data(result: CampaignResult) -> HeatmapData:
+    """Extract the (phi, theta) mean-QVF grid of a campaign."""
+    thetas, phis, grid = result.heatmap()
+    return HeatmapData(thetas, phis, grid)
+
+
+def gate_reference_lines() -> Dict[str, Tuple[str, float]]:
+    """The dotted lines of Fig. 5: gate name -> (axis, value in radians)."""
+    return {
+        "T": ("phi", math.pi / 4),
+        "S": ("phi", math.pi / 2),
+        "Z": ("phi", math.pi),
+        "X,Y": ("theta", math.pi),
+    }
+
+
+_CLASS_CHARS = {
+    FaultClass.MASKED: ".",  # green in the paper
+    FaultClass.DUBIOUS: "o",  # white
+    FaultClass.SILENT: "#",  # red
+    None: " ",
+}
+
+
+def render_ascii(data: HeatmapData, title: str = "QVF heatmap") -> str:
+    """Terminal rendering: '.' masked, 'o' dubious, '#' silent.
+
+    Rows are phi (bottom = 0, like the paper's plots), columns are theta.
+    """
+    classes = data.classify()
+    lines = [title, "  phi \\ theta ->"]
+    for i in reversed(range(len(data.phis))):
+        label = f"{math.degrees(data.phis[i]):6.0f}d |"
+        cells = "".join(
+            _CLASS_CHARS[classes[i, j]] for j in range(len(data.thetas))
+        )
+        lines.append(f"{label} {cells}")
+    footer = "         " + "".join(
+        "|" if abs(t - math.pi) < 1e-9 or t == 0 else "-"
+        for t in data.thetas
+    )
+    lines.append(footer)
+    lines.append(
+        "  legend: . masked (<0.45)   o dubious   # silent (>0.55)"
+    )
+    return "\n".join(lines)

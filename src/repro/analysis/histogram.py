@@ -1,0 +1,104 @@
+"""QVF distribution analysis (Figs. 7 and 10).
+
+The paper compares circuits and scales by the *shape* of their QVF
+distributions: BV and DJ keep the same profile as qubits are added, while
+QFT's distribution concentrates around 0.5 (dubious outputs). These helpers
+compute the summary statistics those comparisons rest on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..faults.campaign import CampaignResult
+
+__all__ = [
+    "DistributionSummary",
+    "summarize",
+    "histogram_series",
+    "distribution_distance",
+    "peak_concentration",
+]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Moments and shape descriptors of one QVF distribution."""
+
+    label: str
+    count: int
+    mean: float
+    std: float
+    median: float
+    peak_density: float
+    mass_near_half: float  # share of injections with QVF in [0.45, 0.55]
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributionSummary({self.label!r}, n={self.count}, "
+            f"mean={self.mean:.4f}, std={self.std:.4f})"
+        )
+
+
+def summarize(result: CampaignResult, label: str = "", bins: int = 20) -> DistributionSummary:
+    """Summary statistics of a campaign's QVF distribution."""
+    values = result.qvf_values()
+    if values.size == 0:
+        raise ValueError("campaign has no records")
+    density, _ = np.histogram(values, bins=bins, range=(0.0, 1.0), density=True)
+    near_half = float(
+        np.mean((values >= 0.45) & (values <= 0.55))
+    )
+    return DistributionSummary(
+        label=label or result.circuit_name,
+        count=int(values.size),
+        mean=float(values.mean()),
+        std=float(values.std()),
+        median=float(np.median(values)),
+        peak_density=float(density.max()),
+        mass_near_half=near_half,
+    )
+
+
+def histogram_series(
+    results: Sequence[CampaignResult],
+    labels: Sequence[str],
+    bins: int = 20,
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """One histogram per campaign (the overlaid curves of Fig. 7)."""
+    if len(results) != len(labels):
+        raise ValueError("one label per campaign required")
+    return {
+        label: result.histogram(bins=bins)
+        for label, result in zip(labels, results)
+    }
+
+
+def distribution_distance(
+    a: CampaignResult, b: CampaignResult, bins: int = 20
+) -> float:
+    """Total-variation distance between two QVF distributions in [0, 1].
+
+    Used to quantify "the reliability profile does not change with scale"
+    (small distance for BV/DJ) versus QFT's drift.
+    """
+    hist_a, _ = np.histogram(a.qvf_values(), bins=bins, range=(0.0, 1.0))
+    hist_b, _ = np.histogram(b.qvf_values(), bins=bins, range=(0.0, 1.0))
+    p = hist_a / max(1, hist_a.sum())
+    q = hist_b / max(1, hist_b.sum())
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def peak_concentration(result: CampaignResult, half_width: float = 0.05) -> float:
+    """Probability mass within ``half_width`` of QVF = 0.5.
+
+    Fig. 7c's signature: this grows with qubit count for QFT.
+    """
+    values = result.qvf_values()
+    if values.size == 0:
+        return math.nan
+    return float(np.mean(np.abs(values - 0.5) <= half_width))

@@ -1,0 +1,82 @@
+"""Heatmap image export (PPM, no plotting dependency).
+
+Writes the Fig. 5/6/8-style QVF heatmaps as binary PPM (P6) images with the
+paper's colormap: green for masked cells, white for dubious, red for silent,
+with intensity interpolating inside each band. PPM is readable by every
+image viewer and converter; the format is simple enough to produce — and to
+verify in tests — byte-for-byte without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..faults.campaign import CampaignResult
+from ..faults.qvf import MASKED_THRESHOLD, SILENT_THRESHOLD
+from .heatmap import HeatmapData, heatmap_data
+
+__all__ = ["qvf_color", "heatmap_to_ppm", "save_heatmap_ppm"]
+
+
+def qvf_color(qvf: float) -> Tuple[int, int, int]:
+    """RGB color of a QVF value using the paper's banding.
+
+    Green (0, 160, 0) at QVF 0 fading toward white entering the dubious
+    band; pure white across [0.45, 0.55]; white fading into red
+    (200, 0, 0) toward QVF 1. NaN renders as mid grey.
+    """
+    if math.isnan(qvf):
+        return (128, 128, 128)
+    qvf = min(1.0, max(0.0, qvf))
+    if qvf < MASKED_THRESHOLD:
+        # 0 -> solid green, threshold -> white.
+        fraction = qvf / MASKED_THRESHOLD
+        red = int(round(255 * fraction))
+        green = int(round(160 + (255 - 160) * fraction))
+        blue = int(round(255 * fraction))
+        return (red, green, blue)
+    if qvf <= SILENT_THRESHOLD:
+        return (255, 255, 255)
+    # threshold -> white, 1 -> solid red.
+    fraction = (qvf - SILENT_THRESHOLD) / (1.0 - SILENT_THRESHOLD)
+    red = int(round(255 - (255 - 200) * fraction))
+    green = int(round(255 * (1 - fraction)))
+    blue = int(round(255 * (1 - fraction)))
+    return (red, green, blue)
+
+
+def heatmap_to_ppm(data: HeatmapData, cell_size: int = 24) -> bytes:
+    """Render a heatmap as a binary PPM (P6) byte string.
+
+    The image is oriented like the paper's plots: phi increases upward
+    (row 0 of the image is the largest phi), theta increases rightward.
+    """
+    if cell_size < 1:
+        raise ValueError("cell_size must be positive")
+    rows = len(data.phis)
+    cols = len(data.thetas)
+    if rows == 0 or cols == 0:
+        raise ValueError("heatmap has no cells")
+    height = rows * cell_size
+    width = cols * cell_size
+    pixels = np.zeros((height, width, 3), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            color = qvf_color(float(data.grid[i, j]))
+            top = (rows - 1 - i) * cell_size  # phi grows upward
+            left = j * cell_size
+            pixels[top : top + cell_size, left : left + cell_size] = color
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    return header + pixels.tobytes()
+
+
+def save_heatmap_ppm(
+    result: CampaignResult, path: str, cell_size: int = 24
+) -> None:
+    """Write a campaign's QVF heatmap to ``path`` as a PPM image."""
+    payload = heatmap_to_ppm(heatmap_data(result), cell_size)
+    with open(path, "wb") as handle:
+        handle.write(payload)

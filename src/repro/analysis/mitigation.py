@@ -1,0 +1,71 @@
+"""Readout-error mitigation.
+
+Standard post-processing on IBM machines: the per-qubit assignment
+(confusion) matrices are calibrated, and the measured distribution is
+multiplied by their inverse to undo classical readout bias. Mitigation
+sharpens QVF by removing the readout component of the noise floor —
+useful when separating *propagated fault* effects from *measurement*
+effects in a campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..simulators.noise import NoiseModel, ReadoutError
+
+__all__ = ["mitigate_readout", "mitigation_matrix"]
+
+
+def mitigation_matrix(
+    errors: Sequence[Optional[ReadoutError]],
+) -> np.ndarray:
+    """Inverse of the tensor-product confusion matrix.
+
+    ``errors[q]`` is qubit q's readout error (None = ideal). The result
+    acts on probability vectors indexed little-endian.
+    """
+    matrix = np.array([[1.0]])
+    for error in errors:  # qubit 0 first -> kron new qubit on the left
+        confusion = (
+            error.matrix if error is not None and not error.is_trivial()
+            else np.eye(2)
+        )
+        matrix = np.kron(confusion, matrix)
+    return np.linalg.inv(matrix)
+
+
+def mitigate_readout(
+    probabilities: Mapping[str, float],
+    errors: Sequence[Optional[ReadoutError]],
+    clip: bool = True,
+) -> Dict[str, float]:
+    """Undo per-qubit readout confusion on a measured distribution.
+
+    ``probabilities`` maps bitstrings (highest qubit leftmost) to values;
+    the returned distribution is renormalized and, with ``clip`` (the
+    default), projected back onto the simplex — matrix inversion can
+    produce small negative quasi-probabilities from sampled data.
+    """
+    num_qubits = len(errors)
+    dim = 2**num_qubits
+    vector = np.zeros(dim)
+    for bitstring, value in probabilities.items():
+        if len(bitstring) != num_qubits:
+            raise ValueError(
+                f"bitstring {bitstring!r} does not match {num_qubits} qubits"
+            )
+        vector[int(bitstring, 2)] = value
+    mitigated = mitigation_matrix(errors) @ vector
+    if clip:
+        mitigated = np.clip(mitigated, 0.0, None)
+    total = mitigated.sum()
+    if total > 0:
+        mitigated = mitigated / total
+    return {
+        format(index, f"0{num_qubits}b"): float(p)
+        for index, p in enumerate(mitigated)
+        if p > 1e-12
+    }

@@ -1,0 +1,106 @@
+"""Markdown campaign reports.
+
+Turns a :class:`~repro.faults.campaign.CampaignResult` into the summary a
+reliability engineer would attach to a qualification run: headline metrics,
+fault classification, the most dangerous phase shifts, per-qubit ranking,
+and the ASCII heatmap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..faults.campaign import CampaignResult
+from ..faults.qvf import FaultClass
+from .heatmap import heatmap_data, render_ascii
+from .histogram import summarize
+
+__all__ = ["campaign_report"]
+
+
+def _classification_section(result: CampaignResult) -> List[str]:
+    fractions = result.classification_fractions()
+    lines = [
+        "| class | share | meaning |",
+        "|---|---|---|",
+        f"| masked | {fractions[FaultClass.MASKED]:.1%} | "
+        "correct state still clearly wins (QVF < 0.45) |",
+        f"| dubious | {fractions[FaultClass.DUBIOUS]:.1%} | "
+        "correct and incorrect states tie (detectable) |",
+        f"| silent | {fractions[FaultClass.SILENT]:.1%} | "
+        "an incorrect state wins (QVF > 0.55) |",
+    ]
+    return lines
+
+
+def _worst_faults_section(result: CampaignResult, top: int) -> List[str]:
+    ranked = sorted(result.records, key=lambda r: -r.qvf)[:top]
+    lines = [
+        "| rank | theta | phi | after gate | qubit | QVF |",
+        "|---|---|---|---|---|---|",
+    ]
+    for rank, record in enumerate(ranked, start=1):
+        lines.append(
+            f"| {rank} | {math.degrees(record.fault.theta):.0f} deg "
+            f"| {math.degrees(record.fault.phi):.0f} deg "
+            f"| #{record.point.position} {record.point.gate_name} "
+            f"| q{record.point.qubit} | {record.qvf:.4f} |"
+        )
+    return lines
+
+
+def _per_qubit_section(result: CampaignResult) -> List[str]:
+    lines = [
+        "| qubit | injections | mean QVF | silent share |",
+        "|---|---|---|---|",
+    ]
+    for qubit in result.qubits():
+        sliced = result.for_qubit(qubit)
+        silent = sliced.classification_fractions()[FaultClass.SILENT]
+        lines.append(
+            f"| q{qubit} | {sliced.num_injections} "
+            f"| {sliced.mean_qvf():.4f} | {silent:.1%} |"
+        )
+    return lines
+
+
+def campaign_report(
+    result: CampaignResult,
+    title: Optional[str] = None,
+    top_faults: int = 5,
+) -> str:
+    """Render a full markdown report for one campaign."""
+    if result.num_injections == 0:
+        raise ValueError("cannot report on an empty campaign")
+    summary = summarize(result)
+    title = title or f"QuFI campaign report — {result.circuit_name}"
+    lines = [f"# {title}", ""]
+    lines += [
+        f"- backend: `{result.backend_name}`",
+        f"- correct state(s): {', '.join(result.correct_states)}",
+        f"- injections: {result.num_injections}",
+        f"- fault-free QVF: {result.fault_free_qvf:.4f}",
+        f"- mean QVF: {summary.mean:.4f} (std {summary.std:.4f}, "
+        f"median {summary.median:.4f})",
+        f"- injections improving on fault-free: "
+        f"{result.improved_fraction():.2%}",
+        "",
+        "## Fault classification",
+        "",
+    ]
+    lines += _classification_section(result)
+    lines += ["", f"## Top {top_faults} most damaging injections", ""]
+    lines += _worst_faults_section(result, top_faults)
+    lines += ["", "## Per-qubit sensitivity", ""]
+    lines += _per_qubit_section(result)
+    lines += [
+        "",
+        "## QVF heatmap",
+        "",
+        "```",
+        render_ascii(heatmap_data(result), "mean QVF per (phi, theta)"),
+        "```",
+        "",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""QuFI: the quantum fault injector (the paper's primary contribution)."""
+
+from .campaign import CampaignResult, InjectionRecord, delta_heatmap
+from .checkpoint import CheckpointedRunner
+from .double import NeighborReport, find_neighbor_couples
+from .extensions import (
+    TIDModel,
+    apply_tid_drift,
+    run_collapse_campaign,
+    tid_dose_sweep,
+)
+from .fault_model import (
+    FULL_GRID_STEP_DEG,
+    GATE_EQUIVALENT_FAULTS,
+    GRID_CONFIGURATIONS,
+    PhaseShiftFault,
+    fault_grid,
+    phi_values,
+    theta_values,
+)
+from .injection_points import InjectionPoint, enumerate_injection_points
+from .injector import QuFI
+from .physics import (
+    StrikeModel,
+    attenuation,
+    charge_density,
+    charge_density_log10,
+    phase_shift_magnitude,
+)
+from .sampling import expected_qvf, sample_strike_faults, theta_distribution
+from .qvf import (
+    MASKED_THRESHOLD,
+    SILENT_THRESHOLD,
+    FaultClass,
+    classify_qvf,
+    michelson_contrast,
+    qvf_from_contrast,
+    qvf_from_probabilities,
+)
+
+__all__ = [
+    "QuFI",
+    "PhaseShiftFault",
+    "fault_grid",
+    "theta_values",
+    "phi_values",
+    "GATE_EQUIVALENT_FAULTS",
+    "GRID_CONFIGURATIONS",
+    "FULL_GRID_STEP_DEG",
+    "InjectionPoint",
+    "enumerate_injection_points",
+    "CampaignResult",
+    "InjectionRecord",
+    "delta_heatmap",
+    "CheckpointedRunner",
+    "find_neighbor_couples",
+    "NeighborReport",
+    "michelson_contrast",
+    "qvf_from_probabilities",
+    "qvf_from_contrast",
+    "classify_qvf",
+    "FaultClass",
+    "MASKED_THRESHOLD",
+    "SILENT_THRESHOLD",
+    "TIDModel",
+    "apply_tid_drift",
+    "tid_dose_sweep",
+    "run_collapse_campaign",
+    "sample_strike_faults",
+    "theta_distribution",
+    "expected_qvf",
+    "StrikeModel",
+    "attenuation",
+    "charge_density",
+    "charge_density_log10",
+    "phase_shift_magnitude",
+]

@@ -1,0 +1,338 @@
+"""Campaign bookkeeping: injection records, aggregation, serialization.
+
+A campaign is a sweep over (fault configuration x injection point); its
+result object produces every view the paper's evaluation plots need:
+
+* Fig. 5 heatmaps — :meth:`CampaignResult.heatmap` (mean QVF per phase shift);
+* Fig. 6 per-qubit heatmaps — :meth:`CampaignResult.for_qubit`;
+* Fig. 7 histograms — :meth:`CampaignResult.histogram`;
+* Fig. 8b double-fault averages — same heatmap on double-fault records;
+* Fig. 8c detail surfaces — :meth:`CampaignResult.detail_surface`;
+* Fig. 9 delta maps — :func:`delta_heatmap`;
+* Fig. 10 distribution moments — :meth:`CampaignResult.mean_qvf` /
+  :meth:`CampaignResult.std_qvf`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .fault_model import PhaseShiftFault
+from .injection_points import InjectionPoint
+from .qvf import FaultClass, classify_qvf
+
+__all__ = ["InjectionRecord", "CampaignResult", "delta_heatmap"]
+
+_ANGLE_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One executed injection and its measured QVF."""
+
+    fault: PhaseShiftFault
+    point: InjectionPoint
+    qvf: float
+    second_fault: Optional[PhaseShiftFault] = None
+    second_qubit: Optional[int] = None
+
+    @property
+    def is_double(self) -> bool:
+        return self.second_fault is not None
+
+    def classification(self) -> FaultClass:
+        return classify_qvf(self.qvf)
+
+
+def _unique_sorted(values: Sequence[float]) -> List[float]:
+    out: List[float] = []
+    for value in sorted(values):
+        if not out or value - out[-1] > _ANGLE_TOL:
+            out.append(value)
+    return out
+
+
+class CampaignResult:
+    """Aggregated outcome of a fault-injection campaign."""
+
+    def __init__(
+        self,
+        circuit_name: str,
+        correct_states: Sequence[str],
+        records: Sequence[InjectionRecord],
+        fault_free_qvf: float,
+        backend_name: str = "unknown",
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.circuit_name = circuit_name
+        self.correct_states = tuple(correct_states)
+        self.records = list(records)
+        self.fault_free_qvf = float(fault_free_qvf)
+        self.backend_name = backend_name
+        self.metadata = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_injections(self) -> int:
+        return len(self.records)
+
+    def qvf_values(self) -> np.ndarray:
+        return np.array([record.qvf for record in self.records])
+
+    def mean_qvf(self) -> float:
+        return float(self.qvf_values().mean()) if self.records else math.nan
+
+    def std_qvf(self) -> float:
+        return float(self.qvf_values().std()) if self.records else math.nan
+
+    def thetas(self) -> List[float]:
+        return _unique_sorted([record.fault.theta for record in self.records])
+
+    def phis(self) -> List[float]:
+        return _unique_sorted([record.fault.phi for record in self.records])
+
+    def qubits(self) -> List[int]:
+        return sorted({record.point.qubit for record in self.records})
+
+    def positions(self) -> List[int]:
+        return sorted({record.point.position for record in self.records})
+
+    def is_double(self) -> bool:
+        return any(record.is_double for record in self.records)
+
+    # ------------------------------------------------------------------
+    # Filters
+    # ------------------------------------------------------------------
+    def _filtered(self, records: List[InjectionRecord], tag: str) -> "CampaignResult":
+        return CampaignResult(
+            circuit_name=self.circuit_name,
+            correct_states=self.correct_states,
+            records=records,
+            fault_free_qvf=self.fault_free_qvf,
+            backend_name=self.backend_name,
+            metadata={**self.metadata, "filter": tag},
+        )
+
+    def for_qubit(self, qubit: int) -> "CampaignResult":
+        """Records whose *first* fault hit ``qubit`` (Fig. 6 slicing)."""
+        return self._filtered(
+            [r for r in self.records if r.point.qubit == qubit],
+            f"qubit={qubit}",
+        )
+
+    def for_position(self, position: int) -> "CampaignResult":
+        return self._filtered(
+            [r for r in self.records if r.point.position == position],
+            f"position={position}",
+        )
+
+    def singles(self) -> "CampaignResult":
+        return self._filtered(
+            [r for r in self.records if not r.is_double], "singles"
+        )
+
+    def doubles(self) -> "CampaignResult":
+        return self._filtered(
+            [r for r in self.records if r.is_double], "doubles"
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregations (the paper's plots)
+    # ------------------------------------------------------------------
+    def heatmap(self) -> Tuple[List[float], List[float], np.ndarray]:
+        """Mean QVF per (phi, theta) cell.
+
+        Returns ``(thetas, phis, grid)`` with ``grid[i_phi, i_theta]`` the
+        mean over all positions/qubits (and, for double campaigns, over all
+        second-fault configurations) — exactly how Figs. 5 and 8b average.
+        Cells never injected hold NaN.
+        """
+        thetas = self.thetas()
+        phis = self.phis()
+        theta_index = {round(t, 9): i for i, t in enumerate(thetas)}
+        phi_index = {round(p, 9): i for i, p in enumerate(phis)}
+        total = np.zeros((len(phis), len(thetas)))
+        count = np.zeros((len(phis), len(thetas)))
+        for record in self.records:
+            i = phi_index[round(record.fault.phi, 9)]
+            j = theta_index[round(record.fault.theta, 9)]
+            total[i, j] += record.qvf
+            count[i, j] += 1
+        with np.errstate(invalid="ignore"):
+            grid = np.where(count > 0, total / np.maximum(count, 1), np.nan)
+        return thetas, phis, grid
+
+    def detail_surface(
+        self, theta0: float, phi0: float
+    ) -> Tuple[List[float], List[float], np.ndarray]:
+        """QVF of every second fault for a fixed first fault (Fig. 8c).
+
+        Returns ``(theta1_values, phi1_values, grid)`` with
+        ``grid[i_phi1, i_theta1]`` the mean QVF over positions/couples.
+        """
+        selected = [
+            record
+            for record in self.records
+            if record.is_double
+            and abs(record.fault.theta - theta0) < _ANGLE_TOL
+            and abs(record.fault.phi - phi0) < _ANGLE_TOL
+        ]
+        if not selected:
+            raise ValueError(
+                f"no double injections with first fault "
+                f"(theta={theta0}, phi={phi0})"
+            )
+        thetas = _unique_sorted([r.second_fault.theta for r in selected])
+        phis = _unique_sorted([r.second_fault.phi for r in selected])
+        theta_index = {round(t, 9): i for i, t in enumerate(thetas)}
+        phi_index = {round(p, 9): i for i, p in enumerate(phis)}
+        total = np.zeros((len(phis), len(thetas)))
+        count = np.zeros((len(phis), len(thetas)))
+        for record in selected:
+            i = phi_index[round(record.second_fault.phi, 9)]
+            j = theta_index[round(record.second_fault.theta, 9)]
+            total[i, j] += record.qvf
+            count[i, j] += 1
+        with np.errstate(invalid="ignore"):
+            grid = np.where(count > 0, total / np.maximum(count, 1), np.nan)
+        return thetas, phis, grid
+
+    def histogram(
+        self, bins: int = 20, density: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """QVF distribution over [0, 1] (Figs. 7 and 10)."""
+        return np.histogram(
+            self.qvf_values(), bins=bins, range=(0.0, 1.0), density=density
+        )
+
+    def classification_fractions(self) -> Dict[FaultClass, float]:
+        """Share of masked / dubious / silent injections."""
+        if not self.records:
+            return {cls: math.nan for cls in FaultClass}
+        counts = {cls: 0 for cls in FaultClass}
+        for record in self.records:
+            counts[record.classification()] += 1
+        return {
+            cls: count / len(self.records) for cls, count in counts.items()
+        }
+
+    def improved_fraction(self, tol: float = 1e-12) -> float:
+        """Share of injections with QVF *better* than the fault-free run.
+
+        The paper reports ~0.9% of injections compensating the intrinsic
+        noise; this is that statistic.
+        """
+        if not self.records:
+            return math.nan
+        improved = sum(
+            1 for r in self.records if r.qvf < self.fault_free_qvf - tol
+        )
+        return improved / len(self.records)
+
+    def qvf_at(self, theta: float, phi: float) -> float:
+        """Mean QVF of the cell nearest (theta, phi)."""
+        thetas, phis, grid = self.heatmap()
+        j = int(np.argmin([abs(t - theta) for t in thetas]))
+        i = int(np.argmin([abs(p - phi) for p in phis]))
+        return float(grid[i, j])
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "circuit_name": self.circuit_name,
+            "correct_states": list(self.correct_states),
+            "fault_free_qvf": self.fault_free_qvf,
+            "backend_name": self.backend_name,
+            "metadata": self.metadata,
+            "records": [
+                {
+                    "theta": r.fault.theta,
+                    "phi": r.fault.phi,
+                    "lam": r.fault.lam,
+                    "position": r.point.position,
+                    "qubit": r.point.qubit,
+                    "gate_name": r.point.gate_name,
+                    "qvf": r.qvf,
+                    "theta1": r.second_fault.theta if r.second_fault else None,
+                    "phi1": r.second_fault.phi if r.second_fault else None,
+                    "qubit1": r.second_qubit,
+                }
+                for r in self.records
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignResult":
+        records = []
+        for raw in data["records"]:
+            second = (
+                PhaseShiftFault(raw["theta1"], raw["phi1"])
+                if raw.get("theta1") is not None
+                else None
+            )
+            records.append(
+                InjectionRecord(
+                    fault=PhaseShiftFault(raw["theta"], raw["phi"], raw.get("lam", 0.0)),
+                    point=InjectionPoint(
+                        raw["position"], raw["qubit"], raw["gate_name"]
+                    ),
+                    qvf=raw["qvf"],
+                    second_fault=second,
+                    second_qubit=raw.get("qubit1"),
+                )
+            )
+        return cls(
+            circuit_name=data["circuit_name"],
+            correct_states=data["correct_states"],
+            records=records,
+            fault_free_qvf=data["fault_free_qvf"],
+            backend_name=data.get("backend_name", "unknown"),
+            metadata=data.get("metadata", {}),
+        )
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle)
+
+    @classmethod
+    def from_json(cls, path: str) -> "CampaignResult":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignResult({self.circuit_name!r}, "
+            f"injections={self.num_injections}, "
+            f"mean_qvf={self.mean_qvf():.4f})"
+        )
+
+
+def delta_heatmap(
+    double: CampaignResult, single: CampaignResult
+) -> Tuple[List[float], List[float], np.ndarray]:
+    """Fig. 9: double-fault QVF minus single-fault QVF per (phi, theta) cell.
+
+    Grids are aligned on the cells present in both campaigns.
+    """
+    thetas_d, phis_d, grid_d = double.heatmap()
+    thetas_s, phis_s, grid_s = single.heatmap()
+    thetas = [t for t in thetas_d if any(abs(t - x) < _ANGLE_TOL for x in thetas_s)]
+    phis = [p for p in phis_d if any(abs(p - x) < _ANGLE_TOL for x in phis_s)]
+    delta = np.empty((len(phis), len(thetas)))
+    for i, phi in enumerate(phis):
+        for j, theta in enumerate(thetas):
+            d_i = min(range(len(phis_d)), key=lambda k: abs(phis_d[k] - phi))
+            d_j = min(range(len(thetas_d)), key=lambda k: abs(thetas_d[k] - theta))
+            s_i = min(range(len(phis_s)), key=lambda k: abs(phis_s[k] - phi))
+            s_j = min(range(len(thetas_s)), key=lambda k: abs(thetas_s[k] - theta))
+            delta[i, j] = grid_d[d_i, d_j] - grid_s[s_i, s_j]
+    return thetas, phis, delta

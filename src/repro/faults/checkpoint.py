@@ -1,0 +1,134 @@
+"""Resumable fault-injection campaigns.
+
+The paper's campaigns run to hundreds of millions of injections; at that
+scale interruption is the norm, not the exception. :class:`CheckpointedRunner`
+wraps :class:`~repro.faults.injector.QuFI` with periodic JSON snapshots:
+re-running the same campaign skips every injection already recorded, so a
+killed job resumes where it stopped.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence, Set, Tuple, Union
+
+from ..algorithms.spec import AlgorithmSpec
+from ..quantum.circuit import QuantumCircuit
+from .campaign import CampaignResult, InjectionRecord
+from .fault_model import PhaseShiftFault, fault_grid
+from .injection_points import InjectionPoint, enumerate_injection_points
+from .injector import QuFI
+
+__all__ = ["CheckpointedRunner"]
+
+_Key = Tuple[float, float, int, int]
+
+
+def _key(fault: PhaseShiftFault, point: InjectionPoint) -> _Key:
+    return (
+        round(fault.theta, 9),
+        round(fault.phi, 9),
+        point.position,
+        point.qubit,
+    )
+
+
+class CheckpointedRunner:
+    """Runs a single-fault campaign with resume-on-restart semantics."""
+
+    def __init__(
+        self,
+        qufi: QuFI,
+        checkpoint_path: str,
+        save_every: int = 200,
+    ) -> None:
+        if save_every < 1:
+            raise ValueError("save_every must be positive")
+        self.qufi = qufi
+        self.checkpoint_path = checkpoint_path
+        self.save_every = int(save_every)
+
+    # ------------------------------------------------------------------
+    def _load_existing(self) -> Optional[CampaignResult]:
+        if not os.path.exists(self.checkpoint_path):
+            return None
+        return CampaignResult.from_json(self.checkpoint_path)
+
+    def completed_keys(self) -> Set[_Key]:
+        existing = self._load_existing()
+        if existing is None:
+            return set()
+        return {_key(r.fault, r.point) for r in existing.records}
+
+    def run(
+        self,
+        target: Union[AlgorithmSpec, QuantumCircuit],
+        correct_states: Optional[Sequence[str]] = None,
+        faults: Optional[Sequence[PhaseShiftFault]] = None,
+        points: Optional[Sequence[InjectionPoint]] = None,
+    ) -> CampaignResult:
+        """Run (or resume) the campaign, checkpointing every ``save_every``
+        injections. Returns the complete result."""
+        if isinstance(target, AlgorithmSpec):
+            circuit, states, name = (
+                target.circuit,
+                tuple(target.correct_states),
+                target.name,
+            )
+        else:
+            if correct_states is None:
+                raise ValueError("correct_states required with a bare circuit")
+            circuit, states, name = target, tuple(correct_states), target.name
+
+        faults = list(faults) if faults is not None else fault_grid()
+        points = (
+            list(points)
+            if points is not None
+            else enumerate_injection_points(circuit)
+        )
+
+        existing = self._load_existing()
+        if existing is not None and existing.circuit_name != name:
+            raise ValueError(
+                f"checkpoint holds campaign {existing.circuit_name!r}, "
+                f"refusing to mix with {name!r}"
+            )
+        records = list(existing.records) if existing else []
+        done = {_key(r.fault, r.point) for r in records}
+        fault_free = (
+            existing.fault_free_qvf
+            if existing is not None
+            else self.qufi.fault_free_qvf(circuit, states)
+        )
+
+        def snapshot() -> CampaignResult:
+            return CampaignResult(
+                circuit_name=name,
+                correct_states=states,
+                records=records,
+                fault_free_qvf=fault_free,
+                backend_name=getattr(self.qufi.backend, "name", "backend"),
+                metadata={
+                    "mode": "single",
+                    "checkpointed": True,
+                    "num_faults": len(faults),
+                    "num_points": len(points),
+                },
+            )
+
+        since_save = 0
+        for point in points:
+            for fault in faults:
+                if _key(fault, point) in done:
+                    continue
+                records.append(
+                    self.qufi.run_injection(circuit, states, point, fault)
+                )
+                since_save += 1
+                if since_save >= self.save_every:
+                    snapshot().to_json(self.checkpoint_path)
+                    since_save = 0
+
+        result = snapshot()
+        result.to_json(self.checkpoint_path)
+        return result

@@ -1,0 +1,64 @@
+"""Neighbour identification and the double-fault workflow (paper Sec. IV-C).
+
+A particle strike can corrupt several qubits at once; the second qubit —
+farther from the impact — sees a weaker shift. The candidates for that
+second fault are the qubit couples that end up *physically* adjacent after
+transpilation, which is why QuFI tracks the logical-to-physical mapping
+through the transpiler (optimization level 3, densest layout, fewest SWAPs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..algorithms.spec import AlgorithmSpec
+from ..quantum.circuit import QuantumCircuit
+from ..transpiler.topology import CouplingMap
+from ..transpiler.transpile import TranspileResult, transpile
+
+__all__ = ["find_neighbor_couples", "NeighborReport"]
+
+
+class NeighborReport:
+    """Transpilation record plus the physically adjacent logical couples."""
+
+    def __init__(
+        self,
+        transpiled: TranspileResult,
+        couples: List[Tuple[int, int]],
+    ) -> None:
+        self.transpiled = transpiled
+        self.couples = couples
+
+    @property
+    def swap_count(self) -> int:
+        return self.transpiled.swap_count
+
+    def describe(self) -> str:
+        layout = self.transpiled.final_layout
+        lines = [
+            f"device: {self.transpiled.coupling.name} "
+            f"(optimization level {self.transpiled.optimization_level}, "
+            f"{self.swap_count} SWAPs)"
+        ]
+        for logical in range(self.transpiled.initial_layout.num_qubits):
+            lines.append(f"  logical q{logical} -> physical Q{layout.physical(logical)}")
+        lines.append(f"  neighbour couples: {self.couples}")
+        return "\n".join(lines)
+
+
+def find_neighbor_couples(
+    target: Union[AlgorithmSpec, QuantumCircuit],
+    coupling: CouplingMap,
+    optimization_level: int = 3,
+) -> NeighborReport:
+    """Transpile and report which logical qubits are physically adjacent.
+
+    The returned couples are ordered pairs ``(a, b)`` with ``a < b``; the
+    double-fault campaign injects the first (stronger) fault on ``a`` and
+    the weaker one on ``b``, and separately the reverse, covering both
+    orientations of the strike geometry.
+    """
+    circuit = target.circuit if isinstance(target, AlgorithmSpec) else target
+    transpiled = transpile(circuit, coupling, optimization_level)
+    return NeighborReport(transpiled, transpiled.neighbor_couples())

@@ -1,0 +1,58 @@
+"""Enumeration of fault-injection points.
+
+The paper injects "after each gate of the original circuit, simulating
+faults in each one of the circuit operations" (Sec. IV-B and Fig. 4). An
+injection point is therefore a (instruction position, qubit) pair: the
+injector U gate is spliced in immediately after that instruction, on one of
+the qubits it touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..quantum.circuit import QuantumCircuit
+
+__all__ = ["InjectionPoint", "enumerate_injection_points"]
+
+
+@dataclass(frozen=True)
+class InjectionPoint:
+    """Where a fault lands: after instruction ``position``, on ``qubit``."""
+
+    position: int
+    qubit: int
+    gate_name: str
+
+    def __repr__(self) -> str:
+        return (
+            f"InjectionPoint(after #{self.position} {self.gate_name}, "
+            f"q{self.qubit})"
+        )
+
+
+def enumerate_injection_points(
+    circuit: QuantumCircuit,
+    qubits: Optional[Sequence[int]] = None,
+    positions: Optional[Sequence[int]] = None,
+) -> List[InjectionPoint]:
+    """All (gate, qubit) fault sites of ``circuit``.
+
+    Barriers and measurements are not fault sites (no quantum operation to
+    corrupt). ``qubits``/``positions`` restrict the sweep — campaigns use
+    them for per-qubit slicing and cheap subsampled runs.
+    """
+    qubit_filter = set(qubits) if qubits is not None else None
+    position_filter = set(positions) if positions is not None else None
+    points: List[InjectionPoint] = []
+    for index, inst in enumerate(circuit):
+        if not inst.is_unitary():
+            continue
+        if position_filter is not None and index not in position_filter:
+            continue
+        for qubit in inst.qubits:
+            if qubit_filter is not None and qubit not in qubit_filter:
+                continue
+            points.append(InjectionPoint(index, qubit, inst.name))
+    return points

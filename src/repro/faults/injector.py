@@ -1,0 +1,306 @@
+"""QuFI — the quantum fault injector (paper Sec. IV).
+
+The injector clones a circuit and splices a U(theta, phi, 0) gate right
+after a chosen instruction on a chosen qubit, then executes the faulty
+circuit on any :class:`~repro.simulators.backend.Backend` and scores the
+output with QVF. Campaigns sweep the fault grid over every injection point;
+double-fault campaigns add a second, weaker U gate on a physically
+neighbouring qubit.
+
+Example
+-------
+>>> from repro.algorithms import bernstein_vazirani
+>>> from repro.simulators import DensityMatrixSimulator
+>>> from repro.faults import QuFI, fault_grid
+>>> spec = bernstein_vazirani(4)
+>>> qufi = QuFI(DensityMatrixSimulator())
+>>> result = qufi.run_campaign(spec, faults=fault_grid(step_deg=45))
+>>> 0.0 <= result.mean_qvf() <= 1.0
+True
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..algorithms.spec import AlgorithmSpec
+from ..quantum.circuit import QuantumCircuit
+from ..simulators.backend import Backend
+from ..simulators.sampler import Result
+from .campaign import CampaignResult, InjectionRecord
+from .fault_model import PhaseShiftFault, fault_grid
+from .injection_points import InjectionPoint, enumerate_injection_points
+from .qvf import qvf_from_probabilities
+
+__all__ = ["QuFI"]
+
+ProgressCallback = Callable[[int, int], None]
+
+
+class QuFI:
+    """Fault injector bound to an execution backend.
+
+    ``shots=None`` scores the backend's exact output distribution (the limit
+    of the paper's 1,024-shot sampling); an integer re-samples the
+    distribution at that budget, reintroducing shot noise.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        shots: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.backend = backend
+        self.shots = shots
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Circuit construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build_faulty_circuit(
+        circuit: QuantumCircuit,
+        point: InjectionPoint,
+        fault: PhaseShiftFault,
+    ) -> QuantumCircuit:
+        """Clone ``circuit`` with the injector gate after ``point``."""
+        faulty = circuit.copy(name=f"{circuit.name}~fault")
+        faulty.insert(point.position + 1, fault.as_gate(), [point.qubit])
+        return faulty
+
+    @staticmethod
+    def build_double_faulty_circuit(
+        circuit: QuantumCircuit,
+        point: InjectionPoint,
+        fault: PhaseShiftFault,
+        second_qubit: int,
+        second_fault: PhaseShiftFault,
+    ) -> QuantumCircuit:
+        """Clone with both injector gates at the same circuit position.
+
+        The first (stronger) fault lands on ``point.qubit``; the second on
+        the physically neighbouring ``second_qubit``, modelling the same
+        particle strike reaching both (Sec. IV-C).
+        """
+        if second_qubit == point.qubit:
+            raise ValueError("second fault must target a different qubit")
+        faulty = circuit.copy(name=f"{circuit.name}~double")
+        faulty.insert(point.position + 1, fault.as_gate(), [point.qubit])
+        faulty.insert(
+            point.position + 2, second_fault.as_gate(), [second_qubit]
+        )
+        return faulty
+
+    # ------------------------------------------------------------------
+    # Execution and scoring
+    # ------------------------------------------------------------------
+    def _score(
+        self, circuit: QuantumCircuit, correct_states: Sequence[str]
+    ) -> float:
+        result = self.backend.run(circuit, shots=self.shots)
+        probabilities = result.get_probabilities()
+        already_sampled = bool(result.metadata.get("sampled"))
+        if self.shots is not None and not already_sampled:
+            # Exact backend + finite shot budget: re-sample the distribution.
+            probabilities = result.sample_counts(
+                self.shots, self._rng
+            ).probabilities()
+        return qvf_from_probabilities(probabilities, correct_states)
+
+    def fault_free_qvf(
+        self,
+        circuit: QuantumCircuit,
+        correct_states: Sequence[str],
+    ) -> float:
+        """QVF of the unmodified circuit (non-zero under noise)."""
+        return self._score(circuit, correct_states)
+
+    def run_injection(
+        self,
+        circuit: QuantumCircuit,
+        correct_states: Sequence[str],
+        point: InjectionPoint,
+        fault: PhaseShiftFault,
+    ) -> InjectionRecord:
+        """Execute one single-fault injection."""
+        faulty = self.build_faulty_circuit(circuit, point, fault)
+        return InjectionRecord(
+            fault=fault,
+            point=point,
+            qvf=self._score(faulty, correct_states),
+        )
+
+    # ------------------------------------------------------------------
+    # Campaigns
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve(
+        target: Union[AlgorithmSpec, QuantumCircuit],
+        correct_states: Optional[Sequence[str]],
+    ) -> Tuple[QuantumCircuit, Tuple[str, ...], str]:
+        if isinstance(target, AlgorithmSpec):
+            return target.circuit, tuple(target.correct_states), target.name
+        if correct_states is None:
+            raise ValueError(
+                "correct_states is required when passing a bare circuit"
+            )
+        return target, tuple(correct_states), target.name
+
+    def run_campaign(
+        self,
+        target: Union[AlgorithmSpec, QuantumCircuit],
+        correct_states: Optional[Sequence[str]] = None,
+        faults: Optional[Sequence[PhaseShiftFault]] = None,
+        points: Optional[Sequence[InjectionPoint]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> CampaignResult:
+        """Single-fault sweep: every fault at every injection point.
+
+        Defaults: the full 312-configuration grid of Sec. IV-B over every
+        (gate, qubit) site of the circuit.
+        """
+        circuit, states, name = self._resolve(target, correct_states)
+        faults = list(faults) if faults is not None else fault_grid()
+        points = (
+            list(points)
+            if points is not None
+            else enumerate_injection_points(circuit)
+        )
+        fault_free = self.fault_free_qvf(circuit, states)
+        records: List[InjectionRecord] = []
+        total = len(faults) * len(points)
+        done = 0
+        for point in points:
+            for fault in faults:
+                records.append(
+                    self.run_injection(circuit, states, point, fault)
+                )
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+        return CampaignResult(
+            circuit_name=name,
+            correct_states=states,
+            records=records,
+            fault_free_qvf=fault_free,
+            backend_name=getattr(self.backend, "name", "backend"),
+            metadata={
+                "mode": "single",
+                "num_faults": len(faults),
+                "num_points": len(points),
+                "shots": self.shots,
+            },
+        )
+
+    def run_double_campaign(
+        self,
+        target: Union[AlgorithmSpec, QuantumCircuit],
+        couples: Sequence[Tuple[int, int]],
+        correct_states: Optional[Sequence[str]] = None,
+        faults: Optional[Sequence[PhaseShiftFault]] = None,
+        second_faults: Optional[Sequence[PhaseShiftFault]] = None,
+        points: Optional[Sequence[InjectionPoint]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> CampaignResult:
+        """Double-fault sweep over physically neighbouring qubit couples.
+
+        For each couple (a, b), the first fault lands on ``a`` and the
+        second on ``b``, constrained to lower magnitude: ``theta1 <=
+        theta0`` and ``phi1 <= phi0`` — the farther qubit sees less charge
+        (Sec. III-C / IV-C). ``second_faults`` defaults to the same grid as
+        ``faults``, filtered by the constraint per first fault.
+        """
+        circuit, states, name = self._resolve(target, correct_states)
+        if not couples:
+            raise ValueError("at least one neighbour couple is required")
+        faults = list(faults) if faults is not None else fault_grid()
+        second_pool = (
+            list(second_faults) if second_faults is not None else faults
+        )
+        fault_free = self.fault_free_qvf(circuit, states)
+        records: List[InjectionRecord] = []
+
+        combos: List[Tuple[PhaseShiftFault, PhaseShiftFault]] = []
+        for first in faults:
+            for second in second_pool:
+                if (
+                    second.theta <= first.theta + 1e-9
+                    and second.phi <= first.phi + 1e-9
+                ):
+                    combos.append((first, second))
+
+        total = 0
+        jobs: List[
+            Tuple[InjectionPoint, int, PhaseShiftFault, PhaseShiftFault]
+        ] = []
+        for qubit_a, qubit_b in couples:
+            base_points = (
+                list(points)
+                if points is not None
+                else enumerate_injection_points(circuit, qubits=[qubit_a])
+            )
+            for point in base_points:
+                if point.qubit != qubit_a:
+                    continue
+                for first, second in combos:
+                    jobs.append((point, qubit_b, first, second))
+        total = len(jobs)
+
+        for done, (point, qubit_b, first, second) in enumerate(jobs, start=1):
+            faulty = self.build_double_faulty_circuit(
+                circuit, point, first, qubit_b, second
+            )
+            records.append(
+                InjectionRecord(
+                    fault=first,
+                    point=point,
+                    qvf=self._score(faulty, states),
+                    second_fault=second,
+                    second_qubit=qubit_b,
+                )
+            )
+            if progress is not None:
+                progress(done, total)
+
+        return CampaignResult(
+            circuit_name=name,
+            correct_states=states,
+            records=records,
+            fault_free_qvf=fault_free,
+            backend_name=getattr(self.backend, "name", "backend"),
+            metadata={
+                "mode": "double",
+                "couples": list(couples),
+                "num_faults": len(faults),
+                "shots": self.shots,
+            },
+        )
+
+    def estimate_campaign_size(
+        self,
+        target: Union[AlgorithmSpec, QuantumCircuit],
+        faults: Optional[Sequence[PhaseShiftFault]] = None,
+        shots_per_injection: int = 1024,
+    ) -> Dict[str, int]:
+        """Bookkeeping of a campaign's cost in paper units.
+
+        The paper counts each of the 1,024 shots as one injection (its
+        285M figure); this reports both conventions.
+        """
+        circuit = (
+            target.circuit if isinstance(target, AlgorithmSpec) else target
+        )
+        faults = list(faults) if faults is not None else fault_grid()
+        points = enumerate_injection_points(circuit)
+        executions = len(faults) * len(points)
+        return {
+            "injection_points": len(points),
+            "fault_configurations": len(faults),
+            "circuit_executions": executions,
+            "paper_equivalent_injections": executions * shots_per_injection,
+        }

@@ -1,0 +1,93 @@
+"""Quantum Vulnerability Factor (paper Sec. IV-A).
+
+QVF plays the role AVF/PVF play for classical processors: the probability
+for an (assumed) fault to propagate to the output. It is computed from the
+Michelson contrast between the correct output state(s) and the strongest
+incorrect state:
+
+    Contrast = (P(A) - P(B)) / (P(A) + P(B))        (Eq. 1)
+    QVF      = 1 - (Contrast + 1) / 2               (Eq. 2)
+
+with P(A) the aggregated probability of the correct state(s) and P(B) the
+highest probability among incorrect states. QVF is in [0, 1]; low is good.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Mapping, Sequence, Tuple
+
+__all__ = [
+    "michelson_contrast",
+    "qvf_from_probabilities",
+    "qvf_from_contrast",
+    "FaultClass",
+    "classify_qvf",
+    "MASKED_THRESHOLD",
+    "SILENT_THRESHOLD",
+]
+
+# Paper Sec. V-B color coding: green below 0.45, white in between, red above
+# 0.55.
+MASKED_THRESHOLD = 0.45
+SILENT_THRESHOLD = 0.55
+
+
+class FaultClass(str, Enum):
+    """Outcome categories of an injection (the heatmap colors)."""
+
+    MASKED = "masked"  # green: correct state still clearly wins
+    DUBIOUS = "dubious"  # white: correct and incorrect states tie
+    SILENT = "silent"  # red: an incorrect state wins
+
+
+def michelson_contrast(
+    probabilities: Mapping[str, float],
+    correct_states: Sequence[str],
+) -> float:
+    """Contrast between the correct state(s) and the best wrong state.
+
+    Multiple correct states aggregate into P(A), as the paper prescribes for
+    multi-answer circuits. When the distribution is empty the contrast is 0
+    (maximally dubious).
+    """
+    if not correct_states:
+        raise ValueError("at least one correct state is required")
+    correct = set(correct_states)
+    p_correct = sum(probabilities.get(state, 0.0) for state in correct)
+    p_wrong = max(
+        (prob for state, prob in probabilities.items() if state not in correct),
+        default=0.0,
+    )
+    denominator = p_correct + p_wrong
+    if denominator <= 0.0:
+        return 0.0
+    return (p_correct - p_wrong) / denominator
+
+
+def qvf_from_contrast(contrast: float) -> float:
+    """Eq. 2: map contrast in [-1, 1] to QVF in [0, 1], low = reliable."""
+    if not -1.0 - 1e-9 <= contrast <= 1.0 + 1e-9:
+        raise ValueError(f"contrast {contrast} outside [-1, 1]")
+    return 1.0 - (contrast + 1.0) / 2.0
+
+
+def qvf_from_probabilities(
+    probabilities: Mapping[str, float],
+    correct_states: Sequence[str],
+) -> float:
+    """QVF of one output distribution (Eqs. 1 and 2 combined)."""
+    return qvf_from_contrast(michelson_contrast(probabilities, correct_states))
+
+
+def classify_qvf(
+    qvf: float,
+    masked_threshold: float = MASKED_THRESHOLD,
+    silent_threshold: float = SILENT_THRESHOLD,
+) -> FaultClass:
+    """Bucket a QVF value using the paper's green/white/red thresholds."""
+    if qvf < masked_threshold:
+        return FaultClass.MASKED
+    if qvf > silent_threshold:
+        return FaultClass.SILENT
+    return FaultClass.DUBIOUS

@@ -1,0 +1,30 @@
+"""Simulated IBM machines: calibration data, fake backends, hardware emulation."""
+
+from .calibration import DeviceCalibration, GateCalibration, QubitCalibration
+from .emulator import PhysicalMachineEmulator
+from .idle_noise import apply_idle_noise, idle_noise_summary
+from .fake import (
+    FakeBackend,
+    fake_casablanca,
+    fake_guadalupe,
+    fake_jakarta,
+    fake_lagos,
+    fake_montreal,
+    noise_model_from_calibration,
+)
+
+__all__ = [
+    "QubitCalibration",
+    "GateCalibration",
+    "DeviceCalibration",
+    "FakeBackend",
+    "noise_model_from_calibration",
+    "fake_casablanca",
+    "fake_jakarta",
+    "fake_lagos",
+    "fake_guadalupe",
+    "fake_montreal",
+    "PhysicalMachineEmulator",
+    "apply_idle_noise",
+    "idle_noise_summary",
+]

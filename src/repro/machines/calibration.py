@@ -1,0 +1,217 @@
+"""Device calibration records.
+
+IBM publishes daily calibration for each machine: per-qubit T1/T2 and
+readout assignment error, per-gate error rate and duration. These records
+are the input from which the noisy-simulation scenario builds its
+:class:`~repro.simulators.noise.NoiseModel`, and the quantities the
+physical-machine emulator drifts between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["QubitCalibration", "GateCalibration", "DeviceCalibration"]
+
+
+@dataclass(frozen=True)
+class QubitCalibration:
+    """Per-qubit coherence and readout figures.
+
+    Times are in seconds (typical transmon values are tens to hundreds of
+    microseconds); probabilities are dimensionless.
+    """
+
+    t1: float
+    t2: float
+    readout_p01: float
+    readout_p10: float
+    frequency: float = 5.0e9
+
+    def __post_init__(self) -> None:
+        if self.t1 <= 0 or self.t2 <= 0:
+            raise ValueError("T1 and T2 must be positive")
+        if self.t2 > 2 * self.t1 + 1e-12:
+            raise ValueError("unphysical calibration: T2 > 2*T1")
+        for p in (self.readout_p01, self.readout_p10):
+            if not 0 <= p <= 1:
+                raise ValueError("readout error must be a probability")
+
+
+@dataclass(frozen=True)
+class GateCalibration:
+    """Per-gate error rate and duration (seconds)."""
+
+    error: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.error <= 1:
+            raise ValueError("gate error must be a probability")
+        if self.duration < 0:
+            raise ValueError("gate duration must be non-negative")
+
+
+@dataclass
+class DeviceCalibration:
+    """Full calibration snapshot of a device.
+
+    ``gate_defaults`` maps a gate name to its typical figures;
+    ``gate_overrides`` specializes (gate, qubit tuple) pairs, matching how
+    IBM reports e.g. a different CX error for every coupled pair.
+    """
+
+    name: str
+    qubits: List[QubitCalibration]
+    gate_defaults: Dict[str, GateCalibration] = field(default_factory=dict)
+    gate_overrides: Dict[Tuple[str, Tuple[int, ...]], GateCalibration] = field(
+        default_factory=dict
+    )
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    def gate_calibration(
+        self, gate_name: str, qubits: Sequence[int]
+    ) -> Optional[GateCalibration]:
+        override = self.gate_overrides.get((gate_name, tuple(qubits)))
+        if override is not None:
+            return override
+        return self.gate_defaults.get(gate_name)
+
+    def drifted(
+        self,
+        rng: np.random.Generator,
+        relative_scale: float = 0.08,
+    ) -> "DeviceCalibration":
+        """A stochastically perturbed copy of this calibration.
+
+        Models the paper's observation that machine "noise is not static and
+        may slightly change the state probability distribution" between the
+        calibration snapshot and the actual run: every figure is multiplied
+        by a lognormal-ish factor of the given relative scale, clipped to
+        stay physical.
+        """
+
+        def jitter(value: float, lower: float = 0.0, upper: float = 1.0) -> float:
+            factor = float(np.exp(rng.normal(0.0, relative_scale)))
+            return float(min(upper, max(lower, value * factor)))
+
+        qubits = []
+        for qubit in self.qubits:
+            t1 = jitter(qubit.t1, lower=1e-9, upper=np.inf)
+            t2 = min(jitter(qubit.t2, lower=1e-9, upper=np.inf), 2 * t1)
+            qubits.append(
+                QubitCalibration(
+                    t1=t1,
+                    t2=t2,
+                    readout_p01=jitter(qubit.readout_p01),
+                    readout_p10=jitter(qubit.readout_p10),
+                    frequency=qubit.frequency,
+                )
+            )
+        defaults = {
+            name: GateCalibration(jitter(cal.error), cal.duration)
+            for name, cal in self.gate_defaults.items()
+        }
+        overrides = {
+            key: GateCalibration(jitter(cal.error), cal.duration)
+            for key, cal in self.gate_overrides.items()
+        }
+        return DeviceCalibration(
+            name=f"{self.name}_drifted",
+            qubits=qubits,
+            gate_defaults=defaults,
+            gate_overrides=overrides,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (for archiving day-of-run calibration)."""
+        return {
+            "name": self.name,
+            "qubits": [
+                {
+                    "t1": q.t1,
+                    "t2": q.t2,
+                    "readout_p01": q.readout_p01,
+                    "readout_p10": q.readout_p10,
+                    "frequency": q.frequency,
+                }
+                for q in self.qubits
+            ],
+            "gate_defaults": {
+                name: {"error": cal.error, "duration": cal.duration}
+                for name, cal in self.gate_defaults.items()
+            },
+            "gate_overrides": [
+                {
+                    "gate": gate,
+                    "qubits": list(qubits),
+                    "error": cal.error,
+                    "duration": cal.duration,
+                }
+                for (gate, qubits), cal in self.gate_overrides.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DeviceCalibration":
+        qubits = [
+            QubitCalibration(
+                t1=entry["t1"],
+                t2=entry["t2"],
+                readout_p01=entry["readout_p01"],
+                readout_p10=entry["readout_p10"],
+                frequency=entry.get("frequency", 5.0e9),
+            )
+            for entry in data["qubits"]
+        ]
+        defaults = {
+            name: GateCalibration(entry["error"], entry["duration"])
+            for name, entry in data.get("gate_defaults", {}).items()
+        }
+        overrides = {
+            (entry["gate"], tuple(entry["qubits"])): GateCalibration(
+                entry["error"], entry["duration"]
+            )
+            for entry in data.get("gate_overrides", [])
+        }
+        return cls(
+            name=data["name"],
+            qubits=qubits,
+            gate_defaults=defaults,
+            gate_overrides=overrides,
+        )
+
+    def to_json(self, path: str) -> None:
+        import json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    @classmethod
+    def from_json(cls, path: str) -> "DeviceCalibration":
+        import json
+
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def summary(self) -> str:
+        """Human-readable calibration table."""
+        lines = [f"calibration: {self.name} ({self.num_qubits} qubits)"]
+        for index, qubit in enumerate(self.qubits):
+            lines.append(
+                f"  Q{index}: T1={qubit.t1 * 1e6:7.1f}us "
+                f"T2={qubit.t2 * 1e6:7.1f}us "
+                f"readout=({qubit.readout_p01:.4f}, {qubit.readout_p10:.4f})"
+            )
+        for name, cal in sorted(self.gate_defaults.items()):
+            lines.append(
+                f"  gate {name}: error={cal.error:.2e} "
+                f"duration={cal.duration * 1e9:.0f}ns"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Quantum error correction substrate (repetition codes).
+
+Minimal QEC implementation used to reproduce the paper's Sec. II-C claim:
+codes built for a known error type do not contain radiation-induced phase
+shifts of arbitrary direction.
+"""
+
+from .repetition import (
+    CODES,
+    bit_flip_decoder,
+    bit_flip_encoder,
+    logical_error_probability,
+    phase_flip_decoder,
+    phase_flip_encoder,
+    protected_circuit,
+)
+
+__all__ = [
+    "bit_flip_encoder",
+    "bit_flip_decoder",
+    "phase_flip_encoder",
+    "phase_flip_decoder",
+    "protected_circuit",
+    "logical_error_probability",
+    "CODES",
+]

@@ -1,0 +1,48 @@
+"""Quantum circuit intermediate representation and state algebra.
+
+This subpackage is the Qiskit-equivalent substrate the QuFI reproduction is
+built on: gates, circuits, states, dense operators, QASM interchange, and
+random-object generators for property tests.
+"""
+
+from .circuit import Instruction, QuantumCircuit
+from .gates import (
+    Barrier,
+    Gate,
+    Measure,
+    Reset,
+    UGate,
+    gate_from_name,
+)
+from .operators import Operator, is_cptp, kraus_from_unitaries
+from .pauli import PauliString, pauli_basis, pauli_decompose
+from .qasm import QasmError, circuit_from_qasm, circuit_to_qasm
+from .random import random_circuit, random_statevector, random_unitary
+from .states import DensityMatrix, Statevector, bloch_vector, format_bitstring
+
+__all__ = [
+    "QuantumCircuit",
+    "Instruction",
+    "Gate",
+    "UGate",
+    "Barrier",
+    "Measure",
+    "Reset",
+    "gate_from_name",
+    "Operator",
+    "kraus_from_unitaries",
+    "is_cptp",
+    "PauliString",
+    "pauli_basis",
+    "pauli_decompose",
+    "Statevector",
+    "DensityMatrix",
+    "bloch_vector",
+    "format_bitstring",
+    "circuit_to_qasm",
+    "circuit_from_qasm",
+    "QasmError",
+    "random_circuit",
+    "random_statevector",
+    "random_unitary",
+]

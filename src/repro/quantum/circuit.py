@@ -1,0 +1,424 @@
+"""Quantum circuit intermediate representation.
+
+:class:`QuantumCircuit` is the structural object every other subsystem works
+on: the simulators execute it, the transpiler rewrites it, and QuFI clones it
+with injector gates spliced in after arbitrary instruction positions.
+
+Bit ordering is little-endian throughout the package: qubit 0 is the least
+significant bit of a computational basis index, and measurement bitstrings are
+printed with the highest qubit leftmost (the Qiskit convention, so the paper's
+examples — e.g. the Bernstein-Vazirani ``101`` output in Fig. 4 — read the
+same way here).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from . import gates as g
+from .gates import Barrier, Gate, Measure, Reset
+
+__all__ = ["Instruction", "QuantumCircuit"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A gate application bound to concrete qubit (and clbit) indices."""
+
+    gate: Gate
+    qubits: Tuple[int, ...]
+    clbits: Tuple[int, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.gate.name
+
+    def is_unitary(self) -> bool:
+        """True for operations with a well-defined unitary action."""
+        return not isinstance(self.gate, (Measure, Reset, Barrier))
+
+    def remapped(self, mapping: Dict[int, int]) -> "Instruction":
+        """Return a copy with qubit indices rewritten through ``mapping``."""
+        return Instruction(
+            self.gate,
+            tuple(mapping[q] for q in self.qubits),
+            self.clbits,
+        )
+
+    def __repr__(self) -> str:
+        qubits = ", ".join(str(q) for q in self.qubits)
+        if self.clbits:
+            clbits = ", ".join(str(c) for c in self.clbits)
+            return f"{self.gate!r} q[{qubits}] -> c[{clbits}]"
+        return f"{self.gate!r} q[{qubits}]"
+
+
+class QuantumCircuit:
+    """An ordered list of gate applications on ``num_qubits`` qubits.
+
+    The public surface mirrors the parts of Qiskit's ``QuantumCircuit`` that
+    the paper's workflow relies on: named gate-appending methods, ``compose``,
+    ``inverse``, ``depth``, ``count_ops``, measurement, and plain iteration
+    over instructions (with stable positional indices used as fault-injection
+    points).
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_clbits: int = 0,
+        name: str = "circuit",
+    ) -> None:
+        if num_qubits < 0 or num_clbits < 0:
+            raise ValueError("register sizes must be non-negative")
+        self.num_qubits = int(num_qubits)
+        self.num_clbits = int(num_clbits)
+        self.name = name
+        self._instructions: List[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> List[Instruction]:
+        return self._instructions
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and self.num_clbits == other.num_clbits
+            and self._instructions == other._instructions
+        )
+
+    # ------------------------------------------------------------------
+    # Appending operations
+    # ------------------------------------------------------------------
+    def _check_qubits(self, qubits: Sequence[int]) -> Tuple[int, ...]:
+        out = tuple(int(q) for q in qubits)
+        for q in out:
+            if not 0 <= q < self.num_qubits:
+                raise IndexError(
+                    f"qubit {q} out of range for {self.num_qubits}-qubit circuit"
+                )
+        if len(set(out)) != len(out):
+            raise ValueError(f"duplicate qubits in {out}")
+        return out
+
+    def append(
+        self,
+        gate: Gate,
+        qubits: Sequence[int],
+        clbits: Sequence[int] = (),
+    ) -> "QuantumCircuit":
+        """Append ``gate`` on ``qubits``; returns self for chaining."""
+        qubits = self._check_qubits(qubits)
+        if len(qubits) != gate.num_qubits:
+            raise ValueError(
+                f"{gate.name} acts on {gate.num_qubits} qubit(s), "
+                f"got {len(qubits)}"
+            )
+        clbits = tuple(int(c) for c in clbits)
+        for c in clbits:
+            if not 0 <= c < self.num_clbits:
+                raise IndexError(
+                    f"clbit {c} out of range for {self.num_clbits} clbits"
+                )
+        self._instructions.append(Instruction(gate, qubits, clbits))
+        return self
+
+    def insert(
+        self,
+        position: int,
+        gate: Gate,
+        qubits: Sequence[int],
+        clbits: Sequence[int] = (),
+    ) -> "QuantumCircuit":
+        """Insert ``gate`` before instruction index ``position``.
+
+        This is the splice primitive the fault injector uses to place the
+        injector U gate right after a target instruction (``position = i+1``).
+        """
+        self.append(gate, qubits, clbits)
+        self._instructions.insert(position, self._instructions.pop())
+        return self
+
+    # -- named helpers (one per library gate) ---------------------------
+    def id(self, qubit: int) -> "QuantumCircuit":
+        return self.append(g.IGate(), [qubit])
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        return self.append(g.XGate(), [qubit])
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        return self.append(g.YGate(), [qubit])
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        return self.append(g.ZGate(), [qubit])
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        return self.append(g.HGate(), [qubit])
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        return self.append(g.SGate(), [qubit])
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        return self.append(g.SdgGate(), [qubit])
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        return self.append(g.TGate(), [qubit])
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        return self.append(g.TdgGate(), [qubit])
+
+    def sx(self, qubit: int) -> "QuantumCircuit":
+        return self.append(g.SXGate(), [qubit])
+
+    def p(self, lam: float, qubit: int) -> "QuantumCircuit":
+        return self.append(g.PhaseGate(lam), [qubit])
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.append(g.RXGate(theta), [qubit])
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.append(g.RYGate(theta), [qubit])
+
+    def rz(self, phi: float, qubit: int) -> "QuantumCircuit":
+        return self.append(g.RZGate(phi), [qubit])
+
+    def u(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        return self.append(g.UGate(theta, phi, lam), [qubit])
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(g.CXGate(), [control, target])
+
+    def cy(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(g.CYGate(), [control, target])
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(g.CZGate(), [control, target])
+
+    def ch(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(g.CHGate(), [control, target])
+
+    def cp(self, lam: float, control: int, target: int) -> "QuantumCircuit":
+        return self.append(g.CPhaseGate(lam), [control, target])
+
+    def crx(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.append(g.CRXGate(theta), [control, target])
+
+    def cry(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.append(g.CRYGate(theta), [control, target])
+
+    def crz(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.append(g.CRZGate(theta), [control, target])
+
+    def cu(
+        self,
+        theta: float,
+        phi: float,
+        lam: float,
+        gamma: float,
+        control: int,
+        target: int,
+    ) -> "QuantumCircuit":
+        return self.append(g.CUGate(theta, phi, lam, gamma), [control, target])
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.append(g.SwapGate(), [qubit_a, qubit_b])
+
+    def iswap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.append(g.ISwapGate(), [qubit_a, qubit_b])
+
+    def ccx(self, control_a: int, control_b: int, target: int) -> "QuantumCircuit":
+        return self.append(g.CCXGate(), [control_a, control_b, target])
+
+    def cswap(self, control: int, target_a: int, target_b: int) -> "QuantumCircuit":
+        return self.append(g.CSwapGate(), [control, target_a, target_b])
+
+    def rxx(self, theta: float, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.append(g.RXXGate(theta), [qubit_a, qubit_b])
+
+    def ryy(self, theta: float, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.append(g.RYYGate(theta), [qubit_a, qubit_b])
+
+    def rzz(self, theta: float, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.append(g.RZZGate(theta), [qubit_a, qubit_b])
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        targets = list(qubits) if qubits else list(range(self.num_qubits))
+        return self.append(Barrier(len(targets)), targets)
+
+    def reset(self, qubit: int) -> "QuantumCircuit":
+        return self.append(Reset(), [qubit])
+
+    def measure(self, qubit: int, clbit: int) -> "QuantumCircuit":
+        return self.append(Measure(), [qubit], [clbit])
+
+    def measure_all(self) -> "QuantumCircuit":
+        """Measure qubit i into clbit i, growing the classical register."""
+        if self.num_clbits < self.num_qubits:
+            self.num_clbits = self.num_qubits
+        for qubit in range(self.num_qubits):
+            self.measure(qubit, qubit)
+        return self
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return self.num_qubits + self.num_clbits
+
+    def depth(self) -> int:
+        """Longest path of non-barrier operations (standard circuit depth)."""
+        level: Dict[int, int] = {q: 0 for q in range(self.num_qubits)}
+        clevel: Dict[int, int] = {c: 0 for c in range(self.num_clbits)}
+        for inst in self._instructions:
+            if isinstance(inst.gate, Barrier):
+                continue
+            bits = [level[q] for q in inst.qubits]
+            bits += [clevel[c] for c in inst.clbits]
+            new = max(bits, default=0) + 1
+            for q in inst.qubits:
+                level[q] = new
+            for c in inst.clbits:
+                clevel[c] = new
+        highest = list(level.values()) + list(clevel.values())
+        return max(highest, default=0)
+
+    def count_ops(self) -> Dict[str, int]:
+        """Gate-name histogram, sorted by decreasing count."""
+        counts: Dict[str, int] = {}
+        for inst in self._instructions:
+            counts[inst.name] = counts.get(inst.name, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def size(self) -> int:
+        """Number of non-barrier operations."""
+        return sum(
+            1 for inst in self._instructions if not isinstance(inst.gate, Barrier)
+        )
+
+    def num_nonlocal_gates(self) -> int:
+        """Number of gates acting on two or more qubits."""
+        return sum(
+            1
+            for inst in self._instructions
+            if inst.is_unitary() and len(inst.qubits) > 1
+        )
+
+    def has_measurements(self) -> bool:
+        return any(isinstance(inst.gate, Measure) for inst in self._instructions)
+
+    def qubits_used(self) -> Tuple[int, ...]:
+        used = sorted({q for inst in self._instructions for q in inst.qubits})
+        return tuple(used)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, name or self.name)
+        out._instructions = list(self._instructions)
+        return out
+
+    def compose(
+        self,
+        other: "QuantumCircuit",
+        qubits: Optional[Sequence[int]] = None,
+    ) -> "QuantumCircuit":
+        """Return a new circuit with ``other`` appended.
+
+        ``qubits`` maps other's qubit i to ``qubits[i]`` of self; by default
+        qubits line up by index.
+        """
+        if qubits is None:
+            qubits = list(range(other.num_qubits))
+        if len(qubits) != other.num_qubits:
+            raise ValueError("qubit mapping length mismatch")
+        mapping = {i: int(q) for i, q in enumerate(qubits)}
+        out = self.copy()
+        if other.num_clbits > out.num_clbits:
+            out.num_clbits = other.num_clbits
+        for inst in other:
+            out.append(
+                inst.gate,
+                [mapping[q] for q in inst.qubits],
+                inst.clbits,
+            )
+        return out
+
+    def inverse(self) -> "QuantumCircuit":
+        """Adjoint circuit. Measurements cannot be inverted."""
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, f"{self.name}_dg")
+        for inst in reversed(self._instructions):
+            if isinstance(inst.gate, (Measure, Reset)):
+                raise ValueError("cannot invert a circuit with measurements")
+            if isinstance(inst.gate, Barrier):
+                out.append(inst.gate, inst.qubits)
+            else:
+                out.append(inst.gate.inverse(), inst.qubits)
+        return out
+
+    def remove_final_measurements(self) -> "QuantumCircuit":
+        """Copy of the circuit without measure/barrier tail operations."""
+        out = self.copy()
+        out._instructions = [
+            inst
+            for inst in out._instructions
+            if not isinstance(inst.gate, (Measure, Barrier))
+        ]
+        return out
+
+    def power(self, repetitions: int) -> "QuantumCircuit":
+        """Circuit repeated ``repetitions`` times."""
+        if repetitions < 0:
+            return self.inverse().power(-repetitions)
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, self.name)
+        for _ in range(repetitions):
+            out = out.compose(self)
+        return out
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def draw(self) -> str:
+        """Minimal text rendering: one line per qubit wire."""
+        columns: List[List[str]] = []
+        level: Dict[int, int] = {q: 0 for q in range(self.num_qubits)}
+        for inst in self._instructions:
+            start = max(level[q] for q in inst.qubits)
+            while len(columns) <= start:
+                columns.append([""] * self.num_qubits)
+            label = inst.name
+            if inst.gate.params:
+                label += "(" + ",".join(f"{p:.2f}" for p in inst.gate.params) + ")"
+            for pos, q in enumerate(inst.qubits):
+                tag = label if len(inst.qubits) == 1 else f"{label}:{pos}"
+                columns[start][q] = tag
+            for q in inst.qubits:
+                level[q] = start + 1
+        lines = []
+        for q in range(self.num_qubits):
+            cells = [col[q] if col[q] else "-" for col in columns]
+            lines.append(f"q{q}: " + " ".join(f"{c:^12}" for c in cells))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"clbits={self.num_clbits}, ops={len(self)})"
+        )

@@ -1,0 +1,734 @@
+"""Quantum gate library.
+
+Every gate used by the QuFI reproduction is defined here as a small class
+carrying a name, a qubit arity, an optional parameter list, and a dense
+unitary matrix. The matrix convention is little-endian (qubit 0 is the least
+significant bit of a computational basis index), matching Qiskit so that the
+paper's circuits and results translate directly.
+
+The ``UGate`` is the injector gate of the paper (Eq. 3):
+
+    U(theta, phi, lam) = [[cos(theta/2),            -e^{i lam} sin(theta/2)],
+                          [e^{i phi} sin(theta/2),  e^{i(phi+lam)} cos(theta/2)]]
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Gate",
+    "IGate",
+    "XGate",
+    "YGate",
+    "ZGate",
+    "HGate",
+    "SGate",
+    "SdgGate",
+    "TGate",
+    "TdgGate",
+    "SXGate",
+    "SXdgGate",
+    "PhaseGate",
+    "RXGate",
+    "RYGate",
+    "RZGate",
+    "UGate",
+    "FaultUGate",
+    "U1Gate",
+    "U2Gate",
+    "U3Gate",
+    "CXGate",
+    "CYGate",
+    "CZGate",
+    "CHGate",
+    "CPhaseGate",
+    "CRXGate",
+    "CRYGate",
+    "CRZGate",
+    "CUGate",
+    "SwapGate",
+    "ISwapGate",
+    "CCXGate",
+    "CSwapGate",
+    "RXXGate",
+    "RYYGate",
+    "RZZGate",
+    "Barrier",
+    "Measure",
+    "Reset",
+    "GATE_CLASSES",
+    "gate_from_name",
+    "controlled_matrix",
+]
+
+
+class Gate:
+    """Base class for all quantum gates.
+
+    Subclasses set :attr:`name`, :attr:`num_qubits` and implement
+    :meth:`_build_matrix`. Parameterized gates receive their parameters
+    positionally and expose them through :attr:`params`.
+    """
+
+    name: str = "gate"
+    num_qubits: int = 1
+    num_params: int = 0
+
+    def __init__(self, *params: float) -> None:
+        if len(params) != self.num_params:
+            raise ValueError(
+                f"{self.name} expects {self.num_params} parameter(s), "
+                f"got {len(params)}"
+            )
+        self.params: Tuple[float, ...] = tuple(float(p) for p in params)
+        self._matrix: Optional[np.ndarray] = None
+
+    # -- matrix ------------------------------------------------------------
+    def _build_matrix(self) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Dense unitary of the gate (cached)."""
+        if self._matrix is None:
+            mat = np.asarray(self._build_matrix(), dtype=complex)
+            expected = 2**self.num_qubits
+            if mat.shape != (expected, expected):
+                raise ValueError(
+                    f"{self.name}: matrix shape {mat.shape} does not match "
+                    f"{self.num_qubits} qubit(s)"
+                )
+            self._matrix = mat
+        return self._matrix
+
+    # -- structural helpers --------------------------------------------------
+    def inverse(self) -> "Gate":
+        """Return a gate whose matrix is the adjoint of this one."""
+        inverse_name = _INVERSE_NAMES.get(self.name)
+        if inverse_name is not None and self.num_params == 0:
+            return gate_from_name(inverse_name)
+        if self.num_params:
+            negated = tuple(-p for p in reversed(self.params))
+            # For U(theta, phi, lam) the inverse is U(-theta, -lam, -phi);
+            # the reversed negation handles every rotation gate we define.
+            try:
+                return type(self)(*negated)
+            except TypeError:
+                pass
+        return _AdjointGate(self)
+
+    def is_identity(self, tol: float = 1e-12) -> bool:
+        """True when the gate acts as the identity up to global phase."""
+        mat = self.matrix
+        phase = mat[0, 0]
+        if abs(abs(phase) - 1.0) > tol:
+            return False
+        return bool(np.allclose(mat, phase * np.eye(mat.shape[0]), atol=tol))
+
+    def __repr__(self) -> str:
+        if self.params:
+            inner = ", ".join(f"{p:.6g}" for p in self.params)
+            return f"{self.name}({inner})"
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.num_qubits == other.num_qubits
+            and np.allclose(self.params, other.params)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.num_qubits, self.params))
+
+
+class _AdjointGate(Gate):
+    """Fallback adjoint wrapper for gates without a named inverse."""
+
+    def __init__(self, base: Gate) -> None:
+        self.name = f"{base.name}_dg"
+        self.num_qubits = base.num_qubits
+        self.num_params = 0
+        super().__init__()
+        self._base = base
+
+    def _build_matrix(self) -> np.ndarray:
+        return self._base.matrix.conj().T
+
+
+# ---------------------------------------------------------------------------
+# Single-qubit Pauli / Clifford gates
+# ---------------------------------------------------------------------------
+
+
+class IGate(Gate):
+    """Identity gate."""
+
+    name = "id"
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.eye(2)
+
+
+class XGate(Gate):
+    """Pauli-X (bit flip): pi rotation about the X axis of the Bloch sphere."""
+
+    name = "x"
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[0, 1], [1, 0]])
+
+
+class YGate(Gate):
+    """Pauli-Y: pi rotation about the Y axis."""
+
+    name = "y"
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[0, -1j], [1j, 0]])
+
+
+class ZGate(Gate):
+    """Pauli-Z (phase flip): pi rotation about the Z axis."""
+
+    name = "z"
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, -1]])
+
+
+class HGate(Gate):
+    """Hadamard: maps |0> to the equal superposition (|0>+|1>)/sqrt(2)."""
+
+    name = "h"
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+
+
+class SGate(Gate):
+    """S gate: pi/2 phase rotation about Z."""
+
+    name = "s"
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, 1j]])
+
+
+class SdgGate(Gate):
+    """Adjoint of the S gate."""
+
+    name = "sdg"
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, -1j]])
+
+
+class TGate(Gate):
+    """T gate: pi/4 phase rotation about Z."""
+
+    name = "t"
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]])
+
+
+class TdgGate(Gate):
+    """Adjoint of the T gate."""
+
+    name = "tdg"
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]])
+
+
+class SXGate(Gate):
+    """Square root of X."""
+
+    name = "sx"
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]]) / 2
+
+
+class SXdgGate(Gate):
+    """Adjoint of sqrt(X)."""
+
+    name = "sxdg"
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]]) / 2
+
+
+# ---------------------------------------------------------------------------
+# Parameterized single-qubit rotations
+# ---------------------------------------------------------------------------
+
+
+class PhaseGate(Gate):
+    """Phase gate P(lam) = diag(1, e^{i lam})."""
+
+    name = "p"
+    num_params = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        (lam,) = self.params
+        return np.array([[1, 0], [0, cmath.exp(1j * lam)]])
+
+
+class RXGate(Gate):
+    """Rotation about X by ``theta``."""
+
+    name = "rx"
+    num_params = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        (theta,) = self.params
+        cos = math.cos(theta / 2)
+        sin = math.sin(theta / 2)
+        return np.array([[cos, -1j * sin], [-1j * sin, cos]])
+
+
+class RYGate(Gate):
+    """Rotation about Y by ``theta``."""
+
+    name = "ry"
+    num_params = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        (theta,) = self.params
+        cos = math.cos(theta / 2)
+        sin = math.sin(theta / 2)
+        return np.array([[cos, -sin], [sin, cos]])
+
+
+class RZGate(Gate):
+    """Rotation about Z by ``phi`` (traceless convention)."""
+
+    name = "rz"
+    num_params = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        (phi,) = self.params
+        return np.array(
+            [[cmath.exp(-1j * phi / 2), 0], [0, cmath.exp(1j * phi / 2)]]
+        )
+
+
+class UGate(Gate):
+    """Generic single-qubit gate U(theta, phi, lam) — the QuFI injector gate.
+
+    This is Eq. 3 of the paper: the most flexible single-qubit gate, used to
+    impose a parametrized phase shift of arbitrary direction and magnitude.
+    """
+
+    name = "u"
+    num_params = 3
+
+    def _build_matrix(self) -> np.ndarray:
+        theta, phi, lam = self.params
+        cos = math.cos(theta / 2)
+        sin = math.sin(theta / 2)
+        return np.array(
+            [
+                [cos, -cmath.exp(1j * lam) * sin],
+                [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+            ]
+        )
+
+    def inverse(self) -> "UGate":
+        theta, phi, lam = self.params
+        return UGate(-theta, -lam, -phi)
+
+
+class FaultUGate(UGate):
+    """QuFI's injector gate: a U gate with a distinguished name.
+
+    The injected phase shift models an *environmental* perturbation, not a
+    scheduled physical gate, so noise models (which key channels on gate
+    names) must not decorate it. It serializes to QASM as a plain ``u``.
+    """
+
+    name = "ufault"
+
+    def inverse(self) -> "FaultUGate":
+        theta, phi, lam = self.params
+        return FaultUGate(-theta, -lam, -phi)
+
+
+class U1Gate(PhaseGate):
+    """Legacy alias: U1(lam) == P(lam)."""
+
+    name = "u1"
+
+
+class U2Gate(Gate):
+    """Legacy U2(phi, lam) == U(pi/2, phi, lam)."""
+
+    name = "u2"
+    num_params = 2
+
+    def _build_matrix(self) -> np.ndarray:
+        phi, lam = self.params
+        return UGate(math.pi / 2, phi, lam).matrix
+
+    def inverse(self) -> Gate:
+        phi, lam = self.params
+        return UGate(-math.pi / 2, -lam, -phi)
+
+
+class U3Gate(UGate):
+    """Legacy alias: U3 == U."""
+
+    name = "u3"
+
+
+# ---------------------------------------------------------------------------
+# Two-qubit gates
+# ---------------------------------------------------------------------------
+
+
+def controlled_matrix(base: np.ndarray) -> np.ndarray:
+    """Build the controlled version of a unitary.
+
+    Control is qubit 0 (least significant bit); the target register occupies
+    the higher bits. With little-endian ordering the controlled matrix keeps
+    even-indexed basis states (control = 0) fixed and applies ``base`` on the
+    odd-indexed block.
+    """
+    dim = base.shape[0]
+    out = np.eye(2 * dim, dtype=complex)
+    for row in range(dim):
+        for col in range(dim):
+            out[2 * row + 1, 2 * col + 1] = base[row, col]
+    return out
+
+
+class CXGate(Gate):
+    """Controlled-X (CNOT). Qubit order: (control, target)."""
+
+    name = "cx"
+    num_qubits = 2
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(XGate().matrix)
+
+
+class CYGate(Gate):
+    """Controlled-Y."""
+
+    name = "cy"
+    num_qubits = 2
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(YGate().matrix)
+
+
+class CZGate(Gate):
+    """Controlled-Z (symmetric under qubit exchange)."""
+
+    name = "cz"
+    num_qubits = 2
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(ZGate().matrix)
+
+
+class CHGate(Gate):
+    """Controlled-Hadamard."""
+
+    name = "ch"
+    num_qubits = 2
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(HGate().matrix)
+
+
+class CPhaseGate(Gate):
+    """Controlled phase CP(lam): used heavily by the QFT circuit."""
+
+    name = "cp"
+    num_qubits = 2
+    num_params = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        (lam,) = self.params
+        return controlled_matrix(PhaseGate(lam).matrix)
+
+
+class CRXGate(Gate):
+    """Controlled RX rotation."""
+
+    name = "crx"
+    num_qubits = 2
+    num_params = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(RXGate(*self.params).matrix)
+
+
+class CRYGate(Gate):
+    """Controlled RY rotation."""
+
+    name = "cry"
+    num_qubits = 2
+    num_params = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(RYGate(*self.params).matrix)
+
+
+class CRZGate(Gate):
+    """Controlled RZ rotation."""
+
+    name = "crz"
+    num_qubits = 2
+    num_params = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(RZGate(*self.params).matrix)
+
+
+class CUGate(Gate):
+    """Controlled U(theta, phi, lam) with an extra global-phase parameter."""
+
+    name = "cu"
+    num_qubits = 2
+    num_params = 4
+
+    def _build_matrix(self) -> np.ndarray:
+        theta, phi, lam, gamma = self.params
+        base = cmath.exp(1j * gamma) * UGate(theta, phi, lam).matrix
+        return controlled_matrix(base)
+
+    def inverse(self) -> "CUGate":
+        theta, phi, lam, gamma = self.params
+        return CUGate(-theta, -lam, -phi, -gamma)
+
+
+class SwapGate(Gate):
+    """SWAP gate: exchanges the states of two qubits.
+
+    The transpiler inserts these to route two-qubit gates on restricted
+    topologies; QuFI tracks the resulting qubit permutation.
+    """
+
+    name = "swap"
+    num_qubits = 2
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]]
+        )
+
+
+class ISwapGate(Gate):
+    """iSWAP gate."""
+
+    name = "iswap"
+    num_qubits = 2
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]]
+        )
+
+
+class RXXGate(Gate):
+    """Two-qubit XX rotation."""
+
+    name = "rxx"
+    num_qubits = 2
+    num_params = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        (theta,) = self.params
+        cos = math.cos(theta / 2)
+        sin = -1j * math.sin(theta / 2)
+        return np.array(
+            [[cos, 0, 0, sin], [0, cos, sin, 0], [0, sin, cos, 0], [sin, 0, 0, cos]]
+        )
+
+
+class RYYGate(Gate):
+    """Two-qubit YY rotation."""
+
+    name = "ryy"
+    num_qubits = 2
+    num_params = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        (theta,) = self.params
+        cos = math.cos(theta / 2)
+        sin = 1j * math.sin(theta / 2)
+        return np.array(
+            [
+                [cos, 0, 0, sin],
+                [0, cos, -sin, 0],
+                [0, -sin, cos, 0],
+                [sin, 0, 0, cos],
+            ]
+        )
+
+
+class RZZGate(Gate):
+    """Two-qubit ZZ rotation (diagonal)."""
+
+    name = "rzz"
+    num_qubits = 2
+    num_params = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        (theta,) = self.params
+        pos = cmath.exp(1j * theta / 2)
+        neg = cmath.exp(-1j * theta / 2)
+        return np.diag([neg, pos, pos, neg])
+
+
+# ---------------------------------------------------------------------------
+# Three-qubit gates
+# ---------------------------------------------------------------------------
+
+
+class CCXGate(Gate):
+    """Toffoli gate. Qubit order: (control, control, target)."""
+
+    name = "ccx"
+    num_qubits = 3
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(CXGate().matrix)
+
+
+class CSwapGate(Gate):
+    """Fredkin gate. Qubit order: (control, target, target)."""
+
+    name = "cswap"
+    num_qubits = 3
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(SwapGate().matrix)
+
+
+# ---------------------------------------------------------------------------
+# Non-unitary circuit operations
+# ---------------------------------------------------------------------------
+
+
+class Barrier(Gate):
+    """Scheduling barrier. Structural only — has no matrix."""
+
+    name = "barrier"
+
+    def __init__(self, num_qubits: int = 1) -> None:
+        self.num_qubits = int(num_qubits)
+        super().__init__()
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.eye(2**self.num_qubits)
+
+
+class Measure(Gate):
+    """Projective measurement in the computational basis."""
+
+    name = "measure"
+
+    def _build_matrix(self) -> np.ndarray:
+        raise TypeError("measure has no unitary matrix")
+
+
+class Reset(Gate):
+    """Reset a qubit to |0>."""
+
+    name = "reset"
+
+    def _build_matrix(self) -> np.ndarray:
+        raise TypeError("reset has no unitary matrix")
+
+
+_INVERSE_NAMES: Dict[str, str] = {
+    "id": "id",
+    "x": "x",
+    "y": "y",
+    "z": "z",
+    "h": "h",
+    "s": "sdg",
+    "sdg": "s",
+    "t": "tdg",
+    "tdg": "t",
+    "sx": "sxdg",
+    "sxdg": "sx",
+    "cx": "cx",
+    "cy": "cy",
+    "cz": "cz",
+    "ch": "ch",
+    "swap": "swap",
+    "ccx": "ccx",
+    "cswap": "cswap",
+}
+
+GATE_CLASSES: Dict[str, Callable[..., Gate]] = {
+    cls.name: cls
+    for cls in (
+        IGate,
+        XGate,
+        YGate,
+        ZGate,
+        HGate,
+        SGate,
+        SdgGate,
+        TGate,
+        TdgGate,
+        SXGate,
+        SXdgGate,
+        PhaseGate,
+        RXGate,
+        RYGate,
+        RZGate,
+        UGate,
+        FaultUGate,
+        U1Gate,
+        U2Gate,
+        U3Gate,
+        CXGate,
+        CYGate,
+        CZGate,
+        CHGate,
+        CPhaseGate,
+        CRXGate,
+        CRYGate,
+        CRZGate,
+        CUGate,
+        SwapGate,
+        ISwapGate,
+        RXXGate,
+        RYYGate,
+        RZZGate,
+        CCXGate,
+        CSwapGate,
+        Measure,
+        Reset,
+    )
+}
+
+
+def gate_from_name(name: str, *params: float) -> Gate:
+    """Instantiate a library gate from its lowercase name.
+
+    >>> gate_from_name("u", 0.5, 0.1, 0.0).name
+    'u'
+    """
+    if name == "barrier":
+        return Barrier(int(params[0]) if params else 1)
+    try:
+        cls = GATE_CLASSES[name]
+    except KeyError:
+        raise KeyError(f"unknown gate {name!r}") from None
+    return cls(*params)

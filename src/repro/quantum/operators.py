@@ -1,0 +1,117 @@
+"""Dense operator algebra: unitaries of circuits and channel conversions."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gates import Barrier, Gate, Measure, Reset
+from .linalg import expand_unitary
+
+__all__ = ["Operator", "kraus_from_unitaries", "is_cptp"]
+
+
+class Operator:
+    """A dense matrix on ``n`` qubits with composition helpers."""
+
+    def __init__(self, data: Union[np.ndarray, Sequence[Sequence[complex]]]) -> None:
+        self.data = np.asarray(data, dtype=complex)
+        if self.data.ndim != 2 or self.data.shape[0] != self.data.shape[1]:
+            raise ValueError("operator must be a square matrix")
+        dim = self.data.shape[0]
+        self.num_qubits = dim.bit_length() - 1
+        if 2**self.num_qubits != dim:
+            raise ValueError(f"dimension {dim} is not a power of two")
+
+    @classmethod
+    def identity(cls, num_qubits: int) -> "Operator":
+        return cls(np.eye(2**num_qubits))
+
+    @classmethod
+    def from_gate(cls, gate: Gate) -> "Operator":
+        return cls(gate.matrix)
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "Operator":
+        """Total unitary of a measurement-free circuit."""
+        total = np.eye(2**circuit.num_qubits, dtype=complex)
+        for inst in circuit:
+            if isinstance(inst.gate, Barrier):
+                continue
+            if isinstance(inst.gate, (Measure, Reset)):
+                raise ValueError(
+                    "circuit contains non-unitary operations; "
+                    "strip measurements first"
+                )
+            expanded = expand_unitary(
+                inst.gate.matrix, inst.qubits, circuit.num_qubits
+            )
+            total = expanded @ total
+        return cls(total)
+
+    # -- algebra -----------------------------------------------------------
+    def compose(self, other: "Operator") -> "Operator":
+        """``other`` applied after ``self`` (matrix product other @ self)."""
+        return Operator(other.data @ self.data)
+
+    def tensor(self, other: "Operator") -> "Operator":
+        """``other`` on higher qubits: result acts on self's qubits first."""
+        return Operator(np.kron(other.data, self.data))
+
+    def adjoint(self) -> "Operator":
+        return Operator(self.data.conj().T)
+
+    def power(self, exponent: int) -> "Operator":
+        return Operator(np.linalg.matrix_power(self.data, exponent))
+
+    # -- predicates ----------------------------------------------------------
+    def is_unitary(self, tol: float = 1e-9) -> bool:
+        product = self.data @ self.data.conj().T
+        return bool(np.allclose(product, np.eye(self.data.shape[0]), atol=tol))
+
+    def equiv(self, other: "Operator", tol: float = 1e-9) -> bool:
+        """Equality up to a global phase."""
+        a, b = self.data, other.data
+        if a.shape != b.shape:
+            return False
+        index = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+        if abs(b[index]) < tol:
+            return bool(np.allclose(a, b, atol=tol))
+        phase = a[index] / b[index]
+        if abs(abs(phase) - 1.0) > tol:
+            return False
+        return bool(np.allclose(a, phase * b, atol=tol))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Operator):
+            return NotImplemented
+        return bool(np.allclose(self.data, other.data))
+
+    def __repr__(self) -> str:
+        return f"Operator(qubits={self.num_qubits})"
+
+
+def kraus_from_unitaries(
+    unitaries: Sequence[np.ndarray], probabilities: Sequence[float]
+) -> List[np.ndarray]:
+    """Kraus operators of a probabilistic-unitary mixture channel."""
+    if len(unitaries) != len(probabilities):
+        raise ValueError("one probability per unitary required")
+    total = float(sum(probabilities))
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"probabilities sum to {total}, expected 1")
+    return [
+        np.sqrt(p) * np.asarray(u, dtype=complex)
+        for u, p in zip(unitaries, probabilities)
+    ]
+
+
+def is_cptp(kraus_ops: Sequence[np.ndarray], tol: float = 1e-9) -> bool:
+    """Check the completeness relation ``sum_k K^dagger K = I``."""
+    dim = np.asarray(kraus_ops[0]).shape[1]
+    total = sum(
+        np.asarray(k).conj().T @ np.asarray(k) for k in kraus_ops
+    )
+    return bool(np.allclose(total, np.eye(dim), atol=tol))

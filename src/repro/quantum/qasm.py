@@ -1,0 +1,203 @@
+"""OpenQASM 2.0 emitter and parser.
+
+The paper notes QuFI can "export [faulty circuits] as QASM files to load and
+execute the circuits on different systems"; this module provides that
+interchange path for the gate set the library defines. The parser accepts the
+emitter's output plus the common hand-written subset (qelib1 gates, one
+quantum and one classical register).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from .circuit import QuantumCircuit
+from .gates import Barrier, Measure, Reset, gate_from_name
+
+__all__ = ["circuit_to_qasm", "circuit_from_qasm", "QasmError"]
+
+
+class QasmError(ValueError):
+    """Raised when a QASM document cannot be parsed."""
+
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+# Gates the emitter writes verbatim; everything else is lowered to u/cx first
+# by the caller (the transpiler's basis pass) or emitted with its native name,
+# which qelib1 also defines for this set.
+_QASM_NAMES = {
+    "id",
+    "x",
+    "y",
+    "z",
+    "h",
+    "s",
+    "sdg",
+    "t",
+    "tdg",
+    "sx",
+    "sxdg",
+    "p",
+    "rx",
+    "ry",
+    "rz",
+    "u",
+    "u1",
+    "u2",
+    "u3",
+    "cx",
+    "cy",
+    "cz",
+    "ch",
+    "cp",
+    "crx",
+    "cry",
+    "crz",
+    "cu",
+    "swap",
+    "iswap",
+    "ccx",
+    "cswap",
+    "rxx",
+    "ryy",
+    "rzz",
+}
+
+
+def _format_param(value: float) -> str:
+    """Render angles as simple fractions of pi when possible."""
+    for denom in (1, 2, 3, 4, 6, 8, 12, 16):
+        for numer in range(-2 * denom * 2, 2 * denom * 2 + 1):
+            if numer == 0:
+                continue
+            if abs(value - numer * math.pi / denom) < 1e-12:
+                sign = "-" if numer < 0 else ""
+                numer = abs(numer)
+                if numer == denom:
+                    return f"{sign}pi"
+                if denom == 1:
+                    return f"{sign}{numer}*pi"
+                if numer == 1:
+                    return f"{sign}pi/{denom}"
+                return f"{sign}{numer}*pi/{denom}"
+    if abs(value) < 1e-12:
+        return "0"
+    return repr(float(value))
+
+
+def circuit_to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize a circuit to OpenQASM 2.0 text."""
+    lines = [_HEADER.rstrip()]
+    lines.append(f"qreg q[{circuit.num_qubits}];")
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for inst in circuit:
+        qubits = ",".join(f"q[{q}]" for q in inst.qubits)
+        if isinstance(inst.gate, Barrier):
+            lines.append(f"barrier {qubits};")
+        elif isinstance(inst.gate, Measure):
+            lines.append(f"measure q[{inst.qubits[0]}] -> c[{inst.clbits[0]}];")
+        elif isinstance(inst.gate, Reset):
+            lines.append(f"reset q[{inst.qubits[0]}];")
+        else:
+            name = inst.gate.name
+            if name == "ufault":
+                # The injector gate is a plain U to any external system.
+                name = "u"
+            if name not in _QASM_NAMES:
+                raise QasmError(f"gate {name!r} has no QASM 2.0 spelling")
+            if inst.gate.params:
+                params = ",".join(_format_param(p) for p in inst.gate.params)
+                lines.append(f"{name}({params}) {qubits};")
+            else:
+                lines.append(f"{name} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+_TOKEN_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\((?P<params>[^)]*)\))?\s+(?P<args>.+)$"
+)
+_QARG_RE = re.compile(r"^([a-zA-Z_][a-zA-Z0-9_]*)\[(\d+)\]$")
+
+
+def _eval_param(text: str) -> float:
+    """Evaluate a QASM angle expression (numbers, pi, + - * /)."""
+    cleaned = text.strip().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[0-9eE\.\+\-\*/\(\) ]+", cleaned):
+        raise QasmError(f"unsupported parameter expression {text!r}")
+    try:
+        return float(eval(cleaned, {"__builtins__": {}}, {}))  # noqa: S307
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"cannot evaluate parameter {text!r}") from exc
+
+
+def circuit_from_qasm(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 text back into a :class:`QuantumCircuit`."""
+    text = re.sub(r"//[^\n]*", "", text)
+    statements = [s.strip() for s in text.split(";") if s.strip()]
+    registers: Dict[str, Tuple[str, int]] = {}
+    num_qubits = 0
+    num_clbits = 0
+    body: List[str] = []
+    for stmt in statements:
+        if stmt.startswith("OPENQASM") or stmt.startswith("include"):
+            continue
+        match = re.match(r"^(qreg|creg)\s+([a-zA-Z_][a-zA-Z0-9_]*)\[(\d+)\]$", stmt)
+        if match:
+            kind, name, size = match.group(1), match.group(2), int(match.group(3))
+            if kind == "qreg":
+                registers[name] = ("q", num_qubits)
+                num_qubits += size
+            else:
+                registers[name] = ("c", num_clbits)
+                num_clbits += size
+            continue
+        body.append(stmt)
+
+    circuit = QuantumCircuit(num_qubits, num_clbits)
+
+    def resolve(arg: str) -> Tuple[str, int]:
+        match = _QARG_RE.match(arg.strip())
+        if not match:
+            raise QasmError(f"cannot parse register argument {arg!r}")
+        reg, index = match.group(1), int(match.group(2))
+        if reg not in registers:
+            raise QasmError(f"unknown register {reg!r}")
+        kind, offset = registers[reg]
+        return kind, offset + index
+
+    for stmt in body:
+        if stmt.startswith("measure"):
+            match = re.match(r"^measure\s+(\S+)\s*->\s*(\S+)$", stmt)
+            if not match:
+                raise QasmError(f"cannot parse {stmt!r}")
+            _, qubit = resolve(match.group(1))
+            _, clbit = resolve(match.group(2))
+            circuit.measure(qubit, clbit)
+            continue
+        if stmt.startswith("barrier"):
+            args = stmt[len("barrier") :].strip()
+            qubits = [resolve(a)[1] for a in args.split(",")]
+            circuit.barrier(*qubits)
+            continue
+        if stmt.startswith("reset"):
+            _, qubit = resolve(stmt[len("reset") :].strip())
+            circuit.reset(qubit)
+            continue
+        match = _TOKEN_RE.match(stmt)
+        if not match:
+            raise QasmError(f"cannot parse statement {stmt!r}")
+        name = match.group("name")
+        params = (
+            [_eval_param(p) for p in match.group("params").split(",")]
+            if match.group("params")
+            else []
+        )
+        qubits = [resolve(a)[1] for a in match.group("args").split(",")]
+        gate = gate_from_name(name, *params)
+        circuit.append(gate, qubits)
+    return circuit

@@ -1,0 +1,104 @@
+"""Random circuits, states, and unitaries for property-based testing.
+
+The paper suggests applying QuFI's histogram analysis "to a large number of
+random circuits"; :func:`random_circuit` is the generator for that study and
+for the hypothesis test-suite strategies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gates import GATE_CLASSES, Gate
+from .states import Statevector
+
+__all__ = [
+    "random_circuit",
+    "random_statevector",
+    "random_unitary",
+    "DEFAULT_GATE_POOL",
+]
+
+# A representative mix of 1q/2q gates; parameterized names get random angles.
+DEFAULT_GATE_POOL: Sequence[str] = (
+    "h",
+    "x",
+    "y",
+    "z",
+    "s",
+    "t",
+    "sx",
+    "rx",
+    "ry",
+    "rz",
+    "p",
+    "u",
+    "cx",
+    "cz",
+    "cp",
+    "swap",
+)
+
+
+def _random_gate(name: str, rng: np.random.Generator) -> Gate:
+    cls = GATE_CLASSES[name]
+    params = rng.uniform(0, 2 * math.pi, size=cls.num_params)
+    return cls(*params)
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: Optional[int] = None,
+    gate_pool: Sequence[str] = DEFAULT_GATE_POOL,
+    measure: bool = False,
+) -> QuantumCircuit:
+    """Generate a random circuit of roughly ``depth`` layers.
+
+    Each layer greedily assigns random gates from ``gate_pool`` to unused
+    qubits, so every qubit is touched once per layer when arities allow.
+    """
+    rng = np.random.default_rng(seed)
+    pool_1q = [n for n in gate_pool if GATE_CLASSES[n].num_qubits == 1]
+    pool_2q = [n for n in gate_pool if GATE_CLASSES[n].num_qubits == 2]
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}x{depth}")
+    for _ in range(depth):
+        free = list(rng.permutation(num_qubits))
+        while free:
+            if len(free) >= 2 and pool_2q and rng.random() < 0.4:
+                name = str(rng.choice(pool_2q))
+                qubits = [int(free.pop()), int(free.pop())]
+            else:
+                name = str(rng.choice(pool_1q)) if pool_1q else str(rng.choice(pool_2q))
+                qubits = [int(free.pop())]
+            gate = _random_gate(name, rng)
+            if gate.num_qubits != len(qubits):
+                continue
+            circuit.append(gate, qubits)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def random_statevector(
+    num_qubits: int, seed: Optional[int] = None
+) -> Statevector:
+    """Haar-ish random pure state (normalized complex Gaussian)."""
+    rng = np.random.default_rng(seed)
+    dim = 2**num_qubits
+    vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return Statevector(vec / np.linalg.norm(vec))
+
+
+def random_unitary(num_qubits: int, seed: Optional[int] = None) -> np.ndarray:
+    """Haar-random unitary via QR decomposition of a Ginibre matrix."""
+    rng = np.random.default_rng(seed)
+    dim = 2**num_qubits
+    ginibre = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(ginibre)
+    phases = np.diag(r) / np.abs(np.diag(r))
+    return q * phases

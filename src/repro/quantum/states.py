@@ -1,0 +1,318 @@
+"""Quantum state containers: :class:`Statevector` and :class:`DensityMatrix`.
+
+Both support gate evolution, probability extraction, sampling, fidelity and
+Bloch-sphere coordinates. The fault model of the paper is a rotation of the
+Bloch vector (a ``theta`` / ``phi`` phase shift), so the Bloch utilities here
+are what the tests use to validate that the injector gate moves the qubit
+state exactly as Sec. III prescribes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gates import Barrier, Gate, Measure, Reset
+from .linalg import (
+    apply_kraus_to_density,
+    apply_superop_to_density,
+    apply_unitary_to_density,
+    apply_unitary_to_statevector,
+)
+
+__all__ = ["Statevector", "DensityMatrix", "bloch_vector", "format_bitstring"]
+
+
+def format_bitstring(index: int, num_qubits: int) -> str:
+    """Render a basis index as a bitstring, highest qubit leftmost."""
+    return format(index, f"0{num_qubits}b")
+
+
+def _num_qubits_from_dim(dim: int) -> int:
+    num_qubits = int(round(math.log2(dim)))
+    if 2**num_qubits != dim:
+        raise ValueError(f"dimension {dim} is not a power of two")
+    return num_qubits
+
+
+class Statevector:
+    """A pure quantum state on ``n`` qubits."""
+
+    def __init__(self, data: Union[Sequence[complex], np.ndarray]) -> None:
+        self.data = np.asarray(data, dtype=complex).reshape(-1)
+        self.num_qubits = _num_qubits_from_dim(self.data.shape[0])
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        data = np.zeros(2**num_qubits, dtype=complex)
+        data[0] = 1.0
+        return cls(data)
+
+    @classmethod
+    def from_label(cls, label: str) -> "Statevector":
+        """Build a computational basis state from a bitstring label.
+
+        The label reads highest qubit first, e.g. ``"101"`` puts qubits 2 and
+        0 in |1>.
+        """
+        num_qubits = len(label)
+        index = int(label, 2)
+        data = np.zeros(2**num_qubits, dtype=complex)
+        data[index] = 1.0
+        return cls(data)
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "Statevector":
+        """Evolve |0...0> through all unitary operations of ``circuit``."""
+        state = cls.zero_state(circuit.num_qubits)
+        for inst in circuit:
+            if isinstance(inst.gate, (Measure, Barrier)):
+                continue
+            if isinstance(inst.gate, Reset):
+                raise ValueError("Statevector cannot simulate reset; use DensityMatrix")
+            state = state.evolve(inst.gate, inst.qubits)
+        return state
+
+    # -- evolution ---------------------------------------------------------
+    def evolve(self, gate: Gate, qubits: Sequence[int]) -> "Statevector":
+        data = apply_unitary_to_statevector(
+            self.data, gate.matrix, qubits, self.num_qubits
+        )
+        return Statevector(data)
+
+    def evolve_matrix(
+        self, matrix: np.ndarray, qubits: Sequence[int]
+    ) -> "Statevector":
+        data = apply_unitary_to_statevector(
+            self.data, matrix, qubits, self.num_qubits
+        )
+        return Statevector(data)
+
+    # -- measurement statistics ---------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.data) ** 2
+
+    def probabilities_dict(self, tol: float = 1e-12) -> Dict[str, float]:
+        probs = self.probabilities()
+        return {
+            format_bitstring(i, self.num_qubits): float(p)
+            for i, p in enumerate(probs)
+            if p > tol
+        }
+
+    def sample_counts(
+        self, shots: int, rng: Optional[np.random.Generator] = None
+    ) -> Dict[str, int]:
+        """Multinomial sampling of ``shots`` measurement outcomes."""
+        rng = rng or np.random.default_rng()
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        draws = rng.multinomial(shots, probs)
+        return {
+            format_bitstring(i, self.num_qubits): int(c)
+            for i, c in enumerate(draws)
+            if c
+        }
+
+    # -- metrics -----------------------------------------------------------
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.data))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """|<self|other>|^2."""
+        return float(abs(np.vdot(self.data, other.data)) ** 2)
+
+    def expectation(self, matrix: np.ndarray) -> complex:
+        return complex(np.vdot(self.data, matrix @ self.data))
+
+    def to_density_matrix(self) -> "DensityMatrix":
+        return DensityMatrix(np.outer(self.data, self.data.conj()))
+
+    def equiv(self, other: "Statevector", tol: float = 1e-9) -> bool:
+        """Equality up to global phase."""
+        return self.fidelity(other) > 1 - tol
+
+    def __repr__(self) -> str:
+        terms = []
+        for i, amp in enumerate(self.data):
+            if abs(amp) > 1e-9:
+                terms.append(
+                    f"({amp.real:+.3f}{amp.imag:+.3f}j)"
+                    f"|{format_bitstring(i, self.num_qubits)}>"
+                )
+        return "Statevector(" + " + ".join(terms[:8]) + (
+            " + ..." if len(terms) > 8 else ""
+        ) + ")"
+
+
+class DensityMatrix:
+    """A mixed quantum state on ``n`` qubits.
+
+    This is the exact model of a noisy execution: Kraus channels act on it
+    directly, and its diagonal is the exact limit of the 1024-shot sampling
+    the paper performs per injection.
+    """
+
+    def __init__(self, data: Union[Sequence[Sequence[complex]], np.ndarray]) -> None:
+        self.data = np.asarray(data, dtype=complex)
+        if self.data.ndim != 2 or self.data.shape[0] != self.data.shape[1]:
+            raise ValueError("density matrix must be square")
+        self.num_qubits = _num_qubits_from_dim(self.data.shape[0])
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "DensityMatrix":
+        dim = 2**num_qubits
+        data = np.zeros((dim, dim), dtype=complex)
+        data[0, 0] = 1.0
+        return cls(data)
+
+    @classmethod
+    def from_statevector(cls, state: Statevector) -> "DensityMatrix":
+        return state.to_density_matrix()
+
+    @classmethod
+    def maximally_mixed(cls, num_qubits: int) -> "DensityMatrix":
+        dim = 2**num_qubits
+        return cls(np.eye(dim, dtype=complex) / dim)
+
+    # -- evolution ---------------------------------------------------------
+    def evolve(self, gate: Gate, qubits: Sequence[int]) -> "DensityMatrix":
+        data = apply_unitary_to_density(
+            self.data, gate.matrix, qubits, self.num_qubits
+        )
+        return DensityMatrix(data)
+
+    def evolve_matrix(
+        self, matrix: np.ndarray, qubits: Sequence[int]
+    ) -> "DensityMatrix":
+        data = apply_unitary_to_density(self.data, matrix, qubits, self.num_qubits)
+        return DensityMatrix(data)
+
+    def apply_channel(
+        self, kraus_ops: Sequence[np.ndarray], qubits: Sequence[int]
+    ) -> "DensityMatrix":
+        data = apply_kraus_to_density(self.data, kraus_ops, qubits, self.num_qubits)
+        return DensityMatrix(data)
+
+    def apply_superop(
+        self, superop: np.ndarray, qubits: Sequence[int]
+    ) -> "DensityMatrix":
+        """Apply a precomputed channel superoperator (the fast path)."""
+        data = apply_superop_to_density(
+            self.data, superop, qubits, self.num_qubits
+        )
+        return DensityMatrix(data)
+
+    def reset_qubit(self, qubit: int) -> "DensityMatrix":
+        """Trace out and re-prepare ``qubit`` in |0>."""
+        zero = np.array([[1, 0], [0, 0]], dtype=complex)
+        lower = np.array([[0, 1], [0, 0]], dtype=complex)
+        return self.apply_channel([zero, lower], [qubit])
+
+    # -- measurement statistics ---------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        probs = np.real(np.diag(self.data)).copy()
+        probs[probs < 0] = 0.0
+        total = probs.sum()
+        if total > 0:
+            probs /= total
+        return probs
+
+    def probabilities_dict(self, tol: float = 1e-12) -> Dict[str, float]:
+        probs = self.probabilities()
+        return {
+            format_bitstring(i, self.num_qubits): float(p)
+            for i, p in enumerate(probs)
+            if p > tol
+        }
+
+    def sample_counts(
+        self, shots: int, rng: Optional[np.random.Generator] = None
+    ) -> Dict[str, int]:
+        rng = rng or np.random.default_rng()
+        draws = rng.multinomial(shots, self.probabilities())
+        return {
+            format_bitstring(i, self.num_qubits): int(c)
+            for i, c in enumerate(draws)
+            if c
+        }
+
+    # -- metrics -----------------------------------------------------------
+    def trace(self) -> complex:
+        return complex(np.trace(self.data))
+
+    def purity(self) -> float:
+        return float(np.real(np.trace(self.data @ self.data)))
+
+    def fidelity(self, other: Union["DensityMatrix", Statevector]) -> float:
+        """Uhlmann fidelity; fast path when ``other`` is pure."""
+        if isinstance(other, Statevector):
+            vec = other.data
+            return float(np.real(np.vdot(vec, self.data @ vec)))
+        from scipy.linalg import sqrtm
+
+        sqrt_rho = sqrtm(self.data)
+        inner = sqrtm(sqrt_rho @ other.data @ sqrt_rho)
+        return float(np.real(np.trace(inner)) ** 2)
+
+    def partial_trace(self, keep: Sequence[int]) -> "DensityMatrix":
+        """Trace out every qubit not listed in ``keep``.
+
+        The kept qubits are re-indexed in ascending order of their original
+        index (qubit ``keep_sorted[i]`` becomes qubit ``i``).
+        """
+        keep_sorted = sorted(keep)
+        n = self.num_qubits
+        traced = [q for q in range(n) if q not in keep_sorted]
+        tensor = self.data.reshape([2] * (2 * n))
+        # Row axis for qubit q is n-1-q; column axis is 2n-1-q.
+        for q in sorted(traced, reverse=True):
+            row_ax = tensor.ndim // 2 - 1 - q
+            col_ax = tensor.ndim - 1 - q
+            tensor = np.trace(tensor, axis1=row_ax, axis2=col_ax)
+        dim = 2 ** len(keep_sorted)
+        return DensityMatrix(tensor.reshape(dim, dim))
+
+    def is_valid(self, tol: float = 1e-8) -> bool:
+        """Hermitian, unit trace, positive semidefinite."""
+        if not np.allclose(self.data, self.data.conj().T, atol=tol):
+            return False
+        if abs(np.trace(self.data) - 1.0) > tol:
+            return False
+        eigenvalues = np.linalg.eigvalsh(self.data)
+        return bool(eigenvalues.min() > -tol)
+
+    def __repr__(self) -> str:
+        return (
+            f"DensityMatrix(qubits={self.num_qubits}, "
+            f"purity={self.purity():.4f})"
+        )
+
+
+def bloch_vector(state: Union[Statevector, DensityMatrix], qubit: int = 0) -> np.ndarray:
+    """Bloch-sphere coordinates (x, y, z) of one qubit of ``state``.
+
+    For a pure single-qubit state ``cos(theta/2)|0> + e^{i phi} sin(theta/2)|1>``
+    this returns ``(sin theta cos phi, sin theta sin phi, cos theta)`` — the
+    vector the paper's Fig. 1 draws and the fault model rotates.
+    """
+    if isinstance(state, Statevector):
+        rho = state.to_density_matrix()
+    else:
+        rho = state
+    reduced = rho.partial_trace([qubit]).data
+    pauli_x = np.array([[0, 1], [1, 0]])
+    pauli_y = np.array([[0, -1j], [1j, 0]])
+    pauli_z = np.array([[1, 0], [0, -1]])
+    return np.array(
+        [
+            np.real(np.trace(reduced @ pauli_x)),
+            np.real(np.trace(reduced @ pauli_y)),
+            np.real(np.trace(reduced @ pauli_z)),
+        ]
+    )

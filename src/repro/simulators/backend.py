@@ -1,0 +1,32 @@
+"""Backend protocol shared by simulators and machine emulators.
+
+Anything with a ``run(circuit, shots=...) -> Result`` method can execute a
+QuFI campaign; the injector never needs to know whether the target is the
+ideal simulator (scenario 1), the noisy simulator (scenario 2), or the
+physical-machine emulator (scenario 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from ..quantum.circuit import QuantumCircuit
+from .sampler import Result
+
+__all__ = ["Backend"]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Minimal execution interface."""
+
+    name: str
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> Result:
+        """Execute ``circuit`` and return its outcome distribution."""
+        ...

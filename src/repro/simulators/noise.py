@@ -1,0 +1,304 @@
+"""Noise channels and the instruction-level noise model.
+
+Scenario (2) of the paper injects faults "over the intrinsic noise of current
+quantum computers", using the IBM-Q noise model of the simulated machine.
+This module reproduces that model's structure:
+
+* per-gate depolarizing error (calibrated gate error rate),
+* per-gate thermal relaxation (from the qubit's T1/T2 and the gate duration),
+* per-qubit readout error (assignment error matrix applied to the output
+  distribution at measurement time).
+
+All channels are expressed as Kraus operator lists so the density-matrix
+simulator applies them exactly rather than by Monte-Carlo sampling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..quantum.linalg import kraus_to_superoperator
+from ..quantum.operators import is_cptp
+
+__all__ = [
+    "QuantumChannel",
+    "depolarizing_channel",
+    "bit_flip_channel",
+    "phase_flip_channel",
+    "amplitude_damping_channel",
+    "phase_damping_channel",
+    "thermal_relaxation_channel",
+    "ReadoutError",
+    "NoiseModel",
+]
+
+_IDENTITY = np.eye(2, dtype=complex)
+_PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def _compress_kraus(
+    kraus: Sequence[np.ndarray], tol: float = 1e-12
+) -> Tuple[np.ndarray, ...]:
+    """Minimal Kraus representation via the Choi matrix.
+
+    Composing channels multiplies their Kraus counts (thermal relaxation on
+    both CX operands composed with a two-qubit depolarizing error would
+    otherwise carry ~144 operators); the Choi eigendecomposition caps any
+    channel at d^2 operators, which keeps density-matrix simulation fast.
+    """
+    dim = kraus[0].shape[0]
+    if len(kraus) <= dim * dim:
+        return tuple(kraus)
+    choi = np.zeros((dim * dim, dim * dim), dtype=complex)
+    for op in kraus:
+        vec = np.asarray(op, dtype=complex).reshape(-1, order="F")
+        choi += np.outer(vec, vec.conj())
+    eigenvalues, eigenvectors = np.linalg.eigh(choi)
+    out = []
+    for value, vector in zip(eigenvalues, eigenvectors.T):
+        if value > tol:
+            out.append(
+                math.sqrt(value) * vector.reshape(dim, dim, order="F")
+            )
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class QuantumChannel:
+    """A CPTP map given by Kraus operators on ``num_qubits`` qubits."""
+
+    name: str
+    kraus: Tuple[np.ndarray, ...]
+    num_qubits: int = 1
+
+    def __post_init__(self) -> None:
+        if not is_cptp(self.kraus):
+            raise ValueError(f"channel {self.name!r} is not trace preserving")
+
+    @cached_property
+    def superoperator(self) -> np.ndarray:
+        """Cached ``sum_k K otimes K*`` — the simulator's fast path."""
+        return kraus_to_superoperator(self.kraus)
+
+    def compose(self, other: "QuantumChannel") -> "QuantumChannel":
+        """``other`` applied after ``self`` (Kraus products, compressed)."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("cannot compose channels of different arity")
+        kraus = _compress_kraus(
+            [b @ a for a in self.kraus for b in other.kraus]
+        )
+        return QuantumChannel(
+            f"{self.name}+{other.name}", kraus, self.num_qubits
+        )
+
+    def tensor(self, other: "QuantumChannel") -> "QuantumChannel":
+        """Independent channels on adjacent qubit groups (self on low qubits)."""
+        kraus = _compress_kraus(
+            [np.kron(b, a) for a in self.kraus for b in other.kraus]
+        )
+        return QuantumChannel(
+            f"{self.name}x{other.name}",
+            kraus,
+            self.num_qubits + other.num_qubits,
+        )
+
+    def is_identity(self, tol: float = 1e-12) -> bool:
+        dim = 2**self.num_qubits
+        eye = np.eye(dim)
+        weight = 0.0
+        for op in self.kraus:
+            phase = op[0, 0]
+            if abs(phase) > tol and np.allclose(op, phase * eye, atol=tol):
+                weight += abs(phase) ** 2
+        return abs(weight - 1.0) < tol
+
+
+def depolarizing_channel(error_probability: float, num_qubits: int = 1) -> QuantumChannel:
+    """Depolarizing channel: with probability ``p`` replace the state by the
+    maximally mixed state (uniform Pauli error)."""
+    if not 0 <= error_probability <= 1:
+        raise ValueError("error probability must be in [0, 1]")
+    paulis_1q = [_IDENTITY, _PAULI_X, _PAULI_Y, _PAULI_Z]
+    paulis = paulis_1q
+    for _ in range(num_qubits - 1):
+        paulis = [np.kron(high, low) for high in paulis_1q for low in paulis]
+    count = len(paulis)
+    base = error_probability / count
+    weights = [1 - error_probability + base] + [base] * (count - 1)
+    kraus = tuple(
+        math.sqrt(w) * p for w, p in zip(weights, paulis)
+    )
+    return QuantumChannel(f"depolarizing({error_probability:g})", kraus, num_qubits)
+
+
+def bit_flip_channel(probability: float) -> QuantumChannel:
+    """X error with probability ``p``."""
+    kraus = (
+        math.sqrt(1 - probability) * _IDENTITY,
+        math.sqrt(probability) * _PAULI_X,
+    )
+    return QuantumChannel(f"bit_flip({probability:g})", kraus)
+
+
+def phase_flip_channel(probability: float) -> QuantumChannel:
+    """Z error with probability ``p``."""
+    kraus = (
+        math.sqrt(1 - probability) * _IDENTITY,
+        math.sqrt(probability) * _PAULI_Z,
+    )
+    return QuantumChannel(f"phase_flip({probability:g})", kraus)
+
+
+def amplitude_damping_channel(gamma: float) -> QuantumChannel:
+    """T1 decay: |1> relaxes to |0> with probability ``gamma``."""
+    if not 0 <= gamma <= 1:
+        raise ValueError("gamma must be in [0, 1]")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
+    return QuantumChannel(f"amplitude_damping({gamma:g})", (k0, k1))
+
+
+def phase_damping_channel(lam: float) -> QuantumChannel:
+    """Pure dephasing: off-diagonal terms shrink by ``sqrt(1 - lam)``."""
+    if not 0 <= lam <= 1:
+        raise ValueError("lambda must be in [0, 1]")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - lam)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, math.sqrt(lam)]], dtype=complex)
+    return QuantumChannel(f"phase_damping({lam:g})", (k0, k1))
+
+
+def thermal_relaxation_channel(
+    t1: float, t2: float, duration: float
+) -> QuantumChannel:
+    """Combined T1/T2 relaxation over a gate of length ``duration``.
+
+    Uses the standard decomposition: amplitude damping with
+    ``gamma = 1 - exp(-duration/T1)`` composed with pure dephasing chosen so
+    the total coherence decays as ``exp(-duration/T2)``. Requires
+    ``T2 <= 2 * T1`` (physicality).
+    """
+    if t1 <= 0 or t2 <= 0:
+        raise ValueError("T1 and T2 must be positive")
+    if t2 > 2 * t1 + 1e-12:
+        raise ValueError("unphysical relaxation times: T2 > 2*T1")
+    gamma = 1.0 - math.exp(-duration / t1)
+    total_dephasing = math.exp(-duration / t2)
+    # amplitude damping already dephases by exp(-duration / (2 T1))
+    residual = total_dephasing / math.exp(-duration / (2 * t1))
+    residual = min(1.0, residual)
+    lam = 1.0 - residual**2
+    channel = amplitude_damping_channel(gamma).compose(
+        phase_damping_channel(max(0.0, lam))
+    )
+    return QuantumChannel(
+        f"thermal(T1={t1:g},T2={t2:g},t={duration:g})", channel.kraus
+    )
+
+
+@dataclass(frozen=True)
+class ReadoutError:
+    """Classical assignment error at measurement time.
+
+    ``p01`` is P(read 1 | prepared 0) and ``p10`` is P(read 0 | prepared 1),
+    matching the two numbers IBM calibration reports per qubit.
+    """
+
+    p01: float = 0.0
+    p10: float = 0.0
+
+    def __post_init__(self) -> None:
+        for p in (self.p01, self.p10):
+            if not 0 <= p <= 1:
+                raise ValueError("readout error probabilities must be in [0, 1]")
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Column-stochastic confusion matrix M[observed, prepared]."""
+        return np.array(
+            [[1 - self.p01, self.p10], [self.p01, 1 - self.p10]]
+        )
+
+    def is_trivial(self) -> bool:
+        return self.p01 == 0.0 and self.p10 == 0.0
+
+
+class NoiseModel:
+    """Instruction-level noise lookup, mirroring Aer's ``NoiseModel``.
+
+    Errors are attached per gate name, optionally specialized per qubit
+    tuple. The density-matrix simulator queries :meth:`channel_for` after
+    applying each ideal gate and :meth:`readout_confusion` when measuring.
+    """
+
+    def __init__(self, name: str = "noise") -> None:
+        self.name = name
+        self._default: Dict[str, QuantumChannel] = {}
+        self._local: Dict[Tuple[str, Tuple[int, ...]], QuantumChannel] = {}
+        self._readout: Dict[int, ReadoutError] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_all_qubit_error(
+        self, channel: QuantumChannel, gate_names: Sequence[str]
+    ) -> "NoiseModel":
+        for name in gate_names:
+            existing = self._default.get(name)
+            self._default[name] = (
+                existing.compose(channel) if existing else channel
+            )
+        return self
+
+    def add_qubit_error(
+        self,
+        channel: QuantumChannel,
+        gate_names: Sequence[str],
+        qubits: Sequence[int],
+    ) -> "NoiseModel":
+        key_qubits = tuple(int(q) for q in qubits)
+        for name in gate_names:
+            key = (name, key_qubits)
+            existing = self._local.get(key)
+            self._local[key] = (
+                existing.compose(channel) if existing else channel
+            )
+        return self
+
+    def add_readout_error(self, error: ReadoutError, qubit: int) -> "NoiseModel":
+        self._readout[int(qubit)] = error
+        return self
+
+    # -- lookup --------------------------------------------------------------
+    def channel_for(
+        self, gate_name: str, qubits: Sequence[int]
+    ) -> Optional[QuantumChannel]:
+        local = self._local.get((gate_name, tuple(qubits)))
+        if local is not None:
+            return local
+        return self._default.get(gate_name)
+
+    def readout_confusion(self, qubit: int) -> Optional[np.ndarray]:
+        error = self._readout.get(qubit)
+        if error is None or error.is_trivial():
+            return None
+        return error.matrix
+
+    def noisy_gate_names(self) -> Tuple[str, ...]:
+        names = set(self._default)
+        names.update(name for name, _ in self._local)
+        return tuple(sorted(names))
+
+    def is_trivial(self) -> bool:
+        return not (self._default or self._local or self._readout)
+
+    def __repr__(self) -> str:
+        return (
+            f"NoiseModel(name={self.name!r}, "
+            f"gates={list(self.noisy_gate_names())}, "
+            f"readout_qubits={sorted(self._readout)})"
+        )

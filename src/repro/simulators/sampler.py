@@ -1,0 +1,103 @@
+"""Execution results: counts, probability distributions, sampling.
+
+The paper runs every faulty circuit 1,024 times to estimate the output
+probability distribution. :class:`Result` keeps the *exact* distribution when
+the backend can compute it (density-matrix and statevector engines) and
+produces sampled counts on demand, so campaigns can choose between the exact
+limit and shot noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["Counts", "Result", "DEFAULT_SHOTS"]
+
+DEFAULT_SHOTS = 1024
+
+
+class Counts(Dict[str, int]):
+    """Measurement counts keyed by bitstring (highest clbit leftmost)."""
+
+    @property
+    def shots(self) -> int:
+        return sum(self.values())
+
+    def probabilities(self) -> Dict[str, float]:
+        total = self.shots
+        if total == 0:
+            return {}
+        return {key: value / total for key, value in self.items()}
+
+    def most_frequent(self) -> str:
+        if not self:
+            raise ValueError("no counts recorded")
+        return max(self.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+
+@dataclass
+class Result:
+    """Outcome of one circuit execution.
+
+    ``probabilities`` maps clbit strings to exact (or estimated) outcome
+    probabilities; ``metadata`` carries backend-specific context such as the
+    noise model name or calibration drift seed.
+    """
+
+    probabilities: Dict[str, float]
+    num_clbits: int
+    shots: Optional[int] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        total = sum(self.probabilities.values())
+        if total > 0 and abs(total - 1.0) > 1e-6:
+            self.probabilities = {
+                key: value / total for key, value in self.probabilities.items()
+            }
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[str, int], num_clbits: int) -> "Result":
+        total = sum(counts.values())
+        probs = {key: value / total for key, value in counts.items()}
+        return cls(probs, num_clbits, shots=total)
+
+    def get_probabilities(self) -> Dict[str, float]:
+        return dict(self.probabilities)
+
+    def probability_of(self, bitstring: str) -> float:
+        return self.probabilities.get(bitstring, 0.0)
+
+    def sample_counts(
+        self, shots: int = DEFAULT_SHOTS, rng: Optional[np.random.Generator] = None
+    ) -> Counts:
+        """Draw multinomial counts from the stored distribution."""
+        rng = rng or np.random.default_rng()
+        keys = sorted(self.probabilities)
+        probs = np.array([self.probabilities[k] for k in keys])
+        probs = probs / probs.sum()
+        draws = rng.multinomial(shots, probs)
+        return Counts(
+            {key: int(count) for key, count in zip(keys, draws) if count}
+        )
+
+    def get_counts(
+        self, shots: Optional[int] = None, rng: Optional[np.random.Generator] = None
+    ) -> Counts:
+        """Counts at the requested shot budget (default: stored or 1024)."""
+        return self.sample_counts(shots or self.shots or DEFAULT_SHOTS, rng)
+
+    def most_probable(self) -> str:
+        if not self.probabilities:
+            raise ValueError("empty result")
+        return max(self.probabilities.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+    def __repr__(self) -> str:
+        top = sorted(
+            self.probabilities.items(), key=lambda kv: -kv[1]
+        )[:4]
+        rendered = ", ".join(f"{k}: {v:.3f}" for k, v in top)
+        return f"Result({rendered}{', ...' if len(self.probabilities) > 4 else ''})"

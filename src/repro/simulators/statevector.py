@@ -1,0 +1,104 @@
+"""Ideal (noise-free) statevector simulator — the paper's scenario (1)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..quantum.circuit import QuantumCircuit
+from ..quantum.gates import Barrier, Measure, Reset
+from ..quantum.states import Statevector, format_bitstring
+from .sampler import Result
+
+__all__ = ["StatevectorSimulator"]
+
+
+class StatevectorSimulator:
+    """Exact pure-state simulation.
+
+    Measurements must be terminal (no gate may follow a measurement on the
+    same qubit); the result is the exact outcome distribution over the
+    classical register, optionally sub-sampled at a shot budget.
+    """
+
+    name = "statevector_simulator"
+
+    def __init__(self) -> None:
+        self._rng = np.random.default_rng()
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> Result:
+        state = Statevector.zero_state(circuit.num_qubits)
+        measure_map: Dict[int, int] = {}
+        measured = set()
+        for inst in circuit:
+            if isinstance(inst.gate, Barrier):
+                continue
+            if isinstance(inst.gate, Measure):
+                measure_map[inst.clbits[0]] = inst.qubits[0]
+                measured.add(inst.qubits[0])
+                continue
+            if isinstance(inst.gate, Reset):
+                raise ValueError(
+                    "reset requires the density-matrix simulator"
+                )
+            touched = set(inst.qubits) & measured
+            if touched:
+                raise ValueError(
+                    f"gate {inst.name} on already-measured qubit(s) {touched}; "
+                    "only terminal measurements are supported"
+                )
+            state = state.evolve(inst.gate, inst.qubits)
+
+        probabilities = _marginal_clbit_distribution(
+            state.probabilities(), measure_map, circuit
+        )
+        result = Result(
+            probabilities,
+            num_clbits=circuit.num_clbits or circuit.num_qubits,
+            shots=shots,
+            metadata={"backend": self.name, "ideal": True},
+        )
+        if seed is not None:
+            result.metadata["seed"] = seed
+        return result
+
+    def statevector(self, circuit: QuantumCircuit) -> Statevector:
+        """Final pure state of the measurement-free part of ``circuit``."""
+        return Statevector.from_circuit(circuit)
+
+
+def _marginal_clbit_distribution(
+    qubit_probs: np.ndarray,
+    measure_map: Dict[int, int],
+    circuit: QuantumCircuit,
+) -> Dict[str, float]:
+    """Project a qubit-basis distribution onto the classical register.
+
+    When the circuit has no measurements the full qubit distribution is
+    returned (the convention campaign code relies on: exact-probability mode
+    strips measurements and reads the state directly).
+    """
+    num_qubits = circuit.num_qubits
+    if not measure_map:
+        return {
+            format_bitstring(i, num_qubits): float(p)
+            for i, p in enumerate(qubit_probs)
+            if p > 1e-14
+        }
+    num_clbits = circuit.num_clbits
+    out: Dict[str, float] = {}
+    for index, prob in enumerate(qubit_probs):
+        if prob <= 1e-14:
+            continue
+        bits = ["0"] * num_clbits
+        for clbit, qubit in measure_map.items():
+            bits[num_clbits - 1 - clbit] = str(index >> qubit & 1)
+        key = "".join(bits)
+        out[key] = out.get(key, 0.0) + float(prob)
+    return out

@@ -1,0 +1,201 @@
+"""Monte-Carlo quantum-trajectory simulator.
+
+An independent implementation of noisy execution: instead of evolving the
+full density matrix, each *trajectory* carries a pure state and samples one
+Kraus operator per noisy gate (with Born probabilities ``||K |psi>||^2``).
+Averaging trajectories converges to the density-matrix result — which makes
+this backend both a scalability option (statevector memory instead of
+density-matrix memory) and a cross-check: the test suite verifies the two
+engines agree within Monte-Carlo error, so a bug in either shows up as a
+divergence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from ..quantum.circuit import QuantumCircuit
+from ..quantum.gates import Barrier, Measure, Reset
+from ..quantum.linalg import apply_unitary_to_statevector
+from ..quantum.states import format_bitstring
+from .noise import NoiseModel
+from .sampler import Result
+
+__all__ = ["TrajectorySimulator"]
+
+
+class TrajectorySimulator:
+    """Sampled noisy execution via quantum trajectories."""
+
+    name = "trajectory_simulator"
+
+    def __init__(
+        self,
+        noise_model: Optional[NoiseModel] = None,
+        trajectories: int = 256,
+        seed: Optional[int] = None,
+    ) -> None:
+        if trajectories < 1:
+            raise ValueError("at least one trajectory is required")
+        self.noise_model = noise_model
+        self.trajectories = int(trajectories)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> Result:
+        rng = np.random.default_rng(seed) if seed is not None else self._rng
+        num_qubits = circuit.num_qubits
+        dim = 2**num_qubits
+        accumulated = np.zeros(dim)
+        for _ in range(self.trajectories):
+            accumulated += self._one_trajectory(circuit, rng)
+        probs = accumulated / self.trajectories
+
+        probs = self._apply_readout(probs, circuit, num_qubits)
+        distribution = self._marginalize(probs, circuit)
+        return Result(
+            distribution,
+            num_clbits=circuit.num_clbits or num_qubits,
+            shots=shots,
+            metadata={
+                "backend": self.name,
+                "trajectories": self.trajectories,
+                "noise_model": self.noise_model.name
+                if self.noise_model
+                else None,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _one_trajectory(
+        self, circuit: QuantumCircuit, rng: np.random.Generator
+    ) -> np.ndarray:
+        num_qubits = circuit.num_qubits
+        state = np.zeros(2**num_qubits, dtype=complex)
+        state[0] = 1.0
+        measured: Set[int] = set()
+        noise = self.noise_model
+        for inst in circuit:
+            if isinstance(inst.gate, Barrier):
+                continue
+            if isinstance(inst.gate, Measure):
+                measured.add(inst.qubits[0])
+                continue
+            touched = set(inst.qubits) & measured
+            if touched:
+                raise ValueError(
+                    f"gate {inst.name} on already-measured qubit(s) {touched}"
+                )
+            if isinstance(inst.gate, Reset):
+                state = self._sample_reset(state, inst.qubits[0], num_qubits, rng)
+                continue
+            state = apply_unitary_to_statevector(
+                state, inst.gate.matrix, inst.qubits, num_qubits
+            )
+            if noise is None:
+                continue
+            channel = noise.channel_for(inst.name, inst.qubits)
+            if channel is None:
+                continue
+            if channel.num_qubits == len(inst.qubits):
+                state = self._sample_kraus(
+                    state, channel.kraus, inst.qubits, num_qubits, rng
+                )
+            elif channel.num_qubits == 1:
+                for qubit in inst.qubits:
+                    state = self._sample_kraus(
+                        state, channel.kraus, [qubit], num_qubits, rng
+                    )
+            else:
+                raise ValueError(
+                    f"channel {channel.name!r} arity mismatch on {inst.name}"
+                )
+        return np.abs(state) ** 2
+
+    @staticmethod
+    def _sample_kraus(state, kraus_ops, targets, num_qubits, rng) -> np.ndarray:
+        """Pick one Kraus branch with Born probability and renormalize."""
+        candidates = []
+        weights = []
+        for op in kraus_ops:
+            branch = apply_unitary_to_statevector(
+                state, np.asarray(op, dtype=complex), targets, num_qubits
+            )
+            weight = float(np.real(np.vdot(branch, branch)))
+            candidates.append(branch)
+            weights.append(weight)
+        weights = np.asarray(weights)
+        total = weights.sum()
+        if total <= 0:
+            raise RuntimeError("channel annihilated the state")
+        index = rng.choice(len(candidates), p=weights / total)
+        chosen = candidates[index]
+        return chosen / np.linalg.norm(chosen)
+
+    @staticmethod
+    def _sample_reset(state, qubit, num_qubits, rng) -> np.ndarray:
+        """Projective measurement of ``qubit`` followed by |0> re-preparation."""
+        zero = np.array([[1, 0], [0, 0]], dtype=complex)
+        lower = np.array([[0, 1], [0, 0]], dtype=complex)
+        return TrajectorySimulator._sample_kraus(
+            state, [zero, lower], [qubit], num_qubits, rng
+        )
+
+    # ------------------------------------------------------------------
+    def _apply_readout(
+        self, probs: np.ndarray, circuit: QuantumCircuit, num_qubits: int
+    ) -> np.ndarray:
+        if self.noise_model is None:
+            return probs
+        measured = {
+            inst.qubits[0]
+            for inst in circuit
+            if isinstance(inst.gate, Measure)
+        }
+        if not measured:
+            return probs
+        tensor = probs.reshape([2] * num_qubits)
+        for qubit in measured:
+            confusion = self.noise_model.readout_confusion(qubit)
+            if confusion is None:
+                continue
+            axis = num_qubits - 1 - qubit
+            tensor = np.moveaxis(
+                np.tensordot(confusion, tensor, axes=([1], [axis])), 0, axis
+            )
+        return tensor.reshape(-1)
+
+    @staticmethod
+    def _marginalize(
+        probs: np.ndarray, circuit: QuantumCircuit
+    ) -> Dict[str, float]:
+        num_qubits = circuit.num_qubits
+        measure_map = {
+            inst.clbits[0]: inst.qubits[0]
+            for inst in circuit
+            if isinstance(inst.gate, Measure)
+        }
+        if not measure_map:
+            return {
+                format_bitstring(i, num_qubits): float(p)
+                for i, p in enumerate(probs)
+                if p > 1e-14
+            }
+        num_clbits = circuit.num_clbits
+        out: Dict[str, float] = {}
+        for index, prob in enumerate(probs):
+            if prob <= 1e-14:
+                continue
+            bits = ["0"] * num_clbits
+            for clbit, qubit in measure_map.items():
+                bits[num_clbits - 1 - clbit] = str(index >> qubit & 1)
+            key = "".join(bits)
+            out[key] = out.get(key, 0.0) + float(prob)
+        return out

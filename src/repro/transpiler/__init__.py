@@ -1,0 +1,65 @@
+"""Logical-to-physical circuit mapping (the Qiskit transpiler equivalent)."""
+
+from .basis import DEFAULT_BASIS, gate_to_u, lower_to_basis, zyz_angles
+from .cancellation import cancel_adjacent_inverses, cancel_gates, merge_rotations
+from .layout import Layout, dense_layout, interaction_graph, trivial_layout
+from .optimize import drop_identities, fuse_single_qubit_runs, optimize_circuit
+from .routing import RoutingResult, route
+from .scheduling import (
+    DEFAULT_DURATIONS,
+    GateTiming,
+    IdleWindow,
+    Schedule,
+    schedule_circuit,
+)
+from .topology import (
+    CouplingMap,
+    casablanca_topology,
+    full_topology,
+    grid_topology,
+    guadalupe_topology,
+    heavy_hex_topology,
+    jakarta_topology,
+    lagos_topology,
+    linear_topology,
+    montreal_topology,
+    ring_topology,
+)
+from .transpile import TranspileResult, transpile
+
+__all__ = [
+    "CouplingMap",
+    "linear_topology",
+    "ring_topology",
+    "grid_topology",
+    "casablanca_topology",
+    "jakarta_topology",
+    "lagos_topology",
+    "guadalupe_topology",
+    "montreal_topology",
+    "heavy_hex_topology",
+    "full_topology",
+    "Layout",
+    "trivial_layout",
+    "dense_layout",
+    "interaction_graph",
+    "route",
+    "RoutingResult",
+    "schedule_circuit",
+    "Schedule",
+    "GateTiming",
+    "IdleWindow",
+    "DEFAULT_DURATIONS",
+    "lower_to_basis",
+    "gate_to_u",
+    "zyz_angles",
+    "DEFAULT_BASIS",
+    "fuse_single_qubit_runs",
+    "drop_identities",
+    "optimize_circuit",
+    "cancel_adjacent_inverses",
+    "merge_rotations",
+    "cancel_gates",
+    "transpile",
+    "TranspileResult",
+]

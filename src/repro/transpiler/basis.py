@@ -1,0 +1,297 @@
+"""Lowering to the device basis {u, cx}.
+
+IBM machines natively execute a small basis; everything else is decomposed.
+The single-qubit path uses the ZYZ Euler decomposition; controlled gates use
+the standard ABC construction (A X B X C = V, A B C = I); multi-qubit gates
+use the textbook CX networks. All decompositions are exact up to global
+phase, which tests verify with :meth:`Operator.equiv`.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..quantum.circuit import Instruction, QuantumCircuit
+from ..quantum.gates import (
+    Barrier,
+    CXGate,
+    Gate,
+    Measure,
+    Reset,
+    UGate,
+)
+
+__all__ = ["zyz_angles", "gate_to_u", "lower_to_basis", "DEFAULT_BASIS"]
+
+DEFAULT_BASIS: Tuple[str, ...] = ("u", "cx")
+
+_ATOL = 1e-12
+
+
+def zyz_angles(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Euler angles of a 2x2 unitary.
+
+    Returns ``(theta, phi, lam, phase)`` with
+    ``matrix = exp(i * phase) * U(theta, phi, lam)`` where ``U`` is the
+    paper's injector gate (Eq. 3).
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise ValueError("zyz_angles expects a single-qubit matrix")
+    det = np.linalg.det(matrix)
+    det_phase = 0.5 * cmath.phase(det)
+    su2 = matrix * cmath.exp(-1j * det_phase)
+
+    cos_mag = abs(su2[0, 0])
+    sin_mag = abs(su2[1, 0])
+    theta = 2.0 * math.atan2(sin_mag, cos_mag)
+
+    if sin_mag < _ATOL:
+        # Diagonal: only beta + delta is defined; put it all in beta.
+        beta = 2.0 * cmath.phase(su2[1, 1])
+        delta = 0.0
+    elif cos_mag < _ATOL:
+        # Anti-diagonal: only beta - delta is defined.
+        beta = 2.0 * cmath.phase(su2[1, 0])
+        delta = 0.0
+    else:
+        plus = cmath.phase(su2[1, 1])
+        minus = cmath.phase(su2[1, 0])
+        beta = plus + minus
+        delta = plus - minus
+    # matrix = e^{i det_phase} Rz(beta) Ry(theta) Rz(delta)
+    #        = e^{i (det_phase - (beta+delta)/2)} U(theta, beta, delta)
+    phase = det_phase - (beta + delta) / 2.0
+    return theta, beta, delta, phase
+
+
+def gate_to_u(gate: Gate) -> UGate:
+    """Collapse any single-qubit gate to a U gate (global phase dropped)."""
+    theta, phi, lam, _ = zyz_angles(gate.matrix)
+    return UGate(theta, phi, lam)
+
+
+def _matrix_to_u(matrix: np.ndarray) -> UGate:
+    theta, phi, lam, _ = zyz_angles(matrix)
+    return UGate(theta, phi, lam)
+
+
+def _rz(angle: float) -> np.ndarray:
+    return np.array(
+        [[cmath.exp(-1j * angle / 2), 0], [0, cmath.exp(1j * angle / 2)]]
+    )
+
+
+def _ry(angle: float) -> np.ndarray:
+    cos, sin = math.cos(angle / 2), math.sin(angle / 2)
+    return np.array([[cos, -sin], [sin, cos]])
+
+
+# Expansion rules. Each returns a list of (gate, local_qubits); local qubit
+# indices refer to the original instruction's operand order.
+_Expansion = List[Tuple[Gate, Tuple[int, ...]]]
+
+
+def _controlled_u_expansion(target_matrix: np.ndarray) -> _Expansion:
+    """ABC decomposition of a controlled single-qubit unitary.
+
+    ``target_matrix = e^{i alpha} Rz(beta) Ry(theta) Rz(delta)``; then with
+    ``A = Rz(beta) Ry(theta/2)``, ``B = Ry(-theta/2) Rz(-(delta+beta)/2)``,
+    ``C = Rz((delta-beta)/2)`` the controlled gate is
+    ``(P(alpha) on control) (A on t) CX (B on t) CX (C on t)``.
+    """
+    theta, beta, delta, phase = zyz_angles(target_matrix)
+    # zyz phase is relative to U(...); recover alpha of the Rz Ry Rz form.
+    alpha = phase + (beta + delta) / 2.0
+    a_mat = _rz(beta) @ _ry(theta / 2)
+    b_mat = _ry(-theta / 2) @ _rz(-(delta + beta) / 2)
+    c_mat = _rz((delta - beta) / 2)
+    ops: _Expansion = [
+        (_matrix_to_u(c_mat), (1,)),
+        (CXGate(), (0, 1)),
+        (_matrix_to_u(b_mat), (1,)),
+        (CXGate(), (0, 1)),
+        (_matrix_to_u(a_mat), (1,)),
+    ]
+    if abs(alpha) > _ATOL:
+        ops.append((UGate(0.0, 0.0, alpha), (0,)))
+    return [op for op in ops if not op[0].is_identity()] or [
+        (UGate(0.0, 0.0, 0.0), (1,))
+    ]
+
+
+def _expand_controlled(gate: Gate) -> _Expansion:
+    """Controlled gates: read the target block out of the full matrix."""
+    full = gate.matrix
+    dim = full.shape[0] // 2
+    target = np.empty((dim, dim), dtype=complex)
+    for row in range(dim):
+        for col in range(dim):
+            target[row, col] = full[2 * row + 1, 2 * col + 1]
+    if dim != 2:
+        raise ValueError(f"cannot expand controlled gate {gate.name}")
+    return _controlled_u_expansion(target)
+
+
+def _expand_swap(gate: Gate) -> _Expansion:
+    return [
+        (CXGate(), (0, 1)),
+        (CXGate(), (1, 0)),
+        (CXGate(), (0, 1)),
+    ]
+
+
+def _expand_iswap(gate: Gate) -> _Expansion:
+    # iSWAP = (S x S) . (H on q0) . CX(0,1) . CX(1,0) . (H on q1)
+    from ..quantum.gates import HGate, SGate
+
+    return [
+        (SGate(), (0,)),
+        (SGate(), (1,)),
+        (HGate(), (0,)),
+        (CXGate(), (0, 1)),
+        (CXGate(), (1, 0)),
+        (HGate(), (1,)),
+    ]
+
+
+def _expand_rzz(gate: Gate) -> _Expansion:
+    from ..quantum.gates import RZGate
+
+    (theta,) = gate.params
+    return [
+        (CXGate(), (0, 1)),
+        (RZGate(theta), (1,)),
+        (CXGate(), (0, 1)),
+    ]
+
+
+def _expand_rxx(gate: Gate) -> _Expansion:
+    from ..quantum.gates import HGate, RZGate
+
+    (theta,) = gate.params
+    return [
+        (HGate(), (0,)),
+        (HGate(), (1,)),
+        (CXGate(), (0, 1)),
+        (RZGate(theta), (1,)),
+        (CXGate(), (0, 1)),
+        (HGate(), (0,)),
+        (HGate(), (1,)),
+    ]
+
+
+def _expand_ryy(gate: Gate) -> _Expansion:
+    from ..quantum.gates import RXGate, RZGate
+
+    (theta,) = gate.params
+    half_pi = math.pi / 2
+    return [
+        (RXGate(half_pi), (0,)),
+        (RXGate(half_pi), (1,)),
+        (CXGate(), (0, 1)),
+        (RZGate(theta), (1,)),
+        (CXGate(), (0, 1)),
+        (RXGate(-half_pi), (0,)),
+        (RXGate(-half_pi), (1,)),
+    ]
+
+
+def _expand_ccx(gate: Gate) -> _Expansion:
+    from ..quantum.gates import HGate, TGate, TdgGate
+
+    return [
+        (HGate(), (2,)),
+        (CXGate(), (1, 2)),
+        (TdgGate(), (2,)),
+        (CXGate(), (0, 2)),
+        (TGate(), (2,)),
+        (CXGate(), (1, 2)),
+        (TdgGate(), (2,)),
+        (CXGate(), (0, 2)),
+        (TGate(), (1,)),
+        (TGate(), (2,)),
+        (HGate(), (2,)),
+        (CXGate(), (0, 1)),
+        (TGate(), (0,)),
+        (TdgGate(), (1,)),
+        (CXGate(), (0, 1)),
+    ]
+
+
+def _expand_cswap(gate: Gate) -> _Expansion:
+    from ..quantum.gates import CCXGate
+
+    return [
+        (CXGate(), (2, 1)),
+        (CCXGate(), (0, 1, 2)),
+        (CXGate(), (2, 1)),
+    ]
+
+
+_EXPANSIONS: Dict[str, Callable[[Gate], _Expansion]] = {
+    "cy": _expand_controlled,
+    "cz": _expand_controlled,
+    "ch": _expand_controlled,
+    "cp": _expand_controlled,
+    "crx": _expand_controlled,
+    "cry": _expand_controlled,
+    "crz": _expand_controlled,
+    "cu": _expand_controlled,
+    "swap": _expand_swap,
+    "iswap": _expand_iswap,
+    "rzz": _expand_rzz,
+    "rxx": _expand_rxx,
+    "ryy": _expand_ryy,
+    "ccx": _expand_ccx,
+    "cswap": _expand_cswap,
+}
+
+
+def lower_to_basis(
+    circuit: QuantumCircuit,
+    basis: Sequence[str] = DEFAULT_BASIS,
+    keep_swaps: bool = False,
+) -> QuantumCircuit:
+    """Rewrite ``circuit`` so every gate name is in ``basis``.
+
+    ``keep_swaps=True`` leaves router-inserted SWAP gates intact so the
+    final layout bookkeeping stays readable; the simulator executes them
+    natively either way.
+    """
+    basis_set = set(basis)
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+
+    def emit(gate: Gate, qubits: Tuple[int, ...]) -> None:
+        if isinstance(gate, (Barrier, Measure, Reset)):
+            out.append(gate, qubits)
+            return
+        if gate.name in basis_set:
+            out.append(gate, qubits)
+            return
+        if keep_swaps and gate.name == "swap":
+            out.append(gate, qubits)
+            return
+        if gate.num_qubits == 1:
+            lowered = gate_to_u(gate)
+            if "u" not in basis_set:
+                raise ValueError(f"basis {basis_set} cannot express {gate.name}")
+            if not lowered.is_identity():
+                out.append(lowered, qubits)
+            return
+        rule = _EXPANSIONS.get(gate.name)
+        if rule is None:
+            raise ValueError(f"no decomposition rule for gate {gate.name!r}")
+        for sub_gate, local in rule(gate):
+            emit(sub_gate, tuple(qubits[i] for i in local))
+
+    for inst in circuit:
+        if isinstance(inst.gate, Measure):
+            out.measure(inst.qubits[0], inst.clbits[0])
+        else:
+            emit(inst.gate, inst.qubits)
+    return out

@@ -1,0 +1,138 @@
+"""Gate-cancellation peephole passes.
+
+Complements :mod:`repro.transpiler.optimize` with two-qubit cleanups:
+
+* adjacent self-inverse gates on the same operands cancel (CX-CX, CZ-CZ,
+  SWAP-SWAP, H-H, ...);
+* adjacent rotations about the same axis on the same operands merge
+  (RZ(a) RZ(b) -> RZ(a+b), CP(a) CP(b) -> CP(a+b), ...).
+
+Both passes preserve the unitary exactly; tests verify with
+:meth:`Operator.equiv` on random circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..quantum.circuit import Instruction, QuantumCircuit
+from ..quantum.gates import Barrier, Gate, Measure, Reset, gate_from_name
+
+__all__ = ["cancel_adjacent_inverses", "merge_rotations", "cancel_gates"]
+
+# Self-inverse gates eligible for pairwise cancellation.
+_SELF_INVERSE = {"x", "y", "z", "h", "cx", "cy", "cz", "ch", "swap", "ccx",
+                 "cswap", "id"}
+
+# Mergeable rotation families: name -> wraparound period of the angle.
+_ROTATIONS: Dict[str, float] = {
+    "rx": 4.0,  # in units of pi (rotations are 4 pi periodic)
+    "ry": 4.0,
+    "rz": 4.0,
+    "p": 2.0,
+    "cp": 2.0,
+    "crx": 4.0,
+    "cry": 4.0,
+    "crz": 4.0,
+    "rzz": 4.0,
+    "rxx": 4.0,
+    "ryy": 4.0,
+}
+
+_ANGLE_TOL = 1e-12
+
+
+def _blocks_commute(inst: Instruction, other: Instruction) -> bool:
+    """Conservative: instructions interact iff they share a qubit."""
+    return not (set(inst.qubits) & set(other.qubits))
+
+
+def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove pairs of identical self-inverse gates on identical operands.
+
+    "Adjacent" is per-operand-set: unrelated gates on disjoint qubits may
+    sit between the pair. Repeats until a fixpoint so chains like
+    ``cx cx cx cx`` vanish entirely.
+    """
+    instructions = list(circuit)
+    changed = True
+    while changed:
+        changed = False
+        result: List[Optional[Instruction]] = list(instructions)
+        for i, inst in enumerate(result):
+            if inst is None or inst.name not in _SELF_INVERSE:
+                continue
+            if not inst.is_unitary():
+                continue
+            for j in range(i + 1, len(result)):
+                other = result[j]
+                if other is None:
+                    continue
+                if (
+                    other.name == inst.name
+                    and other.qubits == inst.qubits
+                    and other.is_unitary()
+                ):
+                    result[i] = None
+                    result[j] = None
+                    changed = True
+                    break
+                if not _blocks_commute(inst, other):
+                    break
+            if changed:
+                break
+        instructions = [inst for inst in result if inst is not None]
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    for inst in instructions:
+        out.append(inst.gate, inst.qubits, inst.clbits)
+    return out
+
+
+def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse consecutive same-axis rotations on identical operands."""
+    import math
+
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    pending: List[Instruction] = []
+
+    def flush_conflicting(qubits: Tuple[int, ...]) -> None:
+        nonlocal pending
+        keep: List[Instruction] = []
+        for waiting in pending:
+            if set(waiting.qubits) & set(qubits):
+                _emit(waiting)
+            else:
+                keep.append(waiting)
+        pending = keep
+
+    def _emit(inst: Instruction) -> None:
+        period = _ROTATIONS[inst.name] * math.pi
+        angle = math.fmod(inst.gate.params[0], period)
+        if abs(angle) > _ANGLE_TOL and abs(abs(angle) - period) > _ANGLE_TOL:
+            out.append(gate_from_name(inst.name, angle), inst.qubits)
+
+    for inst in circuit:
+        if inst.name in _ROTATIONS and inst.is_unitary():
+            merged = False
+            for index, waiting in enumerate(pending):
+                if waiting.name == inst.name and waiting.qubits == inst.qubits:
+                    total = waiting.gate.params[0] + inst.gate.params[0]
+                    pending[index] = Instruction(
+                        gate_from_name(inst.name, total), inst.qubits
+                    )
+                    merged = True
+                    break
+            if not merged:
+                flush_conflicting(inst.qubits)
+                pending.append(inst)
+            continue
+        flush_conflicting(inst.qubits)
+        out.append(inst.gate, inst.qubits, inst.clbits)
+    for waiting in pending:
+        _emit(waiting)
+    return out
+
+
+def cancel_gates(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Full cancellation pipeline: merge rotations, then cancel inverses."""
+    return cancel_adjacent_inverses(merge_rotations(circuit))

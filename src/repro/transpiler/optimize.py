@@ -1,0 +1,69 @@
+"""Peephole optimizations run after lowering.
+
+Only transformations that preserve the unitary exactly (up to global phase)
+are applied: fusing runs of single-qubit gates into one U gate and dropping
+gates that act as the identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..quantum.circuit import Instruction, QuantumCircuit
+from ..quantum.gates import Barrier, Gate, Measure, Reset, UGate
+from .basis import zyz_angles
+
+__all__ = ["fuse_single_qubit_runs", "drop_identities", "optimize_circuit"]
+
+_ATOL = 1e-10
+
+
+def _flush(
+    out: QuantumCircuit, pending: Dict[int, Optional[np.ndarray]], qubit: int
+) -> None:
+    matrix = pending.get(qubit)
+    if matrix is None:
+        return
+    theta, phi, lam, _ = zyz_angles(matrix)
+    gate = UGate(theta, phi, lam)
+    if not gate.is_identity(_ATOL):
+        out.append(gate, [qubit])
+    pending[qubit] = None
+
+
+def fuse_single_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Multiply consecutive 1-qubit gates on each wire into a single U."""
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    pending: Dict[int, Optional[np.ndarray]] = {
+        q: None for q in range(circuit.num_qubits)
+    }
+    for inst in circuit:
+        if inst.is_unitary() and len(inst.qubits) == 1:
+            qubit = inst.qubits[0]
+            current = pending[qubit]
+            matrix = inst.gate.matrix
+            pending[qubit] = matrix if current is None else matrix @ current
+            continue
+        for qubit in inst.qubits:
+            _flush(out, pending, qubit)
+        out.append(inst.gate, inst.qubits, inst.clbits)
+    for qubit in range(circuit.num_qubits):
+        _flush(out, pending, qubit)
+    return out
+
+
+def drop_identities(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove unitary gates that equal the identity up to global phase."""
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    for inst in circuit:
+        if inst.is_unitary() and inst.gate.is_identity(_ATOL):
+            continue
+        out.append(inst.gate, inst.qubits, inst.clbits)
+    return out
+
+
+def optimize_circuit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Identity removal followed by single-qubit fusion."""
+    return fuse_single_qubit_runs(drop_identities(circuit))

@@ -1,0 +1,153 @@
+"""Circuit scheduling: timelines, duration, idle windows.
+
+Real devices decohere while a qubit *waits* for other qubits to finish, not
+just while gates act on it. This module computes an as-soon-as-possible
+schedule from per-gate durations and exposes the idle windows so the noise
+model can charge T1/T2 relaxation for them (``repro.machines.idle_noise``)
+— the same refinement Qiskit Aer applies when building a backend noise
+model from calibration. The total duration also feeds the TID extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..quantum.circuit import Instruction, QuantumCircuit
+from ..quantum.gates import Barrier, Measure, Reset
+
+__all__ = ["GateTiming", "IdleWindow", "Schedule", "schedule_circuit",
+           "DEFAULT_DURATIONS"]
+
+DEFAULT_DURATIONS: Dict[str, float] = {
+    "measure": 700e-9,
+    "reset": 700e-9,
+    "cx": 300e-9,
+    "cz": 300e-9,
+    "cp": 300e-9,
+    "swap": 900e-9,
+    "ccx": 1800e-9,
+    "cswap": 2400e-9,
+}
+_DEFAULT_1Q = 35e-9
+_ZERO_DURATION = {"barrier"}
+
+
+@dataclass(frozen=True)
+class GateTiming:
+    """One scheduled instruction: [start, start + duration) on its qubits."""
+
+    index: int
+    instruction: Instruction
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class IdleWindow:
+    """A gap on one qubit between two operations."""
+
+    qubit: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Schedule:
+    """ASAP schedule of a circuit."""
+
+    timings: List[GateTiming]
+    qubit_busy_until: Dict[int, float]
+    idle_windows: List[IdleWindow]
+
+    @property
+    def total_duration(self) -> float:
+        return max(self.qubit_busy_until.values(), default=0.0)
+
+    def qubit_active_time(self, qubit: int) -> float:
+        """Total time ``qubit`` spends inside gates."""
+        return sum(
+            t.duration for t in self.timings if qubit in t.instruction.qubits
+        )
+
+    def qubit_idle_time(self, qubit: int) -> float:
+        return sum(w.duration for w in self.idle_windows if w.qubit == qubit)
+
+    def critical_path(self) -> List[GateTiming]:
+        """Timings whose end equals the running maximum (one per step)."""
+        out: List[GateTiming] = []
+        horizon = 0.0
+        for timing in sorted(self.timings, key=lambda t: (t.end, t.index)):
+            if timing.end > horizon:
+                out.append(timing)
+                horizon = timing.end
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"duration: {self.total_duration * 1e9:.0f} ns, "
+            f"{len(self.timings)} timed ops, "
+            f"{len(self.idle_windows)} idle windows"
+        ]
+        for qubit in sorted(self.qubit_busy_until):
+            lines.append(
+                f"  q{qubit}: active {self.qubit_active_time(qubit) * 1e9:7.0f} ns, "
+                f"idle {self.qubit_idle_time(qubit) * 1e9:7.0f} ns"
+            )
+        return "\n".join(lines)
+
+
+def _duration_of(
+    inst: Instruction, durations: Dict[str, float]
+) -> float:
+    if inst.name in _ZERO_DURATION:
+        return 0.0
+    if inst.name in durations:
+        return durations[inst.name]
+    if len(inst.qubits) >= 3:
+        return DEFAULT_DURATIONS["ccx"]
+    if len(inst.qubits) == 2:
+        return DEFAULT_DURATIONS["cx"]
+    return _DEFAULT_1Q
+
+
+def schedule_circuit(
+    circuit: QuantumCircuit,
+    durations: Optional[Dict[str, float]] = None,
+    min_idle: float = 1e-12,
+) -> Schedule:
+    """As-soon-as-possible schedule with idle-window extraction.
+
+    Barriers synchronize all their qubits at zero duration. The injector's
+    ``ufault`` gate schedules at zero duration too — it is an instantaneous
+    environmental event, not a pulse.
+    """
+    table = dict(DEFAULT_DURATIONS)
+    if durations:
+        table.update(durations)
+    table.setdefault("ufault", 0.0)
+
+    busy: Dict[int, float] = {q: 0.0 for q in range(circuit.num_qubits)}
+    timings: List[GateTiming] = []
+    idle: List[IdleWindow] = []
+
+    for index, inst in enumerate(circuit):
+        qubits = inst.qubits
+        start = max((busy[q] for q in qubits), default=0.0)
+        duration = _duration_of(inst, table)
+        for qubit in qubits:
+            gap = start - busy[qubit]
+            if gap > min_idle:
+                idle.append(IdleWindow(qubit, busy[qubit], start))
+            busy[qubit] = start + duration
+        timings.append(GateTiming(index, inst, start, duration))
+
+    return Schedule(timings=timings, qubit_busy_until=busy, idle_windows=idle)

@@ -1,0 +1,232 @@
+"""Device topologies (coupling maps).
+
+NISQ machines restrict which qubit pairs can interact; the paper's Fig. 1
+shows IBM's Casablanca connectivity. A :class:`CouplingMap` wraps a
+networkx graph with the distance / neighbour queries the router and the
+double-fault analysis need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "CouplingMap",
+    "linear_topology",
+    "ring_topology",
+    "grid_topology",
+    "casablanca_topology",
+    "jakarta_topology",
+    "lagos_topology",
+    "guadalupe_topology",
+    "montreal_topology",
+    "heavy_hex_topology",
+    "full_topology",
+]
+
+
+class CouplingMap:
+    """Undirected connectivity graph over physical qubits."""
+
+    def __init__(self, edges: Iterable[Tuple[int, int]], name: str = "coupling") -> None:
+        self.name = name
+        self.graph = nx.Graph()
+        for a, b in edges:
+            if a == b:
+                raise ValueError(f"self-loop on qubit {a}")
+            self.graph.add_edge(int(a), int(b))
+        if self.graph.number_of_nodes() == 0:
+            raise ValueError("coupling map needs at least one edge")
+        # Physical qubits are 0..max even if some are isolated in the edge list.
+        self.num_qubits = max(self.graph.nodes) + 1
+        for q in range(self.num_qubits):
+            self.graph.add_node(q)
+        self._distance: Dict[int, Dict[int, int]] = dict(
+            nx.all_pairs_shortest_path_length(self.graph)
+        )
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        return sorted(tuple(sorted(e)) for e in self.graph.edges)
+
+    def are_connected(self, qubit_a: int, qubit_b: int) -> bool:
+        return self.graph.has_edge(qubit_a, qubit_b)
+
+    def neighbors(self, qubit: int) -> Tuple[int, ...]:
+        return tuple(sorted(self.graph.neighbors(qubit)))
+
+    def distance(self, qubit_a: int, qubit_b: int) -> int:
+        try:
+            return self._distance[qubit_a][qubit_b]
+        except KeyError:
+            raise ValueError(
+                f"qubits {qubit_a} and {qubit_b} are not connected"
+            ) from None
+
+    def shortest_path(self, qubit_a: int, qubit_b: int) -> List[int]:
+        return nx.shortest_path(self.graph, qubit_a, qubit_b)
+
+    def neighbor_pairs(self, qubits: Sequence[int]) -> List[Tuple[int, int]]:
+        """Pairs from ``qubits`` that are physically adjacent.
+
+        This is the "qubits that are physically (not logically) close" set
+        the paper's double-fault campaign injects into (Sec. IV-C).
+        """
+        chosen: Set[int] = set(qubits)
+        pairs = [
+            (a, b)
+            for a, b in self.edges
+            if a in chosen and b in chosen
+        ]
+        return pairs
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.graph)
+
+    def degree(self, qubit: int) -> int:
+        return self.graph.degree(qubit)
+
+    def __repr__(self) -> str:
+        return (
+            f"CouplingMap(name={self.name!r}, qubits={self.num_qubits}, "
+            f"edges={len(self.edges)})"
+        )
+
+
+def linear_topology(num_qubits: int) -> CouplingMap:
+    """Chain 0-1-...-(n-1)."""
+    return CouplingMap(
+        [(i, i + 1) for i in range(num_qubits - 1)], f"linear{num_qubits}"
+    )
+
+
+def ring_topology(num_qubits: int) -> CouplingMap:
+    """Cycle of ``num_qubits`` qubits."""
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return CouplingMap(edges, f"ring{num_qubits}")
+
+
+def grid_topology(rows: int, cols: int) -> CouplingMap:
+    """Rectangular lattice, row-major numbering."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingMap(edges, f"grid{rows}x{cols}")
+
+
+def casablanca_topology() -> CouplingMap:
+    """IBM Casablanca / Jakarta 7-qubit "H" layout (paper Fig. 1):
+
+    .. code-block:: text
+
+        0 - 1 - 2
+            |
+            3
+            |
+        4 - 5 - 6
+    """
+    edges = [(0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)]
+    return CouplingMap(edges, "casablanca")
+
+
+def jakarta_topology() -> CouplingMap:
+    """IBM Jakarta shares Casablanca's H-shaped 7-qubit coupling."""
+    topology = casablanca_topology()
+    topology.name = "jakarta"
+    return topology
+
+
+def lagos_topology() -> CouplingMap:
+    """IBM Lagos: same 7-qubit H layout."""
+    topology = casablanca_topology()
+    topology.name = "lagos"
+    return topology
+
+
+def guadalupe_topology() -> CouplingMap:
+    """IBM Guadalupe 16-qubit heavy-hex fragment."""
+    edges = [
+        (0, 1),
+        (1, 2),
+        (1, 4),
+        (2, 3),
+        (3, 5),
+        (4, 7),
+        (5, 8),
+        (6, 7),
+        (7, 10),
+        (8, 9),
+        (8, 11),
+        (10, 12),
+        (11, 14),
+        (12, 13),
+        (12, 15),
+        (13, 14),
+    ]
+    return CouplingMap(edges, "guadalupe")
+
+
+def montreal_topology() -> CouplingMap:
+    """IBM Montreal 27-qubit heavy-hex lattice."""
+    edges = [
+        (0, 1),
+        (1, 2),
+        (1, 4),
+        (2, 3),
+        (3, 5),
+        (4, 7),
+        (5, 8),
+        (6, 7),
+        (7, 10),
+        (8, 9),
+        (8, 11),
+        (10, 12),
+        (11, 14),
+        (12, 13),
+        (12, 15),
+        (13, 14),
+        (14, 16),
+        (15, 18),
+        (16, 19),
+        (17, 18),
+        (18, 21),
+        (19, 20),
+        (19, 22),
+        (21, 23),
+        (22, 25),
+        (23, 24),
+        (24, 25),
+        (25, 26),
+    ]
+    return CouplingMap(edges, "montreal")
+
+
+def heavy_hex_topology(distance: int = 3) -> CouplingMap:
+    """Generic heavy-hex patch; ``distance=3`` matches the 27-qubit devices."""
+    if distance == 3:
+        topology = montreal_topology()
+        topology.name = "heavy_hex_d3"
+        return topology
+    if distance == 2:
+        topology = guadalupe_topology()
+        topology.name = "heavy_hex_d2"
+        return topology
+    raise ValueError("only distances 2 and 3 are tabulated")
+
+
+def full_topology(num_qubits: int) -> CouplingMap:
+    """All-to-all connectivity (simulator-style, no routing needed)."""
+    edges = [
+        (a, b)
+        for a in range(num_qubits)
+        for b in range(a + 1, num_qubits)
+    ]
+    return CouplingMap(edges, f"full{num_qubits}")

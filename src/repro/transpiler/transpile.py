@@ -1,0 +1,116 @@
+"""Transpilation pipeline: layout -> lower -> route -> optimize.
+
+``optimization_level`` mirrors the paper's workflow: the double-fault study
+uses level 3 "in order to have the most dense layout and to reduce as much as
+possible the use of SWAP gates", and QuFI "keeps track of the logical and
+physical qubits throughout the transpiling process" — the
+:class:`TranspileResult` here is exactly that record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..quantum.circuit import QuantumCircuit
+from .basis import DEFAULT_BASIS, lower_to_basis
+from .layout import Layout, dense_layout, trivial_layout
+from .optimize import optimize_circuit
+from .routing import route
+from .topology import CouplingMap
+
+__all__ = ["TranspileResult", "transpile"]
+
+
+@dataclass
+class TranspileResult:
+    """Transpiled circuit plus the qubit-tracking metadata QuFI needs."""
+
+    circuit: QuantumCircuit
+    coupling: CouplingMap
+    initial_layout: Layout
+    final_layout: Layout
+    swap_count: int
+    optimization_level: int
+
+    def physical_qubit_of(self, logical: int, final: bool = True) -> int:
+        """Physical home of a logical qubit (after routing by default)."""
+        layout = self.final_layout if final else self.initial_layout
+        return layout.physical(logical)
+
+    def logical_qubit_of(self, physical: int, final: bool = True) -> Optional[int]:
+        layout = self.final_layout if final else self.initial_layout
+        return layout.logical(physical)
+
+    def neighbor_couples(self) -> List[Tuple[int, int]]:
+        """Logical qubit pairs that sit on adjacent physical qubits.
+
+        This is the candidate set for the paper's double-fault injection
+        (Sec. IV-C): a particle strike corrupts a qubit and, with smaller
+        magnitude, its physical neighbours.
+        """
+        couples = []
+        layout = self.final_layout
+        physical_used = {
+            layout.physical(l): l
+            for l in range(self.initial_layout.num_qubits)
+        }
+        for phys_a, phys_b in self.coupling.edges:
+            if phys_a in physical_used and phys_b in physical_used:
+                log_a = physical_used[phys_a]
+                log_b = physical_used[phys_b]
+                couples.append(tuple(sorted((log_a, log_b))))
+        return sorted(set(couples))
+
+    def physical_neighbors_of(self, logical: int) -> List[int]:
+        """Logical qubits physically adjacent to ``logical``."""
+        out = []
+        for a, b in self.neighbor_couples():
+            if a == logical:
+                out.append(b)
+            elif b == logical:
+                out.append(a)
+        return sorted(out)
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    optimization_level: int = 3,
+    basis: Sequence[str] = DEFAULT_BASIS,
+    seed: Optional[int] = None,
+) -> TranspileResult:
+    """Map ``circuit`` onto ``coupling`` and lower it to ``basis``.
+
+    Levels:
+
+    * 0 — trivial layout, naive routing, lowering only;
+    * 1 — trivial layout, naive routing, peephole optimization;
+    * 2 — dense layout, lookahead routing, peephole optimization;
+    * 3 — dense layout, wider lookahead routing, peephole optimization
+      (the paper's configuration).
+    """
+    if not 0 <= optimization_level <= 3:
+        raise ValueError("optimization_level must be 0..3")
+
+    if optimization_level >= 2:
+        layout = dense_layout(circuit, coupling)
+    else:
+        layout = trivial_layout(circuit, coupling)
+    lookahead = {0: 0, 1: 0, 2: 4, 3: 8}[optimization_level]
+
+    # Lower before routing so only 1q/2q gates reach the router; keep SWAPs
+    # inserted by routing as native gates afterwards.
+    lowered = lower_to_basis(circuit, basis)
+    routed = route(lowered, coupling, layout, lookahead=lookahead)
+    final = routed.circuit
+    if optimization_level >= 1:
+        final = optimize_circuit(final)
+    return TranspileResult(
+        circuit=final,
+        coupling=coupling,
+        initial_layout=routed.initial_layout,
+        final_layout=routed.final_layout,
+        swap_count=routed.swap_count,
+        optimization_level=optimization_level,
+    )

@@ -1,0 +1,158 @@
+"""The three benchmark circuits must produce their documented answers."""
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    ALGORITHMS,
+    bernstein_vazirani,
+    default_secret,
+    deutsch_jozsa,
+    inverse_qft_transform,
+    qft,
+    qft_transform,
+)
+from repro.algorithms.spec import AlgorithmSpec
+from repro.quantum import Operator, QuantumCircuit, Statevector
+from repro.simulators import StatevectorSimulator
+
+
+@pytest.fixture
+def backend():
+    return StatevectorSimulator()
+
+
+class TestSpec:
+    def test_requires_correct_states(self):
+        with pytest.raises(ValueError, match="at least one"):
+            AlgorithmSpec("x", QuantumCircuit(1, 1), ())
+
+    def test_rejects_malformed_states(self):
+        with pytest.raises(ValueError, match="malformed"):
+            AlgorithmSpec("x", QuantumCircuit(2, 2), ("0a",))
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(ValueError, match="bits"):
+            AlgorithmSpec("x", QuantumCircuit(3, 3), ("01",))
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 6, 7])
+    def test_recovers_secret_deterministically(self, backend, width):
+        spec = bernstein_vazirani(width)
+        probs = backend.run(spec.circuit).get_probabilities()
+        assert probs[spec.correct_states[0]] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("secret", ["000", "001", "010", "111", "110"])
+    def test_arbitrary_secrets(self, backend, secret):
+        spec = bernstein_vazirani(4, secret=secret)
+        result = backend.run(spec.circuit)
+        assert result.probability_of(secret) == pytest.approx(1.0)
+
+    def test_figure_4_example(self, backend):
+        """The paper's worked example: 4 qubits, output 101."""
+        spec = bernstein_vazirani(4)
+        assert spec.correct_states == ("101",)
+        assert backend.run(spec.circuit).most_probable() == "101"
+
+    def test_default_secret_alternates(self):
+        assert default_secret(3) == "101"
+        assert default_secret(5) == "10101"
+
+    def test_secret_validation(self):
+        with pytest.raises(ValueError, match="3-bit"):
+            bernstein_vazirani(4, secret="01")
+        with pytest.raises(ValueError, match="at least 2"):
+            bernstein_vazirani(1)
+
+    def test_structure_matches_paper(self):
+        """H-layer, oracle CXs, H-layer, measures (Fig. 4 left)."""
+        spec = bernstein_vazirani(4, secret="101")
+        ops = spec.circuit.count_ops()
+        assert ops["cx"] == 2  # two 1-bits in the secret
+        assert ops["h"] == 7  # 3 + ancilla + 3
+        assert ops["measure"] == 3
+
+
+class TestDeutschJozsa:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 6, 7])
+    def test_balanced_oracle_outputs_secret(self, backend, width):
+        spec = deutsch_jozsa(width)
+        probs = backend.run(spec.circuit).get_probabilities()
+        assert probs[spec.correct_states[0]] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("width", [2, 4, 6])
+    def test_constant_oracle_outputs_zero(self, backend, width):
+        spec = deutsch_jozsa(width, oracle="constant")
+        assert spec.correct_states == ("0" * (width - 1),)
+        probs = backend.run(spec.circuit).get_probabilities()
+        assert probs[spec.correct_states[0]] == pytest.approx(1.0)
+
+    def test_balanced_output_is_nonzero(self, backend):
+        """Balanced oracle must be distinguishable from constant."""
+        spec = deutsch_jozsa(4)
+        assert spec.correct_states[0] != "000"
+
+    def test_all_zero_secret_rejected(self):
+        with pytest.raises(ValueError, match="constant"):
+            deutsch_jozsa(4, secret="000")
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            deutsch_jozsa(4, oracle="chaotic")
+
+
+class TestQFT:
+    def test_transform_matches_dft_matrix(self):
+        """QFT (with swaps) must equal the DFT matrix exactly."""
+        import numpy as np
+
+        n = 3
+        dim = 2**n
+        op = Operator.from_circuit(qft_transform(n, with_swaps=True))
+        omega = np.exp(2j * math.pi / dim)
+        dft = np.array(
+            [[omega ** (row * col) for col in range(dim)] for row in range(dim)]
+        ) / math.sqrt(dim)
+        assert op.equiv(Operator(dft), tol=1e-9)
+
+    def test_inverse_cancels(self):
+        n = 4
+        combined = qft_transform(n).compose(inverse_qft_transform(n))
+        assert Operator.from_circuit(combined).equiv(Operator.identity(n))
+
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 6, 7])
+    def test_roundtrip_outputs_encoded_value(self, backend, width):
+        spec = qft(width)
+        probs = backend.run(spec.circuit).get_probabilities()
+        assert probs[spec.correct_states[0]] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("value", [0, 1, 7, 11, 15])
+    def test_arbitrary_encoded_values(self, backend, value):
+        spec = qft(4, encoded_value=value)
+        expected = format(value, "04b")
+        assert spec.correct_states == (expected,)
+        assert backend.run(spec.circuit).probability_of(expected) == pytest.approx(1.0)
+
+    def test_value_range_validation(self):
+        with pytest.raises(ValueError, match="out of range"):
+            qft(3, encoded_value=8)
+
+    def test_contains_phase_ladder(self):
+        spec = qft(4)
+        assert spec.circuit.count_ops().get("cp", 0) >= 6
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        # The paper's three circuits plus the extended suite.
+        assert {"bv", "dj", "qft"} <= set(ALGORITHMS)
+        assert set(ALGORITHMS) == {"bv", "dj", "qft", "ghz", "grover", "qpe"}
+
+    @pytest.mark.parametrize("name", ["bv", "dj", "qft"])
+    def test_builders_work_at_paper_scales(self, backend, name):
+        for width in (4, 7):
+            spec = ALGORITHMS[name](width)
+            probs = backend.run(spec.circuit).get_probabilities()
+            assert probs[spec.correct_states[0]] == pytest.approx(1.0)

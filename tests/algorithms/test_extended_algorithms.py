@@ -1,0 +1,138 @@
+"""Grover, GHZ and QPE benchmark circuits."""
+
+import math
+
+import pytest
+
+from repro.algorithms import ghz, grover, qpe
+from repro.faults import QuFI, fault_grid
+from repro.simulators import DensityMatrixSimulator, StatevectorSimulator
+
+
+@pytest.fixture
+def backend():
+    return StatevectorSimulator()
+
+
+class TestGrover:
+    def test_two_qubit_exact(self, backend):
+        spec = grover(2)
+        assert backend.run(spec.circuit).probability_of(
+            spec.correct_states[0]
+        ) == pytest.approx(1.0)
+
+    def test_three_qubit_near_optimal(self, backend):
+        spec = grover(3)
+        probability = backend.run(spec.circuit).probability_of(
+            spec.correct_states[0]
+        )
+        assert probability == pytest.approx(0.9453, abs=1e-3)
+
+    @pytest.mark.parametrize("marked", [0, 1, 2, 3])
+    def test_finds_any_marked_state_2q(self, backend, marked):
+        spec = grover(2, marked=marked)
+        expected = format(marked, "02b")
+        assert spec.correct_states == (expected,)
+        assert backend.run(spec.circuit).most_probable() == expected
+
+    @pytest.mark.parametrize("marked", [0, 3, 5, 7])
+    def test_finds_any_marked_state_3q(self, backend, marked):
+        spec = grover(3, marked=marked)
+        result = backend.run(spec.circuit)
+        assert result.most_probable() == format(marked, "03b")
+        assert result.probability_of(spec.correct_states[0]) > 0.9
+
+    def test_more_iterations_overshoot(self, backend):
+        """Past the optimum, amplitude amplification rotates away again."""
+        optimal = grover(3)
+        overshot = grover(3, iterations=4)
+        p_optimal = backend.run(optimal.circuit).probability_of(
+            optimal.correct_states[0]
+        )
+        p_overshot = backend.run(overshot.circuit).probability_of(
+            overshot.correct_states[0]
+        )
+        assert p_overshot < p_optimal
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grover(1)
+        with pytest.raises(ValueError):
+            grover(2, marked=9)
+        with pytest.raises(ValueError):
+            grover(5)
+
+    def test_faults_degrade_grover(self):
+        """QuFI on Grover: the amplified state is fragile to theta flips."""
+        spec = grover(2)
+        qufi = QuFI(DensityMatrixSimulator())
+        campaign = qufi.run_campaign(spec, faults=fault_grid(step_deg=90))
+        assert campaign.qvf_values().max() > 0.55
+        assert campaign.fault_free_qvf == pytest.approx(0.0, abs=1e-9)
+
+
+class TestGHZ:
+    @pytest.mark.parametrize("width", [2, 3, 5, 7])
+    def test_two_correct_states(self, backend, width):
+        spec = ghz(width)
+        probs = backend.run(spec.circuit).get_probabilities()
+        assert probs["0" * width] == pytest.approx(0.5)
+        assert probs["1" * width] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ghz(1)
+
+    def test_qvf_aggregates_both_states(self):
+        """Fault-free QVF is 0 even though no single state dominates —
+        the multi-correct-state path of Eq. 1."""
+        spec = ghz(3)
+        qufi = QuFI(DensityMatrixSimulator())
+        assert qufi.fault_free_qvf(
+            spec.circuit, spec.correct_states
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mid_chain_flip_breaks_parity(self):
+        from repro.faults import InjectionPoint, PhaseShiftFault
+
+        spec = ghz(3)
+        qufi = QuFI(DensityMatrixSimulator())
+        # theta = pi on the chain after the first CX: output leaves the
+        # {000, 111} manifold entirely.
+        record = qufi.run_injection(
+            spec.circuit,
+            spec.correct_states,
+            InjectionPoint(1, 1, "cx"),
+            PhaseShiftFault(math.pi, 0.0),
+        )
+        assert record.qvf > 0.9
+
+
+class TestQPE:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 6, 7])
+    def test_dyadic_phase_deterministic(self, backend, width):
+        spec = qpe(width)
+        assert backend.run(spec.circuit).probability_of(
+            spec.correct_states[0]
+        ) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("numerator", [1, 3, 5, 7])
+    def test_arbitrary_dyadic_phases(self, backend, numerator):
+        spec = qpe(4, phase=numerator / 8)
+        expected = format(numerator, "03b")
+        assert spec.correct_states == (expected,)
+        assert backend.run(spec.circuit).probability_of(
+            expected
+        ) == pytest.approx(1.0)
+
+    def test_non_dyadic_rejected(self):
+        with pytest.raises(ValueError, match="not representable"):
+            qpe(3, phase=1 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qpe(1)
+
+    def test_contains_inverse_qft(self):
+        spec = qpe(5)
+        assert spec.circuit.count_ops().get("cp", 0) >= 6

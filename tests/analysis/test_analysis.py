@@ -1,0 +1,145 @@
+"""Heatmap rendering, histogram statistics, backend comparison."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DistributionSummary,
+    MachineComparison,
+    compare_backends,
+    compare_single_double,
+    distribution_distance,
+    gate_reference_lines,
+    heatmap_data,
+    histogram_series,
+    peak_concentration,
+    render_ascii,
+    summarize,
+)
+from repro.faults import (
+    CampaignResult,
+    FaultClass,
+    InjectionPoint,
+    InjectionRecord,
+    PhaseShiftFault,
+)
+
+
+def _campaign(qvfs, name="toy"):
+    thetas = np.linspace(0, math.pi, len(qvfs))
+    records = [
+        InjectionRecord(
+            fault=PhaseShiftFault(float(t), 0.0),
+            point=InjectionPoint(0, 0, "h"),
+            qvf=float(q),
+        )
+        for t, q in zip(thetas, qvfs)
+    ]
+    return CampaignResult(name, ("0",), records, fault_free_qvf=0.02)
+
+
+class TestHeatmapData:
+    def test_classification_grid(self):
+        data = heatmap_data(_campaign([0.1, 0.5, 0.9]))
+        classes = data.classify()
+        assert classes[0, 0] is FaultClass.MASKED
+        assert classes[0, 1] is FaultClass.DUBIOUS
+        assert classes[0, 2] is FaultClass.SILENT
+
+    def test_fraction(self):
+        data = heatmap_data(_campaign([0.1, 0.2, 0.9]))
+        assert data.fraction(FaultClass.MASKED) == pytest.approx(2 / 3)
+
+    def test_worst_cell(self):
+        data = heatmap_data(_campaign([0.1, 0.95, 0.3]))
+        theta, phi, qvf = data.worst_cell()
+        assert qvf == pytest.approx(0.95)
+        assert theta == pytest.approx(math.pi / 2)
+
+    def test_value_at(self):
+        data = heatmap_data(_campaign([0.1, 0.5, 0.9]))
+        assert data.value_at(math.pi, 0.0) == pytest.approx(0.9)
+
+    def test_render_ascii(self):
+        text = render_ascii(heatmap_data(_campaign([0.1, 0.5, 0.9])), "demo")
+        assert "demo" in text
+        assert "." in text and "o" in text and "#" in text
+        assert "legend" in text
+
+    def test_gate_reference_lines(self):
+        lines = gate_reference_lines()
+        assert lines["Z"] == ("phi", math.pi)
+        assert lines["X,Y"] == ("theta", math.pi)
+        assert lines["T"][1] == pytest.approx(math.pi / 4)
+
+
+class TestHistogramAnalysis:
+    def test_summarize(self):
+        summary = summarize(_campaign([0.4, 0.5, 0.5, 0.6]))
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(0.5)
+        assert summary.mass_near_half == pytest.approx(0.5)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize(CampaignResult("e", ("0",), [], 0.0))
+
+    def test_histogram_series(self):
+        series = histogram_series(
+            [_campaign([0.1, 0.2]), _campaign([0.8, 0.9])],
+            labels=["a", "b"],
+        )
+        assert set(series) == {"a", "b"}
+
+    def test_histogram_series_label_mismatch(self):
+        with pytest.raises(ValueError):
+            histogram_series([_campaign([0.1])], labels=["a", "b"])
+
+    def test_distribution_distance_identical(self):
+        campaign = _campaign([0.1, 0.5, 0.9])
+        assert distribution_distance(campaign, campaign) == pytest.approx(0.0)
+
+    def test_distribution_distance_disjoint(self):
+        low = _campaign([0.05, 0.06, 0.07])
+        high = _campaign([0.93, 0.94, 0.95])
+        assert distribution_distance(low, high) == pytest.approx(1.0)
+
+    def test_peak_concentration(self):
+        flat = _campaign([0.1, 0.3, 0.7, 0.9])
+        peaked = _campaign([0.48, 0.5, 0.52, 0.49])
+        assert peak_concentration(peaked) > peak_concentration(flat)
+
+
+class TestComparisons:
+    def test_single_vs_double(self):
+        single = _campaign([0.3, 0.4, 0.5])
+        double = _campaign([0.5, 0.6, 0.7])
+        cmp = compare_single_double(single, double)
+        assert cmp.double_is_worse()
+        assert cmp.mean_increase == pytest.approx(0.2)
+        assert "delta" in cmp.table()
+
+    def test_compare_backends_alignment(self):
+        comparison = compare_backends(
+            {"t": 0.40, "s": 0.45, "z": 0.50},
+            {"t": 0.42, "s": 0.44, "z": 0.55, "extra": 0.9},
+        )
+        assert comparison.labels == ["s", "t", "z"]
+        assert comparison.max_delta() == pytest.approx(0.05)
+        assert comparison.within(0.052)
+        assert not comparison.within(0.01)
+
+    def test_compare_backends_no_overlap(self):
+        with pytest.raises(ValueError, match="common"):
+            compare_backends({"a": 0.1}, {"b": 0.2})
+
+    def test_comparison_table(self):
+        comparison = MachineComparison(
+            labels=["z"], qvf_a=[0.5], qvf_b=[0.52],
+            name_a="sim", name_b="hw",
+        )
+        text = comparison.table()
+        assert "sim" in text and "hw" in text
+        assert "0.5000" in text

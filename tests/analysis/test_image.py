@@ -1,0 +1,93 @@
+"""PPM heatmap export."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import heatmap_to_ppm, qvf_color, save_heatmap_ppm
+from repro.analysis.heatmap import HeatmapData
+from repro.faults import (
+    CampaignResult,
+    InjectionPoint,
+    InjectionRecord,
+    PhaseShiftFault,
+)
+
+
+class TestColormap:
+    def test_masked_is_green(self):
+        red, green, blue = qvf_color(0.0)
+        assert green > red and green > blue
+        assert (red, green, blue) == (0, 160, 0)
+
+    def test_dubious_band_is_white(self):
+        assert qvf_color(0.45) == (255, 255, 255)
+        assert qvf_color(0.5) == (255, 255, 255)
+        assert qvf_color(0.55) == (255, 255, 255)
+
+    def test_silent_is_red(self):
+        red, green, blue = qvf_color(1.0)
+        assert red > green and red > blue
+        assert (red, green, blue) == (200, 0, 0)
+
+    def test_nan_is_grey(self):
+        assert qvf_color(float("nan")) == (128, 128, 128)
+
+    def test_gradient_monotone_toward_white(self):
+        greens = [qvf_color(q)[0] for q in (0.0, 0.2, 0.4)]
+        assert greens == sorted(greens)  # red channel rises toward white
+
+    def test_out_of_range_clamped(self):
+        assert qvf_color(-0.5) == qvf_color(0.0)
+        assert qvf_color(1.5) == qvf_color(1.0)
+
+
+def _data(grid):
+    grid = np.asarray(grid, dtype=float)
+    thetas = list(np.linspace(0, math.pi, grid.shape[1]))
+    phis = list(np.linspace(0, math.pi, grid.shape[0]))
+    return HeatmapData(thetas, phis, grid)
+
+
+class TestPPM:
+    def test_header_and_size(self):
+        payload = heatmap_to_ppm(_data([[0.1, 0.9], [0.5, 0.5]]), cell_size=4)
+        header, rest = payload.split(b"\n", 1)
+        assert header == b"P6"
+        dims, rest = rest.split(b"\n", 1)
+        assert dims == b"8 8"
+        maxval, pixels = rest.split(b"\n", 1)
+        assert maxval == b"255"
+        assert len(pixels) == 8 * 8 * 3
+
+    def test_orientation_phi_up(self):
+        """Row 0 of the image is the highest phi row of the grid."""
+        data = _data([[0.0, 0.0], [1.0, 1.0]])  # grid row 1 = high phi = red
+        payload = heatmap_to_ppm(data, cell_size=1)
+        pixels = payload.split(b"\n", 3)[3]
+        top_left = tuple(pixels[0:3])
+        bottom_left = tuple(pixels[6:9])
+        assert top_left == qvf_color(1.0)  # red on top
+        assert bottom_left == qvf_color(0.0)
+
+    def test_cell_size_validated(self):
+        with pytest.raises(ValueError):
+            heatmap_to_ppm(_data([[0.5]]), cell_size=0)
+
+    def test_save_from_campaign(self, tmp_path):
+        records = [
+            InjectionRecord(
+                PhaseShiftFault(theta, phi),
+                InjectionPoint(0, 0, "h"),
+                qvf=theta / math.pi,
+            )
+            for theta in (0.0, math.pi)
+            for phi in (0.0, math.pi)
+        ]
+        campaign = CampaignResult("img", ("0",), records, 0.0)
+        path = tmp_path / "heatmap.ppm"
+        save_heatmap_ppm(campaign, str(path), cell_size=2)
+        payload = path.read_bytes()
+        assert payload.startswith(b"P6\n4 4\n255\n")
+        assert len(payload) == len(b"P6\n4 4\n255\n") + 4 * 4 * 3

@@ -1,0 +1,89 @@
+"""Markdown campaign report rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import campaign_report
+from repro.faults import (
+    CampaignResult,
+    InjectionPoint,
+    InjectionRecord,
+    PhaseShiftFault,
+)
+
+
+@pytest.fixture
+def campaign():
+    records = [
+        InjectionRecord(
+            PhaseShiftFault(0.0, 0.0), InjectionPoint(0, 0, "h"), 0.04
+        ),
+        InjectionRecord(
+            PhaseShiftFault(math.pi, 0.0), InjectionPoint(0, 0, "h"), 0.95
+        ),
+        InjectionRecord(
+            PhaseShiftFault(math.pi / 2, 0.0), InjectionPoint(1, 1, "cx"), 0.50
+        ),
+        InjectionRecord(
+            PhaseShiftFault(0.0, math.pi), InjectionPoint(1, 1, "cx"), 0.30
+        ),
+    ]
+    return CampaignResult(
+        "demo_circuit",
+        ("101",),
+        records,
+        fault_free_qvf=0.04,
+        backend_name="test_backend",
+    )
+
+
+class TestReport:
+    def test_contains_headline_metrics(self, campaign):
+        text = campaign_report(campaign)
+        assert "demo_circuit" in text
+        assert "test_backend" in text
+        assert "injections: 4" in text
+        assert "fault-free QVF: 0.0400" in text
+
+    def test_classification_table(self, campaign):
+        text = campaign_report(campaign)
+        assert "| masked | 50.0% |" in text
+        assert "| dubious | 25.0% |" in text
+        assert "| silent | 25.0% |" in text
+
+    def test_worst_faults_ranked(self, campaign):
+        text = campaign_report(campaign)
+        lines = text.splitlines()
+        rank_1 = next(line for line in lines if line.startswith("| 1 |"))
+        assert "0.9500" in rank_1
+        assert "180 deg" in rank_1
+
+    def test_top_faults_limit(self, campaign):
+        text = campaign_report(campaign, top_faults=2)
+        assert "| 2 |" in text
+        assert "| 3 |" not in text
+
+    def test_per_qubit_rows(self, campaign):
+        text = campaign_report(campaign)
+        assert "| q0 |" in text
+        assert "| q1 |" in text
+
+    def test_heatmap_block(self, campaign):
+        text = campaign_report(campaign)
+        assert "```" in text
+        assert "legend" in text
+
+    def test_custom_title(self, campaign):
+        text = campaign_report(campaign, title="Qualification run 7")
+        assert text.startswith("# Qualification run 7")
+
+    def test_empty_campaign_rejected(self):
+        empty = CampaignResult("e", ("0",), [], 0.0)
+        with pytest.raises(ValueError, match="empty"):
+            campaign_report(empty)
+
+    def test_is_valid_markdown_structure(self, campaign):
+        text = campaign_report(campaign)
+        headers = [l for l in text.splitlines() if l.startswith("#")]
+        assert len(headers) >= 5  # title + 4 sections

@@ -1,0 +1,69 @@
+"""Shared fixtures: backends, noise models, benchmark specs."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bernstein_vazirani, deutsch_jozsa, qft
+from repro.simulators import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    ReadoutError,
+    StatevectorSimulator,
+    depolarizing_channel,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def ideal_backend():
+    return StatevectorSimulator()
+
+
+@pytest.fixture
+def exact_backend():
+    """Noise-free density-matrix backend (should match the ideal one)."""
+    return DensityMatrixSimulator()
+
+
+def build_light_noise_model(num_qubits: int = 4) -> NoiseModel:
+    """Small generic noise model used across tests: realistic magnitudes."""
+    model = NoiseModel("light")
+    model.add_all_qubit_error(
+        depolarizing_channel(0.002),
+        ["h", "x", "y", "z", "s", "t", "u", "p", "rx", "ry", "rz", "sx", "id"],
+    )
+    model.add_all_qubit_error(
+        depolarizing_channel(0.01, num_qubits=2), ["cx", "cz", "cp", "swap"]
+    )
+    for qubit in range(num_qubits):
+        model.add_readout_error(ReadoutError(0.015, 0.03), qubit)
+    return model
+
+
+@pytest.fixture
+def light_noise_model():
+    return build_light_noise_model()
+
+
+@pytest.fixture
+def noisy_backend(light_noise_model):
+    return DensityMatrixSimulator(light_noise_model)
+
+
+@pytest.fixture
+def bv4():
+    return bernstein_vazirani(4)
+
+
+@pytest.fixture
+def dj4():
+    return deutsch_jozsa(4)
+
+
+@pytest.fixture
+def qft4():
+    return qft(4)

@@ -1,0 +1,186 @@
+"""Campaign aggregation, filtering and serialization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CampaignResult,
+    FaultClass,
+    InjectionPoint,
+    InjectionRecord,
+    PhaseShiftFault,
+    delta_heatmap,
+)
+
+
+def _record(theta, phi, qvf, qubit=0, position=0, theta1=None, phi1=None):
+    second = PhaseShiftFault(theta1, phi1) if theta1 is not None else None
+    return InjectionRecord(
+        fault=PhaseShiftFault(theta, phi),
+        point=InjectionPoint(position, qubit, "h"),
+        qvf=qvf,
+        second_fault=second,
+        second_qubit=1 if second else None,
+    )
+
+
+@pytest.fixture
+def campaign():
+    records = [
+        _record(0.0, 0.0, 0.05, qubit=0, position=0),
+        _record(0.0, 0.0, 0.15, qubit=1, position=1),
+        _record(math.pi, 0.0, 0.90, qubit=0, position=0),
+        _record(math.pi, 0.0, 0.80, qubit=1, position=1),
+        _record(0.0, math.pi, 0.50, qubit=0, position=0),
+        _record(math.pi, math.pi, 0.30, qubit=1, position=1),
+    ]
+    return CampaignResult(
+        circuit_name="toy",
+        correct_states=("00",),
+        records=records,
+        fault_free_qvf=0.10,
+        backend_name="test",
+    )
+
+
+class TestAccessors:
+    def test_counts(self, campaign):
+        assert campaign.num_injections == 6
+        assert campaign.qubits() == [0, 1]
+        assert campaign.positions() == [0, 1]
+
+    def test_axes(self, campaign):
+        assert campaign.thetas() == pytest.approx([0.0, math.pi])
+        assert campaign.phis() == pytest.approx([0.0, math.pi])
+
+    def test_moments(self, campaign):
+        values = campaign.qvf_values()
+        assert campaign.mean_qvf() == pytest.approx(values.mean())
+        assert campaign.std_qvf() == pytest.approx(values.std())
+
+    def test_empty_moments(self):
+        empty = CampaignResult("e", ("0",), [], 0.0)
+        assert math.isnan(empty.mean_qvf())
+
+
+class TestHeatmap:
+    def test_cell_averaging(self, campaign):
+        thetas, phis, grid = campaign.heatmap()
+        assert grid.shape == (2, 2)
+        # (theta=0, phi=0): mean of 0.05 and 0.15.
+        assert grid[0, 0] == pytest.approx(0.10)
+        # (theta=pi, phi=0): mean of 0.90 and 0.80.
+        assert grid[0, 1] == pytest.approx(0.85)
+
+    def test_missing_cells_are_nan(self):
+        result = CampaignResult(
+            "sparse",
+            ("0",),
+            [_record(0.0, 0.0, 0.2), _record(math.pi, math.pi, 0.8)],
+            0.0,
+        )
+        _, _, grid = result.heatmap()
+        assert np.isnan(grid[1, 0])  # (phi=pi, theta=0) never injected
+
+    def test_qvf_at(self, campaign):
+        assert campaign.qvf_at(0.0, 0.0) == pytest.approx(0.10)
+        assert campaign.qvf_at(math.pi, 0.0) == pytest.approx(0.85)
+
+
+class TestFilters:
+    def test_for_qubit(self, campaign):
+        sliced = campaign.for_qubit(0)
+        assert sliced.num_injections == 3
+        assert all(r.point.qubit == 0 for r in sliced.records)
+        assert sliced.fault_free_qvf == campaign.fault_free_qvf
+
+    def test_for_position(self, campaign):
+        assert campaign.for_position(1).num_injections == 3
+
+    def test_singles_doubles_split(self):
+        records = [
+            _record(0.5, 0.5, 0.3),
+            _record(0.5, 0.5, 0.6, theta1=0.2, phi1=0.2),
+        ]
+        result = CampaignResult("mix", ("0",), records, 0.0)
+        assert result.singles().num_injections == 1
+        assert result.doubles().num_injections == 1
+        assert result.is_double()
+
+
+class TestStatistics:
+    def test_histogram_density(self, campaign):
+        density, edges = campaign.histogram(bins=10)
+        assert len(density) == 10
+        widths = np.diff(edges)
+        assert (density * widths).sum() == pytest.approx(1.0)
+
+    def test_classification_fractions(self, campaign):
+        fractions = campaign.classification_fractions()
+        assert fractions[FaultClass.MASKED] == pytest.approx(3 / 6)
+        assert fractions[FaultClass.DUBIOUS] == pytest.approx(1 / 6)
+        assert fractions[FaultClass.SILENT] == pytest.approx(2 / 6)
+
+    def test_improved_fraction(self, campaign):
+        # fault_free = 0.10; one record (0.05) beats it.
+        assert campaign.improved_fraction() == pytest.approx(1 / 6)
+
+
+class TestDetailSurface:
+    def test_detail_surface_extraction(self):
+        records = [
+            _record(math.pi, math.pi, 0.7, theta1=0.0, phi1=0.0),
+            _record(math.pi, math.pi, 0.8, theta1=math.pi, phi1=0.0),
+            _record(math.pi, math.pi, 0.9, theta1=math.pi, phi1=math.pi),
+        ]
+        result = CampaignResult("d", ("0",), records, 0.0)
+        thetas1, phis1, grid = result.detail_surface(math.pi, math.pi)
+        assert grid.shape == (2, 2)
+        assert grid[0, 0] == pytest.approx(0.7)
+        assert grid[1, 1] == pytest.approx(0.9)
+
+    def test_detail_surface_missing_first_fault(self, campaign):
+        with pytest.raises(ValueError, match="no double injections"):
+            campaign.detail_surface(0.1, 0.1)
+
+
+class TestSerialization:
+    def test_roundtrip(self, campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        campaign.to_json(str(path))
+        loaded = CampaignResult.from_json(str(path))
+        assert loaded.circuit_name == campaign.circuit_name
+        assert loaded.num_injections == campaign.num_injections
+        assert loaded.mean_qvf() == pytest.approx(campaign.mean_qvf())
+        assert loaded.correct_states == ("00",)
+
+    def test_double_records_roundtrip(self, tmp_path):
+        records = [_record(0.5, 0.4, 0.6, theta1=0.3, phi1=0.2)]
+        result = CampaignResult("d", ("0",), records, 0.0)
+        path = tmp_path / "double.json"
+        result.to_json(str(path))
+        loaded = CampaignResult.from_json(str(path))
+        record = loaded.records[0]
+        assert record.second_fault.theta == pytest.approx(0.3)
+        assert record.second_qubit == 1
+
+
+class TestDeltaHeatmap:
+    def test_delta_alignment(self, campaign):
+        shifted = CampaignResult(
+            "toy2",
+            ("00",),
+            [
+                _record(0.0, 0.0, 0.30),
+                _record(math.pi, 0.0, 0.95),
+                _record(0.0, math.pi, 0.60),
+                _record(math.pi, math.pi, 0.70),
+            ],
+            0.1,
+        )
+        thetas, phis, delta = delta_heatmap(shifted, campaign)
+        assert delta.shape == (2, 2)
+        assert delta[0, 0] == pytest.approx(0.30 - 0.10)
+        assert delta[0, 1] == pytest.approx(0.95 - 0.85)

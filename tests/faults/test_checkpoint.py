@@ -1,0 +1,114 @@
+"""Resumable campaign runner."""
+
+import math
+
+import pytest
+
+from repro.algorithms import bernstein_vazirani
+from repro.faults import (
+    CampaignResult,
+    CheckpointedRunner,
+    InjectionPoint,
+    PhaseShiftFault,
+    QuFI,
+    fault_grid,
+)
+from repro.simulators import DensityMatrixSimulator
+
+
+@pytest.fixture
+def qufi():
+    return QuFI(DensityMatrixSimulator())
+
+
+@pytest.fixture
+def spec():
+    return bernstein_vazirani(3)
+
+
+class TestFreshRun:
+    def test_complete_run_saves_checkpoint(self, qufi, spec, tmp_path):
+        path = str(tmp_path / "run.json")
+        runner = CheckpointedRunner(qufi, path, save_every=5)
+        faults = fault_grid(step_deg=90)
+        result = runner.run(spec, faults=faults)
+        loaded = CampaignResult.from_json(path)
+        assert loaded.num_injections == result.num_injections
+        assert loaded.metadata["checkpointed"] is True
+
+    def test_matches_direct_campaign(self, qufi, spec, tmp_path):
+        path = str(tmp_path / "run.json")
+        faults = fault_grid(step_deg=90)
+        checkpointed = CheckpointedRunner(qufi, path).run(spec, faults=faults)
+        direct = qufi.run_campaign(spec, faults=faults)
+        assert checkpointed.num_injections == direct.num_injections
+        assert checkpointed.mean_qvf() == pytest.approx(direct.mean_qvf())
+
+    def test_save_every_validated(self, qufi, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointedRunner(qufi, str(tmp_path / "x.json"), save_every=0)
+
+
+class TestResume:
+    def test_resume_skips_completed_work(self, qufi, spec, tmp_path):
+        path = str(tmp_path / "resume.json")
+        faults = fault_grid(step_deg=90)
+        points = [InjectionPoint(0, 0, "h"), InjectionPoint(1, 1, "h")]
+
+        # First pass: only the first point.
+        runner = CheckpointedRunner(qufi, path, save_every=1)
+        partial = runner.run(spec, faults=faults, points=points[:1])
+        assert partial.num_injections == len(faults)
+
+        # Count executions on resume via a wrapped injector.
+        calls = []
+        original = qufi.run_injection
+
+        def counting(circuit, states, point, fault):
+            calls.append((point, fault))
+            return original(circuit, states, point, fault)
+
+        qufi.run_injection = counting  # type: ignore[method-assign]
+        try:
+            full = runner.run(spec, faults=faults, points=points)
+        finally:
+            qufi.run_injection = original  # type: ignore[method-assign]
+
+        # Only the second point's injections were executed.
+        assert len(calls) == len(faults)
+        assert all(point.qubit == 1 for point, _ in calls)
+        assert full.num_injections == 2 * len(faults)
+
+    def test_resume_preserves_fault_free_qvf(self, qufi, spec, tmp_path):
+        path = str(tmp_path / "ff.json")
+        faults = [PhaseShiftFault(0.0, 0.0), PhaseShiftFault(math.pi, 0.0)]
+        runner = CheckpointedRunner(qufi, path)
+        first = runner.run(spec, faults=faults, points=[InjectionPoint(0, 0, "h")])
+        second = runner.run(spec, faults=faults, points=[InjectionPoint(0, 0, "h")])
+        assert second.fault_free_qvf == first.fault_free_qvf
+
+    def test_rejects_mismatched_checkpoint(self, qufi, tmp_path):
+        path = str(tmp_path / "clash.json")
+        runner = CheckpointedRunner(qufi, path)
+        runner.run(
+            bernstein_vazirani(3),
+            faults=[PhaseShiftFault(0.0, 0.0)],
+            points=[InjectionPoint(0, 0, "h")],
+        )
+        with pytest.raises(ValueError, match="refusing to mix"):
+            runner.run(
+                bernstein_vazirani(4),
+                faults=[PhaseShiftFault(0.0, 0.0)],
+                points=[InjectionPoint(0, 0, "h")],
+            )
+
+    def test_completed_keys(self, qufi, spec, tmp_path):
+        path = str(tmp_path / "keys.json")
+        runner = CheckpointedRunner(qufi, path)
+        assert runner.completed_keys() == set()
+        runner.run(
+            spec,
+            faults=[PhaseShiftFault(0.5, 0.5)],
+            points=[InjectionPoint(0, 0, "h")],
+        )
+        assert runner.completed_keys() == {(0.5, 0.5, 0, 0)}

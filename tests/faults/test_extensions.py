@@ -1,0 +1,131 @@
+"""TID drift and qubit-collapse extensions (the paper's future work)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import bernstein_vazirani
+from repro.faults import (
+    QuFI,
+    TIDModel,
+    apply_tid_drift,
+    enumerate_injection_points,
+    run_collapse_campaign,
+    tid_dose_sweep,
+)
+from repro.quantum import QuantumCircuit
+from repro.simulators import DensityMatrixSimulator, StatevectorSimulator
+
+
+class TestTIDModel:
+    def test_drift_grows_with_time(self):
+        model = TIDModel()
+        early = model.drift_at(1e-7)
+        late = model.drift_at(1e-5)
+        assert late.theta >= early.theta
+        assert model.drift_at(0.0).is_null()
+
+    def test_theta_saturates_at_pi(self):
+        model = TIDModel(theta_rate=1e12)
+        assert model.drift_at(1.0).theta == pytest.approx(math.pi)
+
+    def test_gate_durations(self):
+        model = TIDModel()
+        assert model.duration_of("cx", 2) > model.duration_of("h", 1)
+        assert model.duration_of("swap", 2) == pytest.approx(
+            3 * model.duration_of("cx", 2)
+        )
+
+    def test_custom_duration_table(self):
+        model = TIDModel(gate_durations={"h": 1e-6})
+        assert model.duration_of("h", 1) == 1e-6
+
+
+class TestApplyTIDDrift:
+    def test_adds_fault_gates(self):
+        qc = QuantumCircuit(2, 2).h(0).cx(0, 1).measure_all()
+        dosed = apply_tid_drift(qc, TIDModel())
+        ops = dosed.count_ops()
+        assert ops.get("ufault", 0) >= 3  # one after h, two after cx
+        assert ops["measure"] == 2
+
+    def test_zero_rate_is_identity_transform(self):
+        qc = QuantumCircuit(1).h(0)
+        dosed = apply_tid_drift(qc, TIDModel(phi_rate=0.0, theta_rate=0.0))
+        assert dosed.count_ops() == {"h": 1}
+
+    def test_dose_degrades_output(self):
+        spec = bernstein_vazirani(4)
+        backend = StatevectorSimulator()
+        heavy = TIDModel(phi_rate=5e6, theta_rate=2e6)
+        dosed = apply_tid_drift(spec.circuit, heavy)
+        clean = backend.run(spec.circuit).probability_of(spec.correct_states[0])
+        dirty = backend.run(dosed).probability_of(spec.correct_states[0])
+        assert dirty < clean
+
+    def test_preserves_structure(self):
+        spec = bernstein_vazirani(4)
+        dosed = apply_tid_drift(spec.circuit, TIDModel())
+        original_names = [i.name for i in spec.circuit]
+        dosed_names = [i.name for i in dosed if i.name != "ufault"]
+        assert dosed_names == original_names
+
+
+class TestDoseSweep:
+    def test_monotone_degradation(self):
+        spec = bernstein_vazirani(4)
+        qufi = QuFI(StatevectorSimulator())
+        sweep = tid_dose_sweep(spec, qufi, dose_scales=[0.0, 10.0, 100.0])
+        assert sweep[0.0] == pytest.approx(0.0, abs=1e-9)
+        assert sweep[100.0] >= sweep[10.0] >= sweep[0.0]
+
+    def test_bare_circuit_requires_states(self):
+        qufi = QuFI(StatevectorSimulator())
+        qc = QuantumCircuit(1, 1).h(0).measure(0, 0)
+        with pytest.raises(ValueError, match="correct_states"):
+            tid_dose_sweep(qc, qufi, [1.0])
+
+
+class TestCollapseCampaign:
+    def test_collapse_is_at_least_as_bad_as_masked(self):
+        spec = bernstein_vazirani(4)
+        qufi = QuFI(DensityMatrixSimulator())
+        campaign = run_collapse_campaign(spec, qufi)
+        assert campaign.num_injections == len(
+            enumerate_injection_points(spec.circuit)
+        )
+        # Collapsing a secret-carrying qubit mid-interference destroys the
+        # answer: at least one collapse must be a silent error.
+        assert campaign.qvf_values().max() > 0.55
+
+    def test_collapse_on_finished_qubit_is_masked(self):
+        """Collapsing a qubit already in |0> is harmless."""
+        from repro.faults import InjectionPoint
+
+        qc = QuantumCircuit(2, 2).x(1).measure(1, 1)
+        qufi = QuFI(DensityMatrixSimulator())
+        campaign = run_collapse_campaign(
+            qc,
+            qufi,
+            correct_states=["10"],
+            points=[InjectionPoint(0, 1, "x")],
+        )
+        # Collapse resets qubit 1 to |0>, so the output flips: QVF = 1.
+        assert campaign.records[0].qvf == pytest.approx(1.0, abs=1e-9)
+
+    def test_collapse_mode_metadata(self):
+        spec = bernstein_vazirani(4)
+        qufi = QuFI(DensityMatrixSimulator())
+        campaign = run_collapse_campaign(spec, qufi)
+        assert campaign.metadata["mode"] == "collapse"
+        assert campaign.circuit_name.endswith("~collapse")
+
+    def test_collapse_worse_than_average_phase_fault(self):
+        """The collapse limit dominates the mean phase-shift fault."""
+        from repro.faults import fault_grid
+
+        spec = bernstein_vazirani(4)
+        qufi = QuFI(DensityMatrixSimulator())
+        phase = qufi.run_campaign(spec, faults=fault_grid(step_deg=90))
+        collapse = run_collapse_campaign(spec, qufi)
+        assert collapse.mean_qvf() > phase.mean_qvf()

@@ -1,0 +1,136 @@
+"""Fault model: the parameter grid and gate equivalences of Sec. IV-B."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.quantum.gates as g
+from repro.faults import (
+    GATE_EQUIVALENT_FAULTS,
+    GRID_CONFIGURATIONS,
+    PhaseShiftFault,
+    fault_grid,
+    phi_values,
+    theta_values,
+)
+from repro.quantum import Operator
+
+
+class TestPhaseShiftFault:
+    def test_as_gate_is_injector_u(self):
+        fault = PhaseShiftFault(0.3, 1.2)
+        gate = fault.as_gate()
+        # Distinguished name: noise models must not decorate the injector.
+        assert gate.name == "ufault"
+        assert gate.params == (0.3, 1.2, 0.0)
+        import repro.quantum.gates as g
+
+        assert np.allclose(gate.matrix, g.UGate(0.3, 1.2, 0.0).matrix)
+
+    def test_null_fault(self):
+        assert PhaseShiftFault(0.0, 0.0).is_null()
+        assert not PhaseShiftFault(0.1, 0.0).is_null()
+        assert PhaseShiftFault(0.0, 0.0).as_gate().is_identity()
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError, match="theta"):
+            PhaseShiftFault(4.0, 0.0)
+        with pytest.raises(ValueError, match="phi"):
+            PhaseShiftFault(0.0, 7.0)
+
+    def test_scaled(self):
+        fault = PhaseShiftFault(math.pi, math.pi)
+        half = fault.scaled(0.5)
+        assert half.theta == pytest.approx(math.pi / 2)
+        assert half.phi == pytest.approx(math.pi / 2)
+        with pytest.raises(ValueError):
+            fault.scaled(1.5)
+
+    def test_label(self):
+        assert "90" in PhaseShiftFault(math.pi / 2, 0.0).label()
+
+    def test_frozen(self):
+        fault = PhaseShiftFault(0.1, 0.2)
+        with pytest.raises(Exception):
+            fault.theta = 0.5
+
+
+class TestGrid:
+    def test_full_grid_is_312_configurations(self):
+        """Sec. IV-B: 13 theta x 24 phi = 312 injections per fault site."""
+        grid = fault_grid()
+        assert len(grid) == GRID_CONFIGURATIONS == 312
+
+    def test_theta_values_inclusive(self):
+        values = theta_values(15.0)
+        assert len(values) == 13
+        assert values[0] == 0.0
+        assert values[-1] == pytest.approx(math.pi)
+
+    def test_phi_values_exclusive(self):
+        values = phi_values(15.0)
+        assert len(values) == 24
+        assert values[0] == 0.0
+        assert values[-1] == pytest.approx(math.radians(345))
+
+    def test_coarse_grid(self):
+        grid = fault_grid(step_deg=45)
+        assert len(grid) == 5 * 8
+
+    def test_restricted_phi_with_endpoint(self):
+        grid = fault_grid(step_deg=45, phi_max_deg=180, include_phi_endpoint=True)
+        phis = sorted({f.phi for f in grid})
+        assert phis[-1] == pytest.approx(math.pi)
+        assert len(grid) == 5 * 5
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError, match="divide"):
+            theta_values(50.0)
+        with pytest.raises(ValueError, match="divide"):
+            phi_values(70.0)
+
+    def test_grid_contains_null_fault(self):
+        grid = fault_grid(step_deg=45)
+        assert any(f.is_null() for f in grid)
+
+    def test_grid_faults_unique(self):
+        grid = fault_grid()
+        assert len(set(grid)) == len(grid)
+
+
+class TestGateEquivalences:
+    """The dotted reference lines of Fig. 5 and the Fig. 11 fault set."""
+
+    @pytest.mark.parametrize(
+        "name,gate",
+        [
+            ("t", g.TGate()),
+            ("s", g.SGate()),
+            ("z", g.ZGate()),
+            ("y", g.YGate()),
+            ("x", g.XGate()),
+        ],
+    )
+    def test_named_fault_equals_gate(self, name, gate):
+        fault = GATE_EQUIVALENT_FAULTS[name]
+        assert Operator.from_gate(fault.as_gate()).equiv(
+            Operator.from_gate(gate)
+        )
+
+    def test_z_fault_is_phi_pi(self):
+        """Paper: 'a fault inducing a phi phase shift of pi is the
+        equivalent of applying an additional Z gate'."""
+        fault = GATE_EQUIVALENT_FAULTS["z"]
+        assert fault.phi == pytest.approx(math.pi)
+        assert fault.theta == 0.0
+
+    def test_all_named_faults_on_grid(self):
+        """Every gate-equivalent fault is one of the 312 grid points."""
+        grid = fault_grid()
+        for fault in GATE_EQUIVALENT_FAULTS.values():
+            assert any(
+                abs(f.theta - fault.theta) < 1e-9
+                and abs(f.phi - fault.phi) < 1e-9
+                for f in grid
+            )

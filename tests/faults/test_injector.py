@@ -1,0 +1,229 @@
+"""The QuFI injector: circuit splicing, scoring, campaigns."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bernstein_vazirani
+from repro.faults import (
+    InjectionPoint,
+    PhaseShiftFault,
+    QuFI,
+    enumerate_injection_points,
+    fault_grid,
+)
+from repro.quantum import QuantumCircuit
+from repro.simulators import DensityMatrixSimulator, StatevectorSimulator
+
+
+class TestInjectionPoints:
+    def test_every_gate_every_operand(self):
+        qc = QuantumCircuit(2, 2).h(0).cx(0, 1).measure_all()
+        points = enumerate_injection_points(qc)
+        # h -> 1 point; cx -> 2 points; measures are not fault sites.
+        assert len(points) == 3
+        assert points[0] == InjectionPoint(0, 0, "h")
+        assert {p.qubit for p in points if p.position == 1} == {0, 1}
+
+    def test_barriers_excluded(self):
+        qc = QuantumCircuit(1).h(0).barrier().x(0)
+        points = enumerate_injection_points(qc)
+        assert [p.gate_name for p in points] == ["h", "x"]
+
+    def test_qubit_filter(self):
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        points = enumerate_injection_points(qc, qubits=[1])
+        assert all(p.qubit == 1 for p in points)
+        assert len(points) == 2
+
+    def test_position_filter(self):
+        qc = QuantumCircuit(1).h(0).x(0).z(0)
+        points = enumerate_injection_points(qc, positions=[1])
+        assert len(points) == 1
+        assert points[0].gate_name == "x"
+
+
+class TestFaultyCircuitConstruction:
+    def test_injector_gate_spliced_after_target(self):
+        qc = QuantumCircuit(2, 2).h(0).cx(0, 1).measure_all()
+        faulty = QuFI.build_faulty_circuit(
+            qc, InjectionPoint(0, 0, "h"), PhaseShiftFault(0.5, 0.3)
+        )
+        assert [i.name for i in faulty][:3] == ["h", "ufault", "cx"]
+        assert faulty[1].qubits == (0,)
+        assert faulty[1].gate.params == (0.5, 0.3, 0.0)
+
+    def test_original_untouched(self):
+        qc = QuantumCircuit(1).h(0)
+        QuFI.build_faulty_circuit(
+            qc, InjectionPoint(0, 0, "h"), PhaseShiftFault(0.5, 0.0)
+        )
+        assert len(qc) == 1
+
+    def test_figure_4_injection(self):
+        """Fig. 4: theta = pi/4 injected on q0 after the first H of BV."""
+        spec = bernstein_vazirani(4)
+        faulty = QuFI.build_faulty_circuit(
+            spec.circuit,
+            InjectionPoint(0, 0, "h"),
+            PhaseShiftFault(math.pi / 4, 0.0),
+        )
+        backend = StatevectorSimulator()
+        probs = backend.run(faulty).get_probabilities()
+        # Output degraded but 101 still dominant (the figure shows 0.763).
+        assert probs["101"] < 1.0
+        assert max(probs, key=probs.get) == "101"
+
+    def test_double_fault_construction(self):
+        qc = QuantumCircuit(3, 3).h(0).measure_all()
+        faulty = QuFI.build_double_faulty_circuit(
+            qc,
+            InjectionPoint(0, 0, "h"),
+            PhaseShiftFault(math.pi, math.pi),
+            second_qubit=1,
+            second_fault=PhaseShiftFault(math.pi / 2, math.pi / 2),
+        )
+        names = [i.name for i in faulty][:3]
+        assert names == ["h", "ufault", "ufault"]
+        assert faulty[1].qubits == (0,)
+        assert faulty[2].qubits == (1,)
+
+    def test_double_fault_same_qubit_rejected(self):
+        qc = QuantumCircuit(2).h(0)
+        with pytest.raises(ValueError, match="different qubit"):
+            QuFI.build_double_faulty_circuit(
+                qc,
+                InjectionPoint(0, 0, "h"),
+                PhaseShiftFault(0.1, 0.1),
+                second_qubit=0,
+                second_fault=PhaseShiftFault(0.05, 0.05),
+            )
+
+
+class TestScoring:
+    def test_null_fault_matches_fault_free(self, noisy_backend, bv4):
+        qufi = QuFI(noisy_backend)
+        fault_free = qufi.fault_free_qvf(bv4.circuit, bv4.correct_states)
+        record = qufi.run_injection(
+            bv4.circuit,
+            bv4.correct_states,
+            InjectionPoint(0, 0, "h"),
+            PhaseShiftFault(0.0, 0.0),
+        )
+        assert record.qvf == pytest.approx(fault_free, abs=1e-9)
+
+    def test_fault_free_qvf_zero_without_noise(self, exact_backend, bv4):
+        qufi = QuFI(exact_backend)
+        assert qufi.fault_free_qvf(
+            bv4.circuit, bv4.correct_states
+        ) == pytest.approx(0.0)
+
+    def test_fault_free_qvf_positive_with_noise(self, noisy_backend, bv4):
+        """Sec. V-B: fault-free spot is not solid green due to noise."""
+        qufi = QuFI(noisy_backend)
+        value = qufi.fault_free_qvf(bv4.circuit, bv4.correct_states)
+        assert value > 0.0
+        assert value < 0.45  # still clearly masked
+
+    def test_theta_pi_on_output_qubit_flips_answer(self, exact_backend, bv4):
+        """A full theta flip after the last gate on a secret-bit qubit makes
+        the wrong state win: QVF -> 1."""
+        qufi = QuFI(exact_backend)
+        last_h_position = max(
+            i for i, inst in enumerate(bv4.circuit) if inst.name == "h"
+        )
+        target_qubit = bv4.circuit[last_h_position].qubits[0]
+        record = qufi.run_injection(
+            bv4.circuit,
+            bv4.correct_states,
+            InjectionPoint(last_h_position, target_qubit, "h"),
+            PhaseShiftFault(math.pi, 0.0),
+        )
+        assert record.qvf == pytest.approx(1.0, abs=1e-9)
+
+    def test_phase_only_fault_before_measure_is_masked(self, exact_backend, bv4):
+        """A pure phi shift right before measurement cannot change the
+        measured distribution."""
+        qufi = QuFI(exact_backend)
+        last_h_position = max(
+            i for i, inst in enumerate(bv4.circuit) if inst.name == "h"
+        )
+        qubit = bv4.circuit[last_h_position].qubits[0]
+        record = qufi.run_injection(
+            bv4.circuit,
+            bv4.correct_states,
+            InjectionPoint(last_h_position, qubit, "h"),
+            PhaseShiftFault(0.0, math.pi),
+        )
+        assert record.qvf == pytest.approx(0.0, abs=1e-9)
+
+    def test_shots_mode_adds_sampling_noise(self, exact_backend, bv4):
+        sampled = QuFI(exact_backend, shots=128, seed=3)
+        exact = QuFI(exact_backend)
+        point = InjectionPoint(0, 0, "h")
+        fault = PhaseShiftFault(math.pi / 3, math.pi / 4)
+        qvf_exact = exact.run_injection(
+            bv4.circuit, bv4.correct_states, point, fault
+        ).qvf
+        values = {
+            sampled.run_injection(
+                bv4.circuit, bv4.correct_states, point, fault
+            ).qvf
+            for _ in range(5)
+        }
+        assert len(values) > 1  # shot noise varies
+        assert all(abs(v - qvf_exact) < 0.25 for v in values)
+
+
+class TestCampaign:
+    def test_campaign_covers_grid_times_points(self, exact_backend, bv4):
+        qufi = QuFI(exact_backend)
+        faults = fault_grid(step_deg=90)
+        result = qufi.run_campaign(bv4, faults=faults)
+        expected_points = len(enumerate_injection_points(bv4.circuit))
+        assert result.num_injections == len(faults) * expected_points
+
+    def test_campaign_metadata(self, exact_backend, bv4):
+        qufi = QuFI(exact_backend)
+        result = qufi.run_campaign(bv4, faults=fault_grid(step_deg=90))
+        assert result.metadata["mode"] == "single"
+        assert result.circuit_name == bv4.name
+        assert result.correct_states == bv4.correct_states
+
+    def test_campaign_progress_callback(self, exact_backend, bv4):
+        qufi = QuFI(exact_backend)
+        seen = []
+        qufi.run_campaign(
+            bv4,
+            faults=[PhaseShiftFault(0.0, 0.0), PhaseShiftFault(math.pi, 0.0)],
+            points=[InjectionPoint(0, 0, "h")],
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_bare_circuit_requires_correct_states(self, exact_backend):
+        qufi = QuFI(exact_backend)
+        qc = QuantumCircuit(1, 1).h(0).measure(0, 0)
+        with pytest.raises(ValueError, match="correct_states"):
+            qufi.run_campaign(qc)
+
+    def test_bare_circuit_with_states(self, exact_backend):
+        qufi = QuFI(exact_backend)
+        qc = QuantumCircuit(1, 1).x(0).measure(0, 0)
+        result = qufi.run_campaign(
+            qc,
+            correct_states=["1"],
+            faults=[PhaseShiftFault(math.pi, 0.0)],
+        )
+        assert result.num_injections == 1
+        assert result.records[0].qvf == pytest.approx(1.0, abs=1e-9)
+
+    def test_estimate_campaign_size(self, exact_backend, bv4):
+        qufi = QuFI(exact_backend)
+        estimate = qufi.estimate_campaign_size(bv4)
+        assert estimate["fault_configurations"] == 312
+        assert (
+            estimate["paper_equivalent_injections"]
+            == estimate["circuit_executions"] * 1024
+        )

@@ -1,0 +1,110 @@
+"""Charge-deposition physics (the Fig. 3 model)."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    PhaseShiftFault,
+    StrikeModel,
+    attenuation,
+    charge_density,
+    charge_density_log10,
+    phase_shift_magnitude,
+)
+
+
+class TestChargeDensity:
+    def test_peak_at_strike_point(self):
+        assert charge_density_log10(0.0) == pytest.approx(22.0)
+
+    def test_floor_at_one_micron(self):
+        """Fig. 3: density falls to ~1e14 by ~1 micrometre."""
+        assert charge_density_log10(1.0) == pytest.approx(14.0)
+
+    def test_monotone_decay(self):
+        distances = [0.0, 0.1, 0.3, 0.5, 1.0, 2.0]
+        values = [charge_density_log10(d) for d in distances]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_density_matches_log(self):
+        assert charge_density(0.5) == pytest.approx(10 ** charge_density_log10(0.5))
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            charge_density_log10(-0.1)
+
+
+class TestAttenuation:
+    def test_no_attenuation_at_zero(self):
+        assert attenuation(0.0) == pytest.approx(1.0)
+
+    def test_negligible_beyond_micron(self):
+        """Paper: 'qubits further than ~1 um will be barely affected'."""
+        assert attenuation(1.0) < 1e-7
+
+    def test_monotone(self):
+        assert attenuation(0.1) > attenuation(0.2) > attenuation(0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            attenuation(-1.0)
+
+
+class TestPhaseShiftMagnitude:
+    def test_full_charge_saturates_at_pi(self):
+        assert phase_shift_magnitude(1.0) == pytest.approx(math.pi)
+
+    def test_zero_charge_no_shift(self):
+        assert phase_shift_magnitude(0.0) == 0.0
+
+    def test_linear_below_saturation(self):
+        low = phase_shift_magnitude(0.05, saturation_fraction=0.25)
+        assert low == pytest.approx(math.pi * 0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phase_shift_magnitude(1.5)
+        with pytest.raises(ValueError):
+            phase_shift_magnitude(0.5, saturation_fraction=0.0)
+
+
+class TestStrikeModel:
+    def test_closer_qubit_gets_bigger_shift(self):
+        """Sec. III-C: 'the qubit closer to the particle impact suffering
+        from a bigger phase shift'."""
+        strike = StrikeModel(strike_um=(0.0, 0.0))
+        positions = [(0.01, 0.0), (0.05, 0.0), (0.2, 0.0)]
+        faults = strike.faults_for_qubits(positions)
+        assert faults[0].theta >= faults[1].theta >= faults[2].theta
+        assert faults[0].theta > faults[2].theta
+
+    def test_strike_on_qubit_maximal(self):
+        strike = StrikeModel(strike_um=(1.0, 1.0))
+        fault = strike.fault_for((1.0, 1.0))
+        assert fault.theta == pytest.approx(math.pi)
+
+    def test_phi_scales_with_charge(self):
+        strike = StrikeModel(strike_um=(0.0, 0.0), phi_direction=math.pi)
+        near = strike.fault_for((0.0, 0.0))
+        far = strike.fault_for((0.3, 0.0))
+        assert near.phi > far.phi
+
+    def test_affected_qubits_thresholding(self):
+        strike = StrikeModel(strike_um=(0.0, 0.0))
+        positions = [(0.0, 0.0), (0.05, 0.0), (5.0, 0.0)]
+        affected = strike.affected_qubits(positions)
+        assert 0 in affected
+        assert 2 not in affected
+
+    def test_distance(self):
+        strike = StrikeModel(strike_um=(0.0, 0.0))
+        assert strike.distance_to((3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_multi_qubit_fault_ordering_feeds_double_injection(self):
+        """The physics model justifies theta1 <= theta0 in the campaign."""
+        strike = StrikeModel(strike_um=(0.0, 0.0), phi_direction=math.pi / 2)
+        primary = strike.fault_for((0.0, 0.0))
+        neighbour = strike.fault_for((0.08, 0.0))
+        assert neighbour.theta <= primary.theta
+        assert neighbour.phi <= primary.phi

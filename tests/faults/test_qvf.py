@@ -1,0 +1,107 @@
+"""QVF metric: Eqs. 1-2 and the classification thresholds."""
+
+import pytest
+
+from repro.faults import (
+    MASKED_THRESHOLD,
+    SILENT_THRESHOLD,
+    FaultClass,
+    classify_qvf,
+    michelson_contrast,
+    qvf_from_contrast,
+    qvf_from_probabilities,
+)
+
+
+class TestContrast:
+    def test_perfect_output(self):
+        assert michelson_contrast({"101": 1.0}, ["101"]) == pytest.approx(1.0)
+
+    def test_completely_wrong_output(self):
+        assert michelson_contrast({"000": 1.0}, ["101"]) == pytest.approx(-1.0)
+
+    def test_tie_gives_zero(self):
+        probs = {"101": 0.5, "000": 0.5}
+        assert michelson_contrast(probs, ["101"]) == pytest.approx(0.0)
+
+    def test_figure_4_example(self):
+        """Right side of Fig. 4: P(A)=P(101), P(B)=max wrong (100)."""
+        probs = {
+            "000": 0.043,
+            "001": 0.0,
+            "100": 0.169,
+            "101": 0.763,
+            "110": 0.002,
+            "111": 0.009,
+        }
+        contrast = michelson_contrast(probs, ["101"])
+        assert contrast == pytest.approx((0.763 - 0.169) / (0.763 + 0.169))
+
+    def test_uses_strongest_incorrect_state(self):
+        probs = {"11": 0.5, "00": 0.3, "01": 0.2}
+        # P(B) must be 0.3 (the max), not 0.2.
+        assert michelson_contrast(probs, ["11"]) == pytest.approx(
+            (0.5 - 0.3) / (0.5 + 0.3)
+        )
+
+    def test_multiple_correct_states_aggregate(self):
+        probs = {"00": 0.4, "11": 0.4, "01": 0.2}
+        contrast = michelson_contrast(probs, ["00", "11"])
+        assert contrast == pytest.approx((0.8 - 0.2) / (0.8 + 0.2))
+
+    def test_missing_correct_state(self):
+        assert michelson_contrast({"1": 1.0}, ["0"]) == pytest.approx(-1.0)
+
+    def test_empty_distribution(self):
+        assert michelson_contrast({}, ["0"]) == 0.0
+
+    def test_requires_correct_states(self):
+        with pytest.raises(ValueError):
+            michelson_contrast({"0": 1.0}, [])
+
+
+class TestQVF:
+    def test_range_mapping(self):
+        """Contrast 1 -> QVF 0, contrast -1 -> QVF 1, contrast 0 -> 0.5."""
+        assert qvf_from_contrast(1.0) == pytest.approx(0.0)
+        assert qvf_from_contrast(-1.0) == pytest.approx(1.0)
+        assert qvf_from_contrast(0.0) == pytest.approx(0.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            qvf_from_contrast(1.5)
+
+    def test_from_probabilities(self):
+        assert qvf_from_probabilities({"0": 1.0}, ["0"]) == pytest.approx(0.0)
+        assert qvf_from_probabilities({"1": 1.0}, ["0"]) == pytest.approx(1.0)
+
+    def test_monotone_in_corruption(self):
+        """More probability mass on the wrong state -> higher QVF."""
+        previous = -1.0
+        for wrong_mass in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+            probs = {"0": 1 - wrong_mass, "1": wrong_mass}
+            value = qvf_from_probabilities(probs, ["0"])
+            assert value > previous
+            previous = value
+
+
+class TestClassification:
+    def test_thresholds_match_paper(self):
+        assert MASKED_THRESHOLD == 0.45
+        assert SILENT_THRESHOLD == 0.55
+
+    def test_masked(self):
+        assert classify_qvf(0.1) is FaultClass.MASKED
+        assert classify_qvf(0.449) is FaultClass.MASKED
+
+    def test_dubious(self):
+        assert classify_qvf(0.45) is FaultClass.DUBIOUS
+        assert classify_qvf(0.5) is FaultClass.DUBIOUS
+        assert classify_qvf(0.55) is FaultClass.DUBIOUS
+
+    def test_silent(self):
+        assert classify_qvf(0.551) is FaultClass.SILENT
+        assert classify_qvf(1.0) is FaultClass.SILENT
+
+    def test_custom_thresholds(self):
+        assert classify_qvf(0.3, masked_threshold=0.2) is FaultClass.DUBIOUS

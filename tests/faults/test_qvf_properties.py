@@ -1,0 +1,131 @@
+"""Property-based tests on the QVF metric itself."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import (
+    classify_qvf,
+    michelson_contrast,
+    qvf_from_contrast,
+    qvf_from_probabilities,
+)
+from repro.faults.qvf import FaultClass
+
+probs = st.floats(min_value=0.0, max_value=1.0)
+
+
+def _distribution(p_correct, p_wrong_1, p_wrong_2):
+    total = p_correct + p_wrong_1 + p_wrong_2
+    if total <= 0:
+        return {"00": 1.0}, False
+    return (
+        {
+            "00": p_correct / total,
+            "01": p_wrong_1 / total,
+            "10": p_wrong_2 / total,
+        },
+        True,
+    )
+
+
+@given(a=probs, b=probs, c=probs)
+def test_qvf_always_in_unit_interval(a, b, c):
+    distribution, _ = _distribution(a, b, c)
+    value = qvf_from_probabilities(distribution, ["00"])
+    assert 0.0 <= value <= 1.0
+
+
+@given(a=probs, b=probs, c=probs)
+def test_contrast_antisymmetric_under_swap(a, b, c):
+    """Swapping the roles of correct and strongest-wrong flips the sign."""
+    distribution, valid = _distribution(a, b, c)
+    if not valid:
+        return
+    forward = michelson_contrast(distribution, ["00"])
+    wrong_states = {k: v for k, v in distribution.items() if k != "00"}
+    if not wrong_states:
+        return
+    strongest = max(wrong_states, key=wrong_states.get)
+    # Only exact when the original correct state is the strongest of the
+    # reversed comparison's incorrect states.
+    others = [v for k, v in distribution.items() if k not in ("00", strongest)]
+    if others and max(others) > distribution["00"]:
+        return
+    backward = michelson_contrast(distribution, [strongest])
+    assert backward == pytest.approx(-forward, abs=1e-12)
+
+
+@given(mass=st.floats(min_value=0.0, max_value=1.0))
+def test_qvf_monotone_in_wrong_mass(mass):
+    """Two-state case: shifting probability to the wrong state can only
+    raise QVF."""
+    lower = qvf_from_probabilities({"0": 1 - mass, "1": mass}, ["0"])
+    higher_mass = min(1.0, mass + 0.1)
+    higher = qvf_from_probabilities(
+        {"0": 1 - higher_mass, "1": higher_mass}, ["0"]
+    )
+    assert higher >= lower - 1e-12
+
+
+@given(a=probs, b=probs, c=probs)
+def test_spreading_wrong_mass_never_hurts(a, b, c):
+    """QVF only sees the strongest wrong state, so splitting the wrong
+    probability over more states can only lower (improve) QVF."""
+    distribution, valid = _distribution(a, b, c)
+    if not valid:
+        return
+    concentrated = {
+        "00": distribution["00"],
+        "01": distribution["01"] + distribution["10"],
+    }
+    spread_value = qvf_from_probabilities(distribution, ["00"])
+    concentrated_value = qvf_from_probabilities(concentrated, ["00"])
+    assert spread_value <= concentrated_value + 1e-12
+
+
+@given(scale=st.floats(min_value=0.1, max_value=100.0), a=probs, b=probs)
+def test_qvf_scale_invariant(scale, a, b):
+    """QVF depends only on relative probabilities (counts vs frequencies)."""
+    if a + b <= 0:
+        return
+    raw = {"0": a, "1": b}
+    scaled = {"0": a * scale, "1": b * scale}
+    assert qvf_from_probabilities(raw, ["0"]) == pytest.approx(
+        qvf_from_probabilities(scaled, ["0"])
+    )
+
+
+@given(value=st.floats(min_value=-1.0, max_value=1.0))
+def test_contrast_to_qvf_is_affine_and_monotone(value):
+    qvf = qvf_from_contrast(value)
+    assert qvf == pytest.approx(1.0 - (value + 1.0) / 2.0)
+    if value < 1.0:
+        assert qvf_from_contrast(min(1.0, value + 0.01)) <= qvf
+
+
+@given(value=st.floats(min_value=0.0, max_value=1.0))
+def test_classification_total(value):
+    assert classify_qvf(value) in FaultClass
+
+
+@given(
+    correct=st.sets(
+        st.sampled_from(["00", "01", "10", "11"]), min_size=1, max_size=3
+    ),
+    weights=st.lists(probs, min_size=4, max_size=4),
+)
+def test_multi_correct_aggregation_bounds(correct, weights):
+    """P(A)-aggregation: QVF with more correct states never exceeds QVF
+    with a subset of them (adding correct states can only help)."""
+    states = ["00", "01", "10", "11"]
+    total = sum(weights)
+    if total <= 0:
+        return
+    distribution = {s: w / total for s, w in zip(states, weights)}
+    full = qvf_from_probabilities(distribution, sorted(correct))
+    if len(correct) > 1:
+        subset = sorted(correct)[:-1]
+        partial = qvf_from_probabilities(distribution, subset)
+        assert full <= partial + 1e-12

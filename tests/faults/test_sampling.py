@@ -1,0 +1,94 @@
+"""Physics-weighted fault sampling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bernstein_vazirani
+from repro.faults import (
+    QuFI,
+    expected_qvf,
+    fault_grid,
+    sample_strike_faults,
+    theta_distribution,
+)
+from repro.simulators import DensityMatrixSimulator
+
+
+class TestSampleStrikeFaults:
+    def test_count_and_ranges(self, rng):
+        faults = sample_strike_faults(500, rng)
+        assert len(faults) == 500
+        for fault in faults:
+            assert 0.0 <= fault.theta <= math.pi
+            assert 0.0 <= fault.phi < 2 * math.pi + 1e-9
+
+    def test_small_shifts_dominate(self, rng):
+        """Exponential charge decay: most strikes produce small thetas."""
+        faults = sample_strike_faults(5000, rng)
+        thetas = np.array([f.theta for f in faults])
+        small = float(np.mean(thetas < math.pi / 4))
+        large = float(np.mean(thetas > 3 * math.pi / 4))
+        assert small > large
+        assert small > 0.5
+
+    def test_closer_strikes_larger_radius_smaller_theta(self, rng):
+        near = sample_strike_faults(2000, rng, max_distance_um=0.05)
+        far = sample_strike_faults(2000, rng, max_distance_um=1.0)
+        assert np.mean([f.theta for f in near]) > np.mean(
+            [f.theta for f in far]
+        )
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_strike_faults(0, rng)
+        with pytest.raises(ValueError):
+            sample_strike_faults(10, rng, max_distance_um=-1)
+
+    def test_reproducible(self):
+        a = sample_strike_faults(50, np.random.default_rng(3))
+        b = sample_strike_faults(50, np.random.default_rng(3))
+        assert a == b
+
+
+class TestThetaDistribution:
+    def test_density_normalized(self, rng):
+        result = theta_distribution(samples=5000, rng=rng)
+        widths = np.diff(result["edges"])
+        assert (result["density"] * widths).sum() == pytest.approx(1.0)
+
+    def test_skewed_toward_zero(self, rng):
+        result = theta_distribution(samples=5000, rng=rng)
+        density = result["density"]
+        assert density[0] > density[len(density) // 2]
+
+
+class TestExpectedQVF:
+    @pytest.fixture
+    def campaign(self):
+        spec = bernstein_vazirani(4)
+        qufi = QuFI(DensityMatrixSimulator())
+        return qufi.run_campaign(spec, faults=fault_grid(step_deg=45))
+
+    def test_within_qvf_range(self, campaign, rng):
+        value = expected_qvf(campaign, rng, samples=5000)
+        assert 0.0 <= value <= 1.0
+
+    def test_below_uniform_mean(self, campaign, rng):
+        """Small shifts dominate physically, so the strike-weighted QVF is
+        lower than the uniform-grid mean — the grid overstates risk."""
+        value = expected_qvf(campaign, rng, samples=5000)
+        assert value < campaign.mean_qvf()
+
+    def test_grows_with_strike_proximity(self, campaign, rng):
+        near = expected_qvf(campaign, rng, samples=5000, max_distance_um=0.05)
+        far = expected_qvf(campaign, rng, samples=5000, max_distance_um=1.0)
+        assert near > far
+
+    def test_empty_campaign_rejected(self, rng):
+        from repro.faults import CampaignResult
+
+        empty = CampaignResult("e", ("0",), [], 0.0)
+        with pytest.raises(ValueError):
+            expected_qvf(empty, rng)

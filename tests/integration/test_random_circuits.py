@@ -1,0 +1,78 @@
+"""QuFI on random circuits.
+
+Sec. V-B: 'Such image analysis methods could be applied to a large number
+of random circuits and/or specific faults.' These tests exercise the
+campaign machinery on arbitrary circuits — no algorithm-specific structure
+— and check the invariants that must hold for any workload.
+"""
+
+import math
+
+import pytest
+
+from repro.faults import QuFI, fault_grid, PhaseShiftFault, InjectionPoint
+from repro.quantum import random_circuit
+from repro.simulators import DensityMatrixSimulator, StatevectorSimulator
+
+
+def _spec_from_random(num_qubits, depth, seed):
+    """Build a (circuit, correct_states) pair from a random circuit.
+
+    The fault-free most-probable state(s) define correctness, exactly how a
+    user would apply QVF to an arbitrary workload.
+    """
+    circuit = random_circuit(num_qubits, depth, seed=seed, measure=True)
+    ideal = StatevectorSimulator().run(circuit)
+    probs = ideal.get_probabilities()
+    best = max(probs.values())
+    correct = tuple(
+        state for state, p in probs.items() if p > best - 1e-9
+    )
+    return circuit, correct
+
+
+@pytest.mark.parametrize("seed", [3, 17, 42])
+def test_random_circuit_campaign_invariants(seed):
+    circuit, correct = _spec_from_random(3, 4, seed)
+    qufi = QuFI(DensityMatrixSimulator())
+    campaign = qufi.run_campaign(
+        circuit, correct_states=correct, faults=fault_grid(step_deg=90)
+    )
+    values = campaign.qvf_values()
+    assert ((0.0 <= values) & (values <= 1.0)).all()
+    assert campaign.num_injections > 0
+    # The null fault must match the fault-free QVF on any circuit.
+    null_records = [r for r in campaign.records if r.fault.is_null()]
+    for record in null_records:
+        assert record.qvf == pytest.approx(campaign.fault_free_qvf, abs=1e-9)
+
+
+def test_random_circuit_worst_fault_is_flip_like(rng):
+    """On average over random circuits, theta = pi faults hurt at least as
+    much as theta = pi/4 faults (magnitude ordering is workload-free)."""
+    qufi = QuFI(DensityMatrixSimulator())
+    big_total, small_total = 0.0, 0.0
+    for seed in range(6):
+        circuit, correct = _spec_from_random(3, 3, seed)
+        point = InjectionPoint(0, circuit[0].qubits[0], circuit[0].name)
+        big_total += qufi.run_injection(
+            circuit, correct, point, PhaseShiftFault(math.pi, 0.0)
+        ).qvf
+        small_total += qufi.run_injection(
+            circuit, correct, point, PhaseShiftFault(math.pi / 4, 0.0)
+        ).qvf
+    assert big_total >= small_total
+
+
+def test_random_circuit_histogram_analysis():
+    """The histogram machinery works on random-circuit campaigns."""
+    from repro.analysis import summarize
+
+    circuit, correct = _spec_from_random(4, 4, seed=7)
+    qufi = QuFI(DensityMatrixSimulator())
+    campaign = qufi.run_campaign(
+        circuit, correct_states=correct, faults=fault_grid(step_deg=90)
+    )
+    summary = summarize(campaign, label="random")
+    assert 0.0 <= summary.mean <= 1.0
+    assert summary.count == campaign.num_injections

@@ -1,0 +1,65 @@
+"""Calibration serialization round-trips."""
+
+import pytest
+
+from repro.machines import (
+    DeviceCalibration,
+    GateCalibration,
+    QubitCalibration,
+    fake_jakarta,
+    noise_model_from_calibration,
+)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        original = fake_jakarta().calibration
+        restored = DeviceCalibration.from_dict(original.to_dict())
+        assert restored.name == original.name
+        assert restored.num_qubits == original.num_qubits
+        for a, b in zip(restored.qubits, original.qubits):
+            assert a == b
+        assert restored.gate_defaults == original.gate_defaults
+        assert restored.gate_overrides == original.gate_overrides
+
+    def test_json_roundtrip(self, tmp_path):
+        original = fake_jakarta().calibration
+        path = str(tmp_path / "jakarta.json")
+        original.to_json(path)
+        restored = DeviceCalibration.from_json(path)
+        assert restored.qubits[0].t1 == original.qubits[0].t1
+        assert restored.gate_calibration("cx", (0, 1)) == (
+            original.gate_calibration("cx", (0, 1))
+        )
+
+    def test_restored_calibration_builds_same_noise_model(self, tmp_path):
+        original = fake_jakarta().calibration
+        path = str(tmp_path / "cal.json")
+        original.to_json(path)
+        restored = DeviceCalibration.from_json(path)
+        model_a = noise_model_from_calibration(original)
+        model_b = noise_model_from_calibration(restored)
+        assert model_a.noisy_gate_names() == model_b.noisy_gate_names()
+
+    def test_from_dict_defaults_frequency(self):
+        data = {
+            "name": "tiny",
+            "qubits": [
+                {
+                    "t1": 1e-4,
+                    "t2": 1e-4,
+                    "readout_p01": 0.01,
+                    "readout_p10": 0.02,
+                }
+            ],
+        }
+        calibration = DeviceCalibration.from_dict(data)
+        assert calibration.qubits[0].frequency == 5.0e9
+        assert calibration.gate_defaults == {}
+
+    def test_validation_survives_roundtrip(self, tmp_path):
+        """Deserialization re-runs the physicality checks."""
+        bad = fake_jakarta().calibration.to_dict()
+        bad["qubits"][0]["t2"] = bad["qubits"][0]["t1"] * 3
+        with pytest.raises(ValueError, match="T2 > 2"):
+            DeviceCalibration.from_dict(bad)

@@ -1,0 +1,74 @@
+"""Idle-window decoherence instrumentation."""
+
+import pytest
+
+from repro.algorithms import bernstein_vazirani
+from repro.machines import apply_idle_noise, fake_jakarta, idle_noise_summary
+from repro.quantum import QuantumCircuit
+from repro.simulators import DensityMatrixSimulator, NoiseModel
+
+
+@pytest.fixture
+def calibration():
+    return fake_jakarta().calibration
+
+
+class TestInstrumentation:
+    def test_inserts_id_markers(self, calibration):
+        qc = QuantumCircuit(2, 2).h(0).x(0).z(0).h(1).cx(0, 1).measure_all()
+        model = NoiseModel("idle-test")
+        instrumented, schedule = apply_idle_noise(qc, calibration, model)
+        assert instrumented.count_ops().get("id", 0) >= 1
+        assert len(schedule.idle_windows) >= 1
+        # The idle channel is registered locally for the idling qubit.
+        assert model.channel_for("id", (1,)) is not None
+
+    def test_no_idle_no_markers(self, calibration):
+        qc = QuantumCircuit(1, 1).h(0).x(0).measure(0, 0)
+        model = NoiseModel("idle-test")
+        instrumented, schedule = apply_idle_noise(qc, calibration, model)
+        assert "id" not in instrumented.count_ops()
+        assert model.is_trivial()
+
+    def test_width_validation(self, calibration):
+        qc = QuantumCircuit(9)
+        with pytest.raises(ValueError, match="calibration has"):
+            apply_idle_noise(qc, calibration, NoiseModel())
+
+    def test_semantics_unchanged_without_noise(self, calibration):
+        """The id markers are identity gates: noiseless results identical."""
+        qc = QuantumCircuit(2, 2).h(0).x(0).z(0).cx(0, 1).measure_all()
+        model = NoiseModel("unused")
+        instrumented, _ = apply_idle_noise(qc, calibration, model)
+        plain = DensityMatrixSimulator().run(qc).get_probabilities()
+        marked = DensityMatrixSimulator().run(instrumented).get_probabilities()
+        for key in set(plain) | set(marked):
+            assert plain.get(key, 0) == pytest.approx(marked.get(key, 0))
+
+    def test_idle_noise_degrades_output(self, calibration):
+        """With the channels active, idling costs fidelity."""
+        spec = bernstein_vazirani(4)
+        model = NoiseModel("idle-only")
+        instrumented, schedule = apply_idle_noise(
+            spec.circuit, calibration, model
+        )
+        clean = (
+            DensityMatrixSimulator()
+            .run(spec.circuit)
+            .probability_of(spec.correct_states[0])
+        )
+        idle_noisy = (
+            DensityMatrixSimulator(model)
+            .run(instrumented)
+            .probability_of(spec.correct_states[0])
+        )
+        if schedule.idle_windows:
+            assert idle_noisy < clean
+        else:
+            assert idle_noisy == pytest.approx(clean)
+
+    def test_summary(self, calibration):
+        qc = QuantumCircuit(2).h(0).x(0).cx(0, 1)
+        _, schedule = apply_idle_noise(qc, calibration, NoiseModel())
+        text = idle_noise_summary(schedule)
+        assert "idle windows" in text

@@ -1,0 +1,241 @@
+"""Repetition codes: encoding, coherent decoding, correction coverage."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import PhaseShiftFault
+from repro.qec import (
+    CODES,
+    bit_flip_decoder,
+    bit_flip_encoder,
+    logical_error_probability,
+    phase_flip_decoder,
+    phase_flip_encoder,
+    protected_circuit,
+)
+from repro.quantum import Operator, QuantumCircuit, Statevector
+from repro.simulators import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    StatevectorSimulator,
+    bit_flip_channel,
+    phase_flip_channel,
+)
+
+X_FAULT = PhaseShiftFault(math.pi, math.pi)  # U(pi, pi, 0) ~ X
+Z_FAULT = PhaseShiftFault(0.0, math.pi)  # U(0, pi, 0) = Z
+RADIATION_FAULT = PhaseShiftFault(math.pi / 2, math.pi / 2)
+
+
+@pytest.fixture
+def backend():
+    return DensityMatrixSimulator()
+
+
+class TestEncoding:
+    def test_bit_flip_encodes_basis_states(self):
+        for bit, expected in ((0, "000"), (1, "111")):
+            circuit = QuantumCircuit(3)
+            if bit:
+                circuit.x(0)
+            circuit = circuit.compose(bit_flip_encoder())
+            state = Statevector.from_circuit(circuit)
+            assert state.probabilities_dict() == pytest.approx(
+                {expected: 1.0}
+            )
+
+    def test_encode_decode_is_identity(self):
+        for encoder, decoder in CODES.values():
+            roundtrip = encoder().compose(decoder())
+            op = Operator.from_circuit(roundtrip)
+            # On the code space entered from |psi>|00>, wire 0 returns to
+            # |psi>; check the full unitary fixes |b00> for b in {0, 1}.
+            for label in ("000", "001"):  # qubit0 = 0 and 1 (little-endian)
+                state = Statevector.from_label(label)
+                out = Statevector(op.data @ state.data)
+                assert out.equiv(state)
+
+    def test_phase_flip_is_h_conjugated(self):
+        encoder = phase_flip_encoder()
+        names = [inst.name for inst in encoder]
+        assert names.count("h") == 3
+        assert names.count("cx") == 2
+
+
+class TestSingleErrorCorrection:
+    @pytest.mark.parametrize("qubit", [0, 1, 2])
+    def test_bit_flip_code_corrects_x_anywhere(self, backend, qubit):
+        error = logical_error_probability(
+            backend, X_FAULT, "bit_flip", fault_qubit=qubit
+        )
+        assert error == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("qubit", [0, 1, 2])
+    def test_phase_flip_code_corrects_z_anywhere(self, backend, qubit):
+        error = logical_error_probability(
+            backend, Z_FAULT, "phase_flip", fault_qubit=qubit
+        )
+        assert error == pytest.approx(0.0, abs=1e-9)
+
+    def test_unprotected_qubit_fails_on_x(self, backend):
+        error = logical_error_probability(backend, X_FAULT, code=None)
+        assert error > 0.3
+
+    def test_partial_theta_at_phi_zero_gains_nothing(self, backend):
+        """A theta shift at phi = 0 is Y-like (X and Z in equal measure):
+        the bit-flip code corrects the X part but the surviving Z part
+        leaves the logical error essentially unchanged — per-error-type QEC
+        buys nothing against this fault family (Sec. II-C)."""
+        partial = PhaseShiftFault(math.pi / 3, 0.0)
+        protected = logical_error_probability(
+            backend, partial, "bit_flip", fault_qubit=1
+        )
+        unprotected = logical_error_probability(backend, partial, code=None)
+        assert protected == pytest.approx(unprotected, abs=0.02)
+        assert protected > 0.1  # far from corrected
+
+    def test_partial_theta_at_phi_pi_reduced(self, backend):
+        """At phi = pi the fault is X-dominant and the code helps a lot."""
+        partial = PhaseShiftFault(2 * math.pi / 3, math.pi)
+        protected = logical_error_probability(
+            backend, partial, "bit_flip", fault_qubit=1
+        )
+        unprotected = logical_error_probability(backend, partial, code=None)
+        assert protected < unprotected / 2
+
+    def test_pure_rx_rotation_fully_corrected(self, backend):
+        """A genuine coherent X rotation (RX, i.e. lambda = pi/2, which the
+        injector's lambda = 0 grid cannot express) *is* fully corrected:
+        the coherent majority vote handles I/X superpositions exactly."""
+        from repro.quantum.gates import RXGate, UGate
+
+        theta_state, phi_state = math.pi / 3, math.pi / 5
+        for fault_qubit in range(3):
+            circuit = QuantumCircuit(3, 1)
+            circuit.u(theta_state, phi_state, 0.0, 0)
+            circuit = circuit.compose(bit_flip_encoder())
+            circuit.append(RXGate(2 * math.pi / 5), [fault_qubit])
+            circuit = circuit.compose(bit_flip_decoder())
+            circuit.append(UGate(theta_state, phi_state, 0.0).inverse(), [0])
+            circuit.measure(0, 0)
+            assert backend.run(circuit).probability_of("1") == pytest.approx(
+                0.0, abs=1e-9
+            )
+
+    def test_bit_flip_code_corrects_channel_errors(self):
+        """The code also handles stochastic X noise inside the block."""
+        model = NoiseModel().add_all_qubit_error(bit_flip_channel(1.0), ["id"])
+        backend = DensityMatrixSimulator(model)
+        circuit = QuantumCircuit(3, 1, name="channel_test")
+        theta, phi = math.pi / 3, math.pi / 5
+        circuit.u(theta, phi, 0.0, 0)
+        circuit = circuit.compose(bit_flip_encoder())
+        circuit.id(1)  # deterministic X via the noise model
+        circuit = circuit.compose(bit_flip_decoder())
+        from repro.quantum.gates import UGate
+
+        circuit.append(UGate(theta, phi, 0.0).inverse(), [0])
+        circuit.measure(0, 0)
+        assert backend.run(circuit).probability_of("1") == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+
+class TestCoverageGaps:
+    """The paper's Sec. II-C: QEC misses the orthogonal error type."""
+
+    def test_bit_flip_code_blind_to_z(self, backend):
+        protected = logical_error_probability(backend, Z_FAULT, "bit_flip")
+        unprotected = logical_error_probability(backend, Z_FAULT, code=None)
+        assert protected == pytest.approx(unprotected, abs=1e-9)
+        assert protected > 0.5
+
+    def test_phase_flip_code_blind_to_x(self, backend):
+        protected = logical_error_probability(backend, X_FAULT, "phase_flip")
+        assert protected > 0.5
+
+    @pytest.mark.parametrize("code", ["bit_flip", "phase_flip"])
+    def test_radiation_fault_escapes_both_codes(self, backend, code):
+        """An arbitrary-direction phase shift is only partially corrected."""
+        error = logical_error_probability(backend, RADIATION_FAULT, code)
+        assert error > 0.2  # far from corrected...
+        unprotected = logical_error_probability(
+            backend, RADIATION_FAULT, code=None
+        )
+        assert error < unprotected  # ...though the code still helps some
+
+    def test_two_simultaneous_x_errors_defeat_majority(self, backend):
+        """Multi-qubit faults (Sec. III-C) exceed the code distance."""
+        theta, phi = math.pi / 3, math.pi / 5
+        circuit = QuantumCircuit(3, 1)
+        circuit.u(theta, phi, 0.0, 0)
+        circuit = circuit.compose(bit_flip_encoder())
+        circuit.append(X_FAULT.as_gate(), [0])
+        circuit.append(X_FAULT.as_gate(), [1])
+        circuit = circuit.compose(bit_flip_decoder())
+        from repro.quantum.gates import UGate
+
+        circuit.append(UGate(theta, phi, 0.0).inverse(), [0])
+        circuit.measure(0, 0)
+        assert backend.run(circuit).probability_of("1") > 0.3
+
+
+class TestValidation:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown code"):
+            protected_circuit(0.1, 0.1, code="surface")
+
+    def test_fault_qubit_range(self):
+        with pytest.raises(ValueError, match="data wires"):
+            protected_circuit(0.1, 0.1, fault_qubit=5)
+
+    def test_no_fault_no_error(self, backend):
+        for code in (None, "bit_flip", "phase_flip"):
+            assert logical_error_probability(
+                backend, None, code
+            ) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        angle=st.floats(min_value=0.0, max_value=2 * math.pi),
+        theta=st.floats(min_value=0.0, max_value=math.pi),
+        phi=st.floats(min_value=0.0, max_value=2 * math.pi - 1e-9),
+    )
+    def test_any_rx_rotation_corrected(self, angle, theta, phi):
+        """bit-flip code + any pure X rotation on one wire: always corrected,
+        for any logical state."""
+        from repro.quantum.gates import RXGate, UGate
+
+        backend = StatevectorSimulator()
+        circuit = QuantumCircuit(3, 1)
+        circuit.u(theta, phi, 0.0, 0)
+        circuit = circuit.compose(bit_flip_encoder())
+        circuit.append(RXGate(angle), [2])
+        circuit = circuit.compose(bit_flip_decoder())
+        circuit.append(UGate(theta, phi, 0.0).inverse(), [0])
+        circuit.measure(0, 0)
+        assert backend.run(circuit).probability_of("1") == pytest.approx(
+            0.0, abs=1e-7
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(theta=st.floats(min_value=0.1, max_value=math.pi - 0.1))
+    def test_lambda_zero_faults_never_pure_x(self, theta):
+        """Structural property of the paper's fault model: every injector
+        configuration U(theta, phi, 0) with 0 < theta < pi leaves residual
+        logical error under the bit-flip code — the lambda = 0 grid
+        contains no pure X rotations except at theta = pi."""
+        backend = StatevectorSimulator()
+        residuals = []
+        for phi in (0.0, math.pi / 2, math.pi, 3 * math.pi / 2):
+            fault = PhaseShiftFault(theta, phi)
+            residuals.append(
+                logical_error_probability(
+                    backend, fault, "bit_flip", fault_qubit=1
+                )
+            )
+        assert min(residuals) > 1e-6

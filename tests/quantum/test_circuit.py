@@ -1,0 +1,231 @@
+"""Unit tests for the QuantumCircuit IR."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.quantum.gates as g
+from repro.quantum import Operator, QuantumCircuit, Statevector
+from repro.quantum.circuit import Instruction
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        qc = QuantumCircuit(3)
+        assert qc.num_qubits == 3
+        assert qc.num_clbits == 0
+        assert len(qc) == 0
+        assert qc.depth() == 0
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(-1)
+
+    def test_named_helpers_chain(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).rz(0.3, 1)
+        assert [inst.name for inst in qc] == ["h", "cx", "rz"]
+
+    def test_append_out_of_range_qubit(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(IndexError, match="qubit 5"):
+            qc.x(5)
+
+    def test_append_duplicate_qubits(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(ValueError, match="duplicate"):
+            qc.cx(1, 1)
+
+    def test_append_wrong_arity(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(ValueError, match="acts on 2"):
+            qc.append(g.CXGate(), [0])
+
+    def test_measure_out_of_range_clbit(self):
+        qc = QuantumCircuit(2, 1)
+        with pytest.raises(IndexError, match="clbit"):
+            qc.measure(0, 3)
+
+    def test_measure_all_grows_clbits(self):
+        qc = QuantumCircuit(3)
+        qc.measure_all()
+        assert qc.num_clbits == 3
+        assert sum(1 for i in qc if i.name == "measure") == 3
+
+
+class TestInsert:
+    """insert() is the injector's splice primitive."""
+
+    def test_insert_at_middle(self):
+        qc = QuantumCircuit(1).h(0).x(0)
+        qc.insert(1, g.ZGate(), [0])
+        assert [inst.name for inst in qc] == ["h", "z", "x"]
+
+    def test_insert_at_start(self):
+        qc = QuantumCircuit(1).h(0)
+        qc.insert(0, g.XGate(), [0])
+        assert [inst.name for inst in qc] == ["x", "h"]
+
+    def test_insert_at_end(self):
+        qc = QuantumCircuit(1).h(0)
+        qc.insert(1, g.XGate(), [0])
+        assert [inst.name for inst in qc] == ["h", "x"]
+
+    def test_insert_semantics_matches_append_order(self):
+        direct = QuantumCircuit(1).h(0).t(0).x(0)
+        spliced = QuantumCircuit(1).h(0).x(0)
+        spliced.insert(1, g.TGate(), [0])
+        assert Operator.from_circuit(direct).equiv(
+            Operator.from_circuit(spliced)
+        )
+
+
+class TestStructure:
+    def test_depth_parallel_gates(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        assert qc.depth() == 1
+
+    def test_depth_serial_gates(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).x(1)
+        assert qc.depth() == 3
+
+    def test_depth_ignores_barriers(self):
+        qc = QuantumCircuit(2).h(0).barrier().h(1)
+        assert qc.depth() == 1
+
+    def test_count_ops_sorted(self):
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        assert qc.count_ops() == {"h": 2, "cx": 1}
+
+    def test_size_excludes_barriers(self):
+        qc = QuantumCircuit(2).h(0).barrier().cx(0, 1)
+        assert qc.size() == 2
+
+    def test_num_nonlocal_gates(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).ccx(0, 1, 2)
+        assert qc.num_nonlocal_gates() == 2
+
+    def test_qubits_used(self):
+        qc = QuantumCircuit(5).h(1).cx(3, 1)
+        assert qc.qubits_used() == (1, 3)
+
+    def test_has_measurements(self):
+        qc = QuantumCircuit(1, 1).h(0)
+        assert not qc.has_measurements()
+        qc.measure(0, 0)
+        assert qc.has_measurements()
+
+    def test_width(self):
+        assert QuantumCircuit(3, 2).width == 5
+
+
+class TestTransformations:
+    def test_copy_is_independent(self):
+        original = QuantumCircuit(1).h(0)
+        clone = original.copy()
+        clone.x(0)
+        assert len(original) == 1
+        assert len(clone) == 2
+
+    def test_compose_identity_mapping(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).cx(0, 1)
+        combined = a.compose(b)
+        assert [inst.name for inst in combined] == ["h", "cx"]
+
+    def test_compose_with_qubit_mapping(self):
+        a = QuantumCircuit(3)
+        b = QuantumCircuit(2).cx(0, 1)
+        combined = a.compose(b, qubits=[2, 0])
+        assert combined[0].qubits == (2, 0)
+
+    def test_compose_mapping_length_mismatch(self):
+        a = QuantumCircuit(3)
+        b = QuantumCircuit(2).h(0)
+        with pytest.raises(ValueError, match="mapping length"):
+            a.compose(b, qubits=[0])
+
+    def test_inverse_reverses_and_adjoints(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).t(1)
+        inv = qc.inverse()
+        total = Operator.from_circuit(qc).compose(Operator.from_circuit(inv))
+        assert total.equiv(Operator.identity(2))
+
+    def test_inverse_rejects_measurements(self):
+        qc = QuantumCircuit(1, 1).h(0).measure(0, 0)
+        with pytest.raises(ValueError, match="cannot invert"):
+            qc.inverse()
+
+    def test_remove_final_measurements(self):
+        qc = QuantumCircuit(2, 2).h(0).measure_all()
+        stripped = qc.remove_final_measurements()
+        assert not stripped.has_measurements()
+        assert stripped.count_ops() == {"h": 1}
+
+    def test_power(self):
+        qc = QuantumCircuit(1).t(0)
+        repeated = qc.power(2)
+        assert Operator.from_circuit(repeated).equiv(
+            Operator.from_gate(g.SGate())
+        )
+
+    def test_power_zero_is_identity(self):
+        qc = QuantumCircuit(1).x(0)
+        assert len(qc.power(0)) == 0
+
+    def test_negative_power_inverts(self):
+        qc = QuantumCircuit(1).s(0)
+        inv = qc.power(-1)
+        total = Operator.from_circuit(qc).compose(Operator.from_circuit(inv))
+        assert total.equiv(Operator.identity(1))
+
+
+class TestInstruction:
+    def test_remapped(self):
+        inst = Instruction(g.CXGate(), (0, 1))
+        remapped = inst.remapped({0: 5, 1: 2})
+        assert remapped.qubits == (5, 2)
+
+    def test_is_unitary(self):
+        assert Instruction(g.XGate(), (0,)).is_unitary()
+        assert not Instruction(g.Measure(), (0,), (0,)).is_unitary()
+        assert not Instruction(g.Barrier(2), (0, 1)).is_unitary()
+
+    def test_equality_via_circuit(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).h(0).cx(0, 1)
+        assert a == b
+        b.x(1)
+        assert a != b
+
+
+class TestDraw:
+    def test_draw_mentions_gates(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        text = qc.draw()
+        assert "h" in text
+        assert "cx" in text
+        assert "q0" in text and "q1" in text
+
+    def test_draw_params(self):
+        qc = QuantumCircuit(1).rx(0.5, 0)
+        assert "0.50" in qc.draw()
+
+
+class TestSemantics:
+    def test_bell_state(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        probs = Statevector.from_circuit(qc).probabilities_dict()
+        assert probs == pytest.approx({"00": 0.5, "11": 0.5})
+
+    def test_ghz_state(self):
+        qc = QuantumCircuit(4).h(0)
+        for q in range(3):
+            qc.cx(q, q + 1)
+        probs = Statevector.from_circuit(qc).probabilities_dict()
+        assert probs == pytest.approx({"0000": 0.5, "1111": 0.5})
+
+    def test_x_prepares_one(self):
+        qc = QuantumCircuit(2).x(1)
+        probs = Statevector.from_circuit(qc).probabilities_dict()
+        assert probs == pytest.approx({"10": 1.0})

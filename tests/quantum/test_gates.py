@@ -1,0 +1,230 @@
+"""Unit tests for the gate library."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+import repro.quantum.gates as g
+from repro.quantum.gates import (
+    GATE_CLASSES,
+    Barrier,
+    Gate,
+    Measure,
+    Reset,
+    UGate,
+    controlled_matrix,
+    gate_from_name,
+)
+
+
+def _all_unitary_gates():
+    rng = np.random.default_rng(7)
+    gates = []
+    for name, cls in GATE_CLASSES.items():
+        if name in ("measure", "reset"):
+            continue
+        params = rng.uniform(0.1, 2 * math.pi - 0.1, size=cls.num_params)
+        gates.append(cls(*params))
+    return gates
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize("gate", _all_unitary_gates(), ids=lambda x: x.name)
+    def test_every_gate_is_unitary(self, gate):
+        mat = gate.matrix
+        dim = 2**gate.num_qubits
+        assert mat.shape == (dim, dim)
+        assert np.allclose(mat @ mat.conj().T, np.eye(dim), atol=1e-12)
+
+    @pytest.mark.parametrize("gate", _all_unitary_gates(), ids=lambda x: x.name)
+    def test_inverse_cancels(self, gate):
+        product = gate.inverse().matrix @ gate.matrix
+        dim = 2**gate.num_qubits
+        phase = product[0, 0]
+        assert abs(abs(phase) - 1.0) < 1e-10
+        assert np.allclose(product, phase * np.eye(dim), atol=1e-10)
+
+    def test_matrix_is_cached(self):
+        gate = g.HGate()
+        assert gate.matrix is gate.matrix
+
+    def test_pauli_algebra(self):
+        x, y, z = g.XGate().matrix, g.YGate().matrix, g.ZGate().matrix
+        assert np.allclose(x @ y, 1j * z)
+        assert np.allclose(y @ z, 1j * x)
+        assert np.allclose(z @ x, 1j * y)
+
+    def test_hadamard_is_self_inverse(self):
+        h = g.HGate().matrix
+        assert np.allclose(h @ h, np.eye(2))
+
+    def test_s_squared_is_z(self):
+        s = g.SGate().matrix
+        assert np.allclose(s @ s, g.ZGate().matrix)
+
+    def test_t_squared_is_s(self):
+        t = g.TGate().matrix
+        assert np.allclose(t @ t, g.SGate().matrix)
+
+    def test_sx_squared_is_x(self):
+        sx = g.SXGate().matrix
+        assert np.allclose(sx @ sx, g.XGate().matrix)
+
+
+class TestUGate:
+    """The injector gate must match Eq. 3 of the paper exactly."""
+
+    def test_matches_equation_3(self):
+        theta, phi, lam = 0.7, 1.3, 0.4
+        expected = np.array(
+            [
+                [
+                    math.cos(theta / 2),
+                    -cmath.exp(1j * lam) * math.sin(theta / 2),
+                ],
+                [
+                    cmath.exp(1j * phi) * math.sin(theta / 2),
+                    cmath.exp(1j * (phi + lam)) * math.cos(theta / 2),
+                ],
+            ]
+        )
+        assert np.allclose(UGate(theta, phi, lam).matrix, expected)
+
+    def test_null_parameters_give_identity(self):
+        assert UGate(0, 0, 0).is_identity()
+
+    def test_phi_pi_equals_z(self):
+        """The Fig. 5 reference line: a phi shift of pi acts like Z."""
+        u = UGate(0.0, math.pi, 0.0).matrix
+        z = g.ZGate().matrix
+        assert np.allclose(u, z)
+
+    def test_phi_half_pi_equals_s(self):
+        assert np.allclose(UGate(0.0, math.pi / 2, 0.0).matrix, g.SGate().matrix)
+
+    def test_phi_quarter_pi_equals_t(self):
+        assert np.allclose(UGate(0.0, math.pi / 4, 0.0).matrix, g.TGate().matrix)
+
+    def test_theta_pi_equals_y_up_to_phase(self):
+        u = UGate(math.pi, 0.0, 0.0).matrix
+        y = g.YGate().matrix
+        ratio = u[1, 0] / y[1, 0]
+        assert np.allclose(u, ratio * y)
+
+    def test_theta_pi_phi_pi_equals_x_up_to_phase(self):
+        u = UGate(math.pi, math.pi, 0.0).matrix
+        x = g.XGate().matrix
+        ratio = u[0, 1] / x[0, 1]
+        assert np.allclose(u, ratio * x)
+
+    def test_inverse_formula(self):
+        gate = UGate(0.9, 1.7, 0.3)
+        inverse = gate.inverse()
+        assert np.allclose(
+            inverse.matrix @ gate.matrix, np.eye(2), atol=1e-12
+        )
+
+    def test_u2_is_u_at_half_pi(self):
+        phi, lam = 0.4, 1.1
+        assert np.allclose(
+            g.U2Gate(phi, lam).matrix, UGate(math.pi / 2, phi, lam).matrix
+        )
+
+    def test_u3_alias(self):
+        assert np.allclose(
+            g.U3Gate(0.3, 0.5, 0.7).matrix, UGate(0.3, 0.5, 0.7).matrix
+        )
+
+
+class TestControlledGates:
+    def test_controlled_matrix_block_structure(self):
+        base = g.XGate().matrix
+        cx = controlled_matrix(base)
+        # control qubit 0 (LSB): even indices fixed, odd indices get X.
+        assert cx[0, 0] == 1 and cx[2, 2] == 1
+        assert cx[1, 3] == 1 and cx[3, 1] == 1
+
+    def test_cx_maps_10_to_11(self):
+        """|control=1, target=0> -> |control=1, target=1> (little-endian)."""
+        cx = g.CXGate().matrix
+        state = np.zeros(4)
+        state[0b01] = 1.0  # control (qubit 0) set
+        out = cx @ state
+        assert abs(out[0b11]) == pytest.approx(1.0)
+
+    def test_cz_is_symmetric(self):
+        cz = g.CZGate().matrix
+        swap = g.SwapGate().matrix
+        assert np.allclose(swap @ cz @ swap, cz)
+
+    def test_cp_diagonal(self):
+        lam = 0.8
+        cp = g.CPhaseGate(lam).matrix
+        expected = np.diag([1, 1, 1, cmath.exp(1j * lam)])
+        assert np.allclose(cp, expected)
+
+    def test_ccx_truth_table(self):
+        ccx = g.CCXGate().matrix
+        for controls in range(4):
+            for target in (0, 1):
+                index = controls | (target << 2)
+                out_target = target ^ (controls == 0b11)
+                expected = controls | (out_target << 2)
+                column = ccx[:, index]
+                assert abs(column[expected]) == pytest.approx(1.0)
+
+    def test_cswap_swaps_when_control_set(self):
+        cswap = g.CSwapGate().matrix
+        # |control=1, a=1, b=0> (bits: q0=1, q1=1, q2=0) -> q1/q2 swapped
+        state = np.zeros(8)
+        state[0b011] = 1.0
+        out = cswap @ state
+        assert abs(out[0b101]) == pytest.approx(1.0)
+
+
+class TestGateValidation:
+    def test_wrong_parameter_count(self):
+        with pytest.raises(ValueError, match="expects 3 parameter"):
+            UGate(0.1)
+
+    def test_measure_has_no_matrix(self):
+        with pytest.raises(TypeError):
+            _ = Measure().matrix
+
+    def test_reset_has_no_matrix(self):
+        with pytest.raises(TypeError):
+            _ = Reset().matrix
+
+    def test_barrier_arity(self):
+        barrier = Barrier(3)
+        assert barrier.num_qubits == 3
+        assert np.allclose(barrier.matrix, np.eye(8))
+
+    def test_gate_from_name(self):
+        gate = gate_from_name("rx", 0.5)
+        assert gate.name == "rx"
+        assert gate.params == (0.5,)
+
+    def test_gate_from_unknown_name(self):
+        with pytest.raises(KeyError, match="nonexistent"):
+            gate_from_name("nonexistent")
+
+    def test_gate_equality(self):
+        assert g.RXGate(0.5) == g.RXGate(0.5)
+        assert g.RXGate(0.5) != g.RXGate(0.6)
+        assert g.XGate() != g.YGate()
+
+    def test_gate_hash(self):
+        assert hash(g.RXGate(0.5)) == hash(g.RXGate(0.5))
+
+    def test_is_identity_detects_global_phase(self):
+        assert g.RZGate(0.0).is_identity()
+        # RZ(4 pi) = identity (RZ(2 pi) = -I, still identity up to phase)
+        assert g.RZGate(2 * math.pi).is_identity()
+        assert not g.RZGate(0.3).is_identity()
+
+    def test_repr_contains_params(self):
+        assert "0.5" in repr(g.RXGate(0.5))
+        assert repr(g.XGate()) == "x"

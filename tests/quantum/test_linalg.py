@@ -1,0 +1,97 @@
+"""The streaming tensor kernels must match the dense reference exactly."""
+
+import numpy as np
+import pytest
+
+import repro.quantum.gates as g
+from repro.quantum.linalg import (
+    apply_kraus_to_density,
+    apply_unitary_to_density,
+    apply_unitary_to_statevector,
+    basis_index_bits,
+    bits_to_index,
+    expand_unitary,
+)
+from repro.quantum.random import random_statevector, random_unitary
+
+
+@pytest.mark.parametrize("num_qubits", [1, 2, 3, 4])
+@pytest.mark.parametrize("gate_qubits", [1, 2])
+def test_statevector_kernel_matches_dense(num_qubits, gate_qubits, rng):
+    if gate_qubits > num_qubits:
+        pytest.skip("gate larger than register")
+    matrix = random_unitary(gate_qubits, seed=11)
+    state = random_statevector(num_qubits, seed=12).data
+    targets = list(
+        rng.choice(num_qubits, size=gate_qubits, replace=False).astype(int)
+    )
+    streamed = apply_unitary_to_statevector(state, matrix, targets, num_qubits)
+    dense = expand_unitary(matrix, targets, num_qubits) @ state
+    assert np.allclose(streamed, dense, atol=1e-12)
+
+
+@pytest.mark.parametrize("targets", [[0], [1], [2], [0, 1], [1, 0], [2, 0], [1, 2]])
+def test_density_kernel_matches_dense(targets):
+    num_qubits = 3
+    matrix = random_unitary(len(targets), seed=21)
+    state = random_statevector(num_qubits, seed=22).data
+    rho = np.outer(state, state.conj())
+    streamed = apply_unitary_to_density(rho, matrix, targets, num_qubits)
+    dense_u = expand_unitary(matrix, targets, num_qubits)
+    dense = dense_u @ rho @ dense_u.conj().T
+    assert np.allclose(streamed, dense, atol=1e-12)
+
+
+def test_density_kernel_consistent_with_statevector():
+    """U rho U+ on |psi><psi| equals the outer product of U|psi>."""
+    num_qubits = 3
+    matrix = random_unitary(2, seed=31)
+    psi = random_statevector(num_qubits, seed=32).data
+    rho = np.outer(psi, psi.conj())
+    evolved_rho = apply_unitary_to_density(rho, matrix, [2, 0], num_qubits)
+    evolved_psi = apply_unitary_to_statevector(psi, matrix, [2, 0], num_qubits)
+    assert np.allclose(
+        evolved_rho, np.outer(evolved_psi, evolved_psi.conj()), atol=1e-12
+    )
+
+
+def test_kraus_kernel_trace_preserving():
+    from repro.simulators import amplitude_damping_channel
+
+    channel = amplitude_damping_channel(0.3)
+    psi = random_statevector(2, seed=41).data
+    rho = np.outer(psi, psi.conj())
+    out = apply_kraus_to_density(rho, channel.kraus, [1], 2)
+    assert np.trace(out) == pytest.approx(1.0)
+    # Result must stay positive semidefinite.
+    assert np.linalg.eigvalsh(out).min() > -1e-12
+
+
+def test_qubit_operand_order_matters():
+    """CX(control=0, target=1) differs from CX(control=1, target=0)."""
+    cx = g.CXGate().matrix
+    state = np.zeros(4, dtype=complex)
+    state[0b01] = 1.0  # qubit 0 = 1
+    out_01 = apply_unitary_to_statevector(state, cx, [0, 1], 2)
+    out_10 = apply_unitary_to_statevector(state, cx, [1, 0], 2)
+    assert abs(out_01[0b11]) == pytest.approx(1.0)  # control fired
+    assert abs(out_10[0b01]) == pytest.approx(1.0)  # control was 0
+
+
+def test_expand_unitary_identity_everywhere_else():
+    x = g.XGate().matrix
+    full = expand_unitary(x, [1], 3)
+    # Basis |000> -> |010>: index 0 -> index 2.
+    col = full[:, 0]
+    assert abs(col[2]) == pytest.approx(1.0)
+
+
+def test_basis_index_bits_roundtrip():
+    for index in range(16):
+        bits = basis_index_bits(index, 4)
+        assert bits_to_index(bits) == index
+        assert len(bits) == 4
+
+
+def test_basis_index_bits_little_endian():
+    assert basis_index_bits(0b0110, 4) == (0, 1, 1, 0)

@@ -1,0 +1,113 @@
+"""Unit tests for dense operator algebra and channel helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.quantum.gates as g
+from repro.quantum import Operator, QuantumCircuit, is_cptp, kraus_from_unitaries
+
+
+class TestOperator:
+    def test_identity(self):
+        assert np.allclose(Operator.identity(2).data, np.eye(4))
+
+    def test_from_gate(self):
+        assert np.allclose(Operator.from_gate(g.XGate()).data, g.XGate().matrix)
+
+    def test_from_circuit_order(self):
+        """Gates compose left-to-right: circuit [A, B] has unitary B @ A."""
+        qc = QuantumCircuit(1).x(0).s(0)
+        expected = g.SGate().matrix @ g.XGate().matrix
+        assert np.allclose(Operator.from_circuit(qc).data, expected)
+
+    def test_from_circuit_multi_qubit(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        op = Operator.from_circuit(qc)
+        state = np.zeros(4)
+        state[0] = 1
+        out = op.data @ state
+        assert abs(out[0b00]) == pytest.approx(1 / math.sqrt(2))
+        assert abs(out[0b11]) == pytest.approx(1 / math.sqrt(2))
+
+    def test_from_circuit_rejects_measure(self):
+        qc = QuantumCircuit(1, 1).h(0).measure(0, 0)
+        with pytest.raises(ValueError, match="non-unitary"):
+            Operator.from_circuit(qc)
+
+    def test_from_circuit_skips_barriers(self):
+        qc = QuantumCircuit(1).h(0).barrier().h(0)
+        assert Operator.from_circuit(qc).equiv(Operator.identity(1))
+
+    def test_compose(self):
+        a = Operator.from_gate(g.XGate())
+        b = Operator.from_gate(g.ZGate())
+        # b after a = Z @ X
+        assert np.allclose(a.compose(b).data, g.ZGate().matrix @ g.XGate().matrix)
+
+    def test_tensor_ordering(self):
+        """self on low qubits: (X tensor on q0, Z on q1)."""
+        combined = Operator.from_gate(g.XGate()).tensor(
+            Operator.from_gate(g.ZGate())
+        )
+        state = np.zeros(4)
+        state[0] = 1
+        out = combined.data @ state
+        assert abs(out[0b01]) == pytest.approx(1.0)
+
+    def test_adjoint(self):
+        op = Operator.from_gate(g.SGate())
+        assert op.compose(op.adjoint()).equiv(Operator.identity(1))
+
+    def test_power(self):
+        op = Operator.from_gate(g.TGate())
+        assert op.power(4).equiv(Operator.from_gate(g.ZGate()))
+
+    def test_is_unitary(self):
+        assert Operator.from_gate(g.HGate()).is_unitary()
+        assert not Operator(np.array([[1, 0], [0, 0.5]])).is_unitary()
+
+    def test_equiv_global_phase(self):
+        op = Operator.from_gate(g.XGate())
+        phased = Operator(np.exp(1j * 1.2) * g.XGate().matrix)
+        assert op.equiv(phased)
+        assert op != phased
+
+    def test_equiv_rejects_different_operators(self):
+        assert not Operator.from_gate(g.XGate()).equiv(
+            Operator.from_gate(g.ZGate())
+        )
+
+    def test_equiv_rejects_scaled_nonunit(self):
+        op = Operator.from_gate(g.XGate())
+        scaled = Operator(2.0 * g.XGate().matrix)
+        assert not op.equiv(scaled)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError, match="power of two"):
+            Operator(np.eye(3))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            Operator(np.zeros((2, 4)))
+
+
+class TestChannels:
+    def test_kraus_from_unitaries(self):
+        kraus = kraus_from_unitaries(
+            [np.eye(2), g.XGate().matrix], [0.9, 0.1]
+        )
+        assert is_cptp(kraus)
+        assert np.allclose(kraus[0], math.sqrt(0.9) * np.eye(2))
+
+    def test_kraus_probability_sum_validation(self):
+        with pytest.raises(ValueError, match="sum"):
+            kraus_from_unitaries([np.eye(2)], [0.5])
+
+    def test_kraus_length_mismatch(self):
+        with pytest.raises(ValueError, match="one probability"):
+            kraus_from_unitaries([np.eye(2)], [0.5, 0.5])
+
+    def test_is_cptp_rejects_incomplete(self):
+        assert not is_cptp([0.5 * np.eye(2)])

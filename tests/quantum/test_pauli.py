@@ -1,0 +1,154 @@
+"""Pauli-string algebra tests."""
+
+import numpy as np
+import pytest
+
+import repro.quantum.gates as g
+from repro.quantum import (
+    PauliString,
+    Statevector,
+    pauli_basis,
+    pauli_decompose,
+)
+
+
+class TestConstruction:
+    def test_valid_labels(self):
+        assert PauliString("XYZI").num_qubits == 4
+        assert PauliString("xyz").label == "XYZ"
+
+    def test_invalid_labels(self):
+        with pytest.raises(ValueError):
+            PauliString("AB")
+        with pytest.raises(ValueError):
+            PauliString("")
+
+    def test_operator_on_little_endian(self):
+        pauli = PauliString("XZ")
+        assert pauli.operator_on(0) == "Z"
+        assert pauli.operator_on(1) == "X"
+
+    def test_weight(self):
+        assert PauliString("IXYI").weight() == 2
+        assert PauliString("III").is_identity()
+
+
+class TestMatrices:
+    @pytest.mark.parametrize(
+        "label,gate",
+        [("X", g.XGate()), ("Y", g.YGate()), ("Z", g.ZGate()), ("I", g.IGate())],
+    )
+    def test_single_qubit_matrices(self, label, gate):
+        assert np.allclose(PauliString(label).matrix, gate.matrix)
+
+    def test_tensor_ordering(self):
+        """Label 'XZ' = X on qubit 1, Z on qubit 0 = kron(X, Z)."""
+        expected = np.kron(g.XGate().matrix, g.ZGate().matrix)
+        assert np.allclose(PauliString("XZ").matrix, expected)
+
+    def test_phase_carried(self):
+        assert np.allclose(
+            PauliString("X", phase=-1j).matrix, -1j * g.XGate().matrix
+        )
+
+    def test_all_unitary_and_hermitian_up_to_phase(self):
+        for pauli in pauli_basis(2):
+            mat = pauli.matrix
+            assert np.allclose(mat @ mat.conj().T, np.eye(4))
+            assert np.allclose(mat, mat.conj().T)  # phase=1 strings
+
+
+class TestAlgebra:
+    def test_xy_product(self):
+        result = PauliString("X") * PauliString("Y")
+        assert result.label == "Z"
+        assert result.phase == pytest.approx(1j)
+
+    def test_product_matches_matrix_product(self):
+        a, b = PauliString("XZY"), PauliString("YXI")
+        composed = a.compose(b)
+        assert np.allclose(composed.matrix, a.matrix @ b.matrix)
+
+    def test_self_product_is_identity(self):
+        for label in ("X", "Y", "Z", "XYZ"):
+            squared = PauliString(label) * PauliString(label)
+            assert squared.label == "I" * len(label)
+            assert squared.phase == pytest.approx(1)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            PauliString("X").compose(PauliString("XX"))
+
+    def test_commutation(self):
+        assert not PauliString("X").commutes_with(PauliString("Z"))
+        assert PauliString("XX").commutes_with(PauliString("ZZ"))
+        assert PauliString("XI").commutes_with(PauliString("IZ"))
+        assert PauliString("X").commutes_with(PauliString("X"))
+
+    def test_commutation_matches_matrices(self):
+        import itertools
+
+        for a, b in itertools.product(pauli_basis(2), repeat=2):
+            commutator = a.matrix @ b.matrix - b.matrix @ a.matrix
+            assert a.commutes_with(b) == np.allclose(commutator, 0)
+
+
+class TestExpectation:
+    def test_z_on_basis_states(self):
+        assert PauliString("Z").expectation(
+            Statevector.from_label("0")
+        ) == pytest.approx(1)
+        assert PauliString("Z").expectation(
+            Statevector.from_label("1")
+        ) == pytest.approx(-1)
+
+    def test_x_on_plus_state(self):
+        plus = Statevector.zero_state(1).evolve(g.HGate(), [0])
+        assert PauliString("X").expectation(plus) == pytest.approx(1)
+
+    def test_zz_on_bell_state(self):
+        from repro.quantum import QuantumCircuit
+
+        bell = Statevector.from_circuit(QuantumCircuit(2).h(0).cx(0, 1))
+        assert PauliString("ZZ").expectation(bell) == pytest.approx(1)
+        assert PauliString("XX").expectation(bell) == pytest.approx(1)
+        assert PauliString("ZI").expectation(bell) == pytest.approx(0)
+
+    def test_density_matrix_expectation(self):
+        from repro.quantum import DensityMatrix
+
+        mixed = DensityMatrix.maximally_mixed(1)
+        assert PauliString("Z").expectation(mixed) == pytest.approx(0)
+
+
+class TestBasisAndDecomposition:
+    def test_basis_size(self):
+        assert len(pauli_basis(1)) == 4
+        assert len(pauli_basis(2)) == 16
+
+    def test_basis_orthogonality(self):
+        basis = pauli_basis(1)
+        for i, a in enumerate(basis):
+            for j, b in enumerate(basis):
+                overlap = np.trace(a.matrix @ b.matrix) / 2
+                assert overlap == pytest.approx(1.0 if i == j else 0.0)
+
+    def test_decompose_hadamard(self):
+        coefficients = pauli_decompose(g.HGate().matrix)
+        assert set(coefficients) == {"X", "Z"}
+        assert coefficients["X"] == pytest.approx(1 / np.sqrt(2))
+        assert coefficients["Z"] == pytest.approx(1 / np.sqrt(2))
+
+    def test_decompose_roundtrip(self):
+        from repro.quantum.random import random_unitary
+
+        matrix = random_unitary(2, seed=8)
+        coefficients = pauli_decompose(matrix)
+        rebuilt = sum(
+            c * PauliString(label).matrix for label, c in coefficients.items()
+        )
+        assert np.allclose(rebuilt, matrix, atol=1e-10)
+
+    def test_decompose_validates_shape(self):
+        with pytest.raises(ValueError):
+            pauli_decompose(np.eye(3))

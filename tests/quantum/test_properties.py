@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) on core quantum data structures."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.quantum.gates as g
+from repro.quantum import (
+    DensityMatrix,
+    Operator,
+    QuantumCircuit,
+    Statevector,
+    random_circuit,
+)
+from repro.quantum.states import bloch_vector
+
+angles = st.floats(
+    min_value=0.0, max_value=2 * math.pi, allow_nan=False, allow_infinity=False
+)
+thetas = st.floats(
+    min_value=0.0, max_value=math.pi, allow_nan=False, allow_infinity=False
+)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+small_widths = st.integers(min_value=1, max_value=4)
+
+
+@given(theta=thetas, phi=angles, lam=angles)
+def test_u_gate_always_unitary(theta, phi, lam):
+    mat = g.UGate(theta, phi, lam).matrix
+    assert np.allclose(mat @ mat.conj().T, np.eye(2), atol=1e-10)
+
+
+@given(theta=thetas, phi=angles)
+def test_u_gate_bloch_angles(theta, phi):
+    """U(theta, phi, 0)|0> sits at spherical angles (theta, phi) — the
+    geometric core of the paper's fault model."""
+    sv = Statevector.zero_state(1).evolve(g.UGate(theta, phi, 0), [0])
+    vec = bloch_vector(sv)
+    assert vec[2] == pytest.approx(math.cos(theta), abs=1e-9)
+    if math.sin(theta) > 1e-6:
+        measured_phi = math.atan2(vec[1], vec[0]) % (2 * math.pi)
+        assert math.cos(measured_phi - phi) == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, width=small_widths)
+def test_random_circuit_preserves_norm(seed, width):
+    qc = random_circuit(width, 4, seed=seed)
+    assert Statevector.from_circuit(qc).norm() == pytest.approx(1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, width=st.integers(min_value=1, max_value=3))
+def test_circuit_inverse_is_identity(seed, width):
+    qc = random_circuit(width, 3, seed=seed)
+    combined = qc.compose(qc.inverse())
+    assert Operator.from_circuit(combined).equiv(Operator.identity(width))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, width=st.integers(min_value=1, max_value=3))
+def test_density_matrix_stays_valid_under_unitaries(seed, width):
+    qc = random_circuit(width, 4, seed=seed)
+    rho = DensityMatrix.zero_state(width)
+    for inst in qc:
+        if inst.is_unitary():
+            rho = rho.evolve(inst.gate, inst.qubits)
+    assert rho.is_valid()
+    assert rho.purity() == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_probabilities_sum_to_one(seed):
+    qc = random_circuit(3, 5, seed=seed)
+    probs = Statevector.from_circuit(qc).probabilities()
+    assert probs.sum() == pytest.approx(1.0)
+    assert (probs >= -1e-12).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, gamma=st.floats(min_value=0.0, max_value=1.0))
+def test_amplitude_damping_keeps_density_valid(seed, gamma):
+    from repro.simulators import amplitude_damping_channel
+
+    qc = random_circuit(2, 3, seed=seed)
+    rho = DensityMatrix.zero_state(2)
+    for inst in qc:
+        if inst.is_unitary():
+            rho = rho.evolve(inst.gate, inst.qubits)
+    channel = amplitude_damping_channel(gamma)
+    damaged = rho.apply_channel(channel.kraus, [0])
+    assert damaged.is_valid()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_partial_trace_unit_trace(seed):
+    qc = random_circuit(3, 4, seed=seed)
+    rho = Statevector.from_circuit(qc).to_density_matrix()
+    for keep in ([0], [1, 2], [0, 2]):
+        assert rho.partial_trace(keep).trace() == pytest.approx(1.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, width=st.integers(min_value=2, max_value=4))
+def test_qasm_roundtrip_preserves_semantics(seed, width):
+    from repro.quantum import circuit_from_qasm, circuit_to_qasm
+
+    qc = random_circuit(width, 3, seed=seed)
+    back = circuit_from_qasm(circuit_to_qasm(qc))
+    assert Operator.from_circuit(back).equiv(
+        Operator.from_circuit(qc), tol=1e-8
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    theta=thetas,
+    phi=angles,
+    seed=seeds,
+)
+def test_injected_u_gate_preserves_norm(theta, phi, seed):
+    """Any injector configuration keeps the state physical."""
+    qc = random_circuit(3, 3, seed=seed)
+    qc.u(theta, phi, 0.0, 1)
+    assert Statevector.from_circuit(qc).norm() == pytest.approx(1.0)

@@ -1,0 +1,138 @@
+"""OpenQASM 2.0 round-trip and parsing tests."""
+
+import math
+
+import pytest
+
+import repro.quantum.gates as g
+from repro.quantum import (
+    Operator,
+    QasmError,
+    QuantumCircuit,
+    circuit_from_qasm,
+    circuit_to_qasm,
+)
+
+
+def _roundtrip(circuit: QuantumCircuit) -> QuantumCircuit:
+    return circuit_from_qasm(circuit_to_qasm(circuit))
+
+
+class TestEmit:
+    def test_header(self):
+        text = circuit_to_qasm(QuantumCircuit(2))
+        assert text.startswith("OPENQASM 2.0;")
+        assert 'include "qelib1.inc";' in text
+        assert "qreg q[2];" in text
+
+    def test_creg_only_when_present(self):
+        assert "creg" not in circuit_to_qasm(QuantumCircuit(1))
+        assert "creg c[2];" in circuit_to_qasm(QuantumCircuit(1, 2))
+
+    def test_pi_fractions(self):
+        qc = QuantumCircuit(1).rz(math.pi / 2, 0).rz(-math.pi, 0).rz(
+            3 * math.pi / 4, 0
+        )
+        text = circuit_to_qasm(qc)
+        assert "rz(pi/2)" in text
+        assert "rz(-pi)" in text
+        assert "rz(3*pi/4)" in text
+
+    def test_measure_statement(self):
+        qc = QuantumCircuit(2, 2).measure(1, 0)
+        assert "measure q[1] -> c[0];" in circuit_to_qasm(qc)
+
+    def test_barrier_statement(self):
+        qc = QuantumCircuit(2).barrier()
+        assert "barrier q[0],q[1];" in circuit_to_qasm(qc)
+
+
+class TestRoundtrip:
+    def test_simple_circuit(self):
+        qc = QuantumCircuit(2, 2).h(0).cx(0, 1).measure_all()
+        back = _roundtrip(qc)
+        assert [i.name for i in back] == [i.name for i in qc]
+        assert back.num_qubits == 2 and back.num_clbits == 2
+
+    def test_parameterized_gates_preserved(self):
+        qc = (
+            QuantumCircuit(3)
+            .u(0.123, 4.567, 0.001, 0)
+            .cp(0.777, 1, 2)
+            .rx(math.pi / 3, 1)
+        )
+        back = _roundtrip(qc)
+        assert Operator.from_circuit(back).equiv(Operator.from_circuit(qc))
+
+    def test_all_named_gates_roundtrip(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).x(1).y(2).z(0).s(1).sdg(2).t(0).tdg(1).sx(2)
+        qc.cx(0, 1).cy(1, 2).cz(0, 2).ch(0, 1).swap(1, 2).ccx(0, 1, 2)
+        back = _roundtrip(qc)
+        assert Operator.from_circuit(back).equiv(Operator.from_circuit(qc))
+
+    def test_reset_roundtrip(self):
+        qc = QuantumCircuit(1).reset(0)
+        assert _roundtrip(qc)[0].name == "reset"
+
+    def test_injected_fault_roundtrips(self):
+        """Faulty circuits must survive QASM export (paper Sec. IV-B)."""
+        from repro.faults import PhaseShiftFault, QuFI, InjectionPoint
+
+        qc = QuantumCircuit(2, 2).h(0).cx(0, 1).measure_all()
+        faulty = QuFI.build_faulty_circuit(
+            qc,
+            InjectionPoint(0, 0, "h"),
+            PhaseShiftFault(math.pi / 4, math.pi / 2),
+        )
+        back = _roundtrip(faulty)
+        names = [i.name for i in back]
+        assert names[1] == "u"
+
+
+class TestParse:
+    def test_comments_stripped(self):
+        text = (
+            "OPENQASM 2.0; // intro\n"
+            "qreg q[1]; // one qubit\n"
+            "h q[0]; // superpose\n"
+        )
+        qc = circuit_from_qasm(text)
+        assert [i.name for i in qc] == ["h"]
+
+    def test_parameter_expressions(self):
+        qc = circuit_from_qasm(
+            "OPENQASM 2.0; qreg q[1]; rz(2*pi/8) q[0]; rz(0.25) q[0];"
+        )
+        assert qc[0].gate.params[0] == pytest.approx(math.pi / 4)
+        assert qc[1].gate.params[0] == pytest.approx(0.25)
+
+    def test_unknown_register(self):
+        with pytest.raises(QasmError, match="unknown register"):
+            circuit_from_qasm("OPENQASM 2.0; qreg q[1]; h r[0];")
+
+    def test_malformed_statement(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm("OPENQASM 2.0; qreg q[1]; h q[;")
+
+    def test_evil_parameter_rejected(self):
+        with pytest.raises(QasmError, match="unsupported parameter"):
+            circuit_from_qasm(
+                "OPENQASM 2.0; qreg q[1]; rz(__import__) q[0];"
+            )
+
+    def test_unsupported_gate_export(self):
+        from repro.quantum.gates import Gate
+
+        class FancyGate(Gate):
+            name = "fancy"
+
+            def _build_matrix(self):
+                import numpy as np
+
+                return np.eye(2)
+
+        qc = QuantumCircuit(1)
+        qc.append(FancyGate(), [0])
+        with pytest.raises(QasmError, match="no QASM"):
+            circuit_to_qasm(qc)

@@ -1,0 +1,66 @@
+"""Tests for random circuit / state / unitary generators."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import (
+    Operator,
+    random_circuit,
+    random_statevector,
+    random_unitary,
+)
+
+
+class TestRandomCircuit:
+    def test_reproducible_with_seed(self):
+        a = random_circuit(4, 5, seed=99)
+        b = random_circuit(4, 5, seed=99)
+        assert a == b
+
+    def test_differs_across_seeds(self):
+        assert random_circuit(4, 5, seed=1) != random_circuit(4, 5, seed=2)
+
+    def test_respects_width(self):
+        qc = random_circuit(5, 3, seed=0)
+        assert qc.num_qubits == 5
+        assert all(q < 5 for inst in qc for q in inst.qubits)
+
+    def test_measure_flag(self):
+        qc = random_circuit(3, 2, seed=0, measure=True)
+        assert qc.has_measurements()
+        assert qc.num_clbits == 3
+
+    def test_is_simulable(self):
+        from repro.quantum import Statevector
+
+        qc = random_circuit(4, 6, seed=5)
+        sv = Statevector.from_circuit(qc)
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_custom_gate_pool(self):
+        qc = random_circuit(3, 4, seed=3, gate_pool=("h", "cx"))
+        assert set(qc.count_ops()) <= {"h", "cx"}
+
+
+class TestRandomStatevector:
+    def test_normalized(self):
+        assert random_statevector(4, seed=1).norm() == pytest.approx(1.0)
+
+    def test_reproducible(self):
+        a = random_statevector(3, seed=7)
+        b = random_statevector(3, seed=7)
+        assert np.allclose(a.data, b.data)
+
+
+class TestRandomUnitary:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3])
+    def test_unitary(self, num_qubits):
+        mat = random_unitary(num_qubits, seed=13)
+        assert Operator(mat).is_unitary()
+
+    def test_reproducible(self):
+        assert np.allclose(random_unitary(2, seed=5), random_unitary(2, seed=5))
+
+    def test_not_identity(self):
+        mat = random_unitary(2, seed=6)
+        assert not np.allclose(mat, np.eye(4), atol=0.1)

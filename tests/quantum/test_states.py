@@ -1,0 +1,197 @@
+"""Unit tests for Statevector, DensityMatrix and Bloch utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.quantum.gates as g
+from repro.quantum import DensityMatrix, QuantumCircuit, Statevector
+from repro.quantum.states import bloch_vector, format_bitstring
+
+
+class TestStatevector:
+    def test_zero_state(self):
+        sv = Statevector.zero_state(2)
+        assert sv.probabilities_dict() == {"00": 1.0}
+
+    def test_from_label(self):
+        sv = Statevector.from_label("101")
+        assert sv.probabilities_dict() == {"101": 1.0}
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError, match="power of two"):
+            Statevector([1, 0, 0])
+
+    def test_evolution_preserves_norm(self):
+        sv = Statevector.zero_state(3)
+        for gate, qubits in [
+            (g.HGate(), [0]),
+            (g.CXGate(), [0, 1]),
+            (g.TGate(), [2]),
+        ]:
+            sv = sv.evolve(gate, qubits)
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_superposition_probabilities(self):
+        sv = Statevector.zero_state(1).evolve(g.HGate(), [0])
+        probs = sv.probabilities()
+        assert probs == pytest.approx([0.5, 0.5])
+
+    def test_fidelity_self(self):
+        sv = Statevector.from_label("10")
+        assert sv.fidelity(sv) == pytest.approx(1.0)
+
+    def test_fidelity_orthogonal(self):
+        assert Statevector.from_label("0").fidelity(
+            Statevector.from_label("1")
+        ) == pytest.approx(0.0)
+
+    def test_equiv_up_to_global_phase(self):
+        sv = Statevector.from_label("1")
+        phased = Statevector(sv.data * np.exp(1j * 0.7))
+        assert sv.equiv(phased)
+
+    def test_sample_counts_total(self, rng):
+        sv = Statevector.zero_state(1).evolve(g.HGate(), [0])
+        counts = sv.sample_counts(1000, rng)
+        assert sum(counts.values()) == 1000
+        assert set(counts) <= {"0", "1"}
+
+    def test_sample_matches_distribution(self, rng):
+        sv = Statevector.zero_state(1).evolve(g.RYGate(0.6), [0])
+        counts = sv.sample_counts(200_000, rng)
+        expected = math.cos(0.3) ** 2
+        assert counts["0"] / 200_000 == pytest.approx(expected, abs=0.01)
+
+    def test_expectation_pauli_z(self):
+        sv = Statevector.from_label("1")
+        z = g.ZGate().matrix
+        assert sv.expectation(z) == pytest.approx(-1.0)
+
+    def test_from_circuit_skips_measurements(self):
+        qc = QuantumCircuit(1, 1).h(0).measure(0, 0)
+        sv = Statevector.from_circuit(qc)
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_from_circuit_rejects_reset(self):
+        qc = QuantumCircuit(1).reset(0)
+        with pytest.raises(ValueError, match="reset"):
+            Statevector.from_circuit(qc)
+
+
+class TestDensityMatrix:
+    def test_zero_state_valid(self):
+        rho = DensityMatrix.zero_state(2)
+        assert rho.is_valid()
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_from_statevector(self):
+        sv = Statevector.zero_state(1).evolve(g.HGate(), [0])
+        rho = DensityMatrix.from_statevector(sv)
+        assert rho.is_valid()
+        assert rho.fidelity(sv) == pytest.approx(1.0)
+
+    def test_maximally_mixed(self):
+        rho = DensityMatrix.maximally_mixed(2)
+        assert rho.purity() == pytest.approx(0.25)
+        assert rho.probabilities() == pytest.approx([0.25] * 4)
+
+    def test_square_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            DensityMatrix(np.zeros((2, 3)))
+
+    def test_unitary_evolution_matches_statevector(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).t(1)
+        sv = Statevector.from_circuit(qc)
+        rho = DensityMatrix.zero_state(2)
+        for inst in qc:
+            rho = rho.evolve(inst.gate, inst.qubits)
+        assert rho.fidelity(sv) == pytest.approx(1.0)
+        assert np.allclose(rho.probabilities(), sv.probabilities())
+
+    def test_depolarizing_channel_mixes(self):
+        from repro.simulators import depolarizing_channel
+
+        channel = depolarizing_channel(1.0)
+        rho = DensityMatrix.zero_state(1).apply_channel(channel.kraus, [0])
+        assert rho.probabilities() == pytest.approx([0.5, 0.5])
+        assert rho.purity() == pytest.approx(0.5)
+
+    def test_reset_qubit(self):
+        rho = DensityMatrix.zero_state(2).evolve(g.XGate(), [1])
+        reset = rho.reset_qubit(1)
+        assert reset.probabilities_dict() == pytest.approx({"00": 1.0})
+
+    def test_partial_trace_bell_state(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        rho = Statevector.from_circuit(qc).to_density_matrix()
+        reduced = rho.partial_trace([0])
+        assert reduced.num_qubits == 1
+        # Each half of a Bell pair is maximally mixed.
+        assert np.allclose(reduced.data, np.eye(2) / 2, atol=1e-12)
+
+    def test_partial_trace_product_state(self):
+        qc = QuantumCircuit(2).x(1)
+        rho = Statevector.from_circuit(qc).to_density_matrix()
+        q1 = rho.partial_trace([1])
+        assert q1.probabilities() == pytest.approx([0.0, 1.0])
+
+    def test_partial_trace_preserves_trace(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2).t(2)
+        rho = Statevector.from_circuit(qc).to_density_matrix()
+        assert rho.partial_trace([0, 2]).trace() == pytest.approx(1.0)
+
+    def test_uhlmann_fidelity_mixed(self):
+        a = DensityMatrix.maximally_mixed(1)
+        b = DensityMatrix.zero_state(1)
+        assert a.fidelity(b) == pytest.approx(0.5, abs=1e-6)
+
+    def test_sample_counts(self, rng):
+        rho = DensityMatrix.maximally_mixed(1)
+        counts = rho.sample_counts(10_000, rng)
+        assert sum(counts.values()) == 10_000
+
+
+class TestBlochVector:
+    def test_zero_state_points_up(self):
+        vec = bloch_vector(Statevector.zero_state(1))
+        assert vec == pytest.approx([0, 0, 1])
+
+    def test_one_state_points_down(self):
+        vec = bloch_vector(Statevector.from_label("1"))
+        assert vec == pytest.approx([0, 0, -1])
+
+    def test_plus_state_points_x(self):
+        sv = Statevector.zero_state(1).evolve(g.HGate(), [0])
+        assert bloch_vector(sv) == pytest.approx([1, 0, 0])
+
+    def test_u_gate_places_bloch_vector(self):
+        """U(theta, phi, 0)|0> lands at the spherical angles (theta, phi)."""
+        theta, phi = 1.1, 2.3
+        sv = Statevector.zero_state(1).evolve(g.UGate(theta, phi, 0), [0])
+        expected = [
+            math.sin(theta) * math.cos(phi),
+            math.sin(theta) * math.sin(phi),
+            math.cos(theta),
+        ]
+        assert bloch_vector(sv) == pytest.approx(expected)
+
+    def test_selected_qubit_of_register(self):
+        qc = QuantumCircuit(2).x(1)
+        sv = Statevector.from_circuit(qc)
+        assert bloch_vector(sv, qubit=0) == pytest.approx([0, 0, 1])
+        assert bloch_vector(sv, qubit=1) == pytest.approx([0, 0, -1])
+
+    def test_mixed_state_shrinks_vector(self):
+        rho = DensityMatrix.maximally_mixed(1)
+        assert np.linalg.norm(bloch_vector(rho)) == pytest.approx(0.0)
+
+
+class TestFormatBitstring:
+    def test_zero_padding(self):
+        assert format_bitstring(5, 4) == "0101"
+
+    def test_qubit_order(self):
+        # index 1 = qubit 0 set -> rightmost character.
+        assert format_bitstring(1, 3) == "001"

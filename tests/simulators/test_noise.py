@@ -1,0 +1,206 @@
+"""Unit tests for noise channels and the NoiseModel."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum import DensityMatrix, is_cptp
+from repro.simulators import (
+    NoiseModel,
+    ReadoutError,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_channel,
+)
+
+
+ALL_CHANNELS = [
+    depolarizing_channel(0.05),
+    depolarizing_channel(0.02, num_qubits=2),
+    bit_flip_channel(0.1),
+    phase_flip_channel(0.1),
+    amplitude_damping_channel(0.2),
+    phase_damping_channel(0.3),
+    thermal_relaxation_channel(100e-6, 80e-6, 1e-6),
+]
+
+
+@pytest.mark.parametrize("channel", ALL_CHANNELS, ids=lambda c: c.name)
+def test_every_channel_is_cptp(channel):
+    assert is_cptp(channel.kraus)
+
+
+class TestDepolarizing:
+    def test_full_strength_mixes_completely(self):
+        rho = DensityMatrix.zero_state(1).apply_channel(
+            depolarizing_channel(1.0).kraus, [0]
+        )
+        assert np.allclose(rho.data, np.eye(2) / 2, atol=1e-12)
+
+    def test_zero_strength_is_identity_channel(self):
+        channel = depolarizing_channel(0.0)
+        assert channel.is_identity()
+
+    def test_two_qubit_dimensions(self):
+        channel = depolarizing_channel(0.1, num_qubits=2)
+        assert channel.num_qubits == 2
+        assert all(k.shape == (4, 4) for k in channel.kraus)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            depolarizing_channel(1.5)
+
+
+class TestRelaxation:
+    def test_amplitude_damping_decays_excited_state(self):
+        from repro.quantum import Statevector
+        import repro.quantum.gates as g
+
+        rho = Statevector.from_label("1").to_density_matrix()
+        damped = rho.apply_channel(amplitude_damping_channel(0.25).kraus, [0])
+        assert damped.probabilities() == pytest.approx([0.25, 0.75])
+
+    def test_amplitude_damping_fixes_ground_state(self):
+        rho = DensityMatrix.zero_state(1)
+        damped = rho.apply_channel(amplitude_damping_channel(0.9).kraus, [0])
+        assert damped.probabilities() == pytest.approx([1.0, 0.0])
+
+    def test_phase_damping_kills_coherence(self):
+        import repro.quantum.gates as g
+        from repro.quantum import Statevector
+
+        plus = (
+            Statevector.zero_state(1).evolve(g.HGate(), [0]).to_density_matrix()
+        )
+        damped = plus.apply_channel(phase_damping_channel(1.0).kraus, [0])
+        assert abs(damped.data[0, 1]) == pytest.approx(0.0, abs=1e-12)
+        # Populations untouched.
+        assert damped.probabilities() == pytest.approx([0.5, 0.5])
+
+    def test_thermal_relaxation_t1_population(self):
+        """After duration t, P(|1> survives) = exp(-t/T1)."""
+        from repro.quantum import Statevector
+
+        t1, t2, duration = 100e-6, 50e-6, 30e-6
+        rho = Statevector.from_label("1").to_density_matrix()
+        relaxed = rho.apply_channel(
+            thermal_relaxation_channel(t1, t2, duration).kraus, [0]
+        )
+        expected = math.exp(-duration / t1)
+        assert relaxed.probabilities()[1] == pytest.approx(expected, abs=1e-9)
+
+    def test_thermal_relaxation_t2_coherence(self):
+        """Off-diagonal decays as exp(-t/T2)."""
+        import repro.quantum.gates as g
+        from repro.quantum import Statevector
+
+        t1, t2, duration = 100e-6, 60e-6, 20e-6
+        plus = (
+            Statevector.zero_state(1).evolve(g.HGate(), [0]).to_density_matrix()
+        )
+        relaxed = plus.apply_channel(
+            thermal_relaxation_channel(t1, t2, duration).kraus, [0]
+        )
+        expected = 0.5 * math.exp(-duration / t2)
+        assert abs(relaxed.data[0, 1]) == pytest.approx(expected, abs=1e-9)
+
+    def test_unphysical_t2_rejected(self):
+        with pytest.raises(ValueError, match="T2 > 2"):
+            thermal_relaxation_channel(10e-6, 30e-6, 1e-6)
+
+    def test_zero_duration_is_identity(self):
+        channel = thermal_relaxation_channel(100e-6, 80e-6, 0.0)
+        assert channel.is_identity(tol=1e-9)
+
+
+class TestChannelAlgebra:
+    def test_compose_is_sequential(self):
+        """bit-flip(1.0) twice = identity."""
+        flip = bit_flip_channel(1.0)
+        double = flip.compose(flip)
+        assert double.is_identity()
+
+    def test_compose_arity_mismatch(self):
+        with pytest.raises(ValueError, match="arity"):
+            depolarizing_channel(0.1).compose(depolarizing_channel(0.1, 2))
+
+    def test_tensor_dimensions(self):
+        pair = bit_flip_channel(0.1).tensor(phase_flip_channel(0.2))
+        assert pair.num_qubits == 2
+        assert is_cptp(pair.kraus)
+
+    def test_non_cptp_rejected(self):
+        from repro.simulators.noise import QuantumChannel
+
+        with pytest.raises(ValueError, match="trace preserving"):
+            QuantumChannel("bad", (0.5 * np.eye(2),))
+
+
+class TestReadoutError:
+    def test_matrix_columns_stochastic(self):
+        error = ReadoutError(0.02, 0.07)
+        mat = error.matrix
+        assert mat[:, 0].sum() == pytest.approx(1.0)
+        assert mat[:, 1].sum() == pytest.approx(1.0)
+        assert mat[1, 0] == pytest.approx(0.02)  # P(read 1 | prep 0)
+        assert mat[0, 1] == pytest.approx(0.07)  # P(read 0 | prep 1)
+
+    def test_trivial(self):
+        assert ReadoutError().is_trivial()
+        assert not ReadoutError(0.01, 0.0).is_trivial()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadoutError(1.2, 0.0)
+
+
+class TestNoiseModel:
+    def test_default_lookup(self):
+        model = NoiseModel()
+        channel = depolarizing_channel(0.1)
+        model.add_all_qubit_error(channel, ["h", "x"])
+        assert model.channel_for("h", [0]) is channel
+        assert model.channel_for("x", [3]) is channel
+        assert model.channel_for("z", [0]) is None
+
+    def test_local_overrides_default(self):
+        model = NoiseModel()
+        default = depolarizing_channel(0.1)
+        special = depolarizing_channel(0.5)
+        model.add_all_qubit_error(default, ["h"])
+        model.add_qubit_error(special, ["h"], [2])
+        assert model.channel_for("h", [2]) is special
+        assert model.channel_for("h", [0]) is default
+
+    def test_repeated_add_composes(self):
+        model = NoiseModel()
+        model.add_all_qubit_error(bit_flip_channel(1.0), ["x"])
+        model.add_all_qubit_error(bit_flip_channel(1.0), ["x"])
+        assert model.channel_for("x", [0]).is_identity()
+
+    def test_readout_lookup(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError(0.05, 0.1), 1)
+        assert model.readout_confusion(1) is not None
+        assert model.readout_confusion(0) is None
+
+    def test_trivial_readout_returns_none(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError(0.0, 0.0), 0)
+        assert model.readout_confusion(0) is None
+
+    def test_is_trivial(self):
+        model = NoiseModel()
+        assert model.is_trivial()
+        model.add_all_qubit_error(depolarizing_channel(0.1), ["h"])
+        assert not model.is_trivial()
+
+    def test_noisy_gate_names(self):
+        model = NoiseModel()
+        model.add_all_qubit_error(depolarizing_channel(0.1), ["h", "cx"])
+        model.add_qubit_error(depolarizing_channel(0.2), ["t"], [0])
+        assert model.noisy_gate_names() == ("cx", "h", "t")

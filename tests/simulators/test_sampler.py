@@ -1,0 +1,77 @@
+"""Counts and Result containers."""
+
+import numpy as np
+import pytest
+
+from repro.simulators import Counts, Result
+
+
+class TestCounts:
+    def test_shots(self):
+        counts = Counts({"00": 600, "11": 424})
+        assert counts.shots == 1024
+
+    def test_probabilities(self):
+        counts = Counts({"0": 3, "1": 1})
+        assert counts.probabilities() == pytest.approx({"0": 0.75, "1": 0.25})
+
+    def test_most_frequent(self):
+        assert Counts({"01": 10, "10": 90}).most_frequent() == "10"
+
+    def test_most_frequent_tie_is_deterministic(self):
+        assert Counts({"0": 5, "1": 5}).most_frequent() == "1"
+
+    def test_most_frequent_empty(self):
+        with pytest.raises(ValueError):
+            Counts().most_frequent()
+
+    def test_empty_probabilities(self):
+        assert Counts().probabilities() == {}
+
+
+class TestResult:
+    def test_normalizes_on_construction(self):
+        result = Result({"0": 2.0, "1": 2.0}, num_clbits=1)
+        assert result.probability_of("0") == pytest.approx(0.5)
+
+    def test_from_counts(self):
+        result = Result.from_counts({"00": 512, "11": 512}, num_clbits=2)
+        assert result.shots == 1024
+        assert result.probability_of("11") == pytest.approx(0.5)
+
+    def test_probability_of_missing_state(self):
+        result = Result({"0": 1.0}, num_clbits=1)
+        assert result.probability_of("1") == 0.0
+
+    def test_most_probable(self):
+        result = Result({"00": 0.7, "01": 0.3}, num_clbits=2)
+        assert result.most_probable() == "00"
+
+    def test_most_probable_empty(self):
+        with pytest.raises(ValueError):
+            Result({}, num_clbits=1).most_probable()
+
+    def test_sample_counts_reproducible(self):
+        result = Result({"0": 0.5, "1": 0.5}, num_clbits=1)
+        a = result.sample_counts(1000, np.random.default_rng(5))
+        b = result.sample_counts(1000, np.random.default_rng(5))
+        assert a == b
+
+    def test_sample_counts_converges(self):
+        result = Result({"0": 0.8, "1": 0.2}, num_clbits=1)
+        counts = result.sample_counts(100_000, np.random.default_rng(1))
+        assert counts["0"] / 100_000 == pytest.approx(0.8, abs=0.01)
+
+    def test_get_counts_uses_default_shots(self):
+        result = Result({"0": 1.0}, num_clbits=1)
+        assert result.get_counts(rng=np.random.default_rng(0)).shots == 1024
+
+    def test_get_counts_uses_stored_shots(self):
+        result = Result({"0": 1.0}, num_clbits=1, shots=256)
+        assert result.get_counts(rng=np.random.default_rng(0)).shots == 256
+
+    def test_repr_truncates(self):
+        result = Result(
+            {f"{i:03b}": 1 / 8 for i in range(8)}, num_clbits=3
+        )
+        assert "..." in repr(result)

@@ -1,0 +1,145 @@
+"""Statevector and density-matrix simulator behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.quantum.gates as g
+from repro.quantum import QuantumCircuit
+from repro.simulators import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    ReadoutError,
+    StatevectorSimulator,
+    bit_flip_channel,
+    depolarizing_channel,
+)
+
+
+class TestStatevectorSimulator:
+    def test_bell_distribution(self, ideal_backend):
+        qc = QuantumCircuit(2, 2).h(0).cx(0, 1).measure_all()
+        probs = ideal_backend.run(qc).get_probabilities()
+        assert probs == pytest.approx({"00": 0.5, "11": 0.5})
+
+    def test_no_measurements_returns_qubit_distribution(self, ideal_backend):
+        qc = QuantumCircuit(2).x(0)
+        probs = ideal_backend.run(qc).get_probabilities()
+        assert probs == pytest.approx({"01": 1.0})
+
+    def test_partial_measurement(self, ideal_backend):
+        """Only measured qubits appear in the clbit distribution."""
+        qc = QuantumCircuit(2, 1).h(0).x(1).measure(1, 0)
+        probs = ideal_backend.run(qc).get_probabilities()
+        assert probs == pytest.approx({"1": 1.0})
+
+    def test_measure_map_crossed(self, ideal_backend):
+        qc = QuantumCircuit(2, 2).x(0)
+        qc.measure(0, 1).measure(1, 0)
+        probs = ideal_backend.run(qc).get_probabilities()
+        # qubit0=1 lands on clbit 1 (left position of the 2-bit string).
+        assert probs == pytest.approx({"10": 1.0})
+
+    def test_gate_after_measure_rejected(self, ideal_backend):
+        qc = QuantumCircuit(1, 1).measure(0, 0).h(0)
+        with pytest.raises(ValueError, match="already-measured"):
+            ideal_backend.run(qc)
+
+    def test_reset_rejected(self, ideal_backend):
+        qc = QuantumCircuit(1).reset(0)
+        with pytest.raises(ValueError, match="density-matrix"):
+            ideal_backend.run(qc)
+
+    def test_barriers_are_noops(self, ideal_backend):
+        plain = QuantumCircuit(1).h(0)
+        fenced = QuantumCircuit(1).barrier().h(0).barrier()
+        assert ideal_backend.run(plain).get_probabilities() == pytest.approx(
+            ideal_backend.run(fenced).get_probabilities()
+        )
+
+
+class TestDensityMatrixSimulator:
+    def test_noiseless_matches_statevector(self, ideal_backend, exact_backend):
+        qc = QuantumCircuit(3, 3).h(0).cx(0, 1).cx(1, 2).t(2).measure_all()
+        a = ideal_backend.run(qc).get_probabilities()
+        b = exact_backend.run(qc).get_probabilities()
+        for key in set(a) | set(b):
+            assert a.get(key, 0) == pytest.approx(b.get(key, 0), abs=1e-12)
+
+    def test_reset_supported(self, exact_backend):
+        qc = QuantumCircuit(1, 1).x(0).reset(0).measure(0, 0)
+        probs = exact_backend.run(qc).get_probabilities()
+        assert probs == pytest.approx({"0": 1.0})
+
+    def test_depolarizing_noise_spreads_distribution(self):
+        model = NoiseModel().add_all_qubit_error(
+            depolarizing_channel(0.2), ["x"]
+        )
+        backend = DensityMatrixSimulator(model)
+        qc = QuantumCircuit(1, 1).x(0).measure(0, 0)
+        probs = backend.run(qc).get_probabilities()
+        assert probs["1"] < 1.0
+        assert probs["0"] > 0.0
+        assert probs["1"] == pytest.approx(1 - 0.2 / 2, abs=1e-9)
+
+    def test_deterministic_bit_flip(self):
+        model = NoiseModel().add_all_qubit_error(bit_flip_channel(1.0), ["id"])
+        backend = DensityMatrixSimulator(model)
+        qc = QuantumCircuit(1, 1).id(0).measure(0, 0)
+        assert backend.run(qc).get_probabilities() == pytest.approx({"1": 1.0})
+
+    def test_one_qubit_channel_on_two_qubit_gate(self):
+        """1q channels attached to cx act on both operands independently."""
+        model = NoiseModel().add_all_qubit_error(bit_flip_channel(1.0), ["cx"])
+        backend = DensityMatrixSimulator(model)
+        qc = QuantumCircuit(2, 2).cx(0, 1).measure_all()
+        # ideal cx on |00> is |00>; both qubits then flip.
+        assert backend.run(qc).get_probabilities() == pytest.approx({"11": 1.0})
+
+    def test_arity_mismatch_rejected(self):
+        model = NoiseModel().add_all_qubit_error(
+            depolarizing_channel(0.1, num_qubits=2), ["h"]
+        )
+        backend = DensityMatrixSimulator(model)
+        qc = QuantumCircuit(1).h(0)
+        with pytest.raises(ValueError, match="arity"):
+            backend.run(qc)
+
+    def test_readout_error_shifts_probabilities(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError(0.1, 0.0), 0)
+        backend = DensityMatrixSimulator(model)
+        qc = QuantumCircuit(1, 1).measure(0, 0)
+        probs = backend.run(qc).get_probabilities()
+        assert probs == pytest.approx({"0": 0.9, "1": 0.1})
+
+    def test_readout_error_only_on_measured_qubits(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError(0.5, 0.5), 1)
+        backend = DensityMatrixSimulator(model)
+        qc = QuantumCircuit(2, 1).measure(0, 0)  # qubit 1 unmeasured
+        assert backend.run(qc).get_probabilities() == pytest.approx({"0": 1.0})
+
+    def test_noise_only_on_named_gates(self):
+        model = NoiseModel().add_all_qubit_error(bit_flip_channel(1.0), ["x"])
+        backend = DensityMatrixSimulator(model)
+        qc = QuantumCircuit(1, 1).h(0).h(0).measure(0, 0)  # no x gates
+        assert backend.run(qc).get_probabilities() == pytest.approx({"0": 1.0})
+
+    def test_metadata_records_noise_model(self, noisy_backend):
+        qc = QuantumCircuit(1, 1).measure(0, 0)
+        result = noisy_backend.run(qc)
+        assert result.metadata["noise_model"] == "light"
+
+    def test_density_matrix_accessor(self, exact_backend):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        rho = exact_backend.density_matrix(qc)
+        assert rho.is_valid()
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_noise_reduces_purity(self, noisy_backend):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        rho = noisy_backend.density_matrix(qc)
+        assert rho.purity() < 1.0
+        assert rho.is_valid()

@@ -1,0 +1,138 @@
+"""Trajectory simulator: convergence to the exact density-matrix engine."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import QuantumCircuit
+from repro.simulators import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    ReadoutError,
+    TrajectorySimulator,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+)
+
+
+def _distance(a, b):
+    keys = set(a) | set(b)
+    return 0.5 * sum(abs(a.get(k, 0) - b.get(k, 0)) for k in keys)
+
+
+class TestNoiselessAgreement:
+    def test_matches_exact_on_bell_state(self):
+        qc = QuantumCircuit(2, 2).h(0).cx(0, 1).measure_all()
+        trajectory = TrajectorySimulator(trajectories=8, seed=1)
+        exact = DensityMatrixSimulator()
+        assert _distance(
+            trajectory.run(qc).get_probabilities(),
+            exact.run(qc).get_probabilities(),
+        ) < 1e-12  # no noise -> every trajectory is identical
+
+    def test_deterministic_channel_needs_one_trajectory(self):
+        model = NoiseModel().add_all_qubit_error(bit_flip_channel(1.0), ["id"])
+        qc = QuantumCircuit(1, 1).id(0).measure(0, 0)
+        trajectory = TrajectorySimulator(model, trajectories=1, seed=0)
+        assert trajectory.run(qc).get_probabilities() == pytest.approx(
+            {"1": 1.0}
+        )
+
+
+class TestNoisyConvergence:
+    @pytest.mark.parametrize(
+        "channel_factory,gates",
+        [
+            (lambda: depolarizing_channel(0.15), ["h"]),
+            (lambda: amplitude_damping_channel(0.3), ["x"]),
+        ],
+        ids=["depolarizing", "amplitude-damping"],
+    )
+    def test_converges_to_density_matrix(self, channel_factory, gates):
+        model = NoiseModel().add_all_qubit_error(channel_factory(), gates)
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).x(1).cx(0, 1).measure_all()
+        exact = DensityMatrixSimulator(model).run(qc).get_probabilities()
+        sampled = (
+            TrajectorySimulator(model, trajectories=3000, seed=7)
+            .run(qc)
+            .get_probabilities()
+        )
+        assert _distance(exact, sampled) < 0.03
+
+    def test_error_shrinks_with_trajectories(self):
+        model = NoiseModel().add_all_qubit_error(
+            depolarizing_channel(0.2), ["h"]
+        )
+        qc = QuantumCircuit(1, 1).h(0).h(0).measure(0, 0)
+        exact = DensityMatrixSimulator(model).run(qc).get_probabilities()
+
+        def error(n, seed):
+            sampled = (
+                TrajectorySimulator(model, trajectories=n, seed=seed)
+                .run(qc)
+                .get_probabilities()
+            )
+            return _distance(exact, sampled)
+
+        few = np.mean([error(20, s) for s in range(6)])
+        many = np.mean([error(2000, s) for s in range(6)])
+        assert many < few
+
+    def test_readout_error_applied(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError(0.1, 0.0), 0)
+        qc = QuantumCircuit(1, 1).measure(0, 0)
+        result = TrajectorySimulator(model, trajectories=4, seed=2).run(qc)
+        assert result.get_probabilities() == pytest.approx(
+            {"0": 0.9, "1": 0.1}
+        )
+
+    def test_reset_supported(self):
+        qc = QuantumCircuit(1, 1).x(0).reset(0).measure(0, 0)
+        result = TrajectorySimulator(trajectories=4, seed=3).run(qc)
+        assert result.get_probabilities() == pytest.approx({"0": 1.0})
+
+    def test_one_qubit_channel_on_cx(self):
+        model = NoiseModel().add_all_qubit_error(bit_flip_channel(1.0), ["cx"])
+        qc = QuantumCircuit(2, 2).cx(0, 1).measure_all()
+        result = TrajectorySimulator(model, trajectories=2, seed=4).run(qc)
+        assert result.get_probabilities() == pytest.approx({"11": 1.0})
+
+
+class TestValidation:
+    def test_trajectory_count_validated(self):
+        with pytest.raises(ValueError):
+            TrajectorySimulator(trajectories=0)
+
+    def test_gate_after_measure_rejected(self):
+        qc = QuantumCircuit(1, 1).measure(0, 0).x(0)
+        with pytest.raises(ValueError, match="already-measured"):
+            TrajectorySimulator(trajectories=1, seed=0).run(qc)
+
+    def test_seeded_runs_reproducible(self):
+        model = NoiseModel().add_all_qubit_error(
+            depolarizing_channel(0.3), ["h"]
+        )
+        qc = QuantumCircuit(1, 1).h(0).measure(0, 0)
+        a = TrajectorySimulator(model, trajectories=50).run(qc, seed=9)
+        b = TrajectorySimulator(model, trajectories=50).run(qc, seed=9)
+        assert a.get_probabilities() == b.get_probabilities()
+
+
+class TestAsQuFIBackend:
+    def test_campaign_on_trajectory_backend(self):
+        """QuFI accepts the trajectory engine as a drop-in backend."""
+        from repro.algorithms import bernstein_vazirani
+        from repro.faults import QuFI, fault_grid
+
+        model = NoiseModel().add_all_qubit_error(
+            depolarizing_channel(0.01), ["h", "x", "cx"]
+        )
+        spec = bernstein_vazirani(3)
+        qufi = QuFI(TrajectorySimulator(model, trajectories=400, seed=5))
+        campaign = qufi.run_campaign(spec, faults=fault_grid(step_deg=90))
+        exact = QuFI(DensityMatrixSimulator(model)).run_campaign(
+            spec, faults=fault_grid(step_deg=90)
+        )
+        assert abs(campaign.mean_qvf() - exact.mean_qvf()) < 0.05

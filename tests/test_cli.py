@@ -1,0 +1,121 @@
+"""Command-line interface tests (direct main() invocation)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--algorithm", "shor", "--output", "x.json"]
+            )
+
+
+class TestCircuits:
+    def test_lists_all_algorithms(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == {"bv", "dj", "qft", "ghz", "grover", "qpe"}
+
+
+class TestQasm:
+    def test_emits_valid_qasm(self, capsys):
+        assert main(["qasm", "--algorithm", "bv", "--width", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OPENQASM 2.0;")
+        assert "qreg q[4];" in out
+
+    def test_roundtrips_through_parser(self, capsys):
+        from repro.quantum import circuit_from_qasm
+
+        main(["qasm", "--algorithm", "ghz", "--width", "3"])
+        out = capsys.readouterr().out
+        circuit = circuit_from_qasm(out)
+        assert circuit.num_qubits == 3
+
+
+class TestCampaign:
+    def test_runs_and_saves_json(self, tmp_path, capsys):
+        output = str(tmp_path / "bv.json")
+        code = main(
+            [
+                "campaign",
+                "--algorithm",
+                "bv",
+                "--width",
+                "3",
+                "--grid-step",
+                "90",
+                "--noise",
+                "none",
+                "--output",
+                output,
+            ]
+        )
+        assert code == 0
+        with open(output) as handle:
+            data = json.load(handle)
+        assert data["circuit_name"] == "bernstein_vazirani_3q"
+        assert len(data["records"]) > 0
+        stdout = capsys.readouterr().out
+        assert "mean QVF" in stdout
+
+    def test_noisy_campaign_with_shots(self, tmp_path):
+        output = str(tmp_path / "noisy.json")
+        code = main(
+            [
+                "campaign",
+                "--algorithm",
+                "ghz",
+                "--width",
+                "3",
+                "--grid-step",
+                "90",
+                "--noise",
+                "light",
+                "--shots",
+                "256",
+                "--seed",
+                "1",
+                "--output",
+                output,
+            ]
+        )
+        assert code == 0
+        with open(output) as handle:
+            data = json.load(handle)
+        assert data["metadata"]["shots"] == 256
+
+
+class TestReport:
+    def test_report_from_saved_campaign(self, tmp_path, capsys):
+        output = str(tmp_path / "dj.json")
+        main(
+            [
+                "campaign",
+                "--algorithm",
+                "dj",
+                "--width",
+                "3",
+                "--grid-step",
+                "90",
+                "--noise",
+                "none",
+                "--output",
+                output,
+            ]
+        )
+        capsys.readouterr()  # clear campaign stdout
+        assert main(["report", "--input", output, "--top", "3"]) == 0
+        report = capsys.readouterr().out
+        assert "# QuFI campaign report" in report
+        assert "deutsch_jozsa_3q" in report
+        assert "| 3 |" in report and "| 4 |" not in report

@@ -1,0 +1,120 @@
+"""Basis lowering: every decomposition must be exact up to global phase."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.quantum.gates as g
+from repro.quantum import Operator, QuantumCircuit
+from repro.quantum.gates import GATE_CLASSES
+from repro.quantum.random import random_unitary
+from repro.transpiler import gate_to_u, lower_to_basis, zyz_angles
+
+
+class TestZYZ:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reconstructs_random_unitary(self, seed):
+        matrix = random_unitary(1, seed=seed)
+        theta, phi, lam, phase = zyz_angles(matrix)
+        rebuilt = np.exp(1j * phase) * g.UGate(theta, phi, lam).matrix
+        assert np.allclose(rebuilt, matrix, atol=1e-10)
+
+    @pytest.mark.parametrize(
+        "gate",
+        [g.XGate(), g.YGate(), g.ZGate(), g.HGate(), g.SGate(), g.TGate(),
+         g.SXGate(), g.IGate()],
+        ids=lambda x: x.name,
+    )
+    def test_named_gates(self, gate):
+        theta, phi, lam, phase = zyz_angles(gate.matrix)
+        rebuilt = np.exp(1j * phase) * g.UGate(theta, phi, lam).matrix
+        assert np.allclose(rebuilt, gate.matrix, atol=1e-10)
+
+    def test_identity_angles(self):
+        theta, phi, lam, phase = zyz_angles(np.eye(2))
+        assert theta == pytest.approx(0.0)
+        assert abs(phase) == pytest.approx(0.0)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="single-qubit"):
+            zyz_angles(np.eye(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_roundtrip(self, seed):
+        matrix = random_unitary(1, seed=seed)
+        theta, phi, lam, phase = zyz_angles(matrix)
+        assert 0.0 <= theta <= math.pi + 1e-9
+        rebuilt = np.exp(1j * phase) * g.UGate(theta, phi, lam).matrix
+        assert np.allclose(rebuilt, matrix, atol=1e-9)
+
+
+def _parameterized_gates():
+    rng = np.random.default_rng(3)
+    out = []
+    for name, cls in GATE_CLASSES.items():
+        if name in ("measure", "reset"):
+            continue
+        params = rng.uniform(0.2, 2 * math.pi - 0.2, size=cls.num_params)
+        out.append(cls(*params))
+    return out
+
+
+class TestLowering:
+    @pytest.mark.parametrize("gate", _parameterized_gates(), ids=lambda x: x.name)
+    def test_every_gate_lowers_exactly(self, gate):
+        qc = QuantumCircuit(gate.num_qubits)
+        qc.append(gate, list(range(gate.num_qubits)))
+        lowered = lower_to_basis(qc)
+        assert set(lowered.count_ops()) <= {"u", "cx"}
+        assert Operator.from_circuit(lowered).equiv(
+            Operator.from_circuit(qc), tol=1e-8
+        )
+
+    def test_gate_to_u(self):
+        u = gate_to_u(g.HGate())
+        assert u.name == "u"
+        assert Operator.from_gate(u).equiv(Operator.from_gate(g.HGate()))
+
+    def test_identity_gates_dropped(self):
+        qc = QuantumCircuit(1).id(0).rz(0.0, 0)
+        lowered = lower_to_basis(qc)
+        assert len(lowered) == 0
+
+    def test_measurements_preserved(self):
+        qc = QuantumCircuit(1, 1).h(0).measure(0, 0)
+        lowered = lower_to_basis(qc)
+        assert lowered.has_measurements()
+        assert lowered[-1].clbits == (0,)
+
+    def test_barrier_preserved(self):
+        qc = QuantumCircuit(2).barrier()
+        lowered = lower_to_basis(qc)
+        assert lowered[0].name == "barrier"
+
+    def test_keep_swaps_flag(self):
+        qc = QuantumCircuit(2).swap(0, 1)
+        kept = lower_to_basis(qc, keep_swaps=True)
+        assert kept.count_ops() == {"swap": 1}
+        expanded = lower_to_basis(qc)
+        assert expanded.count_ops() == {"cx": 3}
+
+    def test_whole_circuit_semantics(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).crz(0.4, 0, 1).ccx(0, 1, 2).swap(1, 2).cp(1.1, 0, 2)
+        lowered = lower_to_basis(qc)
+        assert Operator.from_circuit(lowered).equiv(
+            Operator.from_circuit(qc), tol=1e-8
+        )
+
+    def test_qft_lowering(self):
+        from repro.algorithms import qft_transform
+
+        qc = qft_transform(4)
+        lowered = lower_to_basis(qc)
+        assert set(lowered.count_ops()) <= {"u", "cx"}
+        assert Operator.from_circuit(lowered).equiv(
+            Operator.from_circuit(qc), tol=1e-8
+        )

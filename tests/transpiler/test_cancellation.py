@@ -1,0 +1,126 @@
+"""Gate cancellation and rotation merging."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum import Operator, QuantumCircuit, random_circuit
+from repro.transpiler import (
+    cancel_adjacent_inverses,
+    cancel_gates,
+    merge_rotations,
+)
+
+
+class TestCancelInverses:
+    def test_cx_pair_cancels(self):
+        qc = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        assert len(cancel_adjacent_inverses(qc)) == 0
+
+    def test_cx_chain_of_four_cancels(self):
+        qc = QuantumCircuit(2)
+        for _ in range(4):
+            qc.cx(0, 1)
+        assert len(cancel_adjacent_inverses(qc)) == 0
+
+    def test_odd_chain_leaves_one(self):
+        qc = QuantumCircuit(2).cx(0, 1).cx(0, 1).cx(0, 1)
+        assert cancel_adjacent_inverses(qc).count_ops() == {"cx": 1}
+
+    def test_reversed_operands_do_not_cancel(self):
+        qc = QuantumCircuit(2).cx(0, 1).cx(1, 0)
+        assert cancel_adjacent_inverses(qc).count_ops() == {"cx": 2}
+
+    def test_disjoint_gate_between_pair_allows_cancellation(self):
+        qc = QuantumCircuit(3).cx(0, 1).h(2).cx(0, 1)
+        cancelled = cancel_adjacent_inverses(qc)
+        assert cancelled.count_ops() == {"h": 1}
+
+    def test_blocking_gate_prevents_cancellation(self):
+        qc = QuantumCircuit(2).cx(0, 1).z(1).cx(0, 1)
+        cancelled = cancel_adjacent_inverses(qc)
+        assert cancelled.count_ops() == {"cx": 2, "z": 1}
+
+    def test_measure_blocks(self):
+        qc = QuantumCircuit(1, 1).h(0).measure(0, 0)
+        out = cancel_adjacent_inverses(qc)
+        assert out.count_ops() == {"h": 1, "measure": 1}
+
+    def test_semantics_preserved(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).cx(0, 1).z(2).swap(1, 2).swap(1, 2).h(0)
+        cancelled = cancel_adjacent_inverses(qc)
+        assert Operator.from_circuit(cancelled).equiv(Operator.from_circuit(qc))
+        assert cancelled.size() < qc.size()
+
+
+class TestMergeRotations:
+    def test_rz_pair_merges(self):
+        qc = QuantumCircuit(1).rz(0.3, 0).rz(0.4, 0)
+        merged = merge_rotations(qc)
+        assert merged.count_ops() == {"rz": 1}
+        assert merged[0].gate.params[0] == pytest.approx(0.7)
+
+    def test_opposite_rotations_vanish(self):
+        qc = QuantumCircuit(1).rx(0.9, 0).rx(-0.9, 0)
+        assert len(merge_rotations(qc)) == 0
+
+    def test_full_period_vanishes(self):
+        qc = QuantumCircuit(1).p(math.pi, 0).p(math.pi, 0)
+        assert len(merge_rotations(qc)) == 0
+
+    def test_cp_merges(self):
+        qc = QuantumCircuit(2).cp(0.2, 0, 1).cp(0.3, 0, 1)
+        merged = merge_rotations(qc)
+        assert merged.count_ops() == {"cp": 1}
+        assert merged[0].gate.params[0] == pytest.approx(0.5)
+
+    def test_different_axes_do_not_merge(self):
+        qc = QuantumCircuit(1).rz(0.3, 0).rx(0.3, 0)
+        assert merge_rotations(qc).count_ops() == {"rz": 1, "rx": 1}
+
+    def test_intervening_gate_blocks_merge(self):
+        qc = QuantumCircuit(1).rz(0.3, 0).h(0).rz(0.3, 0)
+        merged = merge_rotations(qc)
+        assert merged.count_ops() == {"rz": 2, "h": 1}
+        # Order preserved: rz h rz.
+        assert [i.name for i in merged] == ["rz", "h", "rz"]
+
+    def test_disjoint_qubits_merge_independently(self):
+        qc = QuantumCircuit(2).rz(0.1, 0).rz(0.2, 1).rz(0.3, 0).rz(0.4, 1)
+        merged = merge_rotations(qc)
+        assert merged.count_ops() == {"rz": 2}
+
+    def test_semantics_preserved(self):
+        qc = QuantumCircuit(2)
+        qc.rz(0.3, 0).cp(0.2, 0, 1).cp(0.5, 0, 1).rz(0.4, 0).rx(1.0, 1)
+        merged = merge_rotations(qc)
+        assert Operator.from_circuit(merged).equiv(Operator.from_circuit(qc))
+
+
+class TestCancelGatesPipeline:
+    def test_combined(self):
+        qc = QuantumCircuit(2)
+        qc.rz(0.5, 0).rz(-0.5, 0).cx(0, 1).cx(0, 1).h(0).h(0)
+        assert len(cancel_gates(qc)) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_semantics_preserved(self, seed):
+        qc = random_circuit(3, 4, seed=seed)
+        cleaned = cancel_gates(qc)
+        assert Operator.from_circuit(cleaned).equiv(
+            Operator.from_circuit(qc), tol=1e-8
+        )
+        assert cleaned.size() <= qc.size()
+
+    def test_qft_roundtrip_shrinks(self):
+        """QFT followed by its inverse collapses substantially."""
+        from repro.algorithms import qft_transform
+
+        forward = qft_transform(4)
+        roundtrip = forward.compose(forward.inverse())
+        cleaned = cancel_gates(roundtrip)
+        assert cleaned.size() < roundtrip.size()
+        assert Operator.from_circuit(cleaned).equiv(Operator.identity(4))

@@ -1,0 +1,153 @@
+"""Layout selection and SWAP routing."""
+
+import pytest
+
+import repro.quantum.gates as g
+from repro.quantum import QuantumCircuit
+from repro.transpiler import (
+    Layout,
+    casablanca_topology,
+    dense_layout,
+    interaction_graph,
+    linear_topology,
+    route,
+    trivial_layout,
+)
+
+
+class TestLayout:
+    def test_bijection(self):
+        layout = Layout({0: 3, 1: 5})
+        assert layout.physical(0) == 3
+        assert layout.logical(5) == 1
+        assert layout.logical(4) is None
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(ValueError, match="injective"):
+            Layout({0: 1, 1: 1})
+
+    def test_swap_physical_updates_both_sides(self):
+        layout = Layout({0: 1, 1: 2})
+        layout.swap_physical(1, 2)
+        assert layout.physical(0) == 2
+        assert layout.physical(1) == 1
+
+    def test_swap_with_unoccupied_physical(self):
+        layout = Layout({0: 1})
+        layout.swap_physical(1, 5)
+        assert layout.physical(0) == 5
+        assert layout.logical(1) is None
+
+    def test_copy_independent(self):
+        layout = Layout({0: 0})
+        clone = layout.copy()
+        clone.swap_physical(0, 1)
+        assert layout.physical(0) == 0
+
+
+class TestInteractionGraph:
+    def test_weights_count_two_qubit_gates(self):
+        qc = QuantumCircuit(3).cx(0, 1).cx(0, 1).cx(1, 2)
+        graph = interaction_graph(qc)
+        assert graph[0][1]["weight"] == 2
+        assert graph[1][2]["weight"] == 1
+
+    def test_single_qubit_gates_ignored(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        assert interaction_graph(qc).number_of_edges() == 0
+
+
+class TestInitialLayouts:
+    def test_trivial(self):
+        qc = QuantumCircuit(3)
+        layout = trivial_layout(qc, casablanca_topology())
+        assert layout.as_dict() == {0: 0, 1: 1, 2: 2}
+
+    def test_trivial_too_wide(self):
+        qc = QuantumCircuit(9)
+        with pytest.raises(ValueError, match="device has 7"):
+            trivial_layout(qc, casablanca_topology())
+
+    def test_dense_picks_connected_region(self):
+        qc = QuantumCircuit(4).cx(0, 1).cx(1, 2).cx(2, 3)
+        layout = dense_layout(qc, casablanca_topology())
+        used = sorted(layout.physical(q) for q in range(4))
+        cmap = casablanca_topology()
+        # Region must be connected.
+        sub = cmap.graph.subgraph(used)
+        import networkx as nx
+
+        assert nx.is_connected(sub)
+
+    def test_dense_prefers_hub_qubits(self):
+        """The busiest logical qubit should land on a high-degree hub."""
+        qc = QuantumCircuit(3).cx(0, 1).cx(0, 2)
+        layout = dense_layout(qc, casablanca_topology())
+        hub = layout.physical(0)
+        assert casablanca_topology().degree(hub) >= 2
+
+
+class TestRouting:
+    def _check_all_coupled(self, circuit, cmap):
+        for inst in circuit:
+            if inst.is_unitary() and len(inst.qubits) == 2:
+                assert cmap.are_connected(*inst.qubits), inst
+
+    def test_adjacent_gate_needs_no_swap(self):
+        qc = QuantumCircuit(2).cx(0, 1)
+        cmap = linear_topology(3)
+        result = route(qc, cmap, trivial_layout(qc, cmap))
+        assert result.swap_count == 0
+
+    def test_distant_gate_inserts_swaps(self):
+        qc = QuantumCircuit(4).cx(0, 3)
+        cmap = linear_topology(4)
+        result = route(qc, cmap, trivial_layout(qc, cmap))
+        assert result.swap_count == 2
+        self._check_all_coupled(result.circuit, cmap)
+
+    def test_final_layout_tracks_swaps(self):
+        qc = QuantumCircuit(3).cx(0, 2)
+        cmap = linear_topology(3)
+        result = route(qc, cmap, trivial_layout(qc, cmap))
+        assert result.swap_count == 1
+        moved = {result.final_layout.physical(q) for q in range(3)}
+        assert moved == {0, 1, 2}
+        assert result.initial_layout.as_dict() == {0: 0, 1: 1, 2: 2}
+
+    def test_measurements_follow_layout(self):
+        qc = QuantumCircuit(3, 3).cx(0, 2).measure(0, 0)
+        cmap = linear_topology(3)
+        result = route(qc, cmap, trivial_layout(qc, cmap))
+        measures = [i for i in result.circuit if i.name == "measure"]
+        assert measures[0].qubits[0] == result.final_layout.physical(0)
+        assert measures[0].clbits == (0,)
+
+    def test_semantics_preserved(self, ideal_backend):
+        qc = QuantumCircuit(4, 4).h(0).cx(0, 3).cx(1, 2).cx(0, 2)
+        qc.measure_all()
+        cmap = linear_topology(4)
+        result = route(qc, cmap, trivial_layout(qc, cmap))
+        a = ideal_backend.run(qc).get_probabilities()
+        b = ideal_backend.run(result.circuit).get_probabilities()
+        for key in set(a) | set(b):
+            assert a.get(key, 0) == pytest.approx(b.get(key, 0), abs=1e-9)
+
+    def test_three_qubit_gates_rejected(self):
+        qc = QuantumCircuit(3).ccx(0, 1, 2)
+        cmap = linear_topology(3)
+        with pytest.raises(ValueError, match="basis pass"):
+            route(qc, cmap, trivial_layout(qc, cmap))
+
+    def test_lookahead_not_worse_than_naive(self):
+        """Lookahead routing should not use more SWAPs on a QFT-like mesh."""
+        import math
+
+        qc = QuantumCircuit(5)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                qc.cp(math.pi / 2 ** (j - i), i, j)
+        cmap = linear_topology(5)
+        naive = route(qc, cmap, trivial_layout(qc, cmap), lookahead=0)
+        smart = route(qc, cmap, trivial_layout(qc, cmap), lookahead=8)
+        assert smart.swap_count <= naive.swap_count

@@ -1,0 +1,137 @@
+"""Peephole optimization and the full transpile pipeline."""
+
+import math
+
+import pytest
+
+import repro.quantum.gates as g
+from repro.algorithms import bernstein_vazirani, deutsch_jozsa, qft
+from repro.quantum import Operator, QuantumCircuit
+from repro.simulators import StatevectorSimulator
+from repro.transpiler import (
+    casablanca_topology,
+    drop_identities,
+    fuse_single_qubit_runs,
+    jakarta_topology,
+    linear_topology,
+    optimize_circuit,
+    transpile,
+)
+
+
+class TestFusion:
+    def test_run_collapses_to_single_u(self):
+        qc = QuantumCircuit(1).h(0).t(0).s(0).h(0)
+        fused = fuse_single_qubit_runs(qc)
+        assert len(fused) == 1
+        assert fused[0].name == "u"
+        assert Operator.from_circuit(fused).equiv(Operator.from_circuit(qc))
+
+    def test_identity_run_disappears(self):
+        qc = QuantumCircuit(1).h(0).h(0)
+        assert len(fuse_single_qubit_runs(qc)) == 0
+
+    def test_two_qubit_gate_breaks_run(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).h(0)
+        fused = fuse_single_qubit_runs(qc)
+        assert fused.count_ops()["u"] == 2
+        assert Operator.from_circuit(fused).equiv(Operator.from_circuit(qc))
+
+    def test_measure_flushes_pending(self):
+        qc = QuantumCircuit(1, 1).h(0).t(0).measure(0, 0)
+        fused = fuse_single_qubit_runs(qc)
+        names = [i.name for i in fused]
+        assert names == ["u", "measure"]
+
+    def test_independent_wires_fuse_separately(self):
+        qc = QuantumCircuit(2).h(0).t(0).x(1).z(1)
+        fused = fuse_single_qubit_runs(qc)
+        assert fused.count_ops() == {"u": 2}
+        assert Operator.from_circuit(fused).equiv(Operator.from_circuit(qc))
+
+
+class TestDropIdentities:
+    def test_drops_ids_and_zero_rotations(self):
+        qc = QuantumCircuit(1).id(0).rz(0.0, 0).x(0)
+        cleaned = drop_identities(qc)
+        assert cleaned.count_ops() == {"x": 1}
+
+    def test_optimize_combined(self):
+        qc = QuantumCircuit(1).id(0).h(0).h(0).id(0)
+        assert len(optimize_circuit(qc)) == 0
+
+
+class TestTranspile:
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    def test_levels_preserve_semantics(self, level):
+        backend = StatevectorSimulator()
+        spec = bernstein_vazirani(4)
+        result = transpile(spec.circuit, casablanca_topology(), level)
+        original = backend.run(spec.circuit).get_probabilities()
+        mapped = backend.run(result.circuit).get_probabilities()
+        for key in set(original) | set(mapped):
+            assert original.get(key, 0) == pytest.approx(
+                mapped.get(key, 0), abs=1e-9
+            )
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError, match="0..3"):
+            transpile(QuantumCircuit(1), casablanca_topology(), 5)
+
+    def test_output_in_basis(self):
+        spec = qft(4)
+        result = transpile(spec.circuit, casablanca_topology(), 3)
+        assert set(result.circuit.count_ops()) <= {"u", "cx", "swap", "measure"}
+
+    def test_two_qubit_gates_respect_coupling(self):
+        spec = qft(5)
+        cmap = linear_topology(5)
+        result = transpile(spec.circuit, cmap, 3)
+        for inst in result.circuit:
+            if inst.is_unitary() and len(inst.qubits) == 2:
+                assert cmap.are_connected(*inst.qubits)
+
+    def test_level3_no_worse_than_level0_swaps(self):
+        spec = qft(5)
+        cmap = linear_topology(5)
+        level0 = transpile(spec.circuit, cmap, 0)
+        level3 = transpile(spec.circuit, cmap, 3)
+        assert level3.swap_count <= level0.swap_count
+
+    def test_neighbor_couples_are_physical_edges(self):
+        spec = bernstein_vazirani(4)
+        result = transpile(spec.circuit, jakarta_topology(), 3)
+        layout = result.final_layout
+        for log_a, log_b in result.neighbor_couples():
+            assert result.coupling.are_connected(
+                layout.physical(log_a), layout.physical(log_b)
+            )
+
+    def test_physical_neighbors_of(self):
+        spec = bernstein_vazirani(4)
+        result = transpile(spec.circuit, jakarta_topology(), 3)
+        couples = result.neighbor_couples()
+        for log_a, log_b in couples:
+            assert log_b in result.physical_neighbors_of(log_a)
+            assert log_a in result.physical_neighbors_of(log_b)
+
+    def test_layout_roundtrip(self):
+        spec = deutsch_jozsa(4)
+        result = transpile(spec.circuit, jakarta_topology(), 3)
+        for logical in range(4):
+            physical = result.physical_qubit_of(logical)
+            assert result.logical_qubit_of(physical) == logical
+
+    @pytest.mark.parametrize(
+        "builder", [bernstein_vazirani, deutsch_jozsa, qft], ids=["bv", "dj", "qft"]
+    )
+    @pytest.mark.parametrize("width", [4, 5, 6, 7])
+    def test_all_paper_circuits_transpile(self, builder, width):
+        """Every (circuit, scale) pair of the paper maps onto Jakarta."""
+        backend = StatevectorSimulator()
+        spec = builder(width)
+        result = transpile(spec.circuit, jakarta_topology(), 3)
+        probs = backend.run(result.circuit).get_probabilities()
+        best = max(probs.items(), key=lambda kv: kv[1])[0]
+        assert best == spec.correct_states[0]
+        assert probs[best] == pytest.approx(1.0, abs=1e-9)

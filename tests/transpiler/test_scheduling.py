@@ -1,0 +1,94 @@
+"""ASAP scheduling and idle-window extraction."""
+
+import pytest
+
+from repro.quantum import QuantumCircuit
+from repro.transpiler import DEFAULT_DURATIONS, schedule_circuit
+
+
+class TestBasicScheduling:
+    def test_serial_chain(self):
+        qc = QuantumCircuit(1).h(0).x(0).z(0)
+        schedule = schedule_circuit(qc)
+        starts = [t.start for t in schedule.timings]
+        assert starts == sorted(starts)
+        assert schedule.total_duration == pytest.approx(3 * 35e-9)
+        assert schedule.idle_windows == []
+
+    def test_parallel_gates_share_start(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        schedule = schedule_circuit(qc)
+        assert schedule.timings[0].start == schedule.timings[1].start == 0.0
+        assert schedule.total_duration == pytest.approx(35e-9)
+
+    def test_two_qubit_gate_waits_for_both(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        schedule = schedule_circuit(qc)
+        cx_timing = schedule.timings[1]
+        assert cx_timing.start == pytest.approx(35e-9)
+        assert cx_timing.duration == DEFAULT_DURATIONS["cx"]
+
+    def test_idle_window_detected(self):
+        """Qubit 1 idles while qubit 0 runs three gates before their CX."""
+        qc = QuantumCircuit(2).h(0).x(0).z(0).h(1).cx(0, 1)
+        schedule = schedule_circuit(qc)
+        idle = [w for w in schedule.idle_windows if w.qubit == 1]
+        assert len(idle) == 1
+        assert idle[0].duration == pytest.approx(2 * 35e-9)
+
+    def test_barrier_synchronizes_at_zero_cost(self):
+        qc = QuantumCircuit(2).h(0).barrier().h(1)
+        schedule = schedule_circuit(qc)
+        h1 = schedule.timings[-1]
+        assert h1.start == pytest.approx(35e-9)  # waits for the barrier
+        assert schedule.total_duration == pytest.approx(2 * 35e-9)
+
+    def test_measure_duration(self):
+        qc = QuantumCircuit(1, 1).measure(0, 0)
+        schedule = schedule_circuit(qc)
+        assert schedule.total_duration == DEFAULT_DURATIONS["measure"]
+
+    def test_ufault_is_instantaneous(self):
+        from repro.faults import PhaseShiftFault
+
+        qc = QuantumCircuit(1).h(0)
+        qc.append(PhaseShiftFault(0.3, 0.1).as_gate(), [0])
+        qc.x(0)
+        schedule = schedule_circuit(qc)
+        assert schedule.total_duration == pytest.approx(2 * 35e-9)
+
+    def test_custom_durations(self):
+        qc = QuantumCircuit(1).h(0)
+        schedule = schedule_circuit(qc, durations={"h": 1e-6})
+        assert schedule.total_duration == pytest.approx(1e-6)
+
+
+class TestScheduleQueries:
+    def test_active_and_idle_accounting(self):
+        qc = QuantumCircuit(2).h(0).x(0).h(1).cx(0, 1)
+        schedule = schedule_circuit(qc)
+        assert schedule.qubit_active_time(0) == pytest.approx(
+            2 * 35e-9 + DEFAULT_DURATIONS["cx"]
+        )
+        assert schedule.qubit_idle_time(1) == pytest.approx(35e-9)
+
+    def test_critical_path_monotone(self):
+        from repro.algorithms import qft
+
+        schedule = schedule_circuit(qft(4).circuit)
+        path = schedule.critical_path()
+        ends = [t.end for t in path]
+        assert ends == sorted(ends)
+        assert ends[-1] == pytest.approx(schedule.total_duration)
+
+    def test_summary_renders(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        text = schedule_circuit(qc).summary()
+        assert "duration" in text and "q0" in text
+
+    def test_deeper_circuit_takes_longer(self):
+        from repro.algorithms import qft
+
+        small = schedule_circuit(qft(4).circuit).total_duration
+        large = schedule_circuit(qft(6).circuit).total_duration
+        assert large > small

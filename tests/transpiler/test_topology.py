@@ -1,0 +1,114 @@
+"""Coupling map and named topology tests."""
+
+import networkx as nx
+import pytest
+
+from repro.transpiler import (
+    CouplingMap,
+    casablanca_topology,
+    full_topology,
+    grid_topology,
+    guadalupe_topology,
+    heavy_hex_topology,
+    jakarta_topology,
+    linear_topology,
+    montreal_topology,
+    ring_topology,
+)
+
+
+class TestCouplingMap:
+    def test_edges_normalized(self):
+        cmap = CouplingMap([(1, 0), (2, 1)])
+        assert cmap.edges == [(0, 1), (1, 2)]
+
+    def test_num_qubits_from_max_node(self):
+        assert CouplingMap([(0, 5)]).num_qubits == 6
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            CouplingMap([(1, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one edge"):
+            CouplingMap([])
+
+    def test_connectivity_queries(self):
+        cmap = linear_topology(4)
+        assert cmap.are_connected(0, 1)
+        assert not cmap.are_connected(0, 2)
+        assert cmap.neighbors(1) == (0, 2)
+        assert cmap.distance(0, 3) == 3
+        assert cmap.shortest_path(0, 3) == [0, 1, 2, 3]
+
+    def test_distance_disconnected(self):
+        cmap = CouplingMap([(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="not connected"):
+            cmap.distance(0, 3)
+
+    def test_neighbor_pairs(self):
+        cmap = casablanca_topology()
+        pairs = cmap.neighbor_pairs([0, 1, 3])
+        assert pairs == [(0, 1), (1, 3)]
+
+    def test_degree(self):
+        assert casablanca_topology().degree(1) == 3
+        assert casablanca_topology().degree(5) == 3
+
+
+class TestNamedTopologies:
+    def test_casablanca_matches_figure_1(self):
+        """Paper Fig. 1: H-shaped layout, q0-q1 connected, q1 the hub."""
+        cmap = casablanca_topology()
+        assert cmap.num_qubits == 7
+        assert cmap.edges == [(0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)]
+        assert cmap.are_connected(0, 1)  # the paper's worked example
+        assert not cmap.are_connected(0, 2)
+
+    def test_jakarta_shares_layout(self):
+        assert jakarta_topology().edges == casablanca_topology().edges
+        assert jakarta_topology().name == "jakarta"
+
+    def test_linear(self):
+        assert linear_topology(5).edges == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_ring_closes(self):
+        cmap = ring_topology(4)
+        assert (0, 3) in cmap.edges
+
+    def test_grid(self):
+        cmap = grid_topology(2, 3)
+        assert cmap.num_qubits == 6
+        assert cmap.are_connected(0, 1)
+        assert cmap.are_connected(0, 3)
+        assert not cmap.are_connected(0, 4)
+
+    @pytest.mark.parametrize(
+        "factory,expected_qubits",
+        [
+            (guadalupe_topology, 16),
+            (montreal_topology, 27),
+        ],
+    )
+    def test_large_devices_connected(self, factory, expected_qubits):
+        cmap = factory()
+        assert cmap.num_qubits == expected_qubits
+        assert cmap.is_connected()
+        # Heavy-hex: max degree 3.
+        assert max(cmap.degree(q) for q in range(cmap.num_qubits)) <= 3
+
+    def test_heavy_hex_distances(self):
+        assert heavy_hex_topology(2).num_qubits == 16
+        assert heavy_hex_topology(3).num_qubits == 27
+        with pytest.raises(ValueError):
+            heavy_hex_topology(5)
+
+    def test_full_topology(self):
+        cmap = full_topology(4)
+        assert len(cmap.edges) == 6
+        assert all(
+            cmap.are_connected(a, b)
+            for a in range(4)
+            for b in range(4)
+            if a != b
+        )
