@@ -6,6 +6,8 @@ Examples::
     python -m repro qasm --algorithm bv --width 4
     python -m repro campaign --algorithm bv --width 4 --grid-step 45 \\
         --noise light --output bv4.json
+    python -m repro campaign --algorithm qft --width 5 --workers 4 \\
+        --checkpoint qft5.ckpt.json --output qft5.json
     python -m repro report --input bv4.json
 """
 
@@ -17,7 +19,14 @@ from typing import List, Optional
 
 from .algorithms import ALGORITHMS
 from .analysis.report import campaign_report
-from .faults import CampaignResult, QuFI, fault_grid
+from .faults import (
+    CampaignResult,
+    CheckpointedRunner,
+    ParallelExecutor,
+    QuFI,
+    SerialExecutor,
+    fault_grid,
+)
 from .quantum.qasm import circuit_to_qasm
 from .simulators import (
     DensityMatrixSimulator,
@@ -88,6 +97,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample at this shot budget instead of exact distributions",
     )
     campaign.add_argument("--seed", type=int, default=None)
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "parallel worker processes; 1 runs the serial prefix-reuse "
+            "executor, N>1 fans the sweep out over N processes"
+        ),
+    )
+    campaign.add_argument(
+        "--checkpoint",
+        default=None,
+        help=(
+            "stream records to this JSON checkpoint and resume from it "
+            "if it already exists"
+        ),
+    )
     campaign.add_argument("--output", required=True, help="JSON output path")
 
     report = subparsers.add_parser(
@@ -112,14 +138,27 @@ def _cmd_qasm(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be a positive integer")
     spec = ALGORITHMS[args.algorithm](args.width)
     backend = _make_backend(args.noise, spec.num_qubits)
-    qufi = QuFI(backend, shots=args.shots, seed=args.seed)
+    executor = (
+        ParallelExecutor(workers=args.workers)
+        if args.workers > 1
+        else SerialExecutor()
+    )
+    qufi = QuFI(backend, shots=args.shots, seed=args.seed, executor=executor)
     faults = fault_grid(step_deg=args.grid_step)
-    result = qufi.run_campaign(spec, faults=faults)
+    if args.checkpoint:
+        # The runner inherits qufi's executor (set above).
+        runner = CheckpointedRunner(qufi, args.checkpoint)
+        result = runner.run(spec, faults=faults)
+    else:
+        result = qufi.run_campaign(spec, faults=faults)
     result.to_json(args.output)
     print(
-        f"{result.circuit_name}: {result.num_injections} injections, "
+        f"{result.circuit_name}: {result.num_injections} injections "
+        f"[{executor.name} executor, {args.workers} worker(s)], "
         f"mean QVF {result.mean_qvf():.4f} "
         f"(fault-free {result.fault_free_qvf:.4f}) -> {args.output}"
     )

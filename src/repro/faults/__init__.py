@@ -1,8 +1,20 @@
 """QuFI: the quantum fault injector (the paper's primary contribution)."""
 
-from .campaign import CampaignResult, InjectionRecord, delta_heatmap
+from .campaign import (
+    CampaignResult,
+    InjectionRecord,
+    delta_heatmap,
+    record_sort_key,
+)
 from .checkpoint import CheckpointedRunner
 from .double import NeighborReport, find_neighbor_couples
+from .executor import (
+    BaseExecutor,
+    CampaignPlan,
+    InjectionTask,
+    ParallelExecutor,
+    SerialExecutor,
+)
 from .extensions import (
     TIDModel,
     apply_tid_drift,
@@ -27,7 +39,12 @@ from .physics import (
     charge_density_log10,
     phase_shift_magnitude,
 )
-from .sampling import expected_qvf, sample_strike_faults, theta_distribution
+from .sampling import (
+    expected_qvf,
+    run_strike_campaign,
+    sample_strike_faults,
+    theta_distribution,
+)
 from .qvf import (
     MASKED_THRESHOLD,
     SILENT_THRESHOLD,
@@ -40,6 +57,13 @@ from .qvf import (
 
 __all__ = [
     "QuFI",
+    "BaseExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "CampaignPlan",
+    "InjectionTask",
+    "record_sort_key",
+    "run_strike_campaign",
     "PhaseShiftFault",
     "fault_grid",
     "theta_values",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -26,7 +27,12 @@ from .fault_model import PhaseShiftFault
 from .injection_points import InjectionPoint
 from .qvf import FaultClass, classify_qvf
 
-__all__ = ["InjectionRecord", "CampaignResult", "delta_heatmap"]
+__all__ = [
+    "InjectionRecord",
+    "CampaignResult",
+    "delta_heatmap",
+    "record_sort_key",
+]
 
 _ANGLE_TOL = 1e-9
 
@@ -47,6 +53,27 @@ class InjectionRecord:
 
     def classification(self) -> FaultClass:
         return classify_qvf(self.qvf)
+
+
+def record_sort_key(record: InjectionRecord) -> Tuple:
+    """Canonical ordering of injection records.
+
+    Sorts by injection site, then fault configuration, then the second
+    fault (for double campaigns). Campaigns executed by different
+    strategies (serial, parallel, resumed-from-checkpoint) produce the same
+    record *set*; sorting by this key makes the sequences comparable.
+    """
+    return (
+        record.point.position,
+        record.point.qubit,
+        round(record.fault.theta, 9),
+        round(record.fault.phi, 9),
+        round(record.fault.lam, 9),
+        -1 if record.second_qubit is None else record.second_qubit,
+        0.0 if record.second_fault is None else round(record.second_fault.theta, 9),
+        0.0 if record.second_fault is None else round(record.second_fault.phi, 9),
+        0.0 if record.second_fault is None else round(record.second_fault.lam, 9),
+    )
 
 
 def _unique_sorted(values: Sequence[float]) -> List[float]:
@@ -243,6 +270,41 @@ class CampaignResult:
         i = int(np.argmin([abs(p - phi) for p in phis]))
         return float(grid[i, j])
 
+    def sorted_records(self) -> List[InjectionRecord]:
+        """Records in canonical :func:`record_sort_key` order."""
+        return sorted(self.records, key=record_sort_key)
+
+    @classmethod
+    def merge(cls, results: Sequence["CampaignResult"]) -> "CampaignResult":
+        """Combine shard results of one campaign into a single result.
+
+        Shards must agree on circuit and correct states (the executor's
+        chunked campaigns and multi-host sweeps both produce such shards);
+        the fault-free QVF is taken from the first shard and records are
+        concatenated in shard order.
+        """
+        if not results:
+            raise ValueError("at least one result is required")
+        first = results[0]
+        records: List[InjectionRecord] = []
+        for result in results:
+            if result.circuit_name != first.circuit_name:
+                raise ValueError(
+                    f"cannot merge campaigns for {first.circuit_name!r} "
+                    f"and {result.circuit_name!r}"
+                )
+            if result.correct_states != first.correct_states:
+                raise ValueError("merged shards disagree on correct states")
+            records.extend(result.records)
+        return cls(
+            circuit_name=first.circuit_name,
+            correct_states=first.correct_states,
+            records=records,
+            fault_free_qvf=first.fault_free_qvf,
+            backend_name=first.backend_name,
+            metadata={**first.metadata, "merged_shards": len(results)},
+        )
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -300,8 +362,13 @@ class CampaignResult:
         )
 
     def to_json(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
+        """Serialise atomically: checkpoint consumers re-write this file
+        every few hundred injections, and a kill mid-write must never
+        leave a truncated campaign behind."""
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(self.to_dict(), handle)
+        os.replace(tmp_path, path)
 
     @classmethod
     def from_json(cls, path: str) -> "CampaignResult":

@@ -1,0 +1,556 @@
+"""Campaign execution engine: prefix-state reuse, parallelism, streaming.
+
+The paper's evaluation is a brute-force sweep — every ``(theta, phi)``
+configuration spliced at every injection point, each faulty circuit
+re-simulated from |0...0>. That costs ``O(points x faults x depth)`` gate
+applications even though every fault at the same injection point shares an
+identical circuit prefix. This module is the engine that removes the
+redundancy and scales what remains:
+
+* **Prefix-state reuse** — on backends implementing the snapshot protocol
+  (:class:`~repro.simulators.backend.SnapshotBackend`: the statevector and
+  density-matrix simulators), the circuit is simulated once up to each
+  injection position, the state is frozen, and every fault branches from
+  the frozen state through the remaining suffix only. Consecutive
+  positions extend one running prefix, so a full campaign pays for each
+  circuit prefix exactly once: ``O(points x (depth + faults x suffix))``.
+  Branches replay exactly the operation sequence a full re-simulation
+  would, so results are **bit-identical** to the naive sweep.
+
+* **Pluggable execution strategies** — :class:`SerialExecutor` runs
+  in-process; :class:`ParallelExecutor` fans position-aligned chunks of
+  the work list out to a ``ProcessPoolExecutor`` with deterministic
+  per-chunk seeding. Both implement the same two-method contract
+  (:meth:`BaseExecutor.run`), so :class:`~repro.faults.injector.QuFI`,
+  the CLI (``repro campaign --workers N``) and the benchmarks select a
+  strategy without touching campaign logic.
+
+* **Streaming** — executors deliver :class:`~repro.faults.campaign.
+  InjectionRecord` batches through an ``on_batch`` callback as they
+  complete, which is how :class:`~repro.faults.checkpoint.
+  CheckpointedRunner` persists long sweeps incrementally and how progress
+  flows during multi-hour campaigns (at batch/chunk granularity — serial
+  batches every ``batch_size`` records, parallel chunks in submission
+  order).
+
+Determinism contract
+--------------------
+With ``shots=None`` (exact distributions) every strategy produces records
+identical to the legacy per-injection loop. With a finite shot budget,
+:class:`SerialExecutor` consumes the injector's random stream in legacy
+order (bit-identical again), while :class:`ParallelExecutor` derives an
+independent generator per chunk from ``(seed, chunk_index)`` — runs are
+reproducible for a fixed seed and chunk layout, but the stream differs
+from the serial one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..quantum.circuit import Instruction, QuantumCircuit
+from ..simulators.backend import Backend, supports_snapshots
+from ..simulators.sampler import Result
+from .campaign import InjectionRecord
+from .fault_model import PhaseShiftFault
+from .injection_points import InjectionPoint
+from .qvf import qvf_from_probabilities
+
+__all__ = [
+    "InjectionTask",
+    "CampaignPlan",
+    "BaseExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "build_faulty_circuit",
+    "build_double_faulty_circuit",
+    "score_result",
+]
+
+BatchCallback = Callable[[List[InjectionRecord]], None]
+
+
+# ----------------------------------------------------------------------
+# Work units
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InjectionTask:
+    """One scheduled injection: a fault (or fault pair) at one point.
+
+    ``index`` is the task's rank in the campaign's canonical order (point
+    outer, fault inner — the legacy sweep order); executors return records
+    in exactly this order regardless of strategy.
+    """
+
+    index: int
+    point: InjectionPoint
+    fault: PhaseShiftFault
+    second_fault: Optional[PhaseShiftFault] = None
+    second_qubit: Optional[int] = None
+
+    def to_record(self, qvf: float) -> InjectionRecord:
+        return InjectionRecord(
+            fault=self.fault,
+            point=self.point,
+            qvf=qvf,
+            second_fault=self.second_fault,
+            second_qubit=self.second_qubit,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """Everything an executor needs to run a campaign's injections.
+
+    Plans are plain picklable data: parallel strategies ship them (in
+    chunks) to worker processes unchanged.
+    """
+
+    circuit: QuantumCircuit
+    correct_states: Tuple[str, ...]
+    tasks: Tuple[InjectionTask, ...]
+    shots: Optional[int] = None
+    seed: Optional[int] = None
+
+    @property
+    def total(self) -> int:
+        return len(self.tasks)
+
+
+# ----------------------------------------------------------------------
+# Faulty-circuit construction (shared with the injector's public API)
+# ----------------------------------------------------------------------
+def build_faulty_circuit(
+    circuit: QuantumCircuit,
+    point: InjectionPoint,
+    fault: PhaseShiftFault,
+) -> QuantumCircuit:
+    """Clone ``circuit`` with the injector gate spliced after ``point``."""
+    faulty = circuit.copy(name=f"{circuit.name}~fault")
+    faulty.insert(point.position + 1, fault.as_gate(), [point.qubit])
+    return faulty
+
+
+def build_double_faulty_circuit(
+    circuit: QuantumCircuit,
+    point: InjectionPoint,
+    fault: PhaseShiftFault,
+    second_qubit: int,
+    second_fault: PhaseShiftFault,
+) -> QuantumCircuit:
+    """Clone with both injector gates at the same circuit position.
+
+    The first (stronger) fault lands on ``point.qubit``; the second on the
+    physically neighbouring ``second_qubit``, modelling the same particle
+    strike reaching both (paper Sec. IV-C).
+    """
+    if second_qubit == point.qubit:
+        raise ValueError("second fault must target a different qubit")
+    faulty = circuit.copy(name=f"{circuit.name}~double")
+    faulty.insert(point.position + 1, fault.as_gate(), [point.qubit])
+    faulty.insert(point.position + 2, second_fault.as_gate(), [second_qubit])
+    return faulty
+
+
+def _task_circuit(circuit: QuantumCircuit, task: InjectionTask) -> QuantumCircuit:
+    if task.second_fault is not None:
+        return build_double_faulty_circuit(
+            circuit, task.point, task.fault, task.second_qubit, task.second_fault
+        )
+    return build_faulty_circuit(circuit, task.point, task.fault)
+
+
+def _fault_tail(
+    circuit: QuantumCircuit, task: InjectionTask
+) -> List[Instruction]:
+    """The faulty circuit's continuation after ``task.point``'s prefix.
+
+    Injector gate(s) followed by the original suffix — exactly the
+    instruction sequence :func:`build_faulty_circuit` would place after
+    instruction ``point.position``.
+    """
+    if task.second_qubit == task.point.qubit and task.second_fault is not None:
+        raise ValueError("second fault must target a different qubit")
+    tail: List[Instruction] = [
+        Instruction(task.fault.as_gate(), (task.point.qubit,))
+    ]
+    if task.second_fault is not None:
+        tail.append(
+            Instruction(task.second_fault.as_gate(), (task.second_qubit,))
+        )
+    tail.extend(circuit.instructions[task.point.position + 1 :])
+    return tail
+
+
+# ----------------------------------------------------------------------
+# Scoring (single definition shared by QuFI and every strategy)
+# ----------------------------------------------------------------------
+def score_result(
+    result: Result,
+    correct_states: Sequence[str],
+    shots: Optional[int],
+    rng: np.random.Generator,
+) -> float:
+    """QVF of one execution result, re-sampled at ``shots`` if requested.
+
+    Exact backends return the full distribution; a finite shot budget
+    re-samples it multinomially (re-introducing the paper's shot noise)
+    unless the backend already sampled (``metadata["sampled"]``).
+    """
+    probabilities = result.get_probabilities()
+    already_sampled = bool(result.metadata.get("sampled"))
+    if shots is not None and not already_sampled:
+        probabilities = result.sample_counts(shots, rng).probabilities()
+    return qvf_from_probabilities(probabilities, correct_states)
+
+
+# ----------------------------------------------------------------------
+# Core task loop
+# ----------------------------------------------------------------------
+def _iter_task_records(
+    backend: Backend,
+    plan: CampaignPlan,
+    tasks: Sequence[InjectionTask],
+    rng: np.random.Generator,
+    prefix_reuse: bool,
+) -> Iterator[InjectionRecord]:
+    """Execute ``tasks`` in order, yielding one record per task.
+
+    On snapshot-capable backends with ``prefix_reuse`` the shared prefix of
+    each run of same-position tasks is simulated once and extended
+    incrementally across positions; otherwise every task rebuilds and
+    re-runs its full faulty circuit (the legacy behaviour).
+    """
+    circuit = plan.circuit
+    if prefix_reuse and supports_snapshots(backend):
+        snapshot = None
+        for position, group in itertools.groupby(
+            tasks, key=lambda task: task.point.position
+        ):
+            snapshot = backend.prefix_snapshot(
+                circuit, stop=position + 1, base=snapshot
+            )
+            for task in group:
+                result = backend.run_from_snapshot(
+                    snapshot,
+                    circuit,
+                    _fault_tail(circuit, task),
+                    shots=plan.shots,
+                )
+                yield task.to_record(
+                    score_result(
+                        result, plan.correct_states, plan.shots, rng
+                    )
+                )
+    else:
+        for task in tasks:
+            result = backend.run(_task_circuit(circuit, task), shots=plan.shots)
+            yield task.to_record(
+                score_result(result, plan.correct_states, plan.shots, rng)
+            )
+
+
+def _execute_tasks(
+    backend: Backend,
+    plan: CampaignPlan,
+    tasks: Sequence[InjectionTask],
+    rng: np.random.Generator,
+    prefix_reuse: bool,
+) -> List[InjectionRecord]:
+    return list(_iter_task_records(backend, plan, tasks, rng, prefix_reuse))
+
+
+def _reseed_backend(backend: Backend, rng: np.random.Generator) -> None:
+    """Give a worker's backend copy an independent random stream.
+
+    Pickling a stateful backend (trajectory simulator, machine emulator)
+    duplicates its internal generator state; without reseeding, every
+    chunk would replay the same noise/shot draws and silently correlate
+    the campaign's Monte-Carlo statistics.
+    """
+    if isinstance(getattr(backend, "_rng", None), np.random.Generator):
+        backend._rng = np.random.default_rng(rng.integers(0, 2**63))
+
+
+def _run_chunk(
+    backend: Backend,
+    plan: CampaignPlan,
+    tasks: Tuple[InjectionTask, ...],
+    seed_material: Optional[Tuple[int, int]],
+    prefix_reuse: bool,
+) -> List[InjectionRecord]:
+    """Worker-process entry point: execute one chunk with its own rng."""
+    rng = np.random.default_rng(seed_material)
+    _reseed_backend(backend, rng)
+    return _execute_tasks(backend, plan, tasks, rng, prefix_reuse)
+
+
+def _chunk_tasks(
+    tasks: Sequence[InjectionTask], target: int
+) -> List[Tuple[InjectionTask, ...]]:
+    """Split ``tasks`` into contiguous chunks of at most ``target`` size.
+
+    The cut is purely by count — a chunk boundary can land inside a
+    same-position run, in which case the next chunk recomputes that one
+    prefix snapshot; ``target`` is a hard ceiling because checkpoint
+    consumers bound their loss window with it.
+    """
+    chunks: List[Tuple[InjectionTask, ...]] = []
+    current: List[InjectionTask] = []
+    for task in tasks:
+        current.append(task)
+        if len(current) >= target:
+            chunks.append(tuple(current))
+            current = []
+    if current:
+        chunks.append(tuple(current))
+    return chunks
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+class BaseExecutor:
+    """Execution strategy contract.
+
+    ``run`` executes every task of ``plan`` on ``backend`` and returns the
+    records in canonical task order. Each record is additionally delivered
+    exactly once — grouped into batches, not necessarily in canonical
+    order — to ``on_batch`` while the campaign is still running; callers
+    use the callback for streaming (checkpoints, progress) and the return
+    value for the final result, not both accumulations at once.
+    """
+
+    name = "base"
+
+    def run(
+        self,
+        backend: Backend,
+        plan: CampaignPlan,
+        on_batch: Optional[BatchCallback] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[InjectionRecord]:
+        raise NotImplementedError
+
+    def bounded(self, limit: int) -> "BaseExecutor":
+        """A copy of this strategy whose ``on_batch`` deliveries hold at
+        most ``limit`` records (checkpoint consumers use this so the
+        loss window never exceeds their save interval)."""
+        raise NotImplementedError
+
+
+class SerialExecutor(BaseExecutor):
+    """In-process execution with prefix-state reuse.
+
+    The default strategy of :class:`~repro.faults.injector.QuFI`. With
+    ``prefix_reuse=False`` it degrades to the legacy per-injection full
+    re-simulation (useful as a baseline and for backends whose snapshots
+    are unavailable).
+    """
+
+    name = "serial"
+
+    def __init__(self, prefix_reuse: bool = True, batch_size: int = 64) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.prefix_reuse = bool(prefix_reuse)
+        self.batch_size = int(batch_size)
+
+    def bounded(self, limit: int) -> "SerialExecutor":
+        return SerialExecutor(
+            prefix_reuse=self.prefix_reuse,
+            batch_size=max(1, min(self.batch_size, limit)),
+        )
+
+    def run(
+        self,
+        backend: Backend,
+        plan: CampaignPlan,
+        on_batch: Optional[BatchCallback] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[InjectionRecord]:
+        rng = rng if rng is not None else np.random.default_rng(plan.seed)
+        records: List[InjectionRecord] = []
+        batch: List[InjectionRecord] = []
+        for record in _iter_task_records(
+            backend, plan, plan.tasks, rng, self.prefix_reuse
+        ):
+            records.append(record)
+            batch.append(record)
+            if on_batch is not None and len(batch) >= self.batch_size:
+                on_batch(batch)
+                batch = []
+        if on_batch is not None and batch:
+            on_batch(batch)
+        return records
+
+
+class ParallelExecutor(BaseExecutor):
+    """Process-pool execution of contiguous task chunks.
+
+    Work units are contiguous chunks of the canonical task list (size-capped
+    hard, so checkpoint consumers can bound their loss window); same-position
+    tasks inside a chunk still share prefix snapshots. ``on_batch`` sees
+    chunk batches in completion order — streaming never stalls behind a slow
+    chunk — while the returned record list is reassembled in canonical task
+    order, so the final :class:`~repro.faults.campaign.CampaignResult` is
+    identical to serial execution for exact (``shots is None``) campaigns.
+
+    Sampled campaigns draw from a per-chunk generator seeded by
+    ``(plan.seed, chunk_index)`` — deterministic for a fixed seed, but a
+    different stream from the serial executor's.
+
+    If worker processes cannot be spawned (restricted sandboxes), the
+    executor degrades to serial in-process execution rather than failing
+    the campaign.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        prefix_reuse: bool = True,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be positive")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.prefix_reuse = bool(prefix_reuse)
+
+    def bounded(self, limit: int) -> "ParallelExecutor":
+        limit = max(1, int(limit))
+        return ParallelExecutor(
+            workers=self.workers,
+            chunk_size=min(self.chunk_size or limit, limit),
+            prefix_reuse=self.prefix_reuse,
+        )
+
+    def _resolve_workers(self) -> int:
+        return self.workers or os.cpu_count() or 1
+
+    def _serial_fallback(self) -> SerialExecutor:
+        return SerialExecutor(
+            prefix_reuse=self.prefix_reuse,
+            batch_size=self.chunk_size or 64,
+        )
+
+    @staticmethod
+    def _fallback_rng(plan: CampaignPlan) -> np.random.Generator:
+        """The rng for in-process execution of a degenerate parallel run.
+
+        Matches what a single worker chunk would draw from, instead of the
+        caller's live stream — so a campaign that falls back (one chunk,
+        or no process pool available) still produces the same records as
+        any other run of the same seed in the same situation, and never
+        consumes the injector's serial stream.
+        """
+        return np.random.default_rng(
+            None if plan.seed is None else (plan.seed, 0)
+        )
+
+    def run(
+        self,
+        backend: Backend,
+        plan: CampaignPlan,
+        on_batch: Optional[BatchCallback] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[InjectionRecord]:
+        tasks = plan.tasks
+        if not tasks:
+            return []
+        workers = self._resolve_workers()
+        target = self.chunk_size or max(
+            1, math.ceil(len(tasks) / (workers * 4))
+        )
+        chunks = _chunk_tasks(tasks, target)
+        if workers <= 1 or len(chunks) <= 1:
+            return self._serial_fallback().run(
+                backend, plan, on_batch=on_batch, rng=self._fallback_rng(plan)
+            )
+        seeds: List[Optional[Tuple[int, int]]] = [
+            None if plan.seed is None else (plan.seed, index)
+            for index in range(len(chunks))
+        ]
+        # Workers receive the plan without its task list; their chunk is the
+        # only slice they need, and large campaigns should not pickle the
+        # full sweep once per worker.
+        core = CampaignPlan(
+            circuit=plan.circuit,
+            correct_states=plan.correct_states,
+            tasks=(),
+            shots=plan.shots,
+            seed=plan.seed,
+        )
+        completed: dict = {}
+        delivered = False
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(chunks))
+            ) as pool:
+                future_index = {
+                    pool.submit(
+                        _run_chunk,
+                        backend,
+                        core,
+                        chunk,
+                        seed,
+                        self.prefix_reuse,
+                    ): index
+                    for index, (chunk, seed) in enumerate(zip(chunks, seeds))
+                }
+                # Stream batches in completion order so checkpoints and
+                # progress never stall behind the oldest outstanding chunk;
+                # the returned list is reassembled canonically below.
+                outstanding = set(future_index)
+                while outstanding:
+                    done, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        batch = future.result()
+                        completed[future_index[future]] = batch
+                        if on_batch is not None and batch:
+                            delivered = True
+                            on_batch(batch)
+        except (OSError, BrokenProcessPool):
+            # Process pools are unavailable in some sandboxes (spawn may
+            # fail outright, or the worker may be killed after spawning);
+            # a slow campaign beats a dead one. Only restart if nothing
+            # streamed yet — consumers must never see a record twice.
+            if delivered:
+                raise
+            warnings.warn(
+                "process pool unavailable; parallel campaign degraded to "
+                "serial in-process execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self._serial_fallback().run(
+                backend, plan, on_batch=on_batch, rng=self._fallback_rng(plan)
+            )
+        return [
+            record
+            for index in range(len(chunks))
+            for record in completed[index]
+        ]

@@ -7,6 +7,13 @@ output with QVF. Campaigns sweep the fault grid over every injection point;
 double-fault campaigns add a second, weaker U gate on a physically
 neighbouring qubit.
 
+Campaign sweeps are delegated to the execution engine of
+:mod:`repro.faults.executor`: the default :class:`~repro.faults.executor.
+SerialExecutor` reuses prefix states on snapshot-capable backends (bit-
+identical to the naive loop, substantially faster), and
+:class:`~repro.faults.executor.ParallelExecutor` fans the sweep out across
+worker processes.
+
 Example
 -------
 >>> from repro.algorithms import bernstein_vazirani
@@ -22,19 +29,25 @@ True
 from __future__ import annotations
 
 import itertools
-import math
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..algorithms.spec import AlgorithmSpec
 from ..quantum.circuit import QuantumCircuit
 from ..simulators.backend import Backend
-from ..simulators.sampler import Result
 from .campaign import CampaignResult, InjectionRecord
+from .executor import (
+    BaseExecutor,
+    CampaignPlan,
+    InjectionTask,
+    SerialExecutor,
+    build_double_faulty_circuit,
+    build_faulty_circuit,
+    score_result,
+)
 from .fault_model import PhaseShiftFault, fault_grid
 from .injection_points import InjectionPoint, enumerate_injection_points
-from .qvf import qvf_from_probabilities
 
 __all__ = ["QuFI"]
 
@@ -47,6 +60,11 @@ class QuFI:
     ``shots=None`` scores the backend's exact output distribution (the limit
     of the paper's 1,024-shot sampling); an integer re-samples the
     distribution at that budget, reintroducing shot noise.
+
+    ``executor`` selects the campaign execution strategy; the default
+    :class:`~repro.faults.executor.SerialExecutor` reproduces the legacy
+    sweep bit-for-bit while reusing prefix states wherever the backend
+    supports snapshots.
     """
 
     def __init__(
@@ -54,9 +72,12 @@ class QuFI:
         backend: Backend,
         shots: Optional[int] = None,
         seed: Optional[int] = None,
+        executor: Optional[BaseExecutor] = None,
     ) -> None:
         self.backend = backend
         self.shots = shots
+        self.seed = seed
+        self.executor = executor if executor is not None else SerialExecutor()
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
@@ -69,9 +90,7 @@ class QuFI:
         fault: PhaseShiftFault,
     ) -> QuantumCircuit:
         """Clone ``circuit`` with the injector gate after ``point``."""
-        faulty = circuit.copy(name=f"{circuit.name}~fault")
-        faulty.insert(point.position + 1, fault.as_gate(), [point.qubit])
-        return faulty
+        return build_faulty_circuit(circuit, point, fault)
 
     @staticmethod
     def build_double_faulty_circuit(
@@ -87,14 +106,9 @@ class QuFI:
         the physically neighbouring ``second_qubit``, modelling the same
         particle strike reaching both (Sec. IV-C).
         """
-        if second_qubit == point.qubit:
-            raise ValueError("second fault must target a different qubit")
-        faulty = circuit.copy(name=f"{circuit.name}~double")
-        faulty.insert(point.position + 1, fault.as_gate(), [point.qubit])
-        faulty.insert(
-            point.position + 2, second_fault.as_gate(), [second_qubit]
+        return build_double_faulty_circuit(
+            circuit, point, fault, second_qubit, second_fault
         )
-        return faulty
 
     # ------------------------------------------------------------------
     # Execution and scoring
@@ -103,14 +117,7 @@ class QuFI:
         self, circuit: QuantumCircuit, correct_states: Sequence[str]
     ) -> float:
         result = self.backend.run(circuit, shots=self.shots)
-        probabilities = result.get_probabilities()
-        already_sampled = bool(result.metadata.get("sampled"))
-        if self.shots is not None and not already_sampled:
-            # Exact backend + finite shot budget: re-sample the distribution.
-            probabilities = result.sample_counts(
-                self.shots, self._rng
-            ).probabilities()
-        return qvf_from_probabilities(probabilities, correct_states)
+        return score_result(result, correct_states, self.shots, self._rng)
 
     def fault_free_qvf(
         self,
@@ -151,6 +158,27 @@ class QuFI:
             )
         return target, tuple(correct_states), target.name
 
+    def _execute_plan(
+        self,
+        executor: BaseExecutor,
+        plan: CampaignPlan,
+        progress: Optional[ProgressCallback],
+    ) -> List[InjectionRecord]:
+        """Run ``plan`` on the chosen executor, forwarding progress."""
+        if progress is None:
+            return executor.run(self.backend, plan, rng=self._rng)
+        done = 0
+
+        def on_batch(batch: List[InjectionRecord]) -> None:
+            nonlocal done
+            for _ in batch:
+                done += 1
+                progress(done, plan.total)
+
+        return executor.run(
+            self.backend, plan, on_batch=on_batch, rng=self._rng
+        )
+
     def run_campaign(
         self,
         target: Union[AlgorithmSpec, QuantumCircuit],
@@ -158,13 +186,16 @@ class QuFI:
         faults: Optional[Sequence[PhaseShiftFault]] = None,
         points: Optional[Sequence[InjectionPoint]] = None,
         progress: Optional[ProgressCallback] = None,
+        executor: Optional[BaseExecutor] = None,
     ) -> CampaignResult:
         """Single-fault sweep: every fault at every injection point.
 
         Defaults: the full 312-configuration grid of Sec. IV-B over every
-        (gate, qubit) site of the circuit.
+        (gate, qubit) site of the circuit, executed by the injector's
+        configured strategy (``executor`` overrides it per campaign).
         """
         circuit, states, name = self._resolve(target, correct_states)
+        executor = executor if executor is not None else self.executor
         faults = list(faults) if faults is not None else fault_grid()
         points = (
             list(points)
@@ -172,17 +203,20 @@ class QuFI:
             else enumerate_injection_points(circuit)
         )
         fault_free = self.fault_free_qvf(circuit, states)
-        records: List[InjectionRecord] = []
-        total = len(faults) * len(points)
-        done = 0
-        for point in points:
-            for fault in faults:
-                records.append(
-                    self.run_injection(circuit, states, point, fault)
-                )
-                done += 1
-                if progress is not None:
-                    progress(done, total)
+        tasks = tuple(
+            InjectionTask(index=index, point=point, fault=fault)
+            for index, (point, fault) in enumerate(
+                itertools.product(points, faults)
+            )
+        )
+        plan = CampaignPlan(
+            circuit=circuit,
+            correct_states=states,
+            tasks=tasks,
+            shots=self.shots,
+            seed=self.seed,
+        )
+        records = self._execute_plan(executor, plan, progress)
         return CampaignResult(
             circuit_name=name,
             correct_states=states,
@@ -194,6 +228,7 @@ class QuFI:
                 "num_faults": len(faults),
                 "num_points": len(points),
                 "shots": self.shots,
+                "executor": executor.name,
             },
         )
 
@@ -206,6 +241,7 @@ class QuFI:
         second_faults: Optional[Sequence[PhaseShiftFault]] = None,
         points: Optional[Sequence[InjectionPoint]] = None,
         progress: Optional[ProgressCallback] = None,
+        executor: Optional[BaseExecutor] = None,
     ) -> CampaignResult:
         """Double-fault sweep over physically neighbouring qubit couples.
 
@@ -216,6 +252,7 @@ class QuFI:
         ``faults``, filtered by the constraint per first fault.
         """
         circuit, states, name = self._resolve(target, correct_states)
+        executor = executor if executor is not None else self.executor
         if not couples:
             raise ValueError("at least one neighbour couple is required")
         faults = list(faults) if faults is not None else fault_grid()
@@ -223,7 +260,6 @@ class QuFI:
             list(second_faults) if second_faults is not None else faults
         )
         fault_free = self.fault_free_qvf(circuit, states)
-        records: List[InjectionRecord] = []
 
         combos: List[Tuple[PhaseShiftFault, PhaseShiftFault]] = []
         for first in faults:
@@ -234,10 +270,7 @@ class QuFI:
                 ):
                     combos.append((first, second))
 
-        total = 0
-        jobs: List[
-            Tuple[InjectionPoint, int, PhaseShiftFault, PhaseShiftFault]
-        ] = []
+        tasks: List[InjectionTask] = []
         for qubit_a, qubit_b in couples:
             base_points = (
                 list(points)
@@ -248,24 +281,24 @@ class QuFI:
                 if point.qubit != qubit_a:
                     continue
                 for first, second in combos:
-                    jobs.append((point, qubit_b, first, second))
-        total = len(jobs)
+                    tasks.append(
+                        InjectionTask(
+                            index=len(tasks),
+                            point=point,
+                            fault=first,
+                            second_fault=second,
+                            second_qubit=qubit_b,
+                        )
+                    )
 
-        for done, (point, qubit_b, first, second) in enumerate(jobs, start=1):
-            faulty = self.build_double_faulty_circuit(
-                circuit, point, first, qubit_b, second
-            )
-            records.append(
-                InjectionRecord(
-                    fault=first,
-                    point=point,
-                    qvf=self._score(faulty, states),
-                    second_fault=second,
-                    second_qubit=qubit_b,
-                )
-            )
-            if progress is not None:
-                progress(done, total)
+        plan = CampaignPlan(
+            circuit=circuit,
+            correct_states=states,
+            tasks=tuple(tasks),
+            shots=self.shots,
+            seed=self.seed,
+        )
+        records = self._execute_plan(executor, plan, progress)
 
         return CampaignResult(
             circuit_name=name,
@@ -278,6 +311,7 @@ class QuFI:
                 "couples": list(couples),
                 "num_faults": len(faults),
                 "shots": self.shots,
+                "executor": executor.name,
             },
         )
 

@@ -24,6 +24,7 @@ __all__ = [
     "sample_strike_faults",
     "theta_distribution",
     "expected_qvf",
+    "run_strike_campaign",
 ]
 
 
@@ -77,6 +78,39 @@ def theta_distribution(
         thetas, bins=bins, range=(0.0, math.pi), density=True
     )
     return {"density": density, "edges": edges, "thetas": thetas}
+
+
+def run_strike_campaign(
+    qufi,
+    target,
+    count: int,
+    rng: Optional[np.random.Generator] = None,
+    max_distance_um: float = 0.5,
+    saturation_fraction: float = 0.25,
+    executor=None,
+):
+    """Monte-Carlo campaign over physics-sampled faults.
+
+    Instead of the uniform grid, draws ``count`` fault configurations from
+    the strike physics of :func:`sample_strike_faults` and sweeps them over
+    every injection point through the campaign engine — so the Monte-Carlo
+    study gets prefix reuse and parallelism for free. The resulting
+    :class:`~repro.faults.campaign.CampaignResult` mean QVF is a direct
+    estimate of the deployment-relevant corruption of a random strike.
+
+    ``qufi`` is a :class:`~repro.faults.injector.QuFI`; ``executor``
+    optionally overrides its execution strategy for this sweep.
+    """
+    faults = sample_strike_faults(
+        count,
+        rng,
+        max_distance_um=max_distance_um,
+        saturation_fraction=saturation_fraction,
+    )
+    result = qufi.run_campaign(target, faults=faults, executor=executor)
+    result.metadata["fault_source"] = "strike_sampling"
+    result.metadata["max_distance_um"] = max_distance_um
+    return result
 
 
 def expected_qvf(

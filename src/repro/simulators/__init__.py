@@ -9,7 +9,12 @@ Scenario mapping (paper Sec. IV-B):
    surrogate for execution on real hardware.
 """
 
-from .backend import Backend
+from .backend import (
+    Backend,
+    SimulationSnapshot,
+    SnapshotBackend,
+    supports_snapshots,
+)
 from .density_matrix import DensityMatrixSimulator
 from .noise import (
     NoiseModel,
@@ -28,6 +33,9 @@ from .trajectory import TrajectorySimulator
 
 __all__ = [
     "Backend",
+    "SnapshotBackend",
+    "SimulationSnapshot",
+    "supports_snapshots",
     "StatevectorSimulator",
     "DensityMatrixSimulator",
     "TrajectorySimulator",

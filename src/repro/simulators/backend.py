@@ -1,19 +1,35 @@
-"""Backend protocol shared by simulators and machine emulators.
+"""Backend protocols shared by simulators and machine emulators.
 
 Anything with a ``run(circuit, shots=...) -> Result`` method can execute a
 QuFI campaign; the injector never needs to know whether the target is the
 ideal simulator (scenario 1), the noisy simulator (scenario 2), or the
 physical-machine emulator (scenario 3).
+
+Exact backends can additionally implement the *snapshot* protocol
+(:class:`SnapshotBackend`): simulate a circuit prefix once, freeze the
+resulting state in a :class:`SimulationSnapshot`, and branch many
+continuations from it. The campaign executor
+(:mod:`repro.faults.executor`) uses this to amortise the shared prefix of
+every fault spliced at the same injection point, which is where campaign
+wall-clock time goes. Backends that sample hardware (the machine emulator,
+the trajectory simulator) simply do not implement it and campaigns fall
+back to whole-circuit execution.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, runtime_checkable
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Protocol, Sequence, runtime_checkable
 
-from ..quantum.circuit import QuantumCircuit
+from ..quantum.circuit import Instruction, QuantumCircuit
 from .sampler import Result
 
-__all__ = ["Backend"]
+__all__ = [
+    "Backend",
+    "SnapshotBackend",
+    "SimulationSnapshot",
+    "supports_snapshots",
+]
 
 
 @runtime_checkable
@@ -30,3 +46,64 @@ class Backend(Protocol):
     ) -> Result:
         """Execute ``circuit`` and return its outcome distribution."""
         ...
+
+
+@dataclass(frozen=True)
+class SimulationSnapshot:
+    """Frozen mid-circuit simulator state, safe to branch from many times.
+
+    ``state`` is the backend's state object (:class:`~repro.quantum.states.
+    Statevector` or :class:`~repro.quantum.states.DensityMatrix`) after the
+    first ``position`` instructions of the circuit; ``measure_map`` and
+    ``measured`` carry the classical-register bookkeeping accumulated so
+    far. Branching never mutates a snapshot: state evolution returns new
+    state objects and the bookkeeping containers are copied per branch.
+    """
+
+    state: object
+    measure_map: Dict[int, int]
+    measured: FrozenSet[int]
+    position: int
+
+
+@runtime_checkable
+class SnapshotBackend(Backend, Protocol):
+    """Exact backend that supports prefix snapshots and branching."""
+
+    def prefix_snapshot(
+        self,
+        circuit: QuantumCircuit,
+        stop: Optional[int] = None,
+        base: Optional[SimulationSnapshot] = None,
+    ) -> SimulationSnapshot:
+        """State after the first ``stop`` instructions of ``circuit``.
+
+        ``base`` may hold an earlier snapshot of the same circuit; when its
+        position does not exceed ``stop`` the simulation continues from it
+        instead of restarting at |0...0>, so a sweep over increasing
+        injection positions pays for each circuit prefix exactly once.
+        """
+        ...
+
+    def run_from_snapshot(
+        self,
+        snapshot: SimulationSnapshot,
+        circuit: QuantumCircuit,
+        tail: Optional[Sequence[Instruction]] = None,
+        shots: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> Result:
+        """Branch from ``snapshot``, apply ``tail``, and score the output.
+
+        ``tail`` defaults to the remaining instructions of ``circuit``;
+        fault injection passes the spliced continuation (injector gate(s)
+        plus the original suffix) instead. The returned :class:`Result` is
+        bit-identical to running the equivalent full circuit through
+        :meth:`Backend.run`.
+        """
+        ...
+
+
+def supports_snapshots(backend: object) -> bool:
+    """True when ``backend`` implements the snapshot/branch protocol."""
+    return isinstance(backend, SnapshotBackend)

@@ -6,17 +6,24 @@ attaches to it, then folds per-qubit readout confusion into the final
 distribution. The diagonal of the final state is the exact limit of the
 1,024-shot sampling the paper performs, which lets campaigns trade shot noise
 for determinism.
+
+Like the statevector engine, this backend implements the snapshot/branch
+protocol (:class:`~repro.simulators.backend.SnapshotBackend`): the mixed
+state after a circuit prefix — noise channels included — is frozen once and
+every fault continuation branches from it, producing results bit-identical
+to re-simulating the whole faulty circuit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Iterable, Optional, Sequence, Set
 
 import numpy as np
 
-from ..quantum.circuit import QuantumCircuit
+from ..quantum.circuit import Instruction, QuantumCircuit
 from ..quantum.gates import Barrier, Measure, Reset
 from ..quantum.states import DensityMatrix, format_bitstring
+from .backend import SimulationSnapshot
 from .noise import NoiseModel
 from .sampler import Result
 
@@ -37,8 +44,72 @@ class DensityMatrixSimulator:
         shots: Optional[int] = None,
         seed: Optional[int] = None,
     ) -> Result:
-        state = self._evolve(circuit)
-        probabilities = self._measured_distribution(state, circuit)
+        snapshot = self.prefix_snapshot(circuit, stop=0)
+        return self.run_from_snapshot(
+            snapshot, circuit, circuit.instructions, shots=shots, seed=seed
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def prefix_snapshot(
+        self,
+        circuit: QuantumCircuit,
+        stop: Optional[int] = None,
+        base: Optional[SimulationSnapshot] = None,
+    ) -> SimulationSnapshot:
+        """Mixed state after instructions ``[0, stop)``, noise applied.
+
+        ``base`` (an earlier snapshot of the same circuit, position not past
+        ``stop``) lets a position sweep extend one running prefix instead of
+        re-simulating from |0...0> per injection point.
+        """
+        instructions = circuit.instructions
+        stop = len(instructions) if stop is None else int(stop)
+        if not 0 <= stop <= len(instructions):
+            raise ValueError(f"stop {stop} outside [0, {len(instructions)}]")
+        if base is not None and base.position <= stop:
+            state = base.state
+            measure_map = dict(base.measure_map)
+            measured = set(base.measured)
+            start = base.position
+        else:
+            state = DensityMatrix.zero_state(circuit.num_qubits)
+            measure_map = {}
+            measured = set()
+            start = 0
+        state = self._advance(
+            state, instructions[start:stop], measure_map, measured
+        )
+        return SimulationSnapshot(
+            state=state,
+            measure_map=measure_map,
+            measured=frozenset(measured),
+            position=stop,
+        )
+
+    def run_from_snapshot(
+        self,
+        snapshot: SimulationSnapshot,
+        circuit: QuantumCircuit,
+        tail: Optional[Sequence[Instruction]] = None,
+        shots: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> Result:
+        """Branch from ``snapshot``, apply ``tail``, return the Result.
+
+        Bit-identical to :meth:`run` on the equivalent full circuit: the
+        branch replays exactly the gate/channel sequence the suffix would
+        see, then folds in readout confusion the same way.
+        """
+        measure_map = dict(snapshot.measure_map)
+        measured = set(snapshot.measured)
+        if tail is None:
+            tail = circuit.instructions[snapshot.position :]
+        state = self._advance(snapshot.state, tail, measure_map, measured)
+        probabilities = self._measured_distribution(
+            state, circuit, measure_map
+        )
         metadata: Dict[str, object] = {
             "backend": self.name,
             "noise_model": self.noise_model.name if self.noise_model else None,
@@ -55,16 +126,26 @@ class DensityMatrixSimulator:
     # ------------------------------------------------------------------
     def density_matrix(self, circuit: QuantumCircuit) -> DensityMatrix:
         """Final mixed state (measurements skipped, noise applied)."""
-        return self._evolve(circuit)
+        return self.prefix_snapshot(circuit).state
 
-    def _evolve(self, circuit: QuantumCircuit) -> DensityMatrix:
-        state = DensityMatrix.zero_state(circuit.num_qubits)
-        measured: Set[int] = set()
+    def _advance(
+        self,
+        state: DensityMatrix,
+        instructions: Iterable[Instruction],
+        measure_map: Dict[int, int],
+        measured: Set[int],
+    ) -> DensityMatrix:
+        """Evolve ``state`` through ``instructions`` with noise channels.
+
+        ``measure_map`` and ``measured`` are mutated in place; the state is
+        immutable and each operation returns a fresh object.
+        """
         noise = self.noise_model
-        for inst in circuit:
+        for inst in instructions:
             if isinstance(inst.gate, Barrier):
                 continue
             if isinstance(inst.gate, Measure):
+                measure_map[inst.clbits[0]] = inst.qubits[0]
                 measured.add(inst.qubits[0])
                 continue
             touched = set(inst.qubits) & measured
@@ -100,14 +181,13 @@ class DensityMatrixSimulator:
         return state
 
     def _measured_distribution(
-        self, state: DensityMatrix, circuit: QuantumCircuit
+        self,
+        state: DensityMatrix,
+        circuit: QuantumCircuit,
+        measure_map: Dict[int, int],
     ) -> Dict[str, float]:
         num_qubits = circuit.num_qubits
         probs = state.probabilities()
-        measure_map: Dict[int, int] = {}
-        for inst in circuit:
-            if isinstance(inst.gate, Measure):
-                measure_map[inst.clbits[0]] = inst.qubits[0]
 
         # Readout confusion acts on the classical distribution of each
         # measured qubit independently.

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional, Sequence, Set
 
 import numpy as np
 
-from ..quantum.circuit import QuantumCircuit
+from ..quantum.circuit import Instruction, QuantumCircuit
 from ..quantum.gates import Barrier, Measure, Reset
 from ..quantum.states import Statevector, format_bitstring
+from .backend import SimulationSnapshot
 from .sampler import Result
 
 __all__ = ["StatevectorSimulator"]
@@ -20,6 +21,11 @@ class StatevectorSimulator:
     Measurements must be terminal (no gate may follow a measurement on the
     same qubit); the result is the exact outcome distribution over the
     classical register, optionally sub-sampled at a shot budget.
+
+    Implements the snapshot/branch protocol of
+    :class:`~repro.simulators.backend.SnapshotBackend`: campaigns freeze the
+    state after a circuit prefix once and branch every fault continuation
+    from it, skipping the redundant prefix re-simulation of the naive sweep.
     """
 
     name = "statevector_simulator"
@@ -33,10 +39,98 @@ class StatevectorSimulator:
         shots: Optional[int] = None,
         seed: Optional[int] = None,
     ) -> Result:
-        state = Statevector.zero_state(circuit.num_qubits)
-        measure_map: Dict[int, int] = {}
-        measured = set()
-        for inst in circuit:
+        snapshot = self.prefix_snapshot(circuit, stop=0)
+        return self.run_from_snapshot(
+            snapshot, circuit, circuit.instructions, shots=shots, seed=seed
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def prefix_snapshot(
+        self,
+        circuit: QuantumCircuit,
+        stop: Optional[int] = None,
+        base: Optional[SimulationSnapshot] = None,
+    ) -> SimulationSnapshot:
+        """State after instructions ``[0, stop)`` of ``circuit``.
+
+        When ``base`` is an earlier snapshot of the same circuit (its
+        position not past ``stop``), simulation resumes from it instead of
+        restarting at |0...0>.
+        """
+        instructions = circuit.instructions
+        stop = len(instructions) if stop is None else int(stop)
+        if not 0 <= stop <= len(instructions):
+            raise ValueError(
+                f"stop {stop} outside [0, {len(instructions)}]"
+            )
+        if base is not None and base.position <= stop:
+            state = base.state
+            measure_map = dict(base.measure_map)
+            measured = set(base.measured)
+            start = base.position
+        else:
+            state = Statevector.zero_state(circuit.num_qubits)
+            measure_map = {}
+            measured = set()
+            start = 0
+        state = self._advance(
+            state, instructions[start:stop], measure_map, measured
+        )
+        return SimulationSnapshot(
+            state=state,
+            measure_map=measure_map,
+            measured=frozenset(measured),
+            position=stop,
+        )
+
+    def run_from_snapshot(
+        self,
+        snapshot: SimulationSnapshot,
+        circuit: QuantumCircuit,
+        tail: Optional[Sequence[Instruction]] = None,
+        shots: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> Result:
+        """Branch from ``snapshot``, apply ``tail``, return the Result.
+
+        ``tail`` defaults to the rest of ``circuit``; the fault injector
+        passes the spliced continuation instead. The snapshot itself is
+        never mutated, so many branches may share it.
+        """
+        measure_map = dict(snapshot.measure_map)
+        measured = set(snapshot.measured)
+        if tail is None:
+            tail = circuit.instructions[snapshot.position :]
+        state = self._advance(snapshot.state, tail, measure_map, measured)
+        probabilities = _marginal_clbit_distribution(
+            state.probabilities(), measure_map, circuit
+        )
+        result = Result(
+            probabilities,
+            num_clbits=circuit.num_clbits or circuit.num_qubits,
+            shots=shots,
+            metadata={"backend": self.name, "ideal": True},
+        )
+        if seed is not None:
+            result.metadata["seed"] = seed
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _advance(
+        state: Statevector,
+        instructions: Iterable[Instruction],
+        measure_map: Dict[int, int],
+        measured: Set[int],
+    ) -> Statevector:
+        """Evolve ``state`` through ``instructions``, tracking measurements.
+
+        ``measure_map`` and ``measured`` are mutated in place; the state is
+        immutable and each gate application returns a fresh object.
+        """
+        for inst in instructions:
             if isinstance(inst.gate, Barrier):
                 continue
             if isinstance(inst.gate, Measure):
@@ -54,19 +148,7 @@ class StatevectorSimulator:
                     "only terminal measurements are supported"
                 )
             state = state.evolve(inst.gate, inst.qubits)
-
-        probabilities = _marginal_clbit_distribution(
-            state.probabilities(), measure_map, circuit
-        )
-        result = Result(
-            probabilities,
-            num_clbits=circuit.num_clbits or circuit.num_qubits,
-            shots=shots,
-            metadata={"backend": self.name, "ideal": True},
-        )
-        if seed is not None:
-            result.metadata["seed"] = seed
-        return result
+        return state
 
     def statevector(self, circuit: QuantumCircuit) -> Statevector:
         """Final pure state of the measurement-free part of ``circuit``."""

@@ -60,23 +60,26 @@ class TestResume:
         partial = runner.run(spec, faults=faults, points=points[:1])
         assert partial.num_injections == len(faults)
 
-        # Count executions on resume via a wrapped injector.
-        calls = []
-        original = qufi.run_injection
+        # Count executions on resume by watching the backend: every
+        # injection branches once from a prefix snapshot, and the first
+        # tail instruction is the injector gate on the target qubit.
+        tails = []
+        backend = qufi.backend
+        original = backend.run_from_snapshot
 
-        def counting(circuit, states, point, fault):
-            calls.append((point, fault))
-            return original(circuit, states, point, fault)
+        def counting(snapshot, circuit, tail=None, **kwargs):
+            tails.append(tail)
+            return original(snapshot, circuit, tail, **kwargs)
 
-        qufi.run_injection = counting  # type: ignore[method-assign]
+        backend.run_from_snapshot = counting  # type: ignore[method-assign]
         try:
             full = runner.run(spec, faults=faults, points=points)
         finally:
-            qufi.run_injection = original  # type: ignore[method-assign]
+            backend.run_from_snapshot = original  # type: ignore[method-assign]
 
         # Only the second point's injections were executed.
-        assert len(calls) == len(faults)
-        assert all(point.qubit == 1 for point, _ in calls)
+        assert len(tails) == len(faults)
+        assert all(tail[0].qubits == (1,) for tail in tails)
         assert full.num_injections == 2 * len(faults)
 
     def test_resume_preserves_fault_free_qvf(self, qufi, spec, tmp_path):

@@ -1,0 +1,103 @@
+"""The snapshot/branch protocol on the exact backends."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bernstein_vazirani
+from repro.quantum import QuantumCircuit
+from repro.simulators import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    StatevectorSimulator,
+    depolarizing_channel,
+    supports_snapshots,
+)
+
+
+@pytest.fixture(params=["statevector", "density"])
+def backend(request):
+    if request.param == "statevector":
+        return StatevectorSimulator()
+    model = NoiseModel("snap")
+    model.add_all_qubit_error(depolarizing_channel(0.01), ["h", "x"])
+    return DensityMatrixSimulator(model)
+
+
+@pytest.fixture
+def circuit():
+    qc = QuantumCircuit(3, 3)
+    qc.h(0).cx(0, 1).x(2).h(1).cx(1, 2)
+    qc.measure_all()
+    return qc
+
+
+class TestProtocol:
+    def test_exact_backends_support_snapshots(self):
+        assert supports_snapshots(StatevectorSimulator())
+        assert supports_snapshots(DensityMatrixSimulator())
+
+    def test_plain_objects_do_not(self):
+        assert not supports_snapshots(object())
+
+    def test_snapshot_branch_equals_full_run(self, backend, circuit):
+        full = backend.run(circuit).get_probabilities()
+        for stop in range(len(circuit) + 1):
+            snapshot = backend.prefix_snapshot(circuit, stop=stop)
+            branched = backend.run_from_snapshot(
+                snapshot, circuit
+            ).get_probabilities()
+            assert branched == full  # bit-identical, not approx
+
+    def test_chained_prefix_equals_scratch(self, backend, circuit):
+        base = None
+        for stop in range(len(circuit) + 1):
+            base = backend.prefix_snapshot(circuit, stop=stop, base=base)
+            scratch = backend.prefix_snapshot(circuit, stop=stop)
+            assert np.array_equal(base.state.data, scratch.state.data)
+            assert base.position == scratch.position == stop
+
+    def test_stale_base_is_ignored(self, backend, circuit):
+        late = backend.prefix_snapshot(circuit, stop=len(circuit))
+        early = backend.prefix_snapshot(circuit, stop=1, base=late)
+        scratch = backend.prefix_snapshot(circuit, stop=1)
+        assert np.array_equal(early.state.data, scratch.state.data)
+
+    def test_branching_does_not_mutate_snapshot(self, backend, circuit):
+        snapshot = backend.prefix_snapshot(circuit, stop=2)
+        before = snapshot.state.data.copy()
+        backend.run_from_snapshot(snapshot, circuit)
+        backend.run_from_snapshot(snapshot, circuit)
+        assert np.array_equal(snapshot.state.data, before)
+        assert snapshot.position == 2
+
+    def test_custom_tail(self, backend):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.measure(0, 0)
+        snapshot = backend.prefix_snapshot(qc, stop=1)
+        # Replace the tail with H + measure: undoes the prefix H.
+        tail_circuit = QuantumCircuit(1, 1)
+        tail_circuit.h(0)
+        tail_circuit.measure(0, 0)
+        result = backend.run_from_snapshot(
+            snapshot, qc, tail_circuit.instructions
+        )
+        assert result.probability_of("0") == pytest.approx(1.0, abs=0.05)
+
+    def test_out_of_range_stop_rejected(self, backend, circuit):
+        with pytest.raises(ValueError):
+            backend.prefix_snapshot(circuit, stop=len(circuit) + 1)
+        with pytest.raises(ValueError):
+            backend.prefix_snapshot(circuit, stop=-1)
+
+
+class TestBVWalkthrough:
+    def test_branched_bv_matches_paper_output(self):
+        """Branch mid-BV and finish: the 101 secret still dominates."""
+        spec = bernstein_vazirani(4)
+        backend = StatevectorSimulator()
+        snapshot = backend.prefix_snapshot(spec.circuit, stop=3)
+        result = backend.run_from_snapshot(snapshot, spec.circuit)
+        assert result.most_probable() == spec.correct_states[0]

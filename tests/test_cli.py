@@ -95,6 +95,78 @@ class TestCampaign:
         assert data["metadata"]["shots"] == 256
 
 
+class TestCampaignExecutors:
+    def test_workers_flag_runs_parallel_campaign(self, tmp_path, capsys):
+        output = str(tmp_path / "par.json")
+        code = main(
+            [
+                "campaign",
+                "--algorithm",
+                "bv",
+                "--width",
+                "3",
+                "--grid-step",
+                "90",
+                "--noise",
+                "none",
+                "--workers",
+                "2",
+                "--output",
+                output,
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "parallel executor" in stdout
+        with open(output) as handle:
+            data = json.load(handle)
+        assert data["metadata"]["executor"] == "parallel"
+
+    def test_workers_must_be_positive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "campaign",
+                    "--algorithm",
+                    "bv",
+                    "--width",
+                    "3",
+                    "--workers",
+                    "0",
+                    "--output",
+                    str(tmp_path / "x.json"),
+                ]
+            )
+
+    def test_checkpoint_flag_resumes(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "ck.json")
+        output = str(tmp_path / "out.json")
+        args = [
+            "campaign",
+            "--algorithm",
+            "bv",
+            "--width",
+            "3",
+            "--grid-step",
+            "90",
+            "--noise",
+            "none",
+            "--checkpoint",
+            checkpoint,
+            "--output",
+            output,
+        ]
+        assert main(args) == 0
+        with open(output) as handle:
+            first = json.load(handle)
+        # Re-running resumes from the checkpoint: same campaign size.
+        assert main(args) == 0
+        with open(output) as handle:
+            second = json.load(handle)
+        assert len(second["records"]) == len(first["records"])
+        assert second["metadata"]["checkpointed"] is True
+
+
 class TestReport:
     def test_report_from_saved_campaign(self, tmp_path, capsys):
         output = str(tmp_path / "dj.json")
