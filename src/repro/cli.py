@@ -8,6 +8,8 @@ Examples::
         --noise light --output bv4.json
     python -m repro campaign --algorithm qft --width 5 --workers 4 \\
         --checkpoint qft5.ckpt.json --output qft5.json
+    python -m repro campaign --algorithm ghz --width 8 --batched \\
+        --noise none --output ghz8.json
     python -m repro report --input bv4.json
 """
 
@@ -20,6 +22,7 @@ from typing import List, Optional
 from .algorithms import ALGORITHMS
 from .analysis.report import campaign_report
 from .faults import (
+    BatchedExecutor,
     CampaignResult,
     CheckpointedRunner,
     ParallelExecutor,
@@ -107,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     campaign.add_argument(
+        "--batched",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "vectorize the fault branches of each injection point into one "
+            "stacked array (records stay bit-identical to the serial "
+            "executor); ignored when --workers > 1"
+        ),
+    )
+    campaign.add_argument(
         "--checkpoint",
         default=None,
         help=(
@@ -142,11 +155,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         raise SystemExit("--workers must be a positive integer")
     spec = ALGORITHMS[args.algorithm](args.width)
     backend = _make_backend(args.noise, spec.num_qubits)
-    executor = (
-        ParallelExecutor(workers=args.workers)
-        if args.workers > 1
-        else SerialExecutor()
-    )
+    if args.workers > 1:
+        executor = ParallelExecutor(workers=args.workers)
+    elif args.batched:
+        executor = BatchedExecutor()
+    else:
+        executor = SerialExecutor()
     qufi = QuFI(backend, shots=args.shots, seed=args.seed, executor=executor)
     faults = fault_grid(step_deg=args.grid_step)
     if args.checkpoint:

@@ -10,6 +10,7 @@ from .checkpoint import CheckpointedRunner
 from .double import NeighborReport, find_neighbor_couples
 from .executor import (
     BaseExecutor,
+    BatchedExecutor,
     CampaignPlan,
     InjectionTask,
     ParallelExecutor,
@@ -51,14 +52,17 @@ from .qvf import (
     FaultClass,
     classify_qvf,
     michelson_contrast,
+    michelson_contrast_batch,
     qvf_from_contrast,
     qvf_from_probabilities,
+    qvf_from_probability_matrix,
 )
 
 __all__ = [
     "QuFI",
     "BaseExecutor",
     "SerialExecutor",
+    "BatchedExecutor",
     "ParallelExecutor",
     "CampaignPlan",
     "InjectionTask",
@@ -80,7 +84,9 @@ __all__ = [
     "find_neighbor_couples",
     "NeighborReport",
     "michelson_contrast",
+    "michelson_contrast_batch",
     "qvf_from_probabilities",
+    "qvf_from_probability_matrix",
     "qvf_from_contrast",
     "classify_qvf",
     "FaultClass",

@@ -10,9 +10,11 @@ neighbouring qubit.
 Campaign sweeps are delegated to the execution engine of
 :mod:`repro.faults.executor`: the default :class:`~repro.faults.executor.
 SerialExecutor` reuses prefix states on snapshot-capable backends (bit-
-identical to the naive loop, substantially faster), and
-:class:`~repro.faults.executor.ParallelExecutor` fans the sweep out across
-worker processes.
+identical to the naive loop, substantially faster),
+:class:`~repro.faults.executor.BatchedExecutor` additionally evaluates all
+fault branches of an injection point as one stacked array (still bit-
+identical in exact mode), and :class:`~repro.faults.executor.
+ParallelExecutor` fans the sweep out across worker processes.
 
 Example
 -------
@@ -64,7 +66,10 @@ class QuFI:
     ``executor`` selects the campaign execution strategy; the default
     :class:`~repro.faults.executor.SerialExecutor` reproduces the legacy
     sweep bit-for-bit while reusing prefix states wherever the backend
-    supports snapshots.
+    supports snapshots. Pass :class:`~repro.faults.executor.
+    BatchedExecutor` to also vectorize the theta-phi branch fan-out of
+    each injection point on batch-capable backends — same records, a
+    fraction of the wall clock.
     """
 
     def __init__(

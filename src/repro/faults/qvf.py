@@ -15,11 +15,15 @@ highest probability among incorrect states. QVF is in [0, 1]; low is good.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 __all__ = [
     "michelson_contrast",
+    "michelson_contrast_batch",
     "qvf_from_probabilities",
+    "qvf_from_probability_matrix",
     "qvf_from_contrast",
     "FaultClass",
     "classify_qvf",
@@ -65,6 +69,58 @@ def michelson_contrast(
     return (p_correct - p_wrong) / denominator
 
 
+def _key_column(state: str, key_width: int) -> Optional[int]:
+    """Column index of ``state`` in a ``(B, 2**key_width)`` batch, or None.
+
+    A state that can never appear as a distribution key (wrong width, or
+    not a bitstring at all) gets no column; lookups then contribute the
+    same 0.0 default the mapping ``get`` would.
+    """
+    if len(state) != key_width or any(c not in "01" for c in state):
+        return None
+    return int(state, 2)
+
+
+def michelson_contrast_batch(
+    probabilities: np.ndarray,
+    correct_states: Sequence[str],
+    key_width: int,
+) -> np.ndarray:
+    """Vectorized Eq. 1 over a batch of distribution rows.
+
+    ``probabilities`` has one distribution per row, column ``k`` holding
+    the probability of bitstring ``format(k, f"0{key_width}b")`` (absent
+    keys as exact 0.0 — the batched marginals' convention). Row ``b`` of
+    the result equals ``michelson_contrast(row_as_dict, correct_states)``
+    bit for bit: P(A) accumulates in the same (set-iteration) order the
+    scalar path uses, P(B) is an exact max, and the final quotient is the
+    same single division.
+    """
+    if not correct_states:
+        raise ValueError("at least one correct state is required")
+    probabilities = np.asarray(probabilities, dtype=float)
+    rows = probabilities.shape[0]
+    correct = set(correct_states)
+    p_correct = np.zeros(rows)
+    wrong_mask = np.ones(probabilities.shape[1], dtype=bool)
+    for state in correct:
+        column = _key_column(state, key_width)
+        if column is not None:
+            p_correct = p_correct + probabilities[:, column]
+            wrong_mask[column] = False
+    if wrong_mask.any():
+        p_wrong = probabilities[:, wrong_mask].max(axis=1)
+    else:
+        p_wrong = np.zeros(rows)
+    denominator = p_correct + p_wrong
+    contrast = np.zeros(rows)
+    positive = denominator > 0.0
+    contrast[positive] = (
+        p_correct[positive] - p_wrong[positive]
+    ) / denominator[positive]
+    return contrast
+
+
 def qvf_from_contrast(contrast: float) -> float:
     """Eq. 2: map contrast in [-1, 1] to QVF in [0, 1], low = reliable."""
     if not -1.0 - 1e-9 <= contrast <= 1.0 + 1e-9:
@@ -78,6 +134,28 @@ def qvf_from_probabilities(
 ) -> float:
     """QVF of one output distribution (Eqs. 1 and 2 combined)."""
     return qvf_from_contrast(michelson_contrast(probabilities, correct_states))
+
+
+def qvf_from_probability_matrix(
+    probabilities: np.ndarray,
+    correct_states: Sequence[str],
+    key_width: int,
+) -> np.ndarray:
+    """Vectorized Eqs. 1 and 2 over a batch of distribution rows.
+
+    Row ``b`` equals ``qvf_from_probabilities`` on that row's distribution
+    bit for bit (same contrast, same affine map); this is what the batched
+    campaign path scores whole injection points with at once.
+    """
+    contrast = michelson_contrast_batch(
+        probabilities, correct_states, key_width
+    )
+    bad = (contrast < -1.0 - 1e-9) | (contrast > 1.0 + 1e-9)
+    if np.any(bad):
+        raise ValueError(
+            f"contrast {contrast[bad][0]} outside [-1, 1]"
+        )
+    return 1.0 - (contrast + 1.0) / 2.0
 
 
 def classify_qvf(

@@ -11,8 +11,11 @@ Scenario mapping (paper Sec. IV-B):
 
 from .backend import (
     Backend,
+    BatchedSnapshotBackend,
+    BranchBatch,
     SimulationSnapshot,
     SnapshotBackend,
+    supports_batched_branches,
     supports_snapshots,
 )
 from .density_matrix import DensityMatrixSimulator
@@ -34,8 +37,11 @@ from .trajectory import TrajectorySimulator
 __all__ = [
     "Backend",
     "SnapshotBackend",
+    "BatchedSnapshotBackend",
     "SimulationSnapshot",
+    "BranchBatch",
     "supports_snapshots",
+    "supports_batched_branches",
     "StatevectorSimulator",
     "DensityMatrixSimulator",
     "TrajectorySimulator",

@@ -14,12 +14,34 @@ every fault spliced at the same injection point, which is where campaign
 wall-clock time goes. Backends that sample hardware (the machine emulator,
 the trajectory simulator) simply do not implement it and campaigns fall
 back to whole-circuit execution.
+
+On top of snapshots sits the *batched branch* protocol
+(:class:`BatchedSnapshotBackend`): evaluate many fault branches of one
+snapshot as a single stacked array — ``(B, 2**n)`` statevectors or
+``(B, 2**n, 2**n)`` density matrices — applying each per-branch injector
+rotation and every shared tail gate across the whole batch in one
+contraction. The result is a :class:`BranchBatch` of clbit-basis
+probability rows ready for vectorized QVF scoring. Batched evaluation is a
+wall-clock optimisation only: every row is bit-identical to what
+:meth:`SnapshotBackend.run_from_snapshot` would produce for that branch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Protocol, Sequence, runtime_checkable
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+import numpy as np
 
 from ..quantum.circuit import Instruction, QuantumCircuit
 from .sampler import Result
@@ -27,8 +49,14 @@ from .sampler import Result
 __all__ = [
     "Backend",
     "SnapshotBackend",
+    "BatchedSnapshotBackend",
     "SimulationSnapshot",
+    "BranchBatch",
     "supports_snapshots",
+    "supports_batched_branches",
+    "uniform_head_slots",
+    "validate_branch_head",
+    "batched_clbit_marginals",
 ]
 
 
@@ -104,6 +132,163 @@ class SnapshotBackend(Backend, Protocol):
         ...
 
 
+@dataclass
+class BranchBatch:
+    """Outcome distributions of a batch of fault branches, as arrays.
+
+    ``probabilities`` holds one clbit-basis distribution row per branch,
+    shape ``(B, 2**key_width)``; column ``k`` is the probability of the
+    bitstring ``format(k, f"0{key_width}b")``. Rows are accumulated with
+    the same ``> 1e-14`` threshold and the same ascending-basis-index
+    order as the serial marginalisation, so a row is numerically *the*
+    dictionary :meth:`SnapshotBackend.run_from_snapshot` would return —
+    ``present`` marks which columns that dictionary would actually
+    contain (absent columns hold exactly 0.0).
+    """
+
+    probabilities: np.ndarray
+    present: np.ndarray
+    key_width: int
+    num_clbits: int
+    shots: Optional[int]
+    metadata: Dict[str, object]
+
+    @property
+    def size(self) -> int:
+        return int(self.probabilities.shape[0])
+
+    def result(self, index: int) -> Result:
+        """Materialise branch ``index`` as the equivalent serial Result.
+
+        Used by sampled-mode scoring, which must consume the campaign's
+        random stream one branch at a time in task order.
+        """
+        row = self.probabilities[index]
+        keys = np.nonzero(self.present[index])[0]
+        probabilities = {
+            format(int(key), f"0{self.key_width}b"): float(row[key])
+            for key in keys
+        }
+        return Result(
+            probabilities,
+            num_clbits=self.num_clbits,
+            shots=self.shots,
+            metadata=dict(self.metadata),
+        )
+
+
+@runtime_checkable
+class BatchedSnapshotBackend(SnapshotBackend, Protocol):
+    """Snapshot backend that can evaluate many branches as one array."""
+
+    def run_branches_from_snapshot(
+        self,
+        snapshot: SimulationSnapshot,
+        circuit: QuantumCircuit,
+        heads: Sequence[Sequence[Instruction]],
+        shots: Optional[int] = None,
+    ) -> BranchBatch:
+        """Branch from ``snapshot`` once per head, batched.
+
+        Each element of ``heads`` is one branch's private continuation
+        prefix (the injector gate(s); unitary instructions only); all
+        branches then share the tail ``circuit.instructions[snapshot.
+        position:]``. Row ``b`` of the returned batch is bit-identical to
+        :meth:`SnapshotBackend.run_from_snapshot` on ``heads[b] + tail``.
+        """
+        ...
+
+
 def supports_snapshots(backend: object) -> bool:
     """True when ``backend`` implements the snapshot/branch protocol."""
     return isinstance(backend, SnapshotBackend)
+
+
+def supports_batched_branches(backend: object) -> bool:
+    """True when ``backend`` implements the batched branch protocol."""
+    return isinstance(backend, BatchedSnapshotBackend)
+
+
+def validate_branch_head(
+    head: Sequence[Instruction], measured: AbstractSet[int]
+) -> None:
+    """Heads must be purely unitary and avoid already-measured qubits —
+    the same constraints the backends' serial advance loops enforce."""
+    for inst in head:
+        if not inst.is_unitary():
+            raise ValueError(
+                f"branch heads must be unitary instructions, got {inst.name}"
+            )
+        touched = set(inst.qubits) & set(measured)
+        if touched:
+            raise ValueError(
+                f"gate {inst.name} on already-measured qubit(s) {touched}; "
+                "only terminal measurements are supported"
+            )
+
+
+def batched_clbit_marginals(
+    qubit_probs: np.ndarray,
+    measure_map: Dict[int, int],
+    circuit: QuantumCircuit,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Project a batch of qubit-basis distributions onto the classical
+    register: ``(B, 2**n)`` rows in, ``(probabilities, present,
+    key_width)`` out.
+
+    Row ``b`` reproduces the serial per-branch marginal dictionary
+    exactly: the same ``> 1e-14`` threshold decides which entries exist,
+    and ``np.add.at`` accumulates contributions in the same
+    ascending-basis-index order as the serial loop, so the sums are
+    bit-identical, not merely close. Without measurements the full qubit
+    distribution is returned (the exact-probability-mode convention).
+    """
+    num_qubits = circuit.num_qubits
+    if not measure_map:
+        present = qubit_probs > 1e-14
+        return np.where(present, qubit_probs, 0.0), present, num_qubits
+    num_clbits = circuit.num_clbits
+    indices = np.arange(2**num_qubits)
+    key_of = np.zeros(2**num_qubits, dtype=np.intp)
+    for clbit, qubit in measure_map.items():
+        key_of |= ((indices >> qubit) & 1) << clbit
+    rows, cols = np.nonzero(qubit_probs > 1e-14)
+    probabilities = np.zeros((qubit_probs.shape[0], 2**num_clbits))
+    np.add.at(probabilities, (rows, key_of[cols]), qubit_probs[rows, cols])
+    present = np.zeros(probabilities.shape, dtype=bool)
+    present[rows, key_of[cols]] = True
+    return probabilities, present, num_clbits
+
+
+def uniform_head_slots(
+    heads: Sequence[Sequence[Instruction]],
+) -> Optional[List[Tuple[Tuple[int, ...], str, np.ndarray]]]:
+    """Slot-decompose per-branch heads when they align across the batch.
+
+    Fault campaigns group branches so every head has the same shape: one
+    injector gate per slot, each slot targeting the same qubit(s) (and
+    carrying the same gate name, which is what noise models key channels
+    on) in every branch — only the rotation angles differ. For such heads
+    this returns one ``(qubits, gate_name, (B, 2**k, 2**k) matrix stack)``
+    entry per slot, letting backends apply each slot as a single stacked
+    contraction over the batch axis. Returns ``None`` when the heads
+    diverge in length, qubits, or gate name; callers then fall back to
+    per-branch application.
+    """
+    if not heads:
+        return []
+    length = len(heads[0])
+    if any(len(head) != length for head in heads):
+        return None
+    slots: List[Tuple[Tuple[int, ...], str, np.ndarray]] = []
+    for slot in range(length):
+        qubits = heads[0][slot].qubits
+        name = heads[0][slot].name
+        if any(
+            head[slot].qubits != qubits or head[slot].name != name
+            for head in heads
+        ):
+            return None
+        matrices = np.stack([head[slot].gate.matrix for head in heads])
+        slots.append((qubits, name, matrices))
+    return slots

@@ -16,18 +16,64 @@ to re-simulating the whole faulty circuit.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..quantum.circuit import Instruction, QuantumCircuit
 from ..quantum.gates import Barrier, Measure, Reset
+from ..quantum.linalg import (
+    apply_superop_to_density,
+    apply_superop_to_density_batch,
+    apply_unitary_to_density,
+    apply_unitary_to_density_batch,
+    kraus_to_superoperator,
+)
 from ..quantum.states import DensityMatrix, format_bitstring
-from .backend import SimulationSnapshot
+from .backend import (
+    BranchBatch,
+    SimulationSnapshot,
+    batched_clbit_marginals,
+    uniform_head_slots,
+    validate_branch_head,
+)
 from .noise import NoiseModel
 from .sampler import Result
 
 __all__ = ["DensityMatrixSimulator"]
+
+
+def _channel_superop_plan(
+    channel, qubits: Sequence[int], gate_name: str
+) -> List[Tuple[np.ndarray, Tuple[int, ...]]]:
+    """How a noise channel lands on a gate's qubits: (superop, targets) list.
+
+    A channel matching the gate's arity acts once on all its qubits; a
+    one-qubit channel on a multi-qubit gate acts on each participating
+    qubit independently. Shared by the serial and batched advance loops so
+    both apply exactly the same superoperators in the same order.
+    """
+    if channel.num_qubits == len(qubits):
+        return [(channel.superoperator, tuple(qubits))]
+    if channel.num_qubits == 1:
+        return [(channel.superoperator, (qubit,)) for qubit in qubits]
+    raise ValueError(
+        f"channel {channel.name!r} arity "
+        f"{channel.num_qubits} does not match gate "
+        f"{gate_name} on {len(qubits)} qubit(s)"
+    )
+
+
+# Reset re-prepares |0> through this fixed two-operator Kraus channel. Both
+# advance loops apply it in superoperator form: the serial path via
+# reset_qubit -> apply_kraus_to_density (which converts multi-operator
+# channels to a superoperator), the batched path directly — same matrix,
+# same contraction per slice, hence bit-identical.
+_RESET_KRAUS = (
+    np.array([[1, 0], [0, 0]], dtype=complex),
+    np.array([[0, 1], [0, 0]], dtype=complex),
+)
+_RESET_SUPEROP = kraus_to_superoperator(_RESET_KRAUS)
 
 
 class DensityMatrixSimulator:
@@ -123,6 +169,192 @@ class DensityMatrixSimulator:
             metadata=metadata,
         )
 
+    def run_branches_from_snapshot(
+        self,
+        snapshot: SimulationSnapshot,
+        circuit: QuantumCircuit,
+        heads: Sequence[Sequence[Instruction]],
+        shots: Optional[int] = None,
+    ) -> BranchBatch:
+        """Evaluate one fault branch per head as a density-matrix batch.
+
+        The frozen mixed state is stacked into a ``(B, 2**n, 2**n)`` array;
+        per-branch injector rotations (with their noise channels, if the
+        model attaches any to the injector gate) apply as stacked
+        contractions, and the shared tail — gates, channels, readout
+        confusion — applies across the whole batch at once. Row ``b`` is
+        bit-identical to :meth:`run_from_snapshot` with the tail
+        ``heads[b] + circuit.instructions[snapshot.position:]``.
+        """
+        heads = [tuple(head) for head in heads]
+        num_qubits = circuit.num_qubits
+        measure_map = dict(snapshot.measure_map)
+        measured = set(snapshot.measured)
+        batch = np.repeat(
+            snapshot.state.data[np.newaxis, :, :], len(heads), axis=0
+        )
+        batch = self._apply_heads_batch(batch, heads, measured, num_qubits)
+        batch = self._advance_batch(
+            batch, circuit.instructions[snapshot.position :],
+            measure_map, measured, num_qubits,
+        )
+        probs = self._batch_probabilities(batch)
+        probs = self._apply_readout_confusion_batch(
+            probs, measure_map, num_qubits
+        )
+        probabilities, present, key_width = batched_clbit_marginals(
+            probs, measure_map, circuit
+        )
+        return BranchBatch(
+            probabilities=probabilities,
+            present=present,
+            key_width=key_width,
+            num_clbits=circuit.num_clbits or circuit.num_qubits,
+            shots=shots,
+            metadata={
+                "backend": self.name,
+                "noise_model": (
+                    self.noise_model.name if self.noise_model else None
+                ),
+            },
+        )
+
+    def _apply_heads_batch(
+        self,
+        batch: np.ndarray,
+        heads: Sequence[Sequence[Instruction]],
+        measured: Set[int],
+        num_qubits: int,
+    ) -> np.ndarray:
+        """Apply each branch's private head (plus its noise) to its row.
+
+        Aligned heads (the campaign case: same qubits and gate name per
+        slot, different angles) use one stacked contraction per slot; the
+        noise channel for a slot is shared by construction, so it too
+        applies batched. Misaligned heads fall back to per-row application.
+        """
+        noise = self.noise_model
+        for head in heads:
+            validate_branch_head(head, measured)
+        slots = uniform_head_slots(heads)
+        if slots is not None:
+            for qubits, name, matrices in slots:
+                batch = apply_unitary_to_density_batch(
+                    batch, matrices, qubits, num_qubits
+                )
+                channel = (
+                    noise.channel_for(name, qubits) if noise else None
+                )
+                if channel is not None:
+                    for superop, targets in _channel_superop_plan(
+                        channel, qubits, name
+                    ):
+                        batch = apply_superop_to_density_batch(
+                            batch, superop, targets, num_qubits
+                        )
+            return batch
+        for index, head in enumerate(heads):
+            rho = batch[index]
+            for inst in head:
+                rho = apply_unitary_to_density(
+                    rho, inst.gate.matrix, inst.qubits, num_qubits
+                )
+                channel = (
+                    noise.channel_for(inst.name, inst.qubits)
+                    if noise
+                    else None
+                )
+                if channel is not None:
+                    for superop, targets in _channel_superop_plan(
+                        channel, inst.qubits, inst.name
+                    ):
+                        rho = apply_superop_to_density(
+                            rho, superop, targets, num_qubits
+                        )
+            batch[index] = rho
+        return batch
+
+    def _advance_batch(
+        self,
+        batch: np.ndarray,
+        instructions: Iterable[Instruction],
+        measure_map: Dict[int, int],
+        measured: Set[int],
+        num_qubits: int,
+    ) -> np.ndarray:
+        """Batched :meth:`_advance`: same gate/channel sequence, with each
+        operation applied across the whole ``(B, 2**n, 2**n)`` stack."""
+        noise = self.noise_model
+        for inst in instructions:
+            if isinstance(inst.gate, Barrier):
+                continue
+            if isinstance(inst.gate, Measure):
+                measure_map[inst.clbits[0]] = inst.qubits[0]
+                measured.add(inst.qubits[0])
+                continue
+            touched = set(inst.qubits) & measured
+            if touched:
+                raise ValueError(
+                    f"gate {inst.name} on already-measured qubit(s) {touched}; "
+                    "only terminal measurements are supported"
+                )
+            if isinstance(inst.gate, Reset):
+                batch = apply_superop_to_density_batch(
+                    batch, _RESET_SUPEROP, (inst.qubits[0],), num_qubits
+                )
+                continue
+            batch = apply_unitary_to_density_batch(
+                batch, inst.gate.matrix, inst.qubits, num_qubits
+            )
+            if noise is not None:
+                channel = noise.channel_for(inst.name, inst.qubits)
+                if channel is not None:
+                    for superop, targets in _channel_superop_plan(
+                        channel, inst.qubits, inst.name
+                    ):
+                        batch = apply_superop_to_density_batch(
+                            batch, superop, targets, num_qubits
+                        )
+        return batch
+
+    @staticmethod
+    def _batch_probabilities(batch: np.ndarray) -> np.ndarray:
+        """Diagonal distributions of a density-matrix stack, row by row
+        exactly as :meth:`~repro.quantum.states.DensityMatrix.
+        probabilities` computes them (clip negatives, normalise)."""
+        probs = np.real(np.diagonal(batch, axis1=-2, axis2=-1)).copy()
+        probs[probs < 0] = 0.0
+        totals = probs.sum(axis=-1)
+        positive = totals > 0
+        probs[positive] /= totals[positive, np.newaxis]
+        return probs
+
+    def _apply_readout_confusion_batch(
+        self,
+        probs: np.ndarray,
+        measure_map: Dict[int, int],
+        num_qubits: int,
+    ) -> np.ndarray:
+        """Fold per-qubit readout confusion into a batch of distributions.
+
+        Same tensordot-per-measured-qubit sequence as the serial path, with
+        every axis shifted one slot right for the batch dimension.
+        """
+        if self.noise_model is None or not measure_map:
+            return probs
+        tensor = probs.reshape([probs.shape[0]] + [2] * num_qubits)
+        for qubit in set(measure_map.values()):
+            confusion = self.noise_model.readout_confusion(qubit)
+            if confusion is None:
+                continue
+            axis = num_qubits - 1 - qubit
+            tensor = np.moveaxis(
+                np.tensordot(confusion, tensor, axes=([1], [axis + 1])),
+                0,
+                axis + 1,
+            )
+        return tensor.reshape(probs.shape[0], -1)
+
     # ------------------------------------------------------------------
     def density_matrix(self, circuit: QuantumCircuit) -> DensityMatrix:
         """Final mixed state (measurements skipped, noise applied)."""
@@ -161,23 +393,10 @@ class DensityMatrixSimulator:
             if noise is not None:
                 channel = noise.channel_for(inst.name, inst.qubits)
                 if channel is not None:
-                    if channel.num_qubits == len(inst.qubits):
-                        state = state.apply_superop(
-                            channel.superoperator, inst.qubits
-                        )
-                    elif channel.num_qubits == 1:
-                        # One-qubit channel on a multi-qubit gate: act on each
-                        # participating qubit independently.
-                        for qubit in inst.qubits:
-                            state = state.apply_superop(
-                                channel.superoperator, [qubit]
-                            )
-                    else:
-                        raise ValueError(
-                            f"channel {channel.name!r} arity "
-                            f"{channel.num_qubits} does not match gate "
-                            f"{inst.name} on {len(inst.qubits)} qubit(s)"
-                        )
+                    for superop, targets in _channel_superop_plan(
+                        channel, inst.qubits, inst.name
+                    ):
+                        state = state.apply_superop(superop, targets)
         return state
 
     def _measured_distribution(

@@ -8,8 +8,18 @@ import numpy as np
 
 from ..quantum.circuit import Instruction, QuantumCircuit
 from ..quantum.gates import Barrier, Measure, Reset
+from ..quantum.linalg import (
+    apply_unitary_to_statevector,
+    apply_unitary_to_statevector_batch,
+)
 from ..quantum.states import Statevector, format_bitstring
-from .backend import SimulationSnapshot
+from .backend import (
+    BranchBatch,
+    SimulationSnapshot,
+    batched_clbit_marginals,
+    uniform_head_slots,
+    validate_branch_head,
+)
 from .sampler import Result
 
 __all__ = ["StatevectorSimulator"]
@@ -26,12 +36,24 @@ class StatevectorSimulator:
     :class:`~repro.simulators.backend.SnapshotBackend`: campaigns freeze the
     state after a circuit prefix once and branch every fault continuation
     from it, skipping the redundant prefix re-simulation of the naive sweep.
+    Also implements the batched extension
+    (:class:`~repro.simulators.backend.BatchedSnapshotBackend`): many fault
+    branches of one snapshot evaluate as a single ``(B, 2**n)`` array.
+
+    Sampling is opt-in and per-run: without a run ``seed`` the exact
+    distribution is returned even at a shot budget (campaign code owns
+    re-sampling and its random stream), while ``run(..., shots, seed)``
+    samples from ``default_rng(seed)`` — never from instance state — so
+    two simulator instances given the same run seed agree exactly. The
+    constructor ``seed`` only primes ``self._rng``, which exists for
+    protocol symmetry with the stateful backends (parallel campaign
+    workers reseed it); no execution path draws from it.
     """
 
     name = "statevector_simulator"
 
-    def __init__(self) -> None:
-        self._rng = np.random.default_rng()
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = np.random.default_rng(seed)
 
     def run(
         self,
@@ -98,6 +120,13 @@ class StatevectorSimulator:
         ``tail`` defaults to the rest of ``circuit``; the fault injector
         passes the spliced continuation instead. The snapshot itself is
         never mutated, so many branches may share it.
+
+        Without a ``seed`` the exact distribution is returned even when
+        ``shots`` is set, leaving re-sampling to the caller (campaign code
+        owns the random stream). With both ``shots`` and ``seed`` the
+        distribution is sampled here from ``default_rng(seed)`` — the
+        per-run seed fully overrides the instance stream, so two simulator
+        instances given the same run seed agree exactly.
         """
         measure_map = dict(snapshot.measure_map)
         measured = set(snapshot.measured)
@@ -107,15 +136,101 @@ class StatevectorSimulator:
         probabilities = _marginal_clbit_distribution(
             state.probabilities(), measure_map, circuit
         )
-        result = Result(
+        num_clbits = circuit.num_clbits or circuit.num_qubits
+        metadata: Dict[str, object] = {"backend": self.name, "ideal": True}
+        if seed is not None:
+            metadata["seed"] = seed
+            if shots is not None:
+                exact = Result(probabilities, num_clbits=num_clbits)
+                counts = exact.sample_counts(
+                    shots, np.random.default_rng(seed)
+                )
+                metadata["sampled"] = True
+                metadata["ideal"] = False  # shot noise, no longer exact
+                return Result(
+                    counts.probabilities(),
+                    num_clbits=num_clbits,
+                    shots=shots,
+                    metadata=metadata,
+                )
+        return Result(
             probabilities,
+            num_clbits=num_clbits,
+            shots=shots,
+            metadata=metadata,
+        )
+
+    def run_branches_from_snapshot(
+        self,
+        snapshot: SimulationSnapshot,
+        circuit: QuantumCircuit,
+        heads: Sequence[Sequence[Instruction]],
+        shots: Optional[int] = None,
+    ) -> BranchBatch:
+        """Evaluate one fault branch per head as a single statevector batch.
+
+        The frozen prefix state is stacked ``B`` times into a ``(B, 2**n)``
+        array; each branch's injector rotations apply as one stacked
+        contraction over the batch axis, and every shared tail gate applies
+        to the whole batch at once. Row ``b`` of the returned batch is
+        bit-identical to :meth:`run_from_snapshot` with the tail
+        ``heads[b] + circuit.instructions[snapshot.position:]``.
+        """
+        heads = [tuple(head) for head in heads]
+        num_qubits = circuit.num_qubits
+        measure_map = dict(snapshot.measure_map)
+        measured = set(snapshot.measured)
+        batch = np.repeat(
+            snapshot.state.data[np.newaxis, :], len(heads), axis=0
+        )
+        batch = _apply_heads_batch(batch, heads, measured, num_qubits)
+        batch = self._advance_batch(
+            batch, circuit.instructions[snapshot.position :],
+            measure_map, measured, num_qubits,
+        )
+        probabilities, present, key_width = batched_clbit_marginals(
+            np.abs(batch) ** 2, measure_map, circuit
+        )
+        return BranchBatch(
+            probabilities=probabilities,
+            present=present,
+            key_width=key_width,
             num_clbits=circuit.num_clbits or circuit.num_qubits,
             shots=shots,
             metadata={"backend": self.name, "ideal": True},
         )
-        if seed is not None:
-            result.metadata["seed"] = seed
-        return result
+
+    @staticmethod
+    def _advance_batch(
+        batch: np.ndarray,
+        instructions: Iterable[Instruction],
+        measure_map: Dict[int, int],
+        measured: Set[int],
+        num_qubits: int,
+    ) -> np.ndarray:
+        """Batched :meth:`_advance`: same per-instruction handling, with
+        each gate applied across the whole ``(B, 2**n)`` stack at once."""
+        for inst in instructions:
+            if isinstance(inst.gate, Barrier):
+                continue
+            if isinstance(inst.gate, Measure):
+                measure_map[inst.clbits[0]] = inst.qubits[0]
+                measured.add(inst.qubits[0])
+                continue
+            if isinstance(inst.gate, Reset):
+                raise ValueError(
+                    "reset requires the density-matrix simulator"
+                )
+            touched = set(inst.qubits) & measured
+            if touched:
+                raise ValueError(
+                    f"gate {inst.name} on already-measured qubit(s) {touched}; "
+                    "only terminal measurements are supported"
+                )
+            batch = apply_unitary_to_statevector_batch(
+                batch, inst.gate.matrix, inst.qubits, num_qubits
+            )
+        return batch
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -153,6 +268,38 @@ class StatevectorSimulator:
     def statevector(self, circuit: QuantumCircuit) -> Statevector:
         """Final pure state of the measurement-free part of ``circuit``."""
         return Statevector.from_circuit(circuit)
+
+
+def _apply_heads_batch(
+    batch: np.ndarray,
+    heads: Sequence[Sequence[Instruction]],
+    measured: Set[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply each branch's private head to its row of the statevector batch.
+
+    Campaign heads always align slot-wise (same qubits, different angles),
+    so each slot applies as one stacked ``(B, 2**k, 2**k) @ (B, 2**k, R)``
+    contraction. Misaligned heads fall back to per-row application with the
+    scalar kernel — bit-identical either way.
+    """
+    for head in heads:
+        validate_branch_head(head, measured)
+    slots = uniform_head_slots(heads)
+    if slots is not None:
+        for qubits, _name, matrices in slots:
+            batch = apply_unitary_to_statevector_batch(
+                batch, matrices, qubits, num_qubits
+            )
+        return batch
+    for index, head in enumerate(heads):
+        row = batch[index]
+        for inst in head:
+            row = apply_unitary_to_statevector(
+                row, inst.gate.matrix, inst.qubits, num_qubits
+            )
+        batch[index] = row
+    return batch
 
 
 def _marginal_clbit_distribution(

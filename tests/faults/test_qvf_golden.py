@@ -1,0 +1,147 @@
+"""Golden-value pins for the QVF metric (Eqs. 1 and 2) and its batch form.
+
+Every value here is computed by hand from the paper's formulas:
+
+    Contrast = (P(A) - P(B)) / (P(A) + P(B))
+    QVF      = 1 - (Contrast + 1) / 2
+
+so a regression in the scoring chain shows up as a concrete wrong number,
+not just a broken invariant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    MASKED_THRESHOLD,
+    SILENT_THRESHOLD,
+    FaultClass,
+    classify_qvf,
+    michelson_contrast,
+    michelson_contrast_batch,
+    qvf_from_contrast,
+    qvf_from_probabilities,
+    qvf_from_probability_matrix,
+)
+
+
+class TestMichelsonGolden:
+    def test_textbook_two_state_split(self):
+        # P(A)=0.8, P(B)=0.2 -> contrast (0.8-0.2)/1.0 = 0.6, QVF 0.2
+        probs = {"00": 0.8, "11": 0.2}
+        assert michelson_contrast(probs, ["00"]) == pytest.approx(0.6)
+        assert qvf_from_probabilities(probs, ["00"]) == pytest.approx(0.2)
+
+    def test_multiple_correct_states_aggregate(self):
+        # P(A)=0.3+0.3=0.6, P(B)=max(0.25,0.15)=0.25 -> contrast 0.35/0.85
+        probs = {"00": 0.3, "01": 0.3, "10": 0.25, "11": 0.15}
+        expected = (0.6 - 0.25) / (0.6 + 0.25)
+        assert michelson_contrast(probs, ["00", "01"]) == pytest.approx(
+            expected
+        )
+
+    def test_empty_distribution_is_maximally_dubious(self):
+        assert michelson_contrast({}, ["00"]) == 0.0
+        assert qvf_from_probabilities({}, ["00"]) == 0.5
+
+    def test_one_sided_correct_distribution(self):
+        # Only the correct state: contrast 1, QVF 0 (fault fully masked).
+        assert michelson_contrast({"00": 1.0}, ["00"]) == 1.0
+        assert qvf_from_probabilities({"00": 1.0}, ["00"]) == 0.0
+
+    def test_one_sided_wrong_distribution(self):
+        # Only a wrong state: contrast -1, QVF 1 (silent data corruption).
+        assert michelson_contrast({"11": 1.0}, ["00"]) == -1.0
+        assert qvf_from_probabilities({"11": 1.0}, ["00"]) == 1.0
+
+    def test_perfect_tie_is_dubious(self):
+        probs = {"00": 0.5, "11": 0.5}
+        assert michelson_contrast(probs, ["00"]) == 0.0
+        assert qvf_from_probabilities(probs, ["00"]) == 0.5
+
+    def test_correct_states_required(self):
+        with pytest.raises(ValueError):
+            michelson_contrast({"00": 1.0}, [])
+
+    def test_contrast_range_validated(self):
+        with pytest.raises(ValueError):
+            qvf_from_contrast(1.5)
+        with pytest.raises(ValueError):
+            qvf_from_contrast(-1.5)
+
+    def test_contrast_endpoints_map_to_qvf_bounds(self):
+        assert qvf_from_contrast(1.0) == 0.0
+        assert qvf_from_contrast(-1.0) == 1.0
+        assert qvf_from_contrast(0.0) == 0.5
+
+
+class TestClassifyGolden:
+    def test_thresholds_are_the_papers(self):
+        assert MASKED_THRESHOLD == 0.45
+        assert SILENT_THRESHOLD == 0.55
+
+    @pytest.mark.parametrize(
+        "qvf,expected",
+        [
+            (0.0, FaultClass.MASKED),
+            (0.449, FaultClass.MASKED),
+            (0.45, FaultClass.DUBIOUS),  # boundary: not strictly below
+            (0.5, FaultClass.DUBIOUS),
+            (0.55, FaultClass.DUBIOUS),  # boundary: not strictly above
+            (0.551, FaultClass.SILENT),
+            (1.0, FaultClass.SILENT),
+        ],
+    )
+    def test_boundary_values(self, qvf, expected):
+        assert classify_qvf(qvf) is expected
+
+
+class TestBatchGolden:
+    """The vectorized forms reproduce the scalar golden values row-wise."""
+
+    def test_batch_rows_match_scalar_goldens(self):
+        rows = np.array(
+            [
+                [0.8, 0.0, 0.0, 0.2],  # contrast 0.6, QVF 0.2
+                [1.0, 0.0, 0.0, 0.0],  # one-sided correct: QVF 0
+                [0.0, 0.0, 0.0, 1.0],  # one-sided wrong: QVF 1
+                [0.5, 0.0, 0.0, 0.5],  # tie: QVF 0.5
+                [0.0, 0.0, 0.0, 0.0],  # empty: QVF 0.5
+            ]
+        )
+        split_contrast = (0.8 - 0.2) / (0.8 + 0.2)
+        contrast = michelson_contrast_batch(rows, ["00"], 2)
+        np.testing.assert_array_equal(
+            contrast, np.array([split_contrast, 1.0, -1.0, 0.0, 0.0])
+        )
+        qvf = qvf_from_probability_matrix(rows, ["00"], 2)
+        np.testing.assert_array_equal(
+            qvf,
+            np.array(
+                [1.0 - (split_contrast + 1.0) / 2.0, 0.0, 1.0, 0.5, 0.5]
+            ),
+        )
+
+    def test_batch_correct_state_of_foreign_width_contributes_zero(self):
+        # A correct state that can never be a key scores like the scalar
+        # mapping's .get default: pure wrong-state distribution, QVF 1.
+        rows = np.array([[0.0, 1.0]])
+        qvf = qvf_from_probability_matrix(rows, ["000"], 1)
+        assert qvf[0] == 1.0
+
+    def test_batch_all_columns_correct_has_no_wrong_state(self):
+        rows = np.array([[0.5, 0.5]])
+        assert michelson_contrast_batch(rows, ["0", "1"], 1)[0] == 1.0
+
+    def test_batch_requires_correct_states(self):
+        with pytest.raises(ValueError):
+            michelson_contrast_batch(np.array([[1.0, 0.0]]), [], 1)
+
+    def test_batch_matches_scalar_on_random_distributions(self):
+        rng = np.random.default_rng(5)
+        rows = rng.random((32, 8))
+        rows /= rows.sum(axis=1, keepdims=True)
+        batch = qvf_from_probability_matrix(rows, ["101", "000"], 3)
+        for row, value in zip(rows, batch):
+            mapping = {format(k, "03b"): float(p) for k, p in enumerate(row)}
+            assert value == qvf_from_probabilities(mapping, ["101", "000"])

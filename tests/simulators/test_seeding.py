@@ -1,0 +1,60 @@
+"""Simulator seeding: per-run seeds fully override instance streams."""
+
+import pytest
+
+from repro.quantum import QuantumCircuit
+from repro.simulators import StatevectorSimulator
+
+
+def bell_circuit():
+    qc = QuantumCircuit(2, 2, name="bell")
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.measure_all()
+    return qc
+
+
+class TestStatevectorSeeding:
+    def test_two_instances_same_run_seed_agree(self):
+        """The per-run seed decides the sampled distribution; the two
+        instances' private (differently seeded) streams never leak in."""
+        qc = bell_circuit()
+        a = StatevectorSimulator(seed=1).run(qc, shots=512, seed=9)
+        b = StatevectorSimulator(seed=2).run(qc, shots=512, seed=9)
+        assert a.probabilities == b.probabilities
+        assert a.metadata["seed"] == b.metadata["seed"] == 9
+        assert a.metadata["sampled"] is True
+
+    def test_run_seed_overrides_perturbed_instance_stream(self):
+        """Consuming an instance's rng between runs must not change a
+        seeded run — the run seed draws from its own generator."""
+        qc = bell_circuit()
+        simulator = StatevectorSimulator(seed=3)
+        first = simulator.run(qc, shots=512, seed=9)
+        simulator._rng.random(1000)  # perturb the instance stream
+        second = simulator.run(qc, shots=512, seed=9)
+        assert first.probabilities == second.probabilities
+
+    def test_seeded_sampling_reflects_shot_noise(self):
+        """A seeded sampled run really is sampled: 512 shots of a Bell
+        state give multiples of 1/512 on the two correct outcomes."""
+        qc = bell_circuit()
+        result = StatevectorSimulator().run(qc, shots=512, seed=4)
+        assert set(result.probabilities) <= {"00", "11"}
+        for value in result.probabilities.values():
+            assert (value * 512) == int(value * 512)
+
+    def test_unseeded_run_keeps_exact_distribution(self):
+        """Without a run seed the exact distribution is returned even at a
+        shot budget — campaign code owns re-sampling (and its rng), so the
+        engine's legacy random stream is preserved."""
+        qc = bell_circuit()
+        result = StatevectorSimulator().run(qc, shots=512)
+        assert "sampled" not in result.metadata
+        assert result.probabilities["00"] == pytest.approx(0.5, abs=1e-12)
+        assert result.probabilities["11"] == pytest.approx(0.5, abs=1e-12)
+
+    def test_constructor_seed_primes_instance_stream(self):
+        a = StatevectorSimulator(seed=7)
+        b = StatevectorSimulator(seed=7)
+        assert a._rng.random() == b._rng.random()

@@ -96,6 +96,59 @@ class TestCampaign:
 
 
 class TestCampaignExecutors:
+    def test_batched_flag_matches_serial_records(self, tmp_path, capsys):
+        """--batched selects the batched executor and reproduces the
+        default serial campaign record for record."""
+
+        def run(path, *extra):
+            code = main(
+                [
+                    "campaign",
+                    "--algorithm",
+                    "bv",
+                    "--width",
+                    "3",
+                    "--grid-step",
+                    "90",
+                    "--noise",
+                    "light",
+                    "--output",
+                    path,
+                    *extra,
+                ]
+            )
+            assert code == 0
+            with open(path) as handle:
+                return json.load(handle)
+
+        serial = run(str(tmp_path / "serial.json"))
+        batched = run(str(tmp_path / "batched.json"), "--batched")
+        stdout = capsys.readouterr().out
+        assert "batched executor" in stdout
+        assert batched["metadata"]["executor"] == "batched"
+        assert batched["records"] == serial["records"]
+
+    def test_no_batched_flag_keeps_serial_executor(self, tmp_path, capsys):
+        output = str(tmp_path / "plain.json")
+        code = main(
+            [
+                "campaign",
+                "--algorithm",
+                "bv",
+                "--width",
+                "3",
+                "--grid-step",
+                "90",
+                "--noise",
+                "none",
+                "--no-batched",
+                "--output",
+                output,
+            ]
+        )
+        assert code == 0
+        assert "serial executor" in capsys.readouterr().out
+
     def test_workers_flag_runs_parallel_campaign(self, tmp_path, capsys):
         output = str(tmp_path / "par.json")
         code = main(
