@@ -15,7 +15,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from ..faults.campaign import CampaignResult
-from ..faults.qvf import FaultClass, classify_qvf
+from ..faults.qvf import FaultClass, classify_qvf_batch
 
 __all__ = ["HeatmapData", "heatmap_data", "render_ascii", "gate_reference_lines"]
 
@@ -29,23 +29,27 @@ class HeatmapData:
     grid: np.ndarray  # [len(phis), len(thetas)]
 
     def classify(self) -> np.ndarray:
-        """Cell classes as an object array of :class:`FaultClass`."""
-        classes = np.empty(self.grid.shape, dtype=object)
-        for i in range(self.grid.shape[0]):
-            for j in range(self.grid.shape[1]):
-                value = self.grid[i, j]
-                classes[i, j] = (
-                    None if np.isnan(value) else classify_qvf(float(value))
-                )
+        """Cell classes as an object array of :class:`FaultClass`.
+
+        Vectorized over the grid (``classify_qvf_batch``); never-injected
+        (NaN) cells hold None, as the per-cell loop produced.
+        """
+        classes = np.full(self.grid.shape, None, dtype=object)
+        valid = ~np.isnan(self.grid)
+        classes[valid] = classify_qvf_batch(self.grid[valid])
         return classes
 
     def fraction(self, fault_class: FaultClass) -> float:
         """Share of grid cells in the given class."""
-        classes = self.classify()
-        valid = sum(1 for c in classes.flat if c is not None)
-        if valid == 0:
+        valid = ~np.isnan(self.grid)
+        total = int(valid.sum())
+        if total == 0:
             return math.nan
-        return sum(1 for c in classes.flat if c is fault_class) / valid
+        # Identity test: classify_qvf_batch hands back the enum singletons
+        # (a numpy ``==`` would treat the str-enum as a character array).
+        classified = classify_qvf_batch(self.grid[valid])
+        hits = sum(1 for cls in classified.flat if cls is fault_class)
+        return hits / total
 
     def worst_cell(self) -> Tuple[float, float, float]:
         """(theta, phi, qvf) of the most vulnerable phase shift."""
@@ -54,8 +58,8 @@ class HeatmapData:
         return self.thetas[j], self.phis[i], float(self.grid[i, j])
 
     def value_at(self, theta: float, phi: float) -> float:
-        j = int(np.argmin([abs(t - theta) for t in self.thetas]))
-        i = int(np.argmin([abs(p - phi) for p in self.phis]))
+        j = int(np.abs(np.asarray(self.thetas) - theta).argmin())
+        i = int(np.abs(np.asarray(self.phis) - phi).argmin())
         return float(self.grid[i, j])
 
 

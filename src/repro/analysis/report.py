@@ -35,7 +35,8 @@ def _classification_section(result: CampaignResult) -> List[str]:
 
 
 def _worst_faults_section(result: CampaignResult, top: int) -> List[str]:
-    ranked = sorted(result.records, key=lambda r: -r.qvf)[:top]
+    # Stable argsort on the QVF column; only the top records materialise.
+    ranked = result.top_faults(top)
     lines = [
         "| rank | theta | phi | after gate | qubit | QVF |",
         "|---|---|---|---|---|---|",

@@ -10,6 +10,8 @@ Examples::
         --checkpoint qft5.ckpt.json --output qft5.json
     python -m repro campaign --algorithm ghz --width 8 --batched \\
         --noise none --output ghz8.json
+    python -m repro campaign --algorithm bv --width 4 --export npz \\
+        --noise none --output bv4.npz
     python -m repro report --input bv4.json
 """
 
@@ -123,14 +125,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint",
         default=None,
         help=(
-            "stream records to this JSON checkpoint and resume from it "
-            "if it already exists"
+            "stream records to this binary segment checkpoint (appended "
+            "per batch, compacted on completion) and resume from it if it "
+            "already exists; legacy JSON checkpoints are migrated"
         ),
     )
-    campaign.add_argument("--output", required=True, help="JSON output path")
+    campaign.add_argument("--output", required=True, help="output path")
+    campaign.add_argument(
+        "--export",
+        choices=["json", "csv", "npz"],
+        default="json",
+        help=(
+            "output format: json (the historical schema), csv (flat rows "
+            "for spreadsheets/R), or npz (binary columnar table)"
+        ),
+    )
 
     report = subparsers.add_parser(
-        "report", help="render a markdown report from a campaign JSON"
+        "report",
+        help="render a markdown report from a campaign file "
+        "(JSON, npz, or checkpoint)",
     )
     report.add_argument("--input", required=True)
     report.add_argument("--top", type=int, default=5)
@@ -169,7 +183,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         result = runner.run(spec, faults=faults)
     else:
         result = qufi.run_campaign(spec, faults=faults)
-    result.to_json(args.output)
+    if args.export == "csv":
+        result.to_csv(args.output)
+    elif args.export == "npz":
+        result.to_npz(args.output)
+    else:
+        result.to_json(args.output)
     print(
         f"{result.circuit_name}: {result.num_injections} injections "
         f"[{executor.name} executor, {args.workers} worker(s)], "
@@ -180,7 +199,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    result = CampaignResult.from_json(args.input)
+    # Sniffs the format: campaign JSON, npz export, or a (possibly
+    # still-running) segment checkpoint.
+    result = CampaignResult.load(args.input)
     print(campaign_report(result, top_faults=args.top))
     return 0
 

@@ -6,6 +6,7 @@ from .campaign import (
     delta_heatmap,
     record_sort_key,
 )
+from .records import RECORD_DTYPE, RecordTable
 from .checkpoint import CheckpointedRunner
 from .double import NeighborReport, find_neighbor_couples
 from .executor import (
@@ -51,6 +52,7 @@ from .qvf import (
     SILENT_THRESHOLD,
     FaultClass,
     classify_qvf,
+    classify_qvf_batch,
     michelson_contrast,
     michelson_contrast_batch,
     qvf_from_contrast,
@@ -79,6 +81,8 @@ __all__ = [
     "enumerate_injection_points",
     "CampaignResult",
     "InjectionRecord",
+    "RecordTable",
+    "RECORD_DTYPE",
     "delta_heatmap",
     "CheckpointedRunner",
     "find_neighbor_couples",
@@ -89,6 +93,7 @@ __all__ = [
     "qvf_from_probability_matrix",
     "qvf_from_contrast",
     "classify_qvf",
+    "classify_qvf_batch",
     "FaultClass",
     "MASKED_THRESHOLD",
     "SILENT_THRESHOLD",

@@ -1,4 +1,4 @@
-"""Campaign bookkeeping: injection records, aggregation, serialization.
+"""Campaign bookkeeping: columnar records, aggregation, serialization.
 
 A campaign is a sweep over (fault configuration x injection point); its
 result object produces every view the paper's evaluation plots need:
@@ -11,24 +11,39 @@ result object produces every view the paper's evaluation plots need:
 * Fig. 9 delta maps — :func:`delta_heatmap`;
 * Fig. 10 distribution moments — :meth:`CampaignResult.mean_qvf` /
   :meth:`CampaignResult.std_qvf`.
+
+Since the columnar refactor a result is a thin view over a
+:class:`~repro.faults.records.RecordTable`: every aggregation runs as a
+vectorized pass over the table's columns (grouped accumulation via
+``np.bincount`` in record order, so cell means are *numerically identical*
+to the historical per-record loops), and ``result.records`` materialises
+the :class:`~repro.faults.records.InjectionRecord` dataclass view lazily
+for consumers that still want objects.
 """
 
 from __future__ import annotations
 
+import csv
 import json
 import math
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .fault_model import PhaseShiftFault
 from .injection_points import InjectionPoint
-from .qvf import FaultClass, classify_qvf
+from .qvf import MASKED_THRESHOLD, SILENT_THRESHOLD, FaultClass
+from .records import (
+    RECORD_DTYPE,
+    InjectionRecord,
+    RecordTable,
+    record_sort_key,
+)
 
 __all__ = [
     "InjectionRecord",
+    "RecordTable",
     "CampaignResult",
     "delta_heatmap",
     "record_sort_key",
@@ -36,112 +51,198 @@ __all__ = [
 
 _ANGLE_TOL = 1e-9
 
-
-@dataclass(frozen=True)
-class InjectionRecord:
-    """One executed injection and its measured QVF."""
-
-    fault: PhaseShiftFault
-    point: InjectionPoint
-    qvf: float
-    second_fault: Optional[PhaseShiftFault] = None
-    second_qubit: Optional[int] = None
-
-    @property
-    def is_double(self) -> bool:
-        return self.second_fault is not None
-
-    def classification(self) -> FaultClass:
-        return classify_qvf(self.qvf)
+_CSV_COLUMNS = (
+    "theta",
+    "phi",
+    "lam",
+    "position",
+    "qubit",
+    "gate_name",
+    "qvf",
+    "second_theta",
+    "second_phi",
+    "second_qubit",
+)
 
 
-def record_sort_key(record: InjectionRecord) -> Tuple:
-    """Canonical ordering of injection records.
+def _unique_sorted(values: np.ndarray) -> np.ndarray:
+    """Cluster representatives of ``values`` under ``_ANGLE_TOL``.
 
-    Sorts by injection site, then fault configuration, then the second
-    fault (for double campaigns). Campaigns executed by different
-    strategies (serial, parallel, resumed-from-checkpoint) produce the same
-    record *set*; sorting by this key makes the sequences comparable.
+    Vectorized version of the historical greedy pass: exact duplicates
+    collapse through ``np.unique``; the (tiny) remaining axis is walked
+    greedily so chained near-duplicates keep the first-of-cluster
+    representative the list-based code chose.
     """
-    return (
-        record.point.position,
-        record.point.qubit,
-        round(record.fault.theta, 9),
-        round(record.fault.phi, 9),
-        round(record.fault.lam, 9),
-        -1 if record.second_qubit is None else record.second_qubit,
-        0.0 if record.second_fault is None else round(record.second_fault.theta, 9),
-        0.0 if record.second_fault is None else round(record.second_fault.phi, 9),
-        0.0 if record.second_fault is None else round(record.second_fault.lam, 9),
-    )
-
-
-def _unique_sorted(values: Sequence[float]) -> List[float]:
-    out: List[float] = []
-    for value in sorted(values):
-        if not out or value - out[-1] > _ANGLE_TOL:
+    unique = np.unique(np.asarray(values, dtype=np.float64))
+    if unique.size <= 1:
+        return unique
+    out = [unique[0]]
+    for value in unique[1:].tolist():
+        if value - out[-1] > _ANGLE_TOL:
             out.append(value)
-    return out
+    return np.asarray(out)
+
+
+def _axis_indices(values: np.ndarray, axis: np.ndarray) -> np.ndarray:
+    """Cell index of each value on a `_unique_sorted` axis.
+
+    Each value maps to the largest representative not exceeding it — its
+    cluster head, since representatives are first-of-cluster.
+    """
+    if axis.size == 0:
+        return np.zeros(0, dtype=np.intp)
+    indices = np.searchsorted(axis, values, side="right") - 1
+    return np.clip(indices, 0, axis.size - 1)
+
+
+def _nearest_indices(axis: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Index of the nearest axis value per query (ties -> lower index).
+
+    `np.searchsorted` replacement for the historical per-query
+    ``min(range(len(axis)), key=...)`` scans; identical tie-breaking.
+    """
+    pos = np.clip(np.searchsorted(axis, queries), 0, axis.size - 1)
+    prev = np.maximum(pos - 1, 0)
+    take_prev = np.abs(queries - axis[prev]) <= np.abs(axis[pos] - queries)
+    return np.where(take_prev, prev, pos)
+
+
+def _mean_grid(
+    row_values: np.ndarray,
+    col_values: np.ndarray,
+    qvf: np.ndarray,
+) -> Tuple[List[float], List[float], np.ndarray]:
+    """Mean QVF per (row, col) tolerance cell, accumulated in record order.
+
+    Cells accumulate through ``np.bincount`` on the flattened cell index,
+    which adds weights sequentially in input order — each cell's total is
+    the same left-to-right float sum the per-record loop produced, so the
+    grids are bit-identical, not merely close.
+    """
+    rows = _unique_sorted(row_values)
+    cols = _unique_sorted(col_values)
+    grid = _accumulate_grid(
+        _axis_indices(row_values, rows),
+        _axis_indices(col_values, cols),
+        (rows.size, cols.size),
+        qvf,
+    )
+    return cols.tolist(), rows.tolist(), grid
+
+
+def _accumulate_grid(
+    i: np.ndarray, j: np.ndarray, shape: Tuple[int, int], qvf: np.ndarray
+) -> np.ndarray:
+    rows, cols = shape
+    cells = i * cols + j
+    total = np.bincount(
+        cells, weights=qvf, minlength=rows * cols
+    ).reshape(shape)
+    count = np.bincount(cells, minlength=rows * cols).reshape(shape)
+    with np.errstate(invalid="ignore"):
+        grid = np.where(count > 0, total / np.maximum(count, 1), np.nan)
+    return grid
 
 
 class CampaignResult:
-    """Aggregated outcome of a fault-injection campaign."""
+    """Aggregated outcome of a fault-injection campaign.
+
+    ``records`` accepts either a :class:`RecordTable` (the executors'
+    native output, adopted as-is) or any sequence of
+    :class:`InjectionRecord` (columnarised on construction). The table is
+    treated as immutable; axes, QVF moments and the record-object view
+    are computed once and cached.
+    """
 
     def __init__(
         self,
         circuit_name: str,
         correct_states: Sequence[str],
-        records: Sequence[InjectionRecord],
+        records: Union[RecordTable, Sequence[InjectionRecord]],
         fault_free_qvf: float,
         backend_name: str = "unknown",
         metadata: Optional[Dict[str, object]] = None,
     ) -> None:
         self.circuit_name = circuit_name
         self.correct_states = tuple(correct_states)
-        self.records = list(records)
+        if isinstance(records, RecordTable):
+            self.table = records
+        else:
+            self.table = RecordTable.from_records(list(records))
         self.fault_free_qvf = float(fault_free_qvf)
         self.backend_name = backend_name
         self.metadata = dict(metadata or {})
+        self._qvf: Optional[np.ndarray] = None
+        self._mean: Optional[float] = None
+        self._std: Optional[float] = None
+        self._thetas: Optional[np.ndarray] = None
+        self._phis: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
     @property
+    def records(self) -> List[InjectionRecord]:
+        """Record-object view (lazily materialised, cached; read-only)."""
+        return self.table.to_records()
+
+    @property
     def num_injections(self) -> int:
-        return len(self.records)
+        return len(self.table)
 
     def qvf_values(self) -> np.ndarray:
-        return np.array([record.qvf for record in self.records])
+        """The QVF column as a contiguous array (cached; read-only)."""
+        if self._qvf is None:
+            qvf = np.ascontiguousarray(self.table.column("qvf"))
+            qvf.flags.writeable = False
+            self._qvf = qvf
+        return self._qvf
 
     def mean_qvf(self) -> float:
-        return float(self.qvf_values().mean()) if self.records else math.nan
+        if self._mean is None:
+            values = self.qvf_values()
+            self._mean = float(values.mean()) if values.size else math.nan
+        return self._mean
 
     def std_qvf(self) -> float:
-        return float(self.qvf_values().std()) if self.records else math.nan
+        if self._std is None:
+            values = self.qvf_values()
+            self._std = float(values.std()) if values.size else math.nan
+        return self._std
+
+    def _theta_axis(self) -> np.ndarray:
+        if self._thetas is None:
+            self._thetas = _unique_sorted(self.table.column("theta"))
+        return self._thetas
+
+    def _phi_axis(self) -> np.ndarray:
+        if self._phis is None:
+            self._phis = _unique_sorted(self.table.column("phi"))
+        return self._phis
 
     def thetas(self) -> List[float]:
-        return _unique_sorted([record.fault.theta for record in self.records])
+        return self._theta_axis().tolist()
 
     def phis(self) -> List[float]:
-        return _unique_sorted([record.fault.phi for record in self.records])
+        return self._phi_axis().tolist()
 
     def qubits(self) -> List[int]:
-        return sorted({record.point.qubit for record in self.records})
+        return np.unique(self.table.column("qubit")).tolist()
 
     def positions(self) -> List[int]:
-        return sorted({record.point.position for record in self.records})
+        return np.unique(self.table.column("position")).tolist()
 
     def is_double(self) -> bool:
-        return any(record.is_double for record in self.records)
+        return bool(self.table.has_second().any())
 
     # ------------------------------------------------------------------
     # Filters
     # ------------------------------------------------------------------
-    def _filtered(self, records: List[InjectionRecord], tag: str) -> "CampaignResult":
+    def _filtered(self, mask: np.ndarray, tag: str) -> "CampaignResult":
         return CampaignResult(
             circuit_name=self.circuit_name,
             correct_states=self.correct_states,
-            records=records,
+            records=self.table.select(mask),
             fault_free_qvf=self.fault_free_qvf,
             backend_name=self.backend_name,
             metadata={**self.metadata, "filter": tag},
@@ -150,25 +251,19 @@ class CampaignResult:
     def for_qubit(self, qubit: int) -> "CampaignResult":
         """Records whose *first* fault hit ``qubit`` (Fig. 6 slicing)."""
         return self._filtered(
-            [r for r in self.records if r.point.qubit == qubit],
-            f"qubit={qubit}",
+            self.table.column("qubit") == qubit, f"qubit={qubit}"
         )
 
     def for_position(self, position: int) -> "CampaignResult":
         return self._filtered(
-            [r for r in self.records if r.point.position == position],
-            f"position={position}",
+            self.table.column("position") == position, f"position={position}"
         )
 
     def singles(self) -> "CampaignResult":
-        return self._filtered(
-            [r for r in self.records if not r.is_double], "singles"
-        )
+        return self._filtered(~self.table.has_second(), "singles")
 
     def doubles(self) -> "CampaignResult":
-        return self._filtered(
-            [r for r in self.records if r.is_double], "doubles"
-        )
+        return self._filtered(self.table.has_second(), "doubles")
 
     # ------------------------------------------------------------------
     # Aggregations (the paper's plots)
@@ -181,20 +276,15 @@ class CampaignResult:
         second-fault configurations) — exactly how Figs. 5 and 8b average.
         Cells never injected hold NaN.
         """
-        thetas = self.thetas()
-        phis = self.phis()
-        theta_index = {round(t, 9): i for i, t in enumerate(thetas)}
-        phi_index = {round(p, 9): i for i, p in enumerate(phis)}
-        total = np.zeros((len(phis), len(thetas)))
-        count = np.zeros((len(phis), len(thetas)))
-        for record in self.records:
-            i = phi_index[round(record.fault.phi, 9)]
-            j = theta_index[round(record.fault.theta, 9)]
-            total[i, j] += record.qvf
-            count[i, j] += 1
-        with np.errstate(invalid="ignore"):
-            grid = np.where(count > 0, total / np.maximum(count, 1), np.nan)
-        return thetas, phis, grid
+        thetas = self._theta_axis()
+        phis = self._phi_axis()
+        grid = _accumulate_grid(
+            _axis_indices(self.table.column("phi"), phis),
+            _axis_indices(self.table.column("theta"), thetas),
+            (phis.size, thetas.size),
+            self.qvf_values(),
+        )
+        return thetas.tolist(), phis.tolist(), grid
 
     def detail_surface(
         self, theta0: float, phi0: float
@@ -204,32 +294,22 @@ class CampaignResult:
         Returns ``(theta1_values, phi1_values, grid)`` with
         ``grid[i_phi1, i_theta1]`` the mean QVF over positions/couples.
         """
-        selected = [
-            record
-            for record in self.records
-            if record.is_double
-            and abs(record.fault.theta - theta0) < _ANGLE_TOL
-            and abs(record.fault.phi - phi0) < _ANGLE_TOL
-        ]
-        if not selected:
+        mask = (
+            self.table.has_second()
+            & (np.abs(self.table.column("theta") - theta0) < _ANGLE_TOL)
+            & (np.abs(self.table.column("phi") - phi0) < _ANGLE_TOL)
+        )
+        if not mask.any():
             raise ValueError(
                 f"no double injections with first fault "
                 f"(theta={theta0}, phi={phi0})"
             )
-        thetas = _unique_sorted([r.second_fault.theta for r in selected])
-        phis = _unique_sorted([r.second_fault.phi for r in selected])
-        theta_index = {round(t, 9): i for i, t in enumerate(thetas)}
-        phi_index = {round(p, 9): i for i, p in enumerate(phis)}
-        total = np.zeros((len(phis), len(thetas)))
-        count = np.zeros((len(phis), len(thetas)))
-        for record in selected:
-            i = phi_index[round(record.second_fault.phi, 9)]
-            j = theta_index[round(record.second_fault.theta, 9)]
-            total[i, j] += record.qvf
-            count[i, j] += 1
-        with np.errstate(invalid="ignore"):
-            grid = np.where(count > 0, total / np.maximum(count, 1), np.nan)
-        return thetas, phis, grid
+        selected = self.table.select(mask)
+        return _mean_grid(
+            selected.column("second_phi"),
+            selected.column("second_theta"),
+            selected.column("qvf"),
+        )
 
     def histogram(
         self, bins: int = 20, density: bool = True
@@ -239,15 +319,24 @@ class CampaignResult:
             self.qvf_values(), bins=bins, range=(0.0, 1.0), density=density
         )
 
+    def classification_counts(self) -> Dict[FaultClass, int]:
+        """Number of masked / dubious / silent injections."""
+        qvf = self.qvf_values()
+        masked = int((qvf < MASKED_THRESHOLD).sum())
+        silent = int((qvf > SILENT_THRESHOLD).sum())
+        return {
+            FaultClass.MASKED: masked,
+            FaultClass.DUBIOUS: int(qvf.size) - masked - silent,
+            FaultClass.SILENT: silent,
+        }
+
     def classification_fractions(self) -> Dict[FaultClass, float]:
         """Share of masked / dubious / silent injections."""
-        if not self.records:
+        if not len(self.table):
             return {cls: math.nan for cls in FaultClass}
-        counts = {cls: 0 for cls in FaultClass}
-        for record in self.records:
-            counts[record.classification()] += 1
+        counts = self.classification_counts()
         return {
-            cls: count / len(self.records) for cls, count in counts.items()
+            cls: count / len(self.table) for cls, count in counts.items()
         }
 
     def improved_fraction(self, tol: float = 1e-12) -> float:
@@ -256,19 +345,26 @@ class CampaignResult:
         The paper reports ~0.9% of injections compensating the intrinsic
         noise; this is that statistic.
         """
-        if not self.records:
+        qvf = self.qvf_values()
+        if not qvf.size:
             return math.nan
-        improved = sum(
-            1 for r in self.records if r.qvf < self.fault_free_qvf - tol
-        )
-        return improved / len(self.records)
+        return int((qvf < self.fault_free_qvf - tol).sum()) / qvf.size
 
     def qvf_at(self, theta: float, phi: float) -> float:
         """Mean QVF of the cell nearest (theta, phi)."""
         thetas, phis, grid = self.heatmap()
-        j = int(np.argmin([abs(t - theta) for t in thetas]))
-        i = int(np.argmin([abs(p - phi) for p in phis]))
+        j = int(np.abs(np.asarray(thetas) - theta).argmin())
+        i = int(np.abs(np.asarray(phis) - phi).argmin())
         return float(grid[i, j])
+
+    def top_faults(self, count: int) -> List[InjectionRecord]:
+        """The ``count`` most damaging injections, worst first.
+
+        Stable descending sort on the QVF column: ties keep record order,
+        exactly as sorting the record list by ``-qvf`` did.
+        """
+        order = np.argsort(-self.qvf_values(), kind="stable")[:count]
+        return [self.table.record(int(index)) for index in order]
 
     def sorted_records(self) -> List[InjectionRecord]:
         """Records in canonical :func:`record_sort_key` order."""
@@ -286,7 +382,6 @@ class CampaignResult:
         if not results:
             raise ValueError("at least one result is required")
         first = results[0]
-        records: List[InjectionRecord] = []
         for result in results:
             if result.circuit_name != first.circuit_name:
                 raise ValueError(
@@ -295,11 +390,12 @@ class CampaignResult:
                 )
             if result.correct_states != first.correct_states:
                 raise ValueError("merged shards disagree on correct states")
-            records.extend(result.records)
         return cls(
             circuit_name=first.circuit_name,
             correct_states=first.correct_states,
-            records=records,
+            records=RecordTable.concatenate(
+                [result.table for result in results]
+            ),
             fault_free_qvf=first.fault_free_qvf,
             backend_name=first.backend_name,
             metadata={**first.metadata, "merged_shards": len(results)},
@@ -308,63 +404,65 @@ class CampaignResult:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict[str, object]:
+    def _header(self) -> Dict[str, object]:
         return {
             "circuit_name": self.circuit_name,
             "correct_states": list(self.correct_states),
             "fault_free_qvf": self.fault_free_qvf,
             "backend_name": self.backend_name,
             "metadata": self.metadata,
-            "records": [
-                {
-                    "theta": r.fault.theta,
-                    "phi": r.fault.phi,
-                    "lam": r.fault.lam,
-                    "position": r.point.position,
-                    "qubit": r.point.qubit,
-                    "gate_name": r.point.gate_name,
-                    "qvf": r.qvf,
-                    "theta1": r.second_fault.theta if r.second_fault else None,
-                    "phi1": r.second_fault.phi if r.second_fault else None,
-                    "qubit1": r.second_qubit,
-                }
-                for r in self.records
-            ],
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "CampaignResult":
-        records = []
-        for raw in data["records"]:
-            second = (
-                PhaseShiftFault(raw["theta1"], raw["phi1"])
-                if raw.get("theta1") is not None
-                else None
-            )
-            records.append(
-                InjectionRecord(
-                    fault=PhaseShiftFault(raw["theta"], raw["phi"], raw.get("lam", 0.0)),
-                    point=InjectionPoint(
-                        raw["position"], raw["qubit"], raw["gate_name"]
-                    ),
-                    qvf=raw["qvf"],
-                    second_fault=second,
-                    second_qubit=raw.get("qubit1"),
-                )
-            )
+    def from_table_meta(
+        cls, meta: Dict[str, object], table: RecordTable
+    ) -> "CampaignResult":
+        """Build a result from a header/meta dict plus a record table.
+
+        The one place the header schema is decoded — the npz loader, the
+        segment-checkpoint loaders and the checkpoint runner all go
+        through here.
+        """
         return cls(
-            circuit_name=data["circuit_name"],
-            correct_states=data["correct_states"],
-            records=records,
-            fault_free_qvf=data["fault_free_qvf"],
-            backend_name=data.get("backend_name", "unknown"),
-            metadata=data.get("metadata", {}),
+            circuit_name=meta["circuit_name"],
+            correct_states=meta["correct_states"],
+            records=table,
+            fault_free_qvf=meta["fault_free_qvf"],
+            backend_name=meta.get("backend_name", "unknown"),
+            metadata=meta.get("metadata", {}),
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        return {**self._header(), "records": list(self.table.row_dicts())}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignResult":
+        # RecordTable.from_records owns the columnar (NaN/-1 sentinel)
+        # encoding; this stays a plain schema-to-record translation.
+        records = [
+            InjectionRecord(
+                fault=PhaseShiftFault(
+                    raw["theta"], raw["phi"], raw.get("lam", 0.0)
+                ),
+                point=InjectionPoint(
+                    raw["position"], raw["qubit"], raw["gate_name"]
+                ),
+                qvf=raw["qvf"],
+                second_fault=(
+                    PhaseShiftFault(raw["theta1"], raw["phi1"])
+                    if raw.get("theta1") is not None
+                    else None
+                ),
+                second_qubit=raw.get("qubit1"),
+            )
+            for raw in data["records"]
+        ]
+        return cls.from_table_meta(data, RecordTable.from_records(records))
+
     def to_json(self, path: str) -> None:
-        """Serialise atomically: checkpoint consumers re-write this file
-        every few hundred injections, and a kill mid-write must never
-        leave a truncated campaign behind."""
+        """Serialise atomically: export consumers may re-write this file,
+        and a kill mid-write must never leave a truncated campaign
+        behind."""
         tmp_path = f"{path}.tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(self.to_dict(), handle)
@@ -374,6 +472,86 @@ class CampaignResult:
     def from_json(cls, path: str) -> "CampaignResult":
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_dict(json.load(handle))
+
+    def to_npz(self, path: str) -> None:
+        """Binary columnar export: the record table plus a JSON header.
+
+        Written through an open handle so the path is honoured verbatim
+        (``np.savez`` would append ``.npz`` to a bare filename), and
+        atomically, like every other writer here.
+        """
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "wb") as handle:
+            np.savez(
+                handle,
+                records=self.table.data,
+                gate_names=np.asarray(self.table.gate_names, dtype=np.str_),
+                header=np.asarray(json.dumps(self._header())),
+            )
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def from_npz(cls, path: str) -> "CampaignResult":
+        with np.load(path, allow_pickle=False) as archive:
+            header = json.loads(str(archive["header"]))
+            table = RecordTable(
+                np.array(archive["records"], dtype=RECORD_DTYPE),
+                [str(name) for name in archive["gate_names"]],
+            )
+        return cls.from_table_meta(header, table)
+
+    def to_csv(self, path: str) -> None:
+        """Flat-file export for external analysis (spreadsheets, R, ...).
+
+        One row per record; ``repr`` floats, so values round-trip. Single
+        faults leave the ``second_*`` fields empty.
+        """
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle, lineterminator="\n")
+            writer.writerow(_CSV_COLUMNS)
+            for row in self.table.row_dicts():
+                writer.writerow(
+                    (
+                        repr(row["theta"]),
+                        repr(row["phi"]),
+                        repr(row["lam"]),
+                        row["position"],
+                        row["qubit"],
+                        row["gate_name"],
+                        repr(row["qvf"]),
+                        "" if row["theta1"] is None else repr(row["theta1"]),
+                        "" if row["phi1"] is None else repr(row["phi1"]),
+                        "" if row["qubit1"] is None else row["qubit1"],
+                    )
+                )
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignResult":
+        """Load a campaign from JSON, ``.npz``, or a segment checkpoint.
+
+        Sniffs the format from the file's leading bytes, so CLI consumers
+        can point at any artefact a campaign run leaves behind.
+        """
+        from .store import SEGMENT_MAGIC, read_segments
+
+        with open(path, "rb") as handle:
+            head = handle.read(4)
+        if head == SEGMENT_MAGIC:
+            meta, table = read_segments(path)
+            if meta is None:
+                raise ValueError(f"{path!r} holds no campaign metadata")
+            return cls.from_table_meta(meta, table)
+        if head[:2] == b"PK":  # npz archives are zip files
+            return cls.from_npz(path)
+        try:
+            return cls.from_json(path)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ValueError(
+                f"{path!r} is not a campaign artefact (expected JSON, "
+                f"npz, or a segment checkpoint; CSV exports are one-way)"
+            ) from error
 
     def __repr__(self) -> str:
         return (
@@ -388,18 +566,35 @@ def delta_heatmap(
 ) -> Tuple[List[float], List[float], np.ndarray]:
     """Fig. 9: double-fault QVF minus single-fault QVF per (phi, theta) cell.
 
-    Grids are aligned on the cells present in both campaigns.
+    Grids are aligned on the cells present in both campaigns. Alignment
+    runs as `np.searchsorted` nearest-cell lookups on the sorted axes
+    (same ``_ANGLE_TOL`` membership test and the same lower-index
+    tie-breaking the historical per-cell scans used), so building the
+    delta grid is O((cells + grid) log grid) instead of O(cells x grid).
     """
     thetas_d, phis_d, grid_d = double.heatmap()
     thetas_s, phis_s, grid_s = single.heatmap()
-    thetas = [t for t in thetas_d if any(abs(t - x) < _ANGLE_TOL for x in thetas_s)]
-    phis = [p for p in phis_d if any(abs(p - x) < _ANGLE_TOL for x in phis_s)]
-    delta = np.empty((len(phis), len(thetas)))
-    for i, phi in enumerate(phis):
-        for j, theta in enumerate(thetas):
-            d_i = min(range(len(phis_d)), key=lambda k: abs(phis_d[k] - phi))
-            d_j = min(range(len(thetas_d)), key=lambda k: abs(thetas_d[k] - theta))
-            s_i = min(range(len(phis_s)), key=lambda k: abs(phis_s[k] - phi))
-            s_j = min(range(len(thetas_s)), key=lambda k: abs(thetas_s[k] - theta))
-            delta[i, j] = grid_d[d_i, d_j] - grid_s[s_i, s_j]
-    return thetas, phis, delta
+    axis_t_d = np.asarray(thetas_d)
+    axis_p_d = np.asarray(phis_d)
+    axis_t_s = np.asarray(thetas_s)
+    axis_p_s = np.asarray(phis_s)
+
+    def common(axis_d: np.ndarray, axis_s: np.ndarray) -> np.ndarray:
+        if axis_d.size == 0 or axis_s.size == 0:
+            return axis_d[:0]
+        nearest = _nearest_indices(axis_s, axis_d)
+        return axis_d[np.abs(axis_d - axis_s[nearest]) < _ANGLE_TOL]
+
+    thetas = common(axis_t_d, axis_t_s)
+    phis = common(axis_p_d, axis_p_s)
+    if thetas.size and phis.size:
+        d_rows = _nearest_indices(axis_p_d, phis)
+        d_cols = _nearest_indices(axis_t_d, thetas)
+        s_rows = _nearest_indices(axis_p_s, phis)
+        s_cols = _nearest_indices(axis_t_s, thetas)
+        delta = (
+            grid_d[np.ix_(d_rows, d_cols)] - grid_s[np.ix_(s_rows, s_cols)]
+        )
+    else:
+        delta = np.empty((phis.size, thetas.size))
+    return thetas.tolist(), phis.tolist(), delta

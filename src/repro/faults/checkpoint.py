@@ -2,33 +2,46 @@
 
 The paper's campaigns run to hundreds of millions of injections; at that
 scale interruption is the norm, not the exception. :class:`CheckpointedRunner`
-wraps :class:`~repro.faults.injector.QuFI` with periodic JSON snapshots:
+wraps :class:`~repro.faults.injector.QuFI` with a streaming checkpoint:
 re-running the same campaign skips every injection already recorded, so a
 killed job resumes where it stopped.
 
-Pending work is planned as one task list and streamed through the campaign
-engine (:mod:`repro.faults.executor`): record batches arrive through the
-executor's ``on_batch`` callback and the checkpoint file is re-serialised
-every ``save_every`` records. The executor defaults to the injector's own
-strategy — :class:`~repro.faults.executor.SerialExecutor` for bit-identical
-prefix-reuse sweeps, :class:`~repro.faults.executor.ParallelExecutor` for
-multi-process ones — bounded so no delivery batch exceeds ``save_every``;
-a kill between saves therefore loses fewer than ``2 x save_every``
-completed injections (the unsaved tail plus one in-flight batch).
+Checkpoints are append-only binary segment files
+(:mod:`repro.faults.store`): every record block the executor delivers is
+appended as one self-contained segment — O(batch) per flush, where the
+historical JSON checkpoint re-serialised the whole campaign every time
+(O(n) per flush, O(n^2) over a sweep). On completion the file is
+compacted to a single metadata + record segment, atomically. Legacy JSON
+checkpoints still load (and are migrated to the segment format the first
+time a campaign resumes from one); JSON remains the *export* format —
+``CampaignResult.to_json`` / ``from_json`` are unchanged and
+``CampaignResult.load`` sniffs either format.
+
+Pending work keeps its original campaign rank (``InjectionTask.index``),
+and checkpointed plans enable per-task seeding: with a finite shot
+budget each task draws from a generator derived from ``(seed, index)``,
+so a resumed campaign reproduces the uninterrupted run bit for bit — on
+the serial, batched and parallel strategies alike.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence, Set, Tuple, Union
+from typing import Optional, Sequence, Set, Tuple, Union
 
 from ..algorithms.spec import AlgorithmSpec
 from ..quantum.circuit import QuantumCircuit
-from .campaign import CampaignResult, InjectionRecord
+from .campaign import CampaignResult, RecordTable
 from .executor import BaseExecutor, CampaignPlan, InjectionTask
 from .fault_model import PhaseShiftFault, fault_grid
 from .injection_points import InjectionPoint, enumerate_injection_points
 from .injector import QuFI
+from .store import (
+    append_record_segment,
+    compact,
+    is_segment_file,
+    read_segments,
+)
 
 __all__ = ["CheckpointedRunner"]
 
@@ -42,6 +55,19 @@ def _key(fault: PhaseShiftFault, point: InjectionPoint) -> _Key:
         point.position,
         point.qubit,
     )
+
+
+def _table_keys(table: RecordTable) -> Set[_Key]:
+    """Completed-injection keys straight off the columns."""
+    return {
+        (round(theta, 9), round(phi, 9), position, qubit)
+        for theta, phi, position, qubit in zip(
+            table.column("theta").tolist(),
+            table.column("phi").tolist(),
+            table.column("position").tolist(),
+            table.column("qubit").tolist(),
+        )
+    }
 
 
 class CheckpointedRunner:
@@ -63,15 +89,22 @@ class CheckpointedRunner:
 
     # ------------------------------------------------------------------
     def _load_existing(self) -> Optional[CampaignResult]:
-        if not os.path.exists(self.checkpoint_path):
+        """The checkpointed campaign so far — segment or legacy JSON."""
+        path = self.checkpoint_path
+        if not os.path.exists(path):
             return None
-        return CampaignResult.from_json(self.checkpoint_path)
+        if not is_segment_file(path):
+            return CampaignResult.from_json(path)
+        meta, table = read_segments(path)
+        if meta is None:
+            return None
+        return CampaignResult.from_table_meta(meta, table)
 
     def completed_keys(self) -> Set[_Key]:
         existing = self._load_existing()
         if existing is None:
             return set()
-        return {_key(r.fault, r.point) for r in existing.records}
+        return _table_keys(existing.table)
 
     def run(
         self,
@@ -80,9 +113,10 @@ class CheckpointedRunner:
         faults: Optional[Sequence[PhaseShiftFault]] = None,
         points: Optional[Sequence[InjectionPoint]] = None,
     ) -> CampaignResult:
-        """Run (or resume) the campaign, checkpointing roughly every
-        ``save_every`` injections (a kill loses fewer than ``2 x
-        save_every``). Returns the complete result."""
+        """Run (or resume) the campaign, appending a checkpoint segment
+        every ``save_every`` completed injections (a kill loses fewer
+        than ``2 x save_every``: the unflushed buffer plus one in-flight
+        delivery batch). Returns the complete result."""
         if isinstance(target, AlgorithmSpec):
             circuit, states, name = (
                 target.circuit,
@@ -107,8 +141,10 @@ class CheckpointedRunner:
                 f"checkpoint holds campaign {existing.circuit_name!r}, "
                 f"refusing to mix with {name!r}"
             )
-        records = list(existing.records) if existing else []
-        done = {_key(r.fault, r.point) for r in records}
+        done_table = (
+            existing.table if existing is not None else RecordTable.empty()
+        )
+        done = _table_keys(done_table)
         fault_free = (
             existing.fault_free_qvf
             if existing is not None
@@ -116,62 +152,89 @@ class CheckpointedRunner:
         )
 
         # The executor's delivery batches are capped at save_every, so a
-        # kill between saves loses less than 2 x save_every injections.
+        # kill loses at most save_every unflushed injections.
         executor = (
             self.executor if self.executor is not None else self.qufi.executor
         ).bounded(self.save_every)
 
-        def snapshot() -> CampaignResult:
+        meta = {
+            "circuit_name": name,
+            "correct_states": list(states),
+            "fault_free_qvf": fault_free,
+            "backend_name": getattr(self.qufi.backend, "name", "backend"),
             # Same metadata schema as QuFI.run_campaign plus the
             # checkpoint marker, so consumers need no special-casing.
-            return CampaignResult(
-                circuit_name=name,
-                correct_states=states,
-                records=records,
-                fault_free_qvf=fault_free,
-                backend_name=getattr(self.qufi.backend, "name", "backend"),
-                metadata={
-                    "mode": "single",
-                    "checkpointed": True,
-                    "num_faults": len(faults),
-                    "num_points": len(points),
-                    "shots": self.qufi.shots,
-                    "executor": executor.name,
-                },
-            )
+            "metadata": {
+                "mode": "single",
+                "checkpointed": True,
+                "num_faults": len(faults),
+                "num_points": len(points),
+                "shots": self.qufi.shots,
+                "executor": executor.name,
+            },
+        }
 
-        pending = [
-            (point, fault)
-            for point in points
-            for fault in faults
-            if _key(fault, point) not in done
-        ]
-        if pending:
-            tasks = tuple(
-                InjectionTask(index=index, point=point, fault=fault)
-                for index, (point, fault) in enumerate(pending)
+        # The store is compacted (atomically rewritten as meta + one
+        # record segment) before any appending: a fresh path or a legacy
+        # JSON checkpoint becomes a segment store, and — critically — a
+        # torn tail segment left by a kill mid-append is truncated away.
+        # Appending after torn bytes would corrupt every later segment.
+        compact(self.checkpoint_path, meta, done_table)
+
+        # Pending tasks keep their original campaign rank, which (with
+        # per-task seeding) makes sampled draws independent of where the
+        # previous run was killed.
+        pending = tuple(
+            InjectionTask(index=index, point=point, fault=fault)
+            for index, (point, fault) in enumerate(
+                (point, fault) for point in points for fault in faults
             )
+            if _key(fault, point) not in done
+        )
+        new_table = RecordTable.empty()
+        if pending:
             plan = CampaignPlan(
                 circuit=circuit,
                 correct_states=states,
-                tasks=tasks,
+                tasks=pending,
                 shots=self.qufi.shots,
                 seed=self.qufi.seed,
+                per_task_seeding=True,
             )
+            # Delivery batches accumulate until save_every records are
+            # pending, then flush as one segment — save_every is the
+            # flush cadence, not just a batch-size cap.
+            buffered: list = []
             since_save = 0
 
-            def on_batch(batch: List[InjectionRecord]) -> None:
+            def flush() -> None:
                 nonlocal since_save
-                records.extend(batch)
+                append_record_segment(
+                    self.checkpoint_path, RecordTable.concatenate(buffered)
+                )
+                buffered.clear()
+                since_save = 0
+
+            def on_batch(batch: RecordTable) -> None:
+                nonlocal since_save
+                buffered.append(batch)
                 since_save += len(batch)
                 if since_save >= self.save_every:
-                    snapshot().to_json(self.checkpoint_path)
-                    since_save = 0
+                    flush()
 
-            executor.run(
+            new_table = executor.run(
                 self.qufi.backend, plan, on_batch=on_batch, rng=self.qufi._rng
             )
+            if buffered:
+                flush()
 
-        result = snapshot()
-        result.to_json(self.checkpoint_path)
+        result = CampaignResult(
+            circuit_name=name,
+            correct_states=states,
+            records=RecordTable.concatenate([done_table, new_table]),
+            fault_free_qvf=fault_free,
+            backend_name=meta["backend_name"],
+            metadata=dict(meta["metadata"]),
+        )
+        compact(self.checkpoint_path, meta, result.table)
         return result

@@ -34,13 +34,18 @@ redundancy and scales what remains:
   the CLI (``repro campaign --workers N --batched``) and the benchmarks
   select a strategy without touching campaign logic.
 
-* **Streaming** — executors deliver :class:`~repro.faults.campaign.
-  InjectionRecord` batches through an ``on_batch`` callback as they
-  complete, which is how :class:`~repro.faults.checkpoint.
-  CheckpointedRunner` persists long sweeps incrementally and how progress
-  flows during multi-hour campaigns (at batch/chunk granularity — serial
-  batches every ``batch_size`` records, parallel chunks in submission
-  order).
+* **Columnar streaming** — executors assemble records as
+  :class:`~repro.faults.records.RecordTable` column blocks (the ``qvf``
+  column is handed over straight from the vectorized scoring arrays —
+  no per-record dataclass is ever materialised on the hot path) and
+  deliver them through an ``on_batch`` callback as they complete, which
+  is how :class:`~repro.faults.checkpoint.CheckpointedRunner` appends
+  binary checkpoint segments in O(batch) and how progress flows during
+  multi-hour campaigns (at batch/chunk granularity — serial batches
+  every ``batch_size`` records, parallel chunks in submission order).
+  ``run`` returns the concatenated table; blocks behave as read-only
+  sequences of :class:`~repro.faults.records.InjectionRecord` for
+  consumers that still want objects.
 
 Determinism contract
 --------------------
@@ -50,7 +55,10 @@ identical to the legacy per-injection loop. With a finite shot budget,
 order (bit-identical again), while :class:`ParallelExecutor` derives an
 independent generator per chunk from ``(seed, chunk_index)`` — runs are
 reproducible for a fixed seed and chunk layout, but the stream differs
-from the serial one.
+from the serial one. Plans with ``per_task_seeding`` (checkpointed
+campaigns) instead derive one generator per task from ``(seed,
+task.index)``, so a killed-and-resumed sampled sweep draws exactly what
+the uninterrupted run would have drawn, on every strategy.
 """
 
 from __future__ import annotations
@@ -82,10 +90,10 @@ from ..simulators.backend import (
     supports_snapshots,
 )
 from ..simulators.sampler import Result
-from .campaign import InjectionRecord
 from .fault_model import PhaseShiftFault
 from .injection_points import InjectionPoint
 from .qvf import qvf_from_probabilities, qvf_from_probability_matrix
+from .records import InjectionRecord, RecordTable
 
 __all__ = [
     "InjectionTask",
@@ -100,7 +108,7 @@ __all__ = [
     "score_branch_batch",
 ]
 
-BatchCallback = Callable[[List[InjectionRecord]], None]
+BatchCallback = Callable[[RecordTable], None]
 
 
 # ----------------------------------------------------------------------
@@ -112,7 +120,9 @@ class InjectionTask:
 
     ``index`` is the task's rank in the campaign's canonical order (point
     outer, fault inner — the legacy sweep order); executors return records
-    in exactly this order regardless of strategy.
+    in exactly this order regardless of strategy. Resumed campaigns keep
+    the *original* ranks for their pending tasks (the sequence may have
+    holes), which is what makes per-task seeding resume-stable.
     """
 
     index: int
@@ -144,6 +154,13 @@ class CampaignPlan:
     tasks: Tuple[InjectionTask, ...]
     shots: Optional[int] = None
     seed: Optional[int] = None
+    per_task_seeding: bool = False
+    """Sampled-mode rng policy. False (the default) consumes one shared
+    stream in task order — bit-identical to the legacy loop on the serial
+    strategies. True derives an independent generator per task from
+    ``(seed, task.index)``; draws then depend only on the task, not on
+    what ran before it, so checkpointed campaigns resume bit-identically
+    at the price of a stream that differs from the plain serial one."""
 
     @property
     def total(self) -> int:
@@ -280,14 +297,77 @@ def score_branch_batch(
 # ----------------------------------------------------------------------
 # Core task loop
 # ----------------------------------------------------------------------
-def _iter_task_records(
+def _task_rng(
+    plan: CampaignPlan, task: InjectionTask, rng: np.random.Generator
+) -> np.random.Generator:
+    """The generator scoring ``task`` draws from (see ``per_task_seeding``)."""
+    if plan.per_task_seeding and plan.shots is not None:
+        return np.random.default_rng(
+            None if plan.seed is None else (plan.seed, task.index)
+        )
+    return rng
+
+
+def _table_from_tasks(
+    tasks: Sequence[InjectionTask], qvfs
+) -> RecordTable:
+    """One columnar block for ``tasks`` scored as ``qvfs``.
+
+    The qvf column is taken from the scoring array as-is (for the batched
+    path that array comes straight out of
+    :func:`~repro.faults.qvf.qvf_from_probability_matrix`); the remaining
+    columns read plain task attributes — no per-record dataclass.
+    """
+    n = len(tasks)
+    theta = np.empty(n)
+    phi = np.empty(n)
+    lam = np.empty(n)
+    position = np.empty(n, dtype=np.int64)
+    qubit = np.empty(n, dtype=np.int64)
+    gate_ids = np.empty(n, dtype=np.int64)
+    second_theta = np.full(n, np.nan)
+    second_phi = np.full(n, np.nan)
+    second_lam = np.full(n, np.nan)
+    second_qubit = np.full(n, -1, dtype=np.int64)
+    pool: dict = {}
+    for k, task in enumerate(tasks):
+        fault, point = task.fault, task.point
+        theta[k] = fault.theta
+        phi[k] = fault.phi
+        lam[k] = fault.lam
+        position[k] = point.position
+        qubit[k] = point.qubit
+        gate_ids[k] = pool.setdefault(point.gate_name, len(pool))
+        if task.second_fault is not None:
+            second_theta[k] = task.second_fault.theta
+            second_phi[k] = task.second_fault.phi
+            second_lam[k] = task.second_fault.lam
+        if task.second_qubit is not None:
+            second_qubit[k] = task.second_qubit
+    return RecordTable.from_columns(
+        theta=theta,
+        phi=phi,
+        lam=lam,
+        position=position,
+        qubit=qubit,
+        gate_ids=gate_ids,
+        gate_names=list(pool),
+        qvf=np.asarray(qvfs, dtype=np.float64),
+        second_theta=second_theta,
+        second_phi=second_phi,
+        second_lam=second_lam,
+        second_qubit=second_qubit,
+    )
+
+
+def _iter_scored_tasks(
     backend: Backend,
     plan: CampaignPlan,
     tasks: Sequence[InjectionTask],
     rng: np.random.Generator,
     prefix_reuse: bool,
-) -> Iterator[InjectionRecord]:
-    """Execute ``tasks`` in order, yielding one record per task.
+) -> Iterator[Tuple[InjectionTask, float]]:
+    """Execute ``tasks`` in order, yielding ``(task, qvf)`` per task.
 
     On snapshot-capable backends with ``prefix_reuse`` the shared prefix of
     each run of same-position tasks is simulated once and extended
@@ -310,26 +390,30 @@ def _iter_task_records(
                     _fault_tail(circuit, task),
                     shots=plan.shots,
                 )
-                yield task.to_record(
-                    score_result(
-                        result, plan.correct_states, plan.shots, rng
-                    )
+                yield task, score_result(
+                    result,
+                    plan.correct_states,
+                    plan.shots,
+                    _task_rng(plan, task, rng),
                 )
     else:
         for task in tasks:
             result = backend.run(_task_circuit(circuit, task), shots=plan.shots)
-            yield task.to_record(
-                score_result(result, plan.correct_states, plan.shots, rng)
+            yield task, score_result(
+                result,
+                plan.correct_states,
+                plan.shots,
+                _task_rng(plan, task, rng),
             )
 
 
-def _iter_batched_records(
+def _iter_scored_groups(
     backend: Backend,
     plan: CampaignPlan,
     tasks: Sequence[InjectionTask],
     rng: np.random.Generator,
     max_branches: int,
-) -> Iterator[InjectionRecord]:
+) -> Iterator[Tuple[List[InjectionTask], np.ndarray]]:
     """Execute ``tasks`` in order, one stacked batch per injection point.
 
     Tasks are grouped by ``(position, qubit, second qubit)`` — within a
@@ -338,7 +422,8 @@ def _iter_batched_records(
     stacked contractions. Groups larger than ``max_branches`` split into
     consecutive sub-batches to bound peak memory (a density-matrix branch
     is ``16 * 4**n`` bytes). The prefix snapshot extends across groups
-    exactly as the serial loop extends it across positions.
+    exactly as the serial loop extends it across positions. Yields each
+    sub-batch with its scored QVF array.
     """
     circuit = plan.circuit
     snapshot = None
@@ -362,11 +447,29 @@ def _iter_batched_records(
                 [_branch_head(task) for task in sub],
                 shots=plan.shots,
             )
-            qvfs = score_branch_batch(
-                batch, plan.correct_states, plan.shots, rng
-            )
-            for task, value in zip(sub, qvfs):
-                yield task.to_record(float(value))
+            if (
+                plan.per_task_seeding
+                and plan.shots is not None
+                and not batch.metadata.get("sampled")
+            ):
+                # Resume-stable sampling: one generator per task, so the
+                # draws do not depend on batch boundaries or history.
+                qvfs = np.array(
+                    [
+                        score_result(
+                            batch.result(i),
+                            plan.correct_states,
+                            plan.shots,
+                            _task_rng(plan, sub[i], rng),
+                        )
+                        for i in range(batch.size)
+                    ]
+                )
+            else:
+                qvfs = score_branch_batch(
+                    batch, plan.correct_states, plan.shots, rng
+                )
+            yield sub, qvfs
 
 
 def _execute_tasks(
@@ -375,8 +478,16 @@ def _execute_tasks(
     tasks: Sequence[InjectionTask],
     rng: np.random.Generator,
     prefix_reuse: bool,
-) -> List[InjectionRecord]:
-    return list(_iter_task_records(backend, plan, tasks, rng, prefix_reuse))
+) -> RecordTable:
+    """Run ``tasks`` serially and return them as one columnar block."""
+    scored_tasks: List[InjectionTask] = []
+    qvfs: List[float] = []
+    for task, qvf in _iter_scored_tasks(
+        backend, plan, tasks, rng, prefix_reuse
+    ):
+        scored_tasks.append(task)
+        qvfs.append(qvf)
+    return _table_from_tasks(scored_tasks, qvfs)
 
 
 def _reseed_backend(backend: Backend, rng: np.random.Generator) -> None:
@@ -397,8 +508,12 @@ def _run_chunk(
     tasks: Tuple[InjectionTask, ...],
     seed_material: Optional[Tuple[int, int]],
     prefix_reuse: bool,
-) -> List[InjectionRecord]:
-    """Worker-process entry point: execute one chunk with its own rng."""
+) -> RecordTable:
+    """Worker-process entry point: execute one chunk with its own rng.
+
+    Returns the chunk as one columnar block — tables pickle back to the
+    parent as a handful of arrays instead of thousands of dataclasses.
+    """
     rng = np.random.default_rng(seed_material)
     _reseed_backend(backend, rng)
     return _execute_tasks(backend, plan, tasks, rng, prefix_reuse)
@@ -432,12 +547,13 @@ def _chunk_tasks(
 class BaseExecutor:
     """Execution strategy contract.
 
-    ``run`` executes every task of ``plan`` on ``backend`` and returns the
-    records in canonical task order. Each record is additionally delivered
-    exactly once — grouped into batches, not necessarily in canonical
-    order — to ``on_batch`` while the campaign is still running; callers
-    use the callback for streaming (checkpoints, progress) and the return
-    value for the final result, not both accumulations at once.
+    ``run`` executes every task of ``plan`` on ``backend`` and returns one
+    :class:`~repro.faults.records.RecordTable` in canonical task order.
+    Each record is additionally delivered exactly once — grouped into
+    columnar blocks, not necessarily in canonical order — to ``on_batch``
+    while the campaign is still running; callers use the callback for
+    streaming (checkpoints, progress) and the return value for the final
+    result, not both accumulations at once.
     """
 
     name = "base"
@@ -448,7 +564,7 @@ class BaseExecutor:
         plan: CampaignPlan,
         on_batch: Optional[BatchCallback] = None,
         rng: Optional[np.random.Generator] = None,
-    ) -> List[InjectionRecord]:
+    ) -> RecordTable:
         raise NotImplementedError
 
     def bounded(self, limit: int) -> "BaseExecutor":
@@ -481,16 +597,26 @@ class SerialExecutor(BaseExecutor):
             batch_size=max(1, min(self.batch_size, limit)),
         )
 
-    def _record_stream(
+    def _block_stream(
         self,
         backend: Backend,
         plan: CampaignPlan,
         rng: np.random.Generator,
-    ) -> Iterator[InjectionRecord]:
-        """The strategy's record iterator; subclasses swap the task loop."""
-        return _iter_task_records(
+    ) -> Iterator[RecordTable]:
+        """Columnar blocks of at most ``batch_size`` records, in canonical
+        task order; subclasses swap the task loop."""
+        pending: List[InjectionTask] = []
+        qvfs: List[float] = []
+        for task, qvf in _iter_scored_tasks(
             backend, plan, plan.tasks, rng, self.prefix_reuse
-        )
+        ):
+            pending.append(task)
+            qvfs.append(qvf)
+            if len(pending) >= self.batch_size:
+                yield _table_from_tasks(pending, qvfs)
+                pending, qvfs = [], []
+        if pending:
+            yield _table_from_tasks(pending, qvfs)
 
     def run(
         self,
@@ -498,19 +624,14 @@ class SerialExecutor(BaseExecutor):
         plan: CampaignPlan,
         on_batch: Optional[BatchCallback] = None,
         rng: Optional[np.random.Generator] = None,
-    ) -> List[InjectionRecord]:
+    ) -> RecordTable:
         rng = rng if rng is not None else np.random.default_rng(plan.seed)
-        records: List[InjectionRecord] = []
-        batch: List[InjectionRecord] = []
-        for record in self._record_stream(backend, plan, rng):
-            records.append(record)
-            batch.append(record)
-            if on_batch is not None and len(batch) >= self.batch_size:
-                on_batch(batch)
-                batch = []
-        if on_batch is not None and batch:
-            on_batch(batch)
-        return records
+        blocks: List[RecordTable] = []
+        for block in self._block_stream(backend, plan, rng):
+            blocks.append(block)
+            if on_batch is not None and len(block):
+                on_batch(block)
+        return RecordTable.concatenate(blocks)
 
 
 class BatchedExecutor(SerialExecutor):
@@ -554,17 +675,26 @@ class BatchedExecutor(SerialExecutor):
             prefix_reuse=self.prefix_reuse,
         )
 
-    def _record_stream(
+    def _block_stream(
         self,
         backend: Backend,
         plan: CampaignPlan,
         rng: np.random.Generator,
-    ) -> Iterator[InjectionRecord]:
+    ) -> Iterator[RecordTable]:
         if not (self.prefix_reuse and supports_batched_branches(backend)):
-            return super()._record_stream(backend, plan, rng)
-        return _iter_batched_records(
+            yield from super()._block_stream(backend, plan, rng)
+            return
+        for sub, qvfs in _iter_scored_groups(
             backend, plan, plan.tasks, rng, self.max_branches
-        )
+        ):
+            # Scored sub-batches become blocks directly (the qvf column is
+            # the scoring array itself), re-sliced only to honour the
+            # bounded delivery-batch ceiling.
+            for start in range(0, len(sub), self.batch_size):
+                yield _table_from_tasks(
+                    sub[start : start + self.batch_size],
+                    qvfs[start : start + self.batch_size],
+                )
 
 
 class ParallelExecutor(BaseExecutor):
@@ -640,10 +770,10 @@ class ParallelExecutor(BaseExecutor):
         plan: CampaignPlan,
         on_batch: Optional[BatchCallback] = None,
         rng: Optional[np.random.Generator] = None,
-    ) -> List[InjectionRecord]:
+    ) -> RecordTable:
         tasks = plan.tasks
         if not tasks:
-            return []
+            return RecordTable.empty()
         workers = self._resolve_workers()
         target = self.chunk_size or max(
             1, math.ceil(len(tasks) / (workers * 4))
@@ -666,6 +796,7 @@ class ParallelExecutor(BaseExecutor):
             tasks=(),
             shots=plan.shots,
             seed=plan.seed,
+            per_task_seeding=plan.per_task_seeding,
         )
         completed: dict = {}
         delivered = False
@@ -695,7 +826,7 @@ class ParallelExecutor(BaseExecutor):
                     for future in done:
                         batch = future.result()
                         completed[future_index[future]] = batch
-                        if on_batch is not None and batch:
+                        if on_batch is not None and len(batch):
                             delivered = True
                             on_batch(batch)
         except (OSError, BrokenProcessPool):
@@ -714,8 +845,6 @@ class ParallelExecutor(BaseExecutor):
             return self._serial_fallback().run(
                 backend, plan, on_batch=on_batch, rng=self._fallback_rng(plan)
             )
-        return [
-            record
-            for index in range(len(chunks))
-            for record in completed[index]
-        ]
+        return RecordTable.concatenate(
+            [completed[index] for index in range(len(chunks))]
+        )

@@ -38,7 +38,7 @@ import numpy as np
 from ..algorithms.spec import AlgorithmSpec
 from ..quantum.circuit import QuantumCircuit
 from ..simulators.backend import Backend
-from .campaign import CampaignResult, InjectionRecord
+from .campaign import CampaignResult, InjectionRecord, RecordTable
 from .executor import (
     BaseExecutor,
     CampaignPlan,
@@ -168,15 +168,20 @@ class QuFI:
         executor: BaseExecutor,
         plan: CampaignPlan,
         progress: Optional[ProgressCallback],
-    ) -> List[InjectionRecord]:
-        """Run ``plan`` on the chosen executor, forwarding progress."""
+    ) -> RecordTable:
+        """Run ``plan`` on the chosen executor, forwarding progress.
+
+        The executor hands back (and streams) columnar record blocks;
+        progress only needs their sizes, so no record object is
+        materialised on the way through.
+        """
         if progress is None:
             return executor.run(self.backend, plan, rng=self._rng)
         done = 0
 
-        def on_batch(batch: List[InjectionRecord]) -> None:
+        def on_batch(batch: RecordTable) -> None:
             nonlocal done
-            for _ in batch:
+            for _ in range(len(batch)):
                 done += 1
                 progress(done, plan.total)
 

@@ -27,6 +27,7 @@ __all__ = [
     "qvf_from_contrast",
     "FaultClass",
     "classify_qvf",
+    "classify_qvf_batch",
     "MASKED_THRESHOLD",
     "SILENT_THRESHOLD",
 ]
@@ -169,3 +170,22 @@ def classify_qvf(
     if qvf > silent_threshold:
         return FaultClass.SILENT
     return FaultClass.DUBIOUS
+
+
+def classify_qvf_batch(
+    values: np.ndarray,
+    masked_threshold: float = MASKED_THRESHOLD,
+    silent_threshold: float = SILENT_THRESHOLD,
+) -> np.ndarray:
+    """Vectorized :func:`classify_qvf` over an array of QVF values.
+
+    Returns an object array of :class:`FaultClass`, element ``k`` equal to
+    ``classify_qvf(values[k])`` — what the columnar result store and the
+    heatmap classifier use instead of a per-cell Python loop.
+    """
+    values = np.asarray(values, dtype=float)
+    classes = np.empty(values.shape, dtype=object)
+    classes[...] = FaultClass.DUBIOUS
+    classes[values < masked_threshold] = FaultClass.MASKED
+    classes[values > silent_threshold] = FaultClass.SILENT
+    return classes

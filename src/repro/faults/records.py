@@ -1,0 +1,377 @@
+"""Columnar campaign record storage.
+
+A campaign at paper scale is hundreds of thousands to millions of QVF
+records; round-tripping every one of them through a frozen dataclass makes
+aggregation O(n) Python work and checkpointing O(n) serialisation per
+flush. This module is the columnar core the results layer is built on:
+
+* :data:`RECORD_DTYPE` — one numpy structured row per injection
+  (``theta, phi, lam, position, qubit, gate, qvf, second_theta,
+  second_phi, second_lam, second_qubit``), explicitly little-endian so
+  the binary checkpoint format is platform-stable.
+* :class:`RecordTable` — an immutable table of such rows plus the
+  gate-name pool the ``gate`` column indexes into. Executors emit these
+  as blocks (the ``qvf`` column comes straight out of the vectorized
+  scoring arrays), ``CampaignResult`` aggregates over the columns, and
+  the checkpoint store appends their raw bytes.
+* :class:`InjectionRecord` — the per-record dataclass, kept as a
+  lazily-materialised *view*: ``table[i]`` builds one on demand, so the
+  historical record-list API keeps working without the table ever
+  holding n Python objects.
+
+Missing second faults are encoded as ``second_theta/phi/lam = NaN`` and
+``second_qubit = -1``; float columns store the exact float64 the
+producing code computed, so a materialised record compares equal (``==``
+on the dataclass, bit for bit on ``qvf``) to the record the legacy path
+would have built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .fault_model import PhaseShiftFault
+from .injection_points import InjectionPoint
+from .qvf import FaultClass, classify_qvf
+
+__all__ = [
+    "RECORD_DTYPE",
+    "InjectionRecord",
+    "RecordTable",
+    "record_sort_key",
+]
+
+RECORD_DTYPE = np.dtype(
+    [
+        ("theta", "<f8"),
+        ("phi", "<f8"),
+        ("lam", "<f8"),
+        ("position", "<i8"),
+        ("qubit", "<i8"),
+        ("gate", "<i4"),
+        ("qvf", "<f8"),
+        ("second_theta", "<f8"),
+        ("second_phi", "<f8"),
+        ("second_lam", "<f8"),
+        ("second_qubit", "<i8"),
+    ]
+)
+
+_NO_SECOND_QUBIT = -1
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One executed injection and its measured QVF."""
+
+    fault: PhaseShiftFault
+    point: InjectionPoint
+    qvf: float
+    second_fault: Optional[PhaseShiftFault] = None
+    second_qubit: Optional[int] = None
+
+    @property
+    def is_double(self) -> bool:
+        return self.second_fault is not None
+
+    def classification(self) -> FaultClass:
+        return classify_qvf(self.qvf)
+
+
+def record_sort_key(record: InjectionRecord) -> Tuple:
+    """Canonical ordering of injection records.
+
+    Sorts by injection site, then fault configuration, then the second
+    fault (for double campaigns). Campaigns executed by different
+    strategies (serial, parallel, resumed-from-checkpoint) produce the same
+    record *set*; sorting by this key makes the sequences comparable.
+    """
+    return (
+        record.point.position,
+        record.point.qubit,
+        round(record.fault.theta, 9),
+        round(record.fault.phi, 9),
+        round(record.fault.lam, 9),
+        -1 if record.second_qubit is None else record.second_qubit,
+        0.0 if record.second_fault is None else round(record.second_fault.theta, 9),
+        0.0 if record.second_fault is None else round(record.second_fault.phi, 9),
+        0.0 if record.second_fault is None else round(record.second_fault.lam, 9),
+    )
+
+
+def _as_float_column(values, n: int) -> np.ndarray:
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim == 0:
+        array = np.full(n, float(array))
+    if array.shape != (n,):
+        raise ValueError(f"column of length {array.shape} != {n}")
+    return array
+
+
+def _as_int_column(values, n: int) -> np.ndarray:
+    array = np.asarray(values, dtype=np.int64)
+    if array.ndim == 0:
+        array = np.full(n, int(array), dtype=np.int64)
+    if array.shape != (n,):
+        raise ValueError(f"column of length {array.shape} != {n}")
+    return array
+
+
+class RecordTable:
+    """An immutable columnar batch/table of injection records.
+
+    Wraps one :data:`RECORD_DTYPE` structured array plus the gate-name
+    pool its ``gate`` column indexes. Behaves as a read-only sequence of
+    :class:`InjectionRecord` (``len``, iteration, integer indexing) so
+    every consumer of the historical record lists keeps working, while
+    columns stay available as numpy views for vectorized consumers.
+    """
+
+    __slots__ = ("_data", "_gate_names", "_records")
+
+    def __init__(self, data: np.ndarray, gate_names: Sequence[str]) -> None:
+        if data.dtype != RECORD_DTYPE:
+            data = data.astype(RECORD_DTYPE)
+        self._data = data
+        self._gate_names = list(gate_names)
+        self._records: Optional[List[InjectionRecord]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "RecordTable":
+        return cls(np.empty(0, dtype=RECORD_DTYPE), [])
+
+    @classmethod
+    def from_columns(
+        cls,
+        *,
+        theta,
+        phi,
+        qvf,
+        position,
+        qubit,
+        gate_ids,
+        gate_names: Sequence[str],
+        lam=0.0,
+        second_theta=np.nan,
+        second_phi=np.nan,
+        second_lam=np.nan,
+        second_qubit=_NO_SECOND_QUBIT,
+    ) -> "RecordTable":
+        """Build a table from plain column arrays (scalars broadcast)."""
+        qvf = np.asarray(qvf, dtype=np.float64)
+        n = int(qvf.shape[0])
+        data = np.empty(n, dtype=RECORD_DTYPE)
+        data["theta"] = _as_float_column(theta, n)
+        data["phi"] = _as_float_column(phi, n)
+        data["lam"] = _as_float_column(lam, n)
+        data["position"] = _as_int_column(position, n)
+        data["qubit"] = _as_int_column(qubit, n)
+        data["gate"] = _as_int_column(gate_ids, n)
+        data["qvf"] = qvf
+        data["second_theta"] = _as_float_column(second_theta, n)
+        data["second_phi"] = _as_float_column(second_phi, n)
+        data["second_lam"] = _as_float_column(second_lam, n)
+        data["second_qubit"] = _as_int_column(second_qubit, n)
+        return cls(data, gate_names)
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence["InjectionRecord"]
+    ) -> "RecordTable":
+        """Columnarise an explicit record list (the compatibility path)."""
+        n = len(records)
+        data = np.empty(n, dtype=RECORD_DTYPE)
+        pool: Dict[str, int] = {}
+        for i, record in enumerate(records):
+            fault, point = record.fault, record.point
+            gate_id = pool.setdefault(point.gate_name, len(pool))
+            second = record.second_fault
+            data[i] = (
+                fault.theta,
+                fault.phi,
+                fault.lam,
+                point.position,
+                point.qubit,
+                gate_id,
+                record.qvf,
+                np.nan if second is None else second.theta,
+                np.nan if second is None else second.phi,
+                np.nan if second is None else second.lam,
+                _NO_SECOND_QUBIT
+                if record.second_qubit is None
+                else record.second_qubit,
+            )
+        return cls(data, list(pool))
+
+    @classmethod
+    def concatenate(
+        cls, tables: Sequence["RecordTable"]
+    ) -> "RecordTable":
+        """Stack tables, merging (and remapping) their gate-name pools."""
+        tables = [t for t in tables if t is not None]
+        if not tables:
+            return cls.empty()
+        if len(tables) == 1:
+            return tables[0]
+        pool: Dict[str, int] = {}
+        parts: List[np.ndarray] = []
+        for table in tables:
+            ids = [
+                pool.setdefault(name, len(pool))
+                for name in table._gate_names
+            ]
+            data = table._data
+            if ids != list(range(len(ids))) and len(data):
+                data = data.copy()
+                data["gate"] = np.asarray(ids, dtype=np.int32)[data["gate"]]
+            parts.append(data)
+        return cls(np.concatenate(parts), list(pool))
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying structured array (treat as read-only)."""
+        return self._data
+
+    @property
+    def gate_names(self) -> List[str]:
+        return list(self._gate_names)
+
+    def column(self, name: str) -> np.ndarray:
+        """Zero-copy view of one column (treat as read-only)."""
+        return self._data[name]
+
+    def has_second(self) -> np.ndarray:
+        """Boolean mask of double-fault rows."""
+        return ~np.isnan(self._data["second_theta"])
+
+    def gate_name(self, index: int) -> str:
+        return self._gate_names[int(self._data["gate"][index])]
+
+    # ------------------------------------------------------------------
+    # Sequence protocol / record materialisation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def record(self, index: int) -> InjectionRecord:
+        """Materialise row ``index`` as an :class:`InjectionRecord`."""
+        row = self._data[index]
+        second_theta = float(row["second_theta"])
+        second_qubit = int(row["second_qubit"])
+        second = (
+            None
+            if second_theta != second_theta  # NaN: no second fault
+            else PhaseShiftFault(
+                second_theta,
+                float(row["second_phi"]),
+                float(row["second_lam"]),
+            )
+        )
+        return InjectionRecord(
+            fault=PhaseShiftFault(
+                float(row["theta"]), float(row["phi"]), float(row["lam"])
+            ),
+            point=InjectionPoint(
+                int(row["position"]),
+                int(row["qubit"]),
+                self._gate_names[int(row["gate"])],
+            ),
+            qvf=float(row["qvf"]),
+            second_fault=second,
+            second_qubit=None if second_qubit < 0 else second_qubit,
+        )
+
+    def to_records(self) -> List[InjectionRecord]:
+        """The full record-list view, materialised once and cached."""
+        if self._records is None:
+            names = self._gate_names
+            self._records = [
+                InjectionRecord(
+                    fault=PhaseShiftFault(theta, phi, lam),
+                    point=InjectionPoint(position, qubit, names[gate]),
+                    qvf=qvf,
+                    second_fault=(
+                        None
+                        if s_theta != s_theta
+                        else PhaseShiftFault(s_theta, s_phi, s_lam)
+                    ),
+                    second_qubit=None if s_qubit < 0 else s_qubit,
+                )
+                for (
+                    theta,
+                    phi,
+                    lam,
+                    position,
+                    qubit,
+                    gate,
+                    qvf,
+                    s_theta,
+                    s_phi,
+                    s_lam,
+                    s_qubit,
+                ) in self._data.tolist()
+            ]
+        return self._records
+
+    def row_dicts(self) -> Iterator[Dict[str, object]]:
+        """Rows in the campaign-JSON record schema.
+
+        This and :meth:`to_records` are the only decoders of the dtype's
+        positional column layout — serialisers (JSON, CSV) consume these
+        dicts instead of unpacking rows themselves.
+        """
+        names = self._gate_names
+        for (
+            theta,
+            phi,
+            lam,
+            position,
+            qubit,
+            gate,
+            qvf,
+            s_theta,
+            s_phi,
+            _s_lam,
+            s_qubit,
+        ) in self._data.tolist():
+            yield {
+                "theta": theta,
+                "phi": phi,
+                "lam": lam,
+                "position": position,
+                "qubit": qubit,
+                "gate_name": names[gate],
+                "qvf": qvf,
+                "theta1": None if s_theta != s_theta else s_theta,
+                "phi1": None if s_theta != s_theta else s_phi,
+                "qubit1": None if s_qubit < 0 else s_qubit,
+            }
+
+    def __iter__(self) -> Iterator[InjectionRecord]:
+        return iter(self.to_records())
+
+    def __getitem__(
+        self, index: Union[int, slice, np.ndarray]
+    ) -> Union[InjectionRecord, "RecordTable"]:
+        if isinstance(index, (int, np.integer)):
+            return self.record(int(index))
+        return RecordTable(self._data[index], self._gate_names)
+
+    def select(self, mask: np.ndarray) -> "RecordTable":
+        """Rows where ``mask`` holds, as a new table (shared gate pool)."""
+        return RecordTable(self._data[mask], self._gate_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RecordTable({len(self)} records, "
+            f"{len(self._gate_names)} gate names)"
+        )

@@ -1,0 +1,151 @@
+"""Streaming binary checkpoint segments for campaign record tables.
+
+``CheckpointedRunner`` used to re-serialise the *entire* campaign to JSON
+on every flush — O(n) work per save, O(n^2) over a sweep. The segment
+store replaces that with an append-only binary file: each flush appends
+one self-contained segment holding the new record block's raw column
+bytes, so a flush costs O(batch) regardless of how much is already on
+disk.
+
+File layout (everything little-endian)::
+
+    file    := segment*
+    segment := MAGIC(4) | kind(1) | header_len: u32 | payload_len: u64
+               | header (JSON, utf-8) | payload
+    kind    := b"M" (campaign metadata, empty payload)
+             | b"R" (records: payload is RECORD_DTYPE rows)
+
+A record segment's header carries its own gate-name pool (``gates``) and
+row count; pools are remapped into one table on load. Loading tolerates a
+truncated trailing segment — a kill mid-append loses only that segment's
+records, never the file — and refuses files whose leading magic does not
+match (callers fall back to the legacy JSON checkpoint parser).
+
+On campaign completion the runner *compacts* the file: the same format,
+rewritten atomically as one metadata segment plus one record segment in
+canonical order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .records import RECORD_DTYPE, RecordTable
+
+__all__ = [
+    "SEGMENT_MAGIC",
+    "is_segment_file",
+    "write_meta_segment",
+    "append_record_segment",
+    "read_segments",
+    "compact",
+]
+
+SEGMENT_MAGIC = b"QFS1"
+_KIND_META = b"M"
+_KIND_RECORDS = b"R"
+_PREFIX = struct.Struct("<4scIQ")  # magic, kind, header_len, payload_len
+
+
+def is_segment_file(path: str) -> bool:
+    """True when ``path`` starts with the segment magic."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(SEGMENT_MAGIC)) == SEGMENT_MAGIC
+    except OSError:
+        return False
+
+
+def _pack_segment(kind: bytes, header: Dict[str, object], payload: bytes) -> bytes:
+    header_bytes = json.dumps(header).encode("utf-8")
+    return (
+        _PREFIX.pack(SEGMENT_MAGIC, kind, len(header_bytes), len(payload))
+        + header_bytes
+        + payload
+    )
+
+
+def _records_segment(table: RecordTable) -> bytes:
+    data = np.ascontiguousarray(table.data, dtype=RECORD_DTYPE)
+    header = {"count": len(table), "gates": table.gate_names}
+    return _pack_segment(_KIND_RECORDS, header, data.tobytes())
+
+
+def write_meta_segment(path: str, meta: Dict[str, object]) -> None:
+    """Start (or restart) a store at ``path`` with a metadata segment."""
+    with open(path, "wb") as handle:
+        handle.write(_pack_segment(_KIND_META, meta, b""))
+
+
+def append_record_segment(path: str, table: RecordTable) -> None:
+    """Append one record block — O(len(table)), never a rewrite."""
+    if not len(table):
+        return
+    with open(path, "ab") as handle:
+        handle.write(_records_segment(table))
+
+
+def read_segments(
+    path: str,
+) -> Tuple[Optional[Dict[str, object]], RecordTable]:
+    """Load a store: (metadata, concatenated record table).
+
+    A truncated trailing segment (kill mid-append) is dropped silently;
+    a file that does not start with the magic raises ``ValueError`` so
+    callers can try the legacy JSON format instead.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if blob[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+        raise ValueError(f"{path!r} is not a segment checkpoint")
+    meta: Optional[Dict[str, object]] = None
+    tables: List[RecordTable] = []
+    offset = 0
+    while offset + _PREFIX.size <= len(blob):
+        magic, kind, header_len, payload_len = _PREFIX.unpack_from(
+            blob, offset
+        )
+        if magic != SEGMENT_MAGIC:
+            raise ValueError(
+                f"corrupt segment at byte {offset} of {path!r}"
+            )
+        start = offset + _PREFIX.size
+        end = start + header_len + payload_len
+        if end > len(blob):
+            break  # truncated tail segment: a kill landed mid-append
+        try:
+            header = json.loads(blob[start : start + header_len])
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            break  # torn header bytes: treat as a truncated tail too
+        payload = blob[start + header_len : end]
+        if kind == _KIND_META:
+            meta = header
+        elif kind == _KIND_RECORDS:
+            count = int(header["count"])
+            if count * RECORD_DTYPE.itemsize != len(payload):
+                break  # inconsistent tail: treat as truncated
+            rows = np.frombuffer(payload, dtype=RECORD_DTYPE).copy()
+            tables.append(RecordTable(rows, header.get("gates", [])))
+        else:
+            raise ValueError(
+                f"unknown segment kind {kind!r} in {path!r}"
+            )
+        offset = end
+    return meta, RecordTable.concatenate(tables)
+
+
+def compact(
+    path: str, meta: Dict[str, object], table: RecordTable
+) -> None:
+    """Atomically rewrite the store as meta + one record segment."""
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(_pack_segment(_KIND_META, meta, b""))
+        if len(table):
+            handle.write(_records_segment(table))
+    os.replace(tmp_path, path)

@@ -28,13 +28,17 @@ def spec():
 
 class TestFreshRun:
     def test_complete_run_saves_checkpoint(self, qufi, spec, tmp_path):
-        path = str(tmp_path / "run.json")
+        path = str(tmp_path / "run.ckpt")
         runner = CheckpointedRunner(qufi, path, save_every=5)
         faults = fault_grid(step_deg=90)
         result = runner.run(spec, faults=faults)
-        loaded = CampaignResult.from_json(path)
+        # The checkpoint is a binary segment store; load() sniffs it.
+        loaded = CampaignResult.load(path)
         assert loaded.num_injections == result.num_injections
         assert loaded.metadata["checkpointed"] is True
+        assert [r.qvf for r in loaded.records] == [
+            r.qvf for r in result.records
+        ]
 
     def test_matches_direct_campaign(self, qufi, spec, tmp_path):
         path = str(tmp_path / "run.json")

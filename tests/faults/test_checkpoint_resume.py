@@ -1,0 +1,279 @@
+"""Kill/resume semantics of the segment-checkpointed runner.
+
+The acceptance contract: a campaign killed mid-run and resumed must
+produce *exactly* the records an uninterrupted run produces — under the
+batched and parallel executors, in exact and in sampled mode. Sampled
+resume-stability is what per-task seeding buys: each task draws from a
+generator derived from ``(seed, task.index)``, so the draws are
+independent of where the kill landed.
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bernstein_vazirani
+from repro.faults import (
+    BaseExecutor,
+    BatchedExecutor,
+    CampaignResult,
+    CheckpointedRunner,
+    ParallelExecutor,
+    QuFI,
+    SerialExecutor,
+    fault_grid,
+)
+from repro.faults.store import (
+    append_record_segment,
+    is_segment_file,
+    read_segments,
+)
+from repro.simulators import StatevectorSimulator
+
+
+class SimulatedKill(Exception):
+    """Raised by the killing executor to emulate a mid-run crash."""
+
+
+class KillingExecutor(BaseExecutor):
+    """Wraps a strategy and dies after ``kill_after`` streamed records."""
+
+    def __init__(self, inner: BaseExecutor, kill_after: int) -> None:
+        self.inner = inner
+        self.kill_after = kill_after
+        self.name = inner.name
+
+    def bounded(self, limit: int) -> "KillingExecutor":
+        return KillingExecutor(self.inner.bounded(limit), self.kill_after)
+
+    def run(self, backend, plan, on_batch=None, rng=None):
+        delivered = 0
+
+        def killing_on_batch(batch):
+            nonlocal delivered
+            if on_batch is not None:
+                on_batch(batch)
+            delivered += len(batch)
+            if delivered >= self.kill_after:
+                raise SimulatedKill(f"killed after {delivered} records")
+
+        return self.inner.run(
+            backend, plan, on_batch=killing_on_batch, rng=rng
+        )
+
+
+def assert_records_identical(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.point == b.point
+        assert a.fault == b.fault
+        assert a.second_fault == b.second_fault
+        assert a.second_qubit == b.second_qubit
+        assert a.qvf == b.qvf
+
+
+def make_executor(name):
+    if name == "batched":
+        return BatchedExecutor()
+    if name == "parallel":
+        return ParallelExecutor(workers=2, chunk_size=10)
+    return SerialExecutor()
+
+
+def run_checkpointed(path, spec, faults, executor, shots, seed):
+    qufi = QuFI(StatevectorSimulator(), shots=shots, seed=seed)
+    runner = CheckpointedRunner(
+        qufi, path, save_every=10, executor=executor
+    )
+    with warnings.catch_warnings():
+        # Sandboxes without process pools degrade parallel runs to
+        # serial; resume equivalence must hold regardless.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return runner.run(spec, faults=faults)
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("executor_name", ["batched", "parallel"])
+    @pytest.mark.parametrize(
+        "shots,seed", [(None, None), (128, 7)], ids=["exact", "sampled"]
+    )
+    def test_resumed_equals_uninterrupted(
+        self, tmp_path, executor_name, shots, seed
+    ):
+        spec = bernstein_vazirani(3)
+        faults = fault_grid(step_deg=90)
+
+        reference = run_checkpointed(
+            str(tmp_path / "reference.ckpt"),
+            spec,
+            faults,
+            make_executor(executor_name),
+            shots,
+            seed,
+        )
+
+        # Kill a second campaign mid-run...
+        path = str(tmp_path / "killed.ckpt")
+        killer = KillingExecutor(make_executor(executor_name), kill_after=30)
+        with pytest.raises(SimulatedKill):
+            run_checkpointed(path, spec, faults, killer, shots, seed)
+        partial_meta, partial_table = read_segments(path)
+        assert 0 < len(partial_table) < reference.num_injections
+
+        # ... then resume it and compare against the uninterrupted run.
+        resumed = run_checkpointed(
+            path, spec, faults, make_executor(executor_name), shots, seed
+        )
+        assert resumed.num_injections == reference.num_injections
+        assert_records_identical(
+            resumed.sorted_records(), reference.sorted_records()
+        )
+        # The compacted checkpoint holds the full campaign too.
+        assert_records_identical(
+            CampaignResult.load(path).sorted_records(),
+            reference.sorted_records(),
+        )
+
+    def test_double_kill_still_converges(self, tmp_path):
+        """Two successive kills, then a clean run: same campaign."""
+        spec = bernstein_vazirani(3)
+        faults = fault_grid(step_deg=90)
+        reference = run_checkpointed(
+            str(tmp_path / "ref.ckpt"),
+            spec,
+            faults,
+            BatchedExecutor(),
+            None,
+            None,
+        )
+        path = str(tmp_path / "twice.ckpt")
+        for kill_after in (20, 30):
+            with pytest.raises(SimulatedKill):
+                run_checkpointed(
+                    path,
+                    spec,
+                    faults,
+                    KillingExecutor(BatchedExecutor(), kill_after),
+                    None,
+                    None,
+                )
+        resumed = run_checkpointed(
+            path, spec, faults, BatchedExecutor(), None, None
+        )
+        assert_records_identical(
+            resumed.sorted_records(), reference.sorted_records()
+        )
+
+
+class TestSegmentStoreRobustness:
+    def test_truncated_tail_segment_is_dropped(self, tmp_path):
+        """A kill mid-append loses only the torn segment, and the
+        campaign still resumes to the full sweep."""
+        spec = bernstein_vazirani(3)
+        faults = fault_grid(step_deg=90)
+        path = str(tmp_path / "torn.ckpt")
+        reference = run_checkpointed(
+            str(tmp_path / "ref.ckpt"),
+            spec,
+            faults,
+            SerialExecutor(),
+            None,
+            None,
+        )
+        run_checkpointed(path, spec, faults, SerialExecutor(), None, None)
+
+        # Tear the file: chop bytes off the final (compacted) segment.
+        full_size = os.path.getsize(path)
+        with open(path, "rb+") as handle:
+            handle.truncate(full_size - 64)
+        meta, table = read_segments(path)
+        assert meta is not None
+        assert len(table) < reference.num_injections
+
+        resumed = run_checkpointed(
+            path, spec, faults, SerialExecutor(), None, None
+        )
+        assert_records_identical(
+            resumed.sorted_records(), reference.sorted_records()
+        )
+
+    def test_torn_tail_then_killed_resume_stays_loadable(self, tmp_path):
+        """Appending must never land after torn bytes: resume compacts
+        the store first, so a kill *during* the resume of an
+        already-torn checkpoint still leaves a loadable file."""
+        spec = bernstein_vazirani(3)
+        faults = fault_grid(step_deg=90)
+        path = str(tmp_path / "torn-twice.ckpt")
+        reference = run_checkpointed(
+            str(tmp_path / "ref.ckpt"),
+            spec,
+            faults,
+            SerialExecutor(),
+            None,
+            None,
+        )
+
+        # First kill leaves flushed segments plus (simulated) torn bytes.
+        with pytest.raises(SimulatedKill):
+            run_checkpointed(
+                path,
+                spec,
+                faults,
+                KillingExecutor(SerialExecutor(), kill_after=30),
+                None,
+                None,
+            )
+        with open(path, "ab") as handle:
+            handle.write(b"QFS1R\x10")  # a torn segment prefix
+
+        # Second kill appends after the resume's compaction pass...
+        with pytest.raises(SimulatedKill):
+            run_checkpointed(
+                path,
+                spec,
+                faults,
+                KillingExecutor(SerialExecutor(), kill_after=60),
+                None,
+                None,
+            )
+        # ... so the store must still parse, and the final resume must
+        # complete the campaign.
+        meta, table = read_segments(path)
+        assert meta is not None and len(table) >= 60
+        resumed = run_checkpointed(
+            path, spec, faults, SerialExecutor(), None, None
+        )
+        assert_records_identical(
+            resumed.sorted_records(), reference.sorted_records()
+        )
+
+    def test_appends_are_incremental(self, tmp_path):
+        """Appending a segment grows the file by O(batch), independent of
+        how many records are already stored."""
+        records = QuFI(StatevectorSimulator()).run_campaign(
+            bernstein_vazirani(3), faults=fault_grid(step_deg=90)
+        )
+        block = records.table[np.arange(10)]
+        path = str(tmp_path / "grow.ckpt")
+        from repro.faults.store import write_meta_segment
+
+        write_meta_segment(path, {"circuit_name": "x"})
+        deltas = []
+        for _ in range(8):
+            before = os.path.getsize(path)
+            append_record_segment(path, block)
+            deltas.append(os.path.getsize(path) - before)
+        # Every append costs the same bytes: no rewrite of prior data.
+        assert len(set(deltas)) == 1
+        meta, table = read_segments(path)
+        assert len(table) == 80
+
+    def test_non_segment_file_detected(self, tmp_path):
+        path = str(tmp_path / "plain.json")
+        with open(path, "w") as handle:
+            handle.write("{}")
+        assert not is_segment_file(path)
+        with pytest.raises(ValueError, match="not a segment checkpoint"):
+            read_segments(path)

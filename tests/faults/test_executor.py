@@ -269,8 +269,9 @@ class TestStreaming:
         assert_records_identical(streamed, returned)
 
     def test_checkpoint_resume_round_trip(self, tmp_path):
-        """A truncated checkpoint resumes to the same campaign the direct
-        run produces."""
+        """A truncated *legacy JSON* checkpoint resumes to the same
+        campaign the direct run produces (and is migrated to the segment
+        format along the way)."""
         spec = bernstein_vazirani(3)
         faults = fault_grid(step_deg=90)
         backend = DensityMatrixSimulator()
@@ -299,23 +300,30 @@ class TestStreaming:
         assert_records_identical(
             resumed.sorted_records(), direct.sorted_records()
         )
-        # The checkpoint file holds the completed campaign.
-        reloaded = CampaignResult.from_json(path)
+        # The (now binary) checkpoint file holds the completed campaign.
+        reloaded = CampaignResult.load(path)
         assert reloaded.num_injections == direct.num_injections
 
     def test_checkpoint_streaming_saves_incrementally(self, tmp_path):
-        """The checkpoint file grows while the executor streams batches."""
+        """Checkpoint segments append (and the file grows) while the
+        executor streams batches — never a full rewrite per flush."""
+        import os
+
+        from repro.faults import checkpoint as checkpoint_module
+
         spec = bernstein_vazirani(3)
         faults = fault_grid(step_deg=90)
-        path = str(tmp_path / "stream.json")
+        path = str(tmp_path / "stream.ckpt")
+        appended = []
         sizes = []
-        original_to_json = CampaignResult.to_json
+        original_append = checkpoint_module.append_record_segment
 
-        def spying_to_json(self, target):
-            sizes.append(self.num_injections)
-            return original_to_json(self, target)
+        def spying_append(target, table):
+            original_append(target, table)
+            appended.append(len(table))
+            sizes.append(os.path.getsize(target))
 
-        CampaignResult.to_json = spying_to_json
+        checkpoint_module.append_record_segment = spying_append
         try:
             runner = CheckpointedRunner(
                 QuFI(StatevectorSimulator()),
@@ -325,11 +333,13 @@ class TestStreaming:
             )
             result = runner.run(spec, faults=faults)
         finally:
-            CampaignResult.to_json = original_to_json
-        # Multiple intermediate saves happened, strictly growing.
-        assert len(sizes) > 2
+            checkpoint_module.append_record_segment = original_append
+        # Multiple O(batch) appends happened, file strictly growing, and
+        # together they streamed the entire campaign.
+        assert len(appended) > 2
+        assert all(0 < batch <= 5 for batch in appended)
         assert sizes == sorted(sizes)
-        assert sizes[-1] == result.num_injections
+        assert sum(appended) == result.num_injections
 
     def test_parallel_checkpoint_resume(self, tmp_path):
         path = str(tmp_path / "par.json")

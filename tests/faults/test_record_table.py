@@ -1,0 +1,345 @@
+"""Columnar record store: table semantics and aggregation equivalence.
+
+The refactor's standing invariant: every aggregation the columnar
+``CampaignResult`` computes must match the historical list-based loops.
+The reference implementations below are verbatim ports of the pre-columnar
+code (dict-grouped accumulation over ``InjectionRecord`` objects); the
+equivalence tests drive them against campaigns produced by the Serial,
+Batched and Parallel executors on all six benchmark algorithms, single
+and double faults.
+"""
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bernstein_vazirani,
+    deutsch_jozsa,
+    ghz,
+    grover,
+    qft,
+    qpe,
+)
+from repro.faults import (
+    BatchedExecutor,
+    CampaignResult,
+    FaultClass,
+    InjectionPoint,
+    InjectionRecord,
+    ParallelExecutor,
+    PhaseShiftFault,
+    QuFI,
+    RecordTable,
+    SerialExecutor,
+    delta_heatmap,
+    fault_grid,
+)
+from repro.simulators import StatevectorSimulator
+
+ALGORITHM_BUILDERS = [
+    bernstein_vazirani,
+    deutsch_jozsa,
+    qft,
+    ghz,
+    grover,
+    qpe,
+]
+
+_ANGLE_TOL = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Reference (pre-columnar) aggregation implementations
+# ----------------------------------------------------------------------
+def legacy_unique_sorted(values):
+    out = []
+    for value in sorted(values):
+        if not out or value - out[-1] > _ANGLE_TOL:
+            out.append(value)
+    return out
+
+
+def legacy_heatmap(records):
+    thetas = legacy_unique_sorted([r.fault.theta for r in records])
+    phis = legacy_unique_sorted([r.fault.phi for r in records])
+    theta_index = {round(t, 9): i for i, t in enumerate(thetas)}
+    phi_index = {round(p, 9): i for i, p in enumerate(phis)}
+    total = np.zeros((len(phis), len(thetas)))
+    count = np.zeros((len(phis), len(thetas)))
+    for record in records:
+        i = phi_index[round(record.fault.phi, 9)]
+        j = theta_index[round(record.fault.theta, 9)]
+        total[i, j] += record.qvf
+        count[i, j] += 1
+    with np.errstate(invalid="ignore"):
+        grid = np.where(count > 0, total / np.maximum(count, 1), np.nan)
+    return thetas, phis, grid
+
+
+def legacy_detail_surface(records, theta0, phi0):
+    selected = [
+        r
+        for r in records
+        if r.is_double
+        and abs(r.fault.theta - theta0) < _ANGLE_TOL
+        and abs(r.fault.phi - phi0) < _ANGLE_TOL
+    ]
+    thetas = legacy_unique_sorted([r.second_fault.theta for r in selected])
+    phis = legacy_unique_sorted([r.second_fault.phi for r in selected])
+    theta_index = {round(t, 9): i for i, t in enumerate(thetas)}
+    phi_index = {round(p, 9): i for i, p in enumerate(phis)}
+    total = np.zeros((len(phis), len(thetas)))
+    count = np.zeros((len(phis), len(thetas)))
+    for record in selected:
+        i = phi_index[round(record.second_fault.phi, 9)]
+        j = theta_index[round(record.second_fault.theta, 9)]
+        total[i, j] += record.qvf
+        count[i, j] += 1
+    with np.errstate(invalid="ignore"):
+        grid = np.where(count > 0, total / np.maximum(count, 1), np.nan)
+    return thetas, phis, grid
+
+
+def legacy_delta_heatmap(double_records, single_records):
+    thetas_d, phis_d, grid_d = legacy_heatmap(double_records)
+    thetas_s, phis_s, grid_s = legacy_heatmap(single_records)
+    thetas = [
+        t for t in thetas_d if any(abs(t - x) < _ANGLE_TOL for x in thetas_s)
+    ]
+    phis = [
+        p for p in phis_d if any(abs(p - x) < _ANGLE_TOL for x in phis_s)
+    ]
+    delta = np.empty((len(phis), len(thetas)))
+    for i, phi in enumerate(phis):
+        for j, theta in enumerate(thetas):
+            d_i = min(range(len(phis_d)), key=lambda k: abs(phis_d[k] - phi))
+            d_j = min(
+                range(len(thetas_d)), key=lambda k: abs(thetas_d[k] - theta)
+            )
+            s_i = min(range(len(phis_s)), key=lambda k: abs(phis_s[k] - phi))
+            s_j = min(
+                range(len(thetas_s)), key=lambda k: abs(thetas_s[k] - theta)
+            )
+            delta[i, j] = grid_d[d_i, d_j] - grid_s[s_i, s_j]
+    return thetas, phis, delta
+
+
+def legacy_classification_counts(records):
+    counts = {cls: 0 for cls in FaultClass}
+    for record in records:
+        counts[record.classification()] += 1
+    return counts
+
+
+def assert_grids_match(left, right):
+    thetas_a, phis_a, grid_a = left
+    thetas_b, phis_b, grid_b = right
+    assert thetas_a == pytest.approx(thetas_b, abs=0)
+    assert phis_a == pytest.approx(phis_b, abs=0)
+    assert grid_a.shape == grid_b.shape
+    both_nan = np.isnan(grid_a) & np.isnan(grid_b)
+    assert (np.isnan(grid_a) == np.isnan(grid_b)).all()
+    assert np.allclose(
+        np.where(both_nan, 0.0, grid_a),
+        np.where(both_nan, 0.0, grid_b),
+        atol=1e-12,
+        rtol=0,
+    )
+
+
+def assert_aggregations_match(result):
+    """Columnar result vs the list-based reference, all views."""
+    records = result.records
+    assert_grids_match(result.heatmap(), legacy_heatmap(records))
+    # Histogram on the cached column vs a freshly re-allocated array.
+    density, edges = result.histogram(bins=10)
+    ref_density, ref_edges = np.histogram(
+        np.array([r.qvf for r in records]),
+        bins=10,
+        range=(0.0, 1.0),
+        density=True,
+    )
+    assert np.allclose(density, ref_density, atol=1e-12, rtol=0)
+    assert np.array_equal(edges, ref_edges)
+    assert result.classification_counts() == legacy_classification_counts(
+        records
+    )
+    values = np.array([r.qvf for r in records])
+    assert result.mean_qvf() == pytest.approx(values.mean(), abs=1e-15)
+    assert result.std_qvf() == pytest.approx(values.std(), abs=1e-15)
+
+
+# ----------------------------------------------------------------------
+# Aggregation equivalence on real campaigns
+# ----------------------------------------------------------------------
+class TestAggregationEquivalence:
+    @pytest.mark.parametrize(
+        "builder", ALGORITHM_BUILDERS, ids=lambda b: b.__name__
+    )
+    @pytest.mark.parametrize("executor_name", ["serial", "batched"])
+    def test_single_fault_campaigns(self, builder, executor_name):
+        executor = (
+            SerialExecutor()
+            if executor_name == "serial"
+            else BatchedExecutor()
+        )
+        spec = builder(3)
+        result = QuFI(StatevectorSimulator(), executor=executor).run_campaign(
+            spec, faults=fault_grid(step_deg=90)
+        )
+        assert_aggregations_match(result)
+
+    @pytest.mark.parametrize(
+        "builder", ALGORITHM_BUILDERS, ids=lambda b: b.__name__
+    )
+    def test_double_fault_campaigns(self, builder):
+        spec = builder(3)
+        result = QuFI(
+            StatevectorSimulator(), executor=BatchedExecutor()
+        ).run_campaign(spec, faults=fault_grid(step_deg=90))
+        double = QuFI(
+            StatevectorSimulator(), executor=BatchedExecutor()
+        ).run_double_campaign(
+            spec, [(0, 1), (1, 2)], faults=fault_grid(step_deg=90)
+        )
+        assert_aggregations_match(double)
+        # Detail surface for the strongest first fault present.
+        first = double.records[-1]
+        theta0, phi0 = first.fault.theta, first.fault.phi
+        assert_grids_match(
+            double.detail_surface(theta0, phi0),
+            legacy_detail_surface(double.records, theta0, phi0),
+        )
+        # Delta heatmap against the single-fault campaign.
+        assert_grids_match(
+            delta_heatmap(double, result),
+            legacy_delta_heatmap(double.records, result.records),
+        )
+
+    def test_parallel_campaign(self):
+        spec = bernstein_vazirani(3)
+        with warnings.catch_warnings():
+            # Sandboxes without process pools degrade to serial; the
+            # aggregation equivalence holds either way.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = QuFI(
+                StatevectorSimulator(), executor=ParallelExecutor(workers=2)
+            ).run_campaign(spec, faults=fault_grid(step_deg=90))
+        assert_aggregations_match(result)
+
+
+# ----------------------------------------------------------------------
+# RecordTable semantics
+# ----------------------------------------------------------------------
+def _record(theta, phi, qvf, qubit=0, position=0, gate="h", second=None):
+    second_fault = PhaseShiftFault(*second) if second else None
+    return InjectionRecord(
+        fault=PhaseShiftFault(theta, phi),
+        point=InjectionPoint(position, qubit, gate),
+        qvf=qvf,
+        second_fault=second_fault,
+        second_qubit=1 if second else None,
+    )
+
+
+class TestRecordTable:
+    def test_round_trip_preserves_records_exactly(self):
+        records = [
+            _record(0.1, 0.2, 0.3),
+            _record(math.pi, 1.5, 0.9, qubit=2, position=4, gate="cx"),
+            _record(0.5, 0.5, 0.6, second=(0.25, 0.125)),
+        ]
+        table = RecordTable.from_records(records)
+        assert len(table) == 3
+        assert table.to_records() == records
+        assert table[1] == records[1]
+
+    def test_select_and_masks(self):
+        records = [
+            _record(0.1, 0.2, 0.3),
+            _record(0.4, 0.5, 0.6, second=(0.2, 0.25)),
+        ]
+        table = RecordTable.from_records(records)
+        assert table.has_second().tolist() == [False, True]
+        doubles = table.select(table.has_second())
+        assert doubles.to_records() == [records[1]]
+
+    def test_concatenate_remaps_gate_pools(self):
+        left = RecordTable.from_records([_record(0.1, 0.2, 0.3, gate="h")])
+        right = RecordTable.from_records(
+            [
+                _record(0.2, 0.3, 0.4, gate="cx"),
+                _record(0.3, 0.4, 0.5, gate="h"),
+            ]
+        )
+        merged = RecordTable.concatenate([left, right])
+        assert [r.point.gate_name for r in merged] == ["h", "cx", "h"]
+
+    def test_empty_table(self):
+        table = RecordTable.empty()
+        assert len(table) == 0
+        assert table.to_records() == []
+        result = CampaignResult("empty", ("0",), table, 0.0)
+        assert math.isnan(result.mean_qvf())
+        assert result.thetas() == []
+
+    def test_qvf_values_cached_and_read_only(self):
+        result = CampaignResult(
+            "toy", ("0",), [_record(0.1, 0.2, 0.3)], 0.0
+        )
+        values = result.qvf_values()
+        assert values is result.qvf_values()  # no per-call re-allocation
+        with pytest.raises(ValueError):
+            values[0] = 1.0
+
+    def test_top_faults_matches_stable_sort(self):
+        records = [
+            _record(0.1, 0.0, 0.5, position=0),
+            _record(0.2, 0.0, 0.9, position=1),
+            _record(0.3, 0.0, 0.5, position=2),
+            _record(0.4, 0.0, 0.7, position=3),
+        ]
+        result = CampaignResult("toy", ("0",), records, 0.0)
+        ranked = result.top_faults(3)
+        reference = sorted(records, key=lambda r: -r.qvf)[:3]
+        assert ranked == reference
+
+    def test_npz_round_trip(self, tmp_path):
+        records = [
+            _record(0.1, 0.2, 0.3, gate="h"),
+            _record(0.4, 0.5, 0.6, gate="cx", second=(0.2, 0.25)),
+        ]
+        result = CampaignResult(
+            "toy", ("01", "10"), records, 0.123, backend_name="sv",
+            metadata={"mode": "single"},
+        )
+        path = str(tmp_path / "campaign.npz")
+        result.to_npz(path)
+        loaded = CampaignResult.load(path)
+        assert loaded.records == records
+        assert loaded.circuit_name == "toy"
+        assert loaded.correct_states == ("01", "10")
+        assert loaded.fault_free_qvf == 0.123
+        assert loaded.metadata == {"mode": "single"}
+
+    def test_csv_export(self, tmp_path):
+        records = [
+            _record(0.1, 0.2, 0.3, gate="h"),
+            _record(0.4, 0.5, 0.6, gate="cx", second=(0.2, 0.25)),
+        ]
+        result = CampaignResult("toy", ("0",), records, 0.0)
+        path = str(tmp_path / "campaign.csv")
+        result.to_csv(path)
+        lines = open(path).read().splitlines()
+        assert lines[0].startswith("theta,phi,lam,position,qubit,gate_name")
+        assert len(lines) == 3
+        first = lines[1].split(",")
+        assert float(first[0]) == 0.1
+        assert first[5] == "h"
+        assert first[7] == ""  # single fault: empty second_theta
+        second = lines[2].split(",")
+        assert float(second[7]) == 0.2
+        assert second[9] == "1"

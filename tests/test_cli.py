@@ -95,6 +95,64 @@ class TestCampaign:
         assert data["metadata"]["shots"] == 256
 
 
+class TestExportFormats:
+    def _run(self, output, *extra):
+        return main(
+            [
+                "campaign",
+                "--algorithm",
+                "bv",
+                "--width",
+                "3",
+                "--grid-step",
+                "90",
+                "--noise",
+                "none",
+                "--output",
+                output,
+                *extra,
+            ]
+        )
+
+    def test_export_npz_round_trips(self, tmp_path):
+        from repro.faults import CampaignResult
+
+        json_path = str(tmp_path / "bv.json")
+        npz_path = str(tmp_path / "bv.npz")
+        assert self._run(json_path) == 0
+        assert self._run(npz_path, "--export", "npz") == 0
+        from_json = CampaignResult.load(json_path)
+        from_npz = CampaignResult.load(npz_path)
+        assert from_npz.records == from_json.records
+        assert from_npz.circuit_name == from_json.circuit_name
+
+    def test_export_csv_has_one_row_per_record(self, tmp_path):
+        json_path = str(tmp_path / "bv.json")
+        csv_path = str(tmp_path / "bv.csv")
+        assert self._run(json_path) == 0
+        assert self._run(csv_path, "--export", "csv") == 0
+        with open(json_path) as handle:
+            records = json.load(handle)["records"]
+        lines = open(csv_path).read().splitlines()
+        assert lines[0].startswith("theta,phi,lam,position,qubit")
+        assert len(lines) == len(records) + 1
+
+    def test_report_reads_npz(self, tmp_path, capsys):
+        npz_path = str(tmp_path / "bv.npz")
+        assert self._run(npz_path, "--export", "npz") == 0
+        capsys.readouterr()
+        assert main(["report", "--input", npz_path]) == 0
+        assert "# QuFI campaign report" in capsys.readouterr().out
+
+    def test_report_reads_checkpoint(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "bv.ckpt")
+        out = str(tmp_path / "bv.json")
+        assert self._run(out, "--checkpoint", ckpt) == 0
+        capsys.readouterr()
+        assert main(["report", "--input", ckpt]) == 0
+        assert "# QuFI campaign report" in capsys.readouterr().out
+
+
 class TestCampaignExecutors:
     def test_batched_flag_matches_serial_records(self, tmp_path, capsys):
         """--batched selects the batched executor and reproduces the
