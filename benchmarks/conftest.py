@@ -18,12 +18,8 @@ import pytest
 from repro.algorithms import bernstein_vazirani, deutsch_jozsa, qft
 from repro.faults import QuFI, fault_grid, find_neighbor_couples
 from repro.machines import fake_jakarta
-from repro.simulators import (
-    DensityMatrixSimulator,
-    NoiseModel,
-    ReadoutError,
-    depolarizing_channel,
-)
+from repro.scenarios.factory import light_noise_model
+from repro.simulators import DensityMatrixSimulator, NoiseModel
 from repro.transpiler import jakarta_topology
 
 
@@ -42,18 +38,12 @@ def grid_step(request):
 
 
 def build_noise_model(num_qubits: int) -> NoiseModel:
-    """Scenario-(2) style noise at IBM-like magnitudes, on logical qubits."""
-    model = NoiseModel("bench")
-    model.add_all_qubit_error(
-        depolarizing_channel(0.002),
-        ["h", "x", "y", "z", "s", "t", "u", "p", "rx", "ry", "rz", "sx", "id"],
-    )
-    model.add_all_qubit_error(
-        depolarizing_channel(0.01, num_qubits=2), ["cx", "cz", "cp", "swap"]
-    )
-    for qubit in range(num_qubits):
-        model.add_readout_error(ReadoutError(0.015, 0.03), qubit)
-    return model
+    """Scenario-(2) style noise at IBM-like magnitudes, on logical qubits.
+
+    Delegates to the scenario factory — the single copy of the model the
+    CLI, the suites and the tests all share.
+    """
+    return light_noise_model(num_qubits)
 
 
 def make_injector(num_qubits: int) -> QuFI:

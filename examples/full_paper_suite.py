@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""The paper's whole evaluation (Figs. 5-11) as one resumable suite.
+
+``examples/paper_suite.json`` declares the full grid — the Fig. 5
+campaigns, the Fig. 7 width sweep, the Fig. 8-10 single/double pair, and
+the Fig. 11 simulation-vs-machine comparison — as one
+:class:`~repro.scenarios.spec.SuiteSpec`. This script runs it through
+:class:`~repro.scenarios.runner.SuiteRunner` (kill it at any point;
+re-running resumes at campaign granularity) and then renders each
+figure's view from the suite results, which is all the per-figure
+boilerplate the old examples needed.
+
+Two things the suite layer gives for free:
+
+* figs. 8a, 9 and 10 consume the *same* BV campaign — the spec file
+  lists it three times under three labels, and the runner computes it
+  once (spec-hash caching);
+* fig. 6 needs no campaign of its own: it is a per-qubit slicing of the
+  Fig. 5 QFT result.
+
+Run:  PYTHONPATH=src python examples/full_paper_suite.py [manifest_dir]
+"""
+
+import math
+import os
+import sys
+
+from repro.analysis import heatmap_data, render_ascii, summarize, suite_report
+from repro.faults import delta_heatmap
+from repro.scenarios import SuiteRunner, SuiteSpec
+
+SPEC_PATH = os.path.join(os.path.dirname(__file__), "paper_suite.json")
+
+
+def main() -> None:
+    manifest_dir = sys.argv[1] if len(sys.argv) > 1 else "paper_suite.out"
+    suite = SuiteSpec.from_json(SPEC_PATH)
+    print(f"suite {suite.name}: {len(suite)} scenarios "
+          f"({len(suite.distinct_hashes())} distinct campaigns)")
+
+    def progress(done, total, scenario_id):
+        print(f"  [{done}/{total}] {scenario_id}")
+
+    outcome = SuiteRunner(suite, manifest_dir=manifest_dir).run(progress)
+    results = outcome.results()
+    print()
+    print(suite_report(outcome))
+    print()
+
+    # --- Fig. 5: QVF heatmaps of the three 4-qubit circuits -------------
+    for name in ("bv", "dj", "qft"):
+        result = results[f"fig5-{name}4"]
+        print(render_ascii(heatmap_data(result), f"Fig. 5 — {name}(4)"))
+        print()
+
+    # --- Fig. 6: per-qubit sensitivity of QFT(4), no extra campaign -----
+    qft4 = results["fig5-qft4"]
+    print("Fig. 6 — per-qubit mean QVF, qft(4):")
+    for qubit in qft4.qubits():
+        sliced = qft4.for_qubit(qubit)
+        print(f"  q{qubit}: mean QVF {sliced.mean_qvf():.4f} "
+              f"over {sliced.num_injections} injections")
+    print()
+
+    # --- Fig. 7: reliability vs circuit width ---------------------------
+    print("Fig. 7 — QVF distribution vs width:")
+    for name in ("bv", "dj", "qft"):
+        for width in (4, 5, 6):
+            key = "fig5" if width == 4 else "fig7"
+            summary = summarize(results[f"{key}-{name}{width}"])
+            print(f"  {name}({width}): mean {summary.mean:.4f} "
+                  f"median {summary.median:.4f} std {summary.std:.4f}")
+    print()
+
+    # --- Figs. 8-9: single vs double faults -----------------------------
+    single = results["fig8a-bv4-single"]
+    double = results["fig8b-bv4-double"]
+    print(render_ascii(heatmap_data(double), "Fig. 8b — bv(4) double faults"))
+    thetas, phis, delta = delta_heatmap(double, single)
+    worst = max(
+        (delta[i, j], thetas[j], phis[i])
+        for i in range(len(phis))
+        for j in range(len(thetas))
+        if delta[i, j] == delta[i, j]
+    )
+    print(f"Fig. 9 — worst delta QVF {worst[0]:+.4f} at "
+          f"theta={math.degrees(worst[1]):.0f}deg "
+          f"phi={math.degrees(worst[2]):.0f}deg")
+    print()
+
+    # --- Fig. 10: distribution moments, single vs double ----------------
+    for label, result in (("single", single), ("double", double)):
+        summary = summarize(result)
+        print(f"Fig. 10 — {label}: mean {summary.mean:.4f} "
+              f"std {summary.std:.4f}")
+    print()
+
+    # --- Fig. 11: noise-model simulation vs emulated machine ------------
+    sim = results["fig11-bv4-simulation"]
+    machine = results["fig11-bv4-machine"]
+    print("Fig. 11 — simulation vs machine (bv(4) on jakarta):")
+    print(f"  simulation mean QVF {sim.mean_qvf():.4f}, "
+          f"machine mean QVF {machine.mean_qvf():.4f}, "
+          f"delta {abs(sim.mean_qvf() - machine.mean_qvf()):.4f}")
+
+
+if __name__ == "__main__":
+    main()

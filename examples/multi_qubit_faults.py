@@ -18,24 +18,13 @@ import math
 from repro import QuFI, bernstein_vazirani, fault_grid, find_neighbor_couples
 from repro.analysis import compare_single_double, heatmap_data, render_ascii
 from repro.faults import StrikeModel
-from repro.simulators import (
-    DensityMatrixSimulator,
-    NoiseModel,
-    ReadoutError,
-    depolarizing_channel,
-)
+from repro.scenarios.factory import light_noise_model
+from repro.simulators import DensityMatrixSimulator
 from repro.transpiler import jakarta_topology
 
 
 def build_backend(num_qubits: int = 4) -> DensityMatrixSimulator:
-    model = NoiseModel("double-fault-demo")
-    model.add_all_qubit_error(depolarizing_channel(0.002), ["h", "u", "x"])
-    model.add_all_qubit_error(
-        depolarizing_channel(0.01, num_qubits=2), ["cx", "cp", "swap"]
-    )
-    for qubit in range(num_qubits):
-        model.add_readout_error(ReadoutError(0.015, 0.03), qubit)
-    return DensityMatrixSimulator(model)
+    return DensityMatrixSimulator(light_noise_model(num_qubits))
 
 
 def strike_physics_demo() -> None:

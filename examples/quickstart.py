@@ -13,26 +13,13 @@ import math
 from repro import QuFI, PhaseShiftFault, bernstein_vazirani, fault_grid
 from repro.analysis import heatmap_data, render_ascii
 from repro.faults import InjectionPoint
-from repro.simulators import (
-    DensityMatrixSimulator,
-    NoiseModel,
-    ReadoutError,
-    depolarizing_channel,
-)
+from repro.scenarios.factory import light_noise_model
+from repro.simulators import DensityMatrixSimulator
 
 
 def build_backend(num_qubits: int = 4) -> DensityMatrixSimulator:
     """A lightly noisy simulator (the paper's scenario 2)."""
-    model = NoiseModel("demo")
-    model.add_all_qubit_error(
-        depolarizing_channel(0.002), ["h", "x", "u", "p"]
-    )
-    model.add_all_qubit_error(
-        depolarizing_channel(0.01, num_qubits=2), ["cx", "cp", "swap"]
-    )
-    for qubit in range(num_qubits):
-        model.add_readout_error(ReadoutError(0.015, 0.03), qubit)
-    return DensityMatrixSimulator(model)
+    return DensityMatrixSimulator(light_noise_model(num_qubits))
 
 
 def main() -> None:

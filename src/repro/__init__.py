@@ -33,8 +33,15 @@ from .faults import (
     qvf_from_probabilities,
 )
 from .quantum import DensityMatrix, QuantumCircuit, Statevector
+from .scenarios import (
+    ScenarioSpec,
+    SuiteRunner,
+    SuiteSpec,
+    expand_grid,
+    run_scenario,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "QuantumCircuit",
@@ -54,5 +61,10 @@ __all__ = [
     "bernstein_vazirani",
     "deutsch_jozsa",
     "qft",
+    "ScenarioSpec",
+    "SuiteSpec",
+    "SuiteRunner",
+    "expand_grid",
+    "run_scenario",
     "__version__",
 ]

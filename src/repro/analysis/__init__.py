@@ -9,7 +9,7 @@ from .compare import (
 from .heatmap import HeatmapData, gate_reference_lines, heatmap_data, render_ascii
 from .image import heatmap_to_ppm, qvf_color, save_heatmap_ppm
 from .mitigation import mitigate_readout, mitigation_matrix
-from .report import campaign_report
+from .report import campaign_report, suite_report
 from .histogram import (
     DistributionSummary,
     distribution_distance,
@@ -33,6 +33,7 @@ __all__ = [
     "MachineComparison",
     "compare_backends",
     "campaign_report",
+    "suite_report",
     "qvf_color",
     "heatmap_to_ppm",
     "save_heatmap_ppm",

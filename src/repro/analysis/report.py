@@ -1,22 +1,26 @@
-"""Markdown campaign reports.
+"""Markdown campaign and suite reports.
 
 Turns a :class:`~repro.faults.campaign.CampaignResult` into the summary a
 reliability engineer would attach to a qualification run: headline metrics,
 fault classification, the most dangerous phase shifts, per-qubit ranking,
-and the ASCII heatmap.
+and the ASCII heatmap. :func:`suite_report` renders the multi-campaign
+analogue — the paper-style evaluation summary of a whole scenario suite.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..faults.campaign import CampaignResult
 from ..faults.qvf import FaultClass
 from .heatmap import heatmap_data, render_ascii
 from .histogram import summarize
 
-__all__ = ["campaign_report"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..scenarios.runner import SuiteResult
+
+__all__ = ["campaign_report", "suite_report"]
 
 
 def _classification_section(result: CampaignResult) -> List[str]:
@@ -104,4 +108,45 @@ def campaign_report(
         "```",
         "",
     ]
+    return "\n".join(lines)
+
+
+def suite_report(suite: "SuiteResult", title: Optional[str] = None) -> str:
+    """Render the paper-style summary of a scenario suite.
+
+    One row per scenario — circuit, backend, fault mode, campaign size,
+    QVF moments and the silent-fault share — plus suite-level totals.
+    Partial suites (halted or still running) render what is there and
+    say so.
+    """
+    title = title or f"QuFI suite report — {suite.name}"
+    lines = [f"# {title}", ""]
+    status = "complete" if suite.complete else "partial (resumable)"
+    lines += [
+        f"- scenarios: {len(suite)} ({suite.reused} reused)",
+        f"- status: {status}",
+        f"- total injections: {suite.total_injections}",
+    ]
+    if suite.total_seconds:
+        lines.append(f"- wall clock: {suite.total_seconds:.1f}s")
+    lines += [
+        "",
+        "## Scenarios",
+        "",
+        "| scenario | circuit | backend | mode | injections "
+        "| fault-free QVF | mean QVF (std) | silent share |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for run in suite:
+        result = run.result
+        silent = result.classification_fractions()[FaultClass.SILENT]
+        silent_text = "-" if math.isnan(silent) else f"{silent:.1%}"
+        lines.append(
+            f"| {run.scenario_id} | {result.circuit_name} "
+            f"| `{result.backend_name}` | {run.spec.mode} "
+            f"| {result.num_injections} "
+            f"| {result.fault_free_qvf:.4f} "
+            f"| {result.mean_qvf():.4f} ({result.std_qvf():.4f}) "
+            f"| {silent_text} |"
+        )
     return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""Command-line interface: run campaigns and render reports.
+"""Command-line interface: run campaigns and scenario suites.
 
 Examples::
 
@@ -10,9 +10,16 @@ Examples::
         --checkpoint qft5.ckpt.json --output qft5.json
     python -m repro campaign --algorithm ghz --width 8 --batched \\
         --noise none --output ghz8.json
-    python -m repro campaign --algorithm bv --width 4 --export npz \\
-        --noise none --output bv4.npz
+    python -m repro suite run examples/paper_suite.json --manifest paper.out
+    python -m repro suite report --manifest paper.out
+    python -m repro suite list examples/paper_suite.json
     python -m repro report --input bv4.json
+
+``campaign`` is a thin wrapper over the scenario layer: the flags build a
+:class:`~repro.scenarios.spec.ScenarioSpec` and the shared factory
+(:mod:`repro.scenarios.factory`) constructs the backend, executor and
+fault grid — the same construction path suites, benchmarks and examples
+use. ``suite`` runs a whole spec file as one resumable job.
 """
 
 from __future__ import annotations
@@ -22,48 +29,21 @@ import sys
 from typing import List, Optional
 
 from .algorithms import ALGORITHMS
-from .analysis.report import campaign_report
-from .faults import (
-    BatchedExecutor,
-    CampaignResult,
-    CheckpointedRunner,
-    ParallelExecutor,
-    QuFI,
-    SerialExecutor,
-    fault_grid,
-)
+from .analysis.report import campaign_report, suite_report
+from .faults import CampaignResult, CheckpointedRunner
 from .quantum.qasm import circuit_to_qasm
-from .simulators import (
-    DensityMatrixSimulator,
-    NoiseModel,
-    ReadoutError,
-    StatevectorSimulator,
-    depolarizing_channel,
+from .scenarios import (
+    ScenarioSpec,
+    SuiteRunner,
+    SuiteSpec,
+    load_suite_result,
+    make_algorithm,
+    make_executor,
+    make_faults,
+    make_injector,
 )
 
 __all__ = ["main", "build_parser"]
-
-
-def _light_noise_model(num_qubits: int) -> NoiseModel:
-    model = NoiseModel("cli-light")
-    model.add_all_qubit_error(
-        depolarizing_channel(0.002),
-        ["h", "x", "y", "z", "s", "t", "u", "p", "rx", "ry", "rz", "sx", "id"],
-    )
-    model.add_all_qubit_error(
-        depolarizing_channel(0.01, num_qubits=2), ["cx", "cz", "cp", "swap"]
-    )
-    for qubit in range(num_qubits):
-        model.add_readout_error(ReadoutError(0.015, 0.03), qubit)
-    return model
-
-
-def _make_backend(noise: str, num_qubits: int):
-    if noise == "none":
-        return StatevectorSimulator()
-    if noise == "light":
-        return DensityMatrixSimulator(_light_noise_model(num_qubits))
-    raise ValueError(f"unknown noise preset {noise!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,6 +121,47 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    suite = subparsers.add_parser(
+        "suite",
+        help="run/inspect declarative scenario suites (spec file in, "
+        "resumable manifest out)",
+    )
+    suite_sub = suite.add_subparsers(dest="suite_command", required=True)
+
+    suite_run = suite_sub.add_parser(
+        "run",
+        help="run (or resume) every scenario of a suite spec into a "
+        "manifest directory",
+    )
+    suite_run.add_argument("spec", help="suite spec JSON file")
+    suite_run.add_argument(
+        "--manifest",
+        required=True,
+        help=(
+            "manifest directory: per-scenario record stores plus "
+            "manifest.json; re-running resumes at campaign granularity"
+        ),
+    )
+    suite_run.add_argument(
+        "--max-campaigns",
+        type=int,
+        default=None,
+        help=(
+            "compute at most this many campaigns, then stop (the "
+            "manifest stays resumable; reused/cached scenarios are free)"
+        ),
+    )
+
+    suite_report_p = suite_sub.add_parser(
+        "report", help="render a markdown summary of a suite manifest"
+    )
+    suite_report_p.add_argument("--manifest", required=True)
+
+    suite_list = suite_sub.add_parser(
+        "list", help="expand a suite spec and list its scenarios"
+    )
+    suite_list.add_argument("spec", help="suite spec JSON file")
+
     report = subparsers.add_parser(
         "report",
         help="render a markdown report from a campaign file "
@@ -164,19 +185,34 @@ def _cmd_qasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
+    """The campaign flags as a scenario spec (same defaults as ever)."""
+    if args.workers > 1:
+        executor, workers = "parallel", args.workers
+    elif args.batched:
+        executor, workers = "batched", None
+    else:
+        executor, workers = "serial", None
+    return ScenarioSpec(
+        algorithm=args.algorithm,
+        width=args.width,
+        noise=args.noise,
+        grid_step_deg=args.grid_step,
+        shots=args.shots,
+        seed=args.seed,
+        executor=executor,
+        workers=workers,
+    )
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be a positive integer")
-    spec = ALGORITHMS[args.algorithm](args.width)
-    backend = _make_backend(args.noise, spec.num_qubits)
-    if args.workers > 1:
-        executor = ParallelExecutor(workers=args.workers)
-    elif args.batched:
-        executor = BatchedExecutor()
-    else:
-        executor = SerialExecutor()
-    qufi = QuFI(backend, shots=args.shots, seed=args.seed, executor=executor)
-    faults = fault_grid(step_deg=args.grid_step)
+    scenario = _scenario_from_args(args)
+    spec = make_algorithm(scenario)
+    executor = make_executor(scenario)
+    qufi = make_injector(scenario, executor=executor)
+    faults = make_faults(scenario)
     if args.checkpoint:
         # The runner inherits qufi's executor (set above).
         runner = CheckpointedRunner(qufi, args.checkpoint)
@@ -198,6 +234,53 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_suite_run(args: argparse.Namespace) -> int:
+    suite = SuiteSpec.from_json(args.spec)
+    runner = SuiteRunner(
+        suite, manifest_dir=args.manifest, max_campaigns=args.max_campaigns
+    )
+
+    def progress(done: int, total: int, scenario_id: str) -> None:
+        print(f"[{done}/{total}] {scenario_id}")
+
+    outcome = runner.run(progress=progress)
+    state = "complete" if outcome.complete else "halted (resumable)"
+    print(
+        f"suite {outcome.name}: {len(outcome)}/{len(suite)} scenarios "
+        f"({outcome.computed} computed, {outcome.reused} reused), "
+        f"{outcome.total_injections} injections, "
+        f"{outcome.total_seconds:.1f}s — {state} -> {args.manifest}"
+    )
+    return 0
+
+
+def _cmd_suite_report(args: argparse.Namespace) -> int:
+    print(suite_report(load_suite_result(args.manifest)))
+    return 0
+
+
+def _cmd_suite_list(args: argparse.Namespace) -> int:
+    suite = SuiteSpec.from_json(args.spec)
+    print(f"suite {suite.name}: {len(suite)} scenarios")
+    seen = set()
+    for scenario in suite:
+        mark = " (dup)" if scenario.spec_hash() in seen else ""
+        seen.add(scenario.spec_hash())
+        print(
+            f"  {scenario.scenario_id}: {scenario.algorithm}"
+            f"({scenario.width}) noise={scenario.noise} "
+            f"backend={scenario.backend} mode={scenario.mode} "
+            f"grid={scenario.grid_step_deg:g}deg "
+            f"executor={scenario.executor}{mark}"
+        )
+    if len(seen) != len(suite):
+        print(
+            f"  ({len(suite) - len(seen)} duplicate campaign(s) — "
+            f"computed once per run)"
+        )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     # Sniffs the format: campaign JSON, npz export, or a (possibly
     # still-running) segment checkpoint.
@@ -214,6 +297,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_qasm(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "suite":
+        if args.suite_command == "run":
+            return _cmd_suite_run(args)
+        if args.suite_command == "report":
+            return _cmd_suite_report(args)
+        if args.suite_command == "list":
+            return _cmd_suite_list(args)
+        raise AssertionError(
+            f"unhandled suite command {args.suite_command!r}"
+        )
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

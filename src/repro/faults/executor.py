@@ -496,9 +496,15 @@ def _reseed_backend(backend: Backend, rng: np.random.Generator) -> None:
     Pickling a stateful backend (trajectory simulator, machine emulator)
     duplicates its internal generator state; without reseeding, every
     chunk would replay the same noise/shot draws and silently correlate
-    the campaign's Monte-Carlo statistics.
+    the campaign's Monte-Carlo statistics. Backends exposing ``reseed``
+    (the machine emulator's per-run seed-sequence scheme) are reseeded
+    through it; otherwise the legacy ``_rng`` attribute convention
+    applies.
     """
-    if isinstance(getattr(backend, "_rng", None), np.random.Generator):
+    reseed = getattr(backend, "reseed", None)
+    if callable(reseed):
+        reseed(int(rng.integers(0, 2**63)))
+    elif isinstance(getattr(backend, "_rng", None), np.random.Generator):
         backend._rng = np.random.default_rng(rng.integers(0, 2**63))
 
 
@@ -712,6 +718,13 @@ class ParallelExecutor(BaseExecutor):
     ``(plan.seed, chunk_index)`` — deterministic for a fixed seed, but a
     different stream from the serial executor's.
 
+    By default each ``run`` spawns (and tears down) its own process pool.
+    Suite runs amortise that: :meth:`start` opens a **long-lived pool**
+    that subsequent ``run`` calls share and :meth:`shutdown` closes (the
+    executor is also a context manager). Chunk seeding depends only on
+    ``(plan.seed, chunk_index)``, so records are identical whether the
+    pool is per-run or persistent.
+
     If worker processes cannot be spawned (restricted sandboxes), the
     executor degrades to serial in-process execution rather than failing
     the campaign.
@@ -732,14 +745,55 @@ class ParallelExecutor(BaseExecutor):
         self.workers = workers
         self.chunk_size = chunk_size
         self.prefix_reuse = bool(prefix_reuse)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_owner: Optional["ParallelExecutor"] = None
+
+    # ------------------------------------------------------------------
+    # Long-lived pool lifecycle (hoisted out of ``run`` for suite reuse)
+    # ------------------------------------------------------------------
+    def start(self) -> "ParallelExecutor":
+        """Open a persistent worker pool shared by subsequent ``run``s."""
+        owner = self._pool_owner or self
+        if owner._pool is None:
+            owner._pool = ProcessPoolExecutor(
+                max_workers=self._resolve_workers()
+            )
+        return self
+
+    def shutdown(self) -> None:
+        """Close the persistent pool (no-op without one).
+
+        Clones created by :meth:`bounded` delegate to the owning
+        executor, so every sharer observes the pool disappearing at
+        once — nobody is left submitting to a shut-down pool.
+        """
+        owner = self._pool_owner or self
+        if owner._pool is not None:
+            owner._pool.shutdown()
+            owner._pool = None
+
+    def _persistent_pool(self) -> Optional[ProcessPoolExecutor]:
+        return (self._pool_owner or self)._pool
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
     def bounded(self, limit: int) -> "ParallelExecutor":
         limit = max(1, int(limit))
-        return ParallelExecutor(
+        clone = ParallelExecutor(
             workers=self.workers,
             chunk_size=min(self.chunk_size or limit, limit),
             prefix_reuse=self.prefix_reuse,
         )
+        # The bounded copy shares (but never owns) the persistent pool:
+        # checkpointed suite campaigns reuse the suite's workers. It
+        # references the owner, not the pool object, so a pool torn
+        # down (or rebuilt) by any sharer is seen by all of them.
+        clone._pool_owner = self._pool_owner or self
+        return clone
 
     def _resolve_workers(self) -> int:
         return self.workers or os.cpu_count() or 1
@@ -800,10 +854,14 @@ class ParallelExecutor(BaseExecutor):
         )
         completed: dict = {}
         delivered = False
+        pool = self._persistent_pool()
+        owns_pool = pool is None
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(chunks))
-            ) as pool:
+            if owns_pool:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(workers, len(chunks))
+                )
+            try:
                 future_index = {
                     pool.submit(
                         _run_chunk,
@@ -829,11 +887,31 @@ class ParallelExecutor(BaseExecutor):
                         if on_batch is not None and len(batch):
                             delivered = True
                             on_batch(batch)
-        except (OSError, BrokenProcessPool):
+            finally:
+                if owns_pool:
+                    pool.shutdown()
+        except (OSError, RuntimeError) as error:
             # Process pools are unavailable in some sandboxes (spawn may
             # fail outright, or the worker may be killed after spawning);
-            # a slow campaign beats a dead one. Only restart if nothing
-            # streamed yet — consumers must never see a record twice.
+            # a slow campaign beats a dead one. Beyond OSError and
+            # BrokenProcessPool (a RuntimeError subclass), the only
+            # RuntimeError treated as pool loss is the shared-pool race:
+            # another sharer observed the breakage first and shut the
+            # persistent pool down mid-submission. Any other
+            # RuntimeError is a genuine worker error and propagates.
+            if (
+                isinstance(error, RuntimeError)
+                and not isinstance(error, BrokenProcessPool)
+                and (owns_pool or self._persistent_pool() is not None)
+            ):
+                raise
+            if not owns_pool:
+                # The persistent pool is dead: tear it down at the owner
+                # so every sharer rebuilds instead of resubmitting to a
+                # broken pool.
+                self.shutdown()
+            # Only restart if nothing streamed yet — consumers must
+            # never see a record twice.
             if delivered:
                 raise
             warnings.warn(

@@ -36,7 +36,20 @@ class PhysicalMachineEmulator:
         self.backend = backend
         self.drift_scale = float(drift_scale)
         self.name = f"{backend.name}_physical"
-        self._rng = np.random.default_rng(seed)
+        # Per-run child generators are spawned from this sequence: run k
+        # of a seeded emulator draws from child k, whatever else consumed
+        # randomness in between. A shared Generator here would make
+        # concurrent scenarios interleave draws nondeterministically.
+        self._seed_seq = np.random.SeedSequence(seed)
+
+    def reseed(self, seed: Optional[int]) -> None:
+        """Restart the per-run seed source (worker copies must diverge).
+
+        The campaign engine calls this on pickled backend copies so each
+        worker chunk derives its own run children instead of replaying
+        the parent's.
+        """
+        self._seed_seq = np.random.SeedSequence(seed)
 
     @property
     def num_qubits(self) -> int:
@@ -52,8 +65,18 @@ class PhysicalMachineEmulator:
         shots: Optional[int] = None,
         seed: Optional[int] = None,
     ) -> Result:
-        """One 'hardware' execution: drifted noise + multinomial sampling."""
-        rng = np.random.default_rng(seed) if seed is not None else self._rng
+        """One 'hardware' execution: drifted noise + multinomial sampling.
+
+        Each unseeded run draws from its own child generator (run index
+        ``k`` uses child ``k`` of the emulator's seed sequence), so a
+        seeded emulator's k-th run is reproducible regardless of how
+        runs interleave with other consumers — the property suite-level
+        scheduling relies on. An explicit ``seed`` pins one run fully.
+        """
+        if seed is not None:
+            rng = np.random.default_rng(seed)
+        else:
+            rng = np.random.default_rng(self._seed_seq.spawn(1)[0])
         shots = shots or DEFAULT_SHOTS
         drifted = self.backend.calibration.drifted(rng, self.drift_scale)
         noise_model = noise_model_from_calibration(drifted, self.backend.coupling)

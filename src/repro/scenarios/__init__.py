@@ -1,0 +1,60 @@
+"""Declarative scenario suites: the campaign-orchestration layer.
+
+The paper's evaluation is not one campaign but a *grid* of them — six
+algorithms x widths x noise settings x single/double faults x
+ideal-sim / noisy-sim / machine scenarios (Figs. 5-11). This package makes
+that grid a value, not a script:
+
+* :class:`ScenarioSpec` names everything one campaign needs — algorithm,
+  width, noise profile, backend kind, fault model, executor strategy,
+  shots, seed — and round-trips through JSON;
+* :class:`SuiteSpec` is an ordered collection of scenarios with
+  cross-product expansion (``{"algorithm": ["ghz", "qft"], "width":
+  [2, ..., 8], "noise": ["none", "light", "heavy"]}`` is 42 scenarios in
+  one entry);
+* :mod:`repro.scenarios.factory` is the single place circuits, noise
+  models, backends and executors are constructed from specs — the CLI,
+  the benchmarks and the examples all build campaigns through it;
+* :class:`SuiteRunner` executes a whole suite as one resumable job:
+  campaigns stream into a suite manifest over the segment store, a killed
+  suite resumes at campaign granularity, duplicate specs are computed
+  once (the paper grid reuses the same campaigns across figures), and
+  parallel scenarios share one long-lived worker pool.
+"""
+
+from .factory import (
+    FactoryCache,
+    heavy_noise_model,
+    light_noise_model,
+    make_algorithm,
+    make_backend,
+    make_couples,
+    make_executor,
+    make_faults,
+    make_injector,
+    make_noise_model,
+    run_scenario,
+)
+from .runner import ScenarioRun, SuiteResult, SuiteRunner, load_suite_result
+from .spec import ScenarioSpec, SuiteSpec, expand_grid
+
+__all__ = [
+    "ScenarioSpec",
+    "SuiteSpec",
+    "expand_grid",
+    "FactoryCache",
+    "light_noise_model",
+    "heavy_noise_model",
+    "make_noise_model",
+    "make_algorithm",
+    "make_backend",
+    "make_couples",
+    "make_executor",
+    "make_faults",
+    "make_injector",
+    "run_scenario",
+    "SuiteRunner",
+    "SuiteResult",
+    "ScenarioRun",
+    "load_suite_result",
+]

@@ -1,0 +1,345 @@
+"""Spec -> campaign construction, shared by CLI, benchmarks and examples.
+
+Before the scenario layer, every front end hand-assembled its campaigns:
+``cli.py`` had ``_light_noise_model``/``_make_backend``, the benchmark
+conftest and half the examples each carried their own copy of the same
+noise model, and no two of them could be trusted to agree. This module is
+now the single place where a :class:`~repro.scenarios.spec.ScenarioSpec`
+becomes concrete objects — circuit, noise model, backend, executor,
+injector — and :func:`run_scenario` is the one-call path from spec to
+:class:`~repro.faults.campaign.CampaignResult`.
+
+:class:`FactoryCache` memoises the expensive, immutable intermediates
+(circuits, noise models, fault grids, transpiled neighbour couples) keyed
+by the spec fragments that determine them, so a suite run re-derives each
+artefact once no matter how many scenarios share it. Backends are *not*
+cached: the stateful ones (trajectory simulator, machine emulator) carry
+random streams, and sharing those across scenarios would entangle their
+draws.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms import ALGORITHMS
+from ..algorithms.spec import AlgorithmSpec
+from ..faults.campaign import CampaignResult
+from ..faults.double import find_neighbor_couples
+from ..faults.executor import (
+    BaseExecutor,
+    BatchedExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from ..faults.fault_model import PhaseShiftFault, fault_grid
+from ..faults.injector import QuFI
+from ..machines.emulator import PhysicalMachineEmulator
+from ..machines.fake import (
+    FakeBackend,
+    fake_casablanca,
+    fake_guadalupe,
+    fake_jakarta,
+    fake_lagos,
+    fake_montreal,
+)
+from ..simulators import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    ReadoutError,
+    StatevectorSimulator,
+    TrajectorySimulator,
+    depolarizing_channel,
+)
+from .spec import ScenarioSpec
+
+__all__ = [
+    "MACHINES",
+    "FactoryCache",
+    "light_noise_model",
+    "heavy_noise_model",
+    "make_noise_model",
+    "make_backend",
+    "make_executor",
+    "make_faults",
+    "make_couples",
+    "make_algorithm",
+    "make_injector",
+    "run_scenario",
+]
+
+MACHINES = {
+    "casablanca": fake_casablanca,
+    "jakarta": fake_jakarta,
+    "lagos": fake_lagos,
+    "guadalupe": fake_guadalupe,
+    "montreal": fake_montreal,
+}
+
+_ONE_QUBIT_GATES = (
+    "h", "x", "y", "z", "s", "t", "u", "p", "rx", "ry", "rz", "sx", "id",
+)
+_TWO_QUBIT_GATES = ("cx", "cz", "cp", "swap")
+
+
+def _generic_noise_model(
+    name: str,
+    num_qubits: int,
+    p1: float,
+    p2: float,
+    readout: Tuple[float, float],
+) -> NoiseModel:
+    model = NoiseModel(name)
+    model.add_all_qubit_error(
+        depolarizing_channel(p1), list(_ONE_QUBIT_GATES)
+    )
+    model.add_all_qubit_error(
+        depolarizing_channel(p2, num_qubits=2), list(_TWO_QUBIT_GATES)
+    )
+    for qubit in range(num_qubits):
+        model.add_readout_error(ReadoutError(readout[0], readout[1]), qubit)
+    return model
+
+
+def light_noise_model(num_qubits: int) -> NoiseModel:
+    """The scenario-(2) noise model at IBM-like magnitudes.
+
+    The one copy of what used to live, byte for byte, in
+    ``cli.py:_light_noise_model``, the benchmark conftest and the test
+    conftest: 0.2% depolarizing on 1q gates, 1% on 2q gates, (1.5%, 3%)
+    readout confusion per qubit.
+    """
+    return _generic_noise_model(
+        "light", num_qubits, p1=0.002, p2=0.01, readout=(0.015, 0.03)
+    )
+
+
+def heavy_noise_model(num_qubits: int) -> NoiseModel:
+    """A pessimistic machine: every light error rate scaled 3x.
+
+    Gives scenario grids a third operating point between "ideal" and
+    "calibrated machine" (the paper sweeps noise only implicitly, via
+    machine choice; suites sweep it explicitly).
+    """
+    return _generic_noise_model(
+        "heavy", num_qubits, p1=0.006, p2=0.03, readout=(0.045, 0.09)
+    )
+
+
+def make_noise_model(
+    profile: str, num_qubits: int, machine: str = "jakarta"
+) -> Optional[NoiseModel]:
+    """Resolve a noise profile name to a model (``None`` for ideal)."""
+    if profile == "none":
+        return None
+    if profile == "light":
+        return light_noise_model(num_qubits)
+    if profile == "heavy":
+        return heavy_noise_model(num_qubits)
+    if profile == "calibrated":
+        return make_machine(machine).noise_model
+    raise ValueError(f"unknown noise profile {profile!r}")
+
+
+def make_machine(name: str) -> FakeBackend:
+    try:
+        return MACHINES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {name!r} (choose from {sorted(MACHINES)})"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Caching
+# ----------------------------------------------------------------------
+class FactoryCache:
+    """Memoised spec-fragment -> artefact store for suite runs.
+
+    Keys are the spec fields that determine each artefact, so scenarios
+    share cached circuits/noise models/grids exactly when their specs
+    agree on the relevant fragment. Everything cached here is immutable
+    in use (campaigns copy circuits before splicing; noise models and
+    fault lists are read-only on the execution path).
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[Tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple, build):
+        try:
+            value = self._store[key]
+        except KeyError:
+            self.misses += 1
+            value = self._store[key] = build()
+            return value
+        self.hits += 1
+        return value
+
+
+def make_algorithm(
+    spec: ScenarioSpec, cache: Optional[FactoryCache] = None
+) -> AlgorithmSpec:
+    """The benchmark circuit + ground truth for ``spec``."""
+    if spec.algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {spec.algorithm!r} "
+            f"(choose from {sorted(ALGORITHMS)})"
+        )
+
+    def build() -> AlgorithmSpec:
+        return ALGORITHMS[spec.algorithm](spec.width)
+
+    if cache is None:
+        return build()
+    return cache.get(("circuit", spec.algorithm, spec.width), build)
+
+
+def make_faults(
+    spec: ScenarioSpec, cache: Optional[FactoryCache] = None
+) -> List[PhaseShiftFault]:
+    """The scenario's phase-shift grid."""
+
+    def build() -> List[PhaseShiftFault]:
+        return fault_grid(
+            step_deg=spec.grid_step_deg,
+            phi_max_deg=spec.phi_max_deg,
+            include_phi_endpoint=spec.include_phi_endpoint,
+        )
+
+    if cache is None:
+        return build()
+    key = (
+        "faults",
+        spec.grid_step_deg,
+        spec.phi_max_deg,
+        spec.include_phi_endpoint,
+    )
+    return cache.get(key, build)
+
+
+def make_couples(
+    spec: ScenarioSpec, cache: Optional[FactoryCache] = None
+) -> List[Tuple[int, int]]:
+    """Physically adjacent qubit couples for double-fault scenarios.
+
+    Derived exactly as the paper does (Sec. IV-C): transpile onto the
+    scenario's machine topology at optimization level 3 and keep the
+    logical couples that end up on coupled physical qubits.
+    """
+
+    def build() -> List[Tuple[int, int]]:
+        algorithm = make_algorithm(spec, cache)
+        coupling = make_machine(spec.machine).coupling
+        return find_neighbor_couples(algorithm, coupling).couples
+
+    if cache is None:
+        return build()
+    key = ("couples", spec.algorithm, spec.width, spec.machine)
+    return cache.get(key, build)
+
+
+def _scenario_noise_model(
+    spec: ScenarioSpec, cache: Optional[FactoryCache]
+) -> Optional[NoiseModel]:
+    def build() -> Optional[NoiseModel]:
+        return make_noise_model(spec.noise, spec.width, spec.machine)
+
+    if cache is None:
+        return build()
+    key = ("noise", spec.noise, spec.width, spec.machine)
+    return cache.get(key, build)
+
+
+def make_backend(spec: ScenarioSpec, cache: Optional[FactoryCache] = None):
+    """Resolve the spec's backend kind to a concrete engine.
+
+    ``auto`` keeps the historical CLI behaviour: statevector for
+    noiseless scenarios, density matrix otherwise. Stateful backends
+    (trajectory, machine emulator) are seeded from the scenario seed so
+    suite runs are reproducible end to end.
+    """
+    kind = spec.backend
+    if kind == "auto":
+        kind = "statevector" if spec.noise == "none" else "density-matrix"
+    if kind == "statevector":
+        return StatevectorSimulator()
+    if kind == "density-matrix":
+        model = _scenario_noise_model(spec, cache)
+        return DensityMatrixSimulator(model)
+    if kind == "trajectory":
+        return TrajectorySimulator(
+            _scenario_noise_model(spec, cache),
+            trajectories=spec.trajectories,
+            seed=spec.seed,
+        )
+    if kind == "machine":
+        return make_machine(spec.machine)
+    if kind == "machine-emulator":
+        return PhysicalMachineEmulator(
+            make_machine(spec.machine),
+            drift_scale=spec.drift_scale,
+            seed=spec.seed,
+        )
+    raise ValueError(f"unknown backend kind {spec.backend!r}")
+
+
+def make_executor(spec: ScenarioSpec) -> BaseExecutor:
+    """The spec's execution strategy (fresh, config-only instance)."""
+    if spec.executor == "serial":
+        return SerialExecutor()
+    if spec.executor == "batched":
+        return BatchedExecutor()
+    if spec.executor == "parallel":
+        return ParallelExecutor(workers=spec.workers)
+    raise ValueError(f"unknown executor strategy {spec.executor!r}")
+
+
+def make_injector(
+    spec: ScenarioSpec,
+    cache: Optional[FactoryCache] = None,
+    executor: Optional[BaseExecutor] = None,
+) -> QuFI:
+    """A fresh injector for ``spec`` (fresh rng: campaign-reproducible)."""
+    return QuFI(
+        make_backend(spec, cache),
+        shots=spec.shots,
+        seed=spec.seed,
+        executor=executor if executor is not None else make_executor(spec),
+    )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    cache: Optional[FactoryCache] = None,
+    executor: Optional[BaseExecutor] = None,
+    progress=None,
+) -> CampaignResult:
+    """Spec in, campaign result out — the single-scenario entry point.
+
+    A fresh injector is built per call (its rng starts at the scenario
+    seed), so running the same spec twice — or inside a suite versus
+    standalone — produces bit-identical records. ``executor`` overrides
+    the spec's strategy with an existing instance; the suite runner uses
+    this to route all parallel scenarios through one long-lived pool.
+    """
+    algorithm = make_algorithm(spec, cache)
+    qufi = make_injector(spec, cache, executor)
+    faults = make_faults(spec, cache)
+    if spec.mode == "double":
+        result = qufi.run_double_campaign(
+            algorithm,
+            couples=make_couples(spec, cache),
+            faults=faults,
+            progress=progress,
+        )
+    else:
+        result = qufi.run_campaign(algorithm, faults=faults, progress=progress)
+    result.metadata.update(
+        scenario_id=spec.scenario_id,
+        spec_hash=spec.spec_hash(),
+        scenario=spec.to_dict(),
+    )
+    return result

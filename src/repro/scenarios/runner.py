@@ -1,0 +1,433 @@
+"""Suite execution: many campaigns as one resumable job.
+
+``SuiteRunner`` turns a :class:`~repro.scenarios.spec.SuiteSpec` into a
+directory-backed **suite manifest** — the multi-campaign analogue of the
+single-campaign segment checkpoint:
+
+* every completed campaign is written as its own binary segment store
+  (:mod:`repro.faults.store`) under the manifest directory, preserving
+  the per-campaign bit-identity guarantees verbatim (the bytes on disk
+  *are* the record table);
+* ``manifest.json`` tracks the suite spec, per-scenario status and
+  result digests, and is rewritten atomically after each campaign — a
+  killed suite resumes at campaign granularity, recomputing only the
+  campaign that was in flight;
+* the manifest is fully deterministic (wall-clock timings live in a
+  separate ``timings.json``), so "fresh run" and "killed + resumed"
+  produce byte-identical manifests — which is exactly what the CI suite
+  smoke job asserts.
+
+Scheduling reuses work across campaigns: immutable artefacts (circuits,
+noise models, fault grids, neighbour couples) are memoised in a
+:class:`~repro.scenarios.factory.FactoryCache` keyed by spec fragments;
+completed campaigns are cached by full spec hash, so the duplicate
+campaigns a paper grid naturally contains (Figs. 8a, 9 and 10 all
+consume the same BV sweep, and Fig. 6 re-slices Fig. 5's) execute
+once; and all parallel scenarios
+share one long-lived worker pool (``ParallelExecutor.start``) instead of
+spawning a pool per campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..faults.campaign import CampaignResult
+from ..faults.executor import BaseExecutor, ParallelExecutor
+from ..faults.store import compact, read_segments
+from .factory import FactoryCache, run_scenario
+from .spec import ScenarioSpec, SuiteSpec
+
+__all__ = [
+    "MANIFEST_NAME",
+    "TIMINGS_NAME",
+    "ScenarioRun",
+    "SuiteResult",
+    "SuiteRunner",
+    "load_suite_result",
+]
+
+MANIFEST_NAME = "manifest.json"
+TIMINGS_NAME = "timings.json"
+_MANIFEST_FORMAT = "qufi-suite-manifest-v1"
+
+
+def _result_filename(scenario_id: str) -> str:
+    """A safe, collision-free file name for a scenario's record store."""
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", scenario_id)[:80]
+    tag = hashlib.sha256(scenario_id.encode("utf-8")).hexdigest()[:6]
+    return f"{safe}-{tag}.qfs"
+
+
+def _result_meta(result: CampaignResult) -> Dict[str, object]:
+    """The segment store's metadata header for one campaign."""
+    return {
+        "circuit_name": result.circuit_name,
+        "correct_states": list(result.correct_states),
+        "fault_free_qvf": result.fault_free_qvf,
+        "backend_name": result.backend_name,
+        "metadata": result.metadata,
+    }
+
+
+def _entry_digest(result: CampaignResult) -> Dict[str, object]:
+    """The deterministic per-scenario facts recorded in the manifest."""
+    mean = result.mean_qvf()
+    return {
+        "circuit_name": result.circuit_name,
+        "backend_name": result.backend_name,
+        "num_injections": result.num_injections,
+        "mean_qvf": None if math.isnan(mean) else mean,
+        "fault_free_qvf": result.fault_free_qvf,
+    }
+
+
+@dataclass
+class ScenarioRun:
+    """One scenario's outcome inside a suite run."""
+
+    spec: ScenarioSpec
+    result: CampaignResult
+    seconds: float
+    source: str  # "computed" | "cache" (spec-hash reuse) | "manifest"
+
+    @property
+    def scenario_id(self) -> str:
+        return self.spec.scenario_id
+
+
+@dataclass
+class SuiteResult:
+    """Aggregate outcome of a suite: per-scenario results plus totals."""
+
+    name: str
+    runs: List[ScenarioRun] = field(default_factory=list)
+    complete: bool = True
+    total_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    def results(self) -> Dict[str, CampaignResult]:
+        return {run.scenario_id: run.result for run in self.runs}
+
+    def result(self, scenario_id: str) -> CampaignResult:
+        for run in self.runs:
+            if run.scenario_id == scenario_id:
+                return run.result
+        raise KeyError(f"no scenario {scenario_id!r} in suite {self.name!r}")
+
+    @property
+    def total_injections(self) -> int:
+        return sum(run.result.num_injections for run in self.runs)
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for run in self.runs if run.source == "computed")
+
+    @property
+    def reused(self) -> int:
+        return len(self.runs) - self.computed
+
+    def __repr__(self) -> str:
+        return (
+            f"SuiteResult({self.name!r}, scenarios={len(self.runs)}, "
+            f"injections={self.total_injections}, "
+            f"complete={self.complete})"
+        )
+
+
+class SuiteRunner:
+    """Runs a :class:`SuiteSpec` as one resumable, cache-sharing job.
+
+    ``manifest_dir=None`` runs in memory (no persistence, no resume) —
+    benchmarks and throwaway sweeps use that. With a directory, the
+    runner resumes: scenarios whose manifest entry is complete (matching
+    spec hash, loadable record store) are *loaded*, everything else is
+    computed and checkpointed as it finishes.
+
+    ``max_campaigns`` bounds how many campaigns this invocation may
+    *compute* (cache/manifest reuse is free); the suite returns with
+    ``complete=False`` when the budget stops it — re-running resumes.
+    """
+
+    def __init__(
+        self,
+        suite: SuiteSpec,
+        manifest_dir: Optional[str] = None,
+        max_campaigns: Optional[int] = None,
+    ) -> None:
+        if max_campaigns is not None and max_campaigns < 1:
+            raise ValueError("max_campaigns must be positive when given")
+        self.suite = suite
+        self.manifest_dir = manifest_dir
+        self.max_campaigns = max_campaigns
+        self.cache = FactoryCache()
+        self._by_hash: Dict[str, CampaignResult] = {}
+        self._pools: Dict[Optional[int], ParallelExecutor] = {}
+        self._entries: List[Dict[str, object]] = []
+        self._timings: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Manifest persistence
+    # ------------------------------------------------------------------
+    def _manifest_path(self) -> str:
+        return os.path.join(self.manifest_dir, MANIFEST_NAME)
+
+    def _fresh_entries(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "id": scenario.scenario_id,
+                "spec": scenario.to_dict(),
+                "spec_hash": scenario.spec_hash(),
+                "status": "pending",
+                "result_file": _result_filename(scenario.scenario_id),
+            }
+            for scenario in self.suite
+        ]
+
+    def _load_entries(self) -> List[Dict[str, object]]:
+        """Existing manifest entries, validated against this suite."""
+        path = self._manifest_path()
+        if not os.path.exists(path):
+            return self._fresh_entries()
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != _MANIFEST_FORMAT:
+            raise ValueError(
+                f"{path!r} is not a suite manifest "
+                f"(format {manifest.get('format')!r})"
+            )
+        if manifest.get("suite_hash") != self.suite.suite_hash():
+            raise ValueError(
+                f"manifest at {path!r} was written for suite "
+                f"{manifest.get('suite', {}).get('name')!r} with a "
+                f"different scenario list; refusing to mix suites "
+                f"(use a fresh manifest directory)"
+            )
+        entries = manifest["scenarios"]
+        # The suite hash pins ordered scenario content, so entries align
+        # with the spec one-to-one; stale statuses are re-verified below.
+        return entries
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "suite": self.suite.to_dict(),
+            "suite_hash": self.suite.suite_hash(),
+            "scenarios": self._entries,
+        }
+        path = self._manifest_path()
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+
+    def _write_timings(self, total_seconds: float, complete: bool) -> None:
+        payload = {
+            "suite": self.suite.name,
+            "total_seconds": total_seconds,
+            "complete": complete,
+            "scenarios": self._timings,
+        }
+        path = os.path.join(self.manifest_dir, TIMINGS_NAME)
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+
+    def _load_completed(
+        self, entry: Dict[str, object], scenario: ScenarioSpec
+    ) -> Optional[CampaignResult]:
+        """A previous run's result for ``entry``, if intact."""
+        if entry.get("status") != "done":
+            return None
+        if entry.get("spec_hash") != scenario.spec_hash():
+            return None
+        path = os.path.join(self.manifest_dir, entry["result_file"])
+        try:
+            meta, table = read_segments(path)
+        except (OSError, ValueError):
+            return None
+        if meta is None:
+            return None
+        return CampaignResult.from_table_meta(meta, table)
+
+    def _store_result(
+        self, entry: Dict[str, object], result: CampaignResult
+    ) -> None:
+        path = os.path.join(self.manifest_dir, entry["result_file"])
+        compact(path, _result_meta(result), result.table)
+        entry["status"] = "done"
+        entry["digest"] = _entry_digest(result)
+        self._write_manifest()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _shared_executor(
+        self, scenario: ScenarioSpec
+    ) -> Optional[BaseExecutor]:
+        """One long-lived pool per distinct worker count.
+
+        Serial/batched strategies are stateless config objects — a fresh
+        instance per campaign costs nothing. Parallel strategies own a
+        process pool, so all parallel scenarios of a suite share one
+        started executor instead of paying pool spawn/teardown per
+        campaign (``ParallelExecutor.run`` degrades gracefully if the
+        sandbox forbids subprocesses).
+        """
+        if scenario.executor != "parallel":
+            return None
+        key = scenario.workers
+        if key not in self._pools:
+            self._pools[key] = ParallelExecutor(workers=key).start()
+        return self._pools[key]
+
+    def _adopt(
+        self, scenario: ScenarioSpec, base: CampaignResult
+    ) -> CampaignResult:
+        """Re-badge a cached campaign for a relabelled duplicate spec.
+
+        The record table is shared (immutable); only the scenario
+        identity metadata differs.
+        """
+        return CampaignResult(
+            circuit_name=base.circuit_name,
+            correct_states=base.correct_states,
+            records=base.table,
+            fault_free_qvf=base.fault_free_qvf,
+            backend_name=base.backend_name,
+            metadata={
+                **base.metadata,
+                "scenario_id": scenario.scenario_id,
+                "scenario": scenario.to_dict(),
+            },
+        )
+
+    def run(self, progress=None) -> SuiteResult:
+        """Execute (or resume) the suite and return the aggregate.
+
+        ``progress`` is called as ``progress(done, total, scenario_id)``
+        after each scenario completes.
+        """
+        persist = self.manifest_dir is not None
+        if persist:
+            os.makedirs(self.manifest_dir, exist_ok=True)
+            self._entries = self._load_entries()
+            self._write_manifest()
+        else:
+            self._entries = self._fresh_entries()
+
+        outcome = SuiteResult(name=self.suite.name)
+        started = time.perf_counter()
+        computed = 0
+        finished = False
+        try:
+            for index, scenario in enumerate(self.suite):
+                entry = self._entries[index]
+                spec_hash = scenario.spec_hash()
+                run = None
+
+                if persist:
+                    existing = self._load_completed(entry, scenario)
+                    if existing is not None:
+                        run = ScenarioRun(scenario, existing, 0.0, "manifest")
+
+                if run is None and spec_hash in self._by_hash:
+                    # Spec-hash cache: an identical campaign (relabelled
+                    # duplicate, or loaded from the manifest) already ran.
+                    result = self._adopt(scenario, self._by_hash[spec_hash])
+                    run = ScenarioRun(scenario, result, 0.0, "cache")
+                    if persist:
+                        self._store_result(entry, result)
+
+                if run is None:
+                    if (
+                        self.max_campaigns is not None
+                        and computed >= self.max_campaigns
+                    ):
+                        outcome.complete = False
+                        break
+                    tick = time.perf_counter()
+                    result = run_scenario(
+                        scenario,
+                        cache=self.cache,
+                        executor=self._shared_executor(scenario),
+                    )
+                    seconds = time.perf_counter() - tick
+                    computed += 1
+                    self._timings[scenario.scenario_id] = seconds
+                    run = ScenarioRun(scenario, result, seconds, "computed")
+                    if persist:
+                        self._store_result(entry, result)
+
+                self._by_hash.setdefault(spec_hash, run.result)
+                outcome.runs.append(run)
+                if progress is not None:
+                    progress(
+                        len(outcome.runs),
+                        len(self.suite),
+                        scenario.scenario_id,
+                    )
+            finished = True
+        finally:
+            for executor in self._pools.values():
+                executor.shutdown()
+            self._pools.clear()
+            outcome.total_seconds = time.perf_counter() - started
+            if persist:
+                # A run that is unwinding through an exception is not
+                # complete, whatever the loop got through before dying.
+                self._write_timings(
+                    outcome.total_seconds, outcome.complete and finished
+                )
+        return outcome
+
+
+def load_suite_result(manifest_dir: str) -> SuiteResult:
+    """Rehydrate a (possibly partial) suite from its manifest directory."""
+    path = os.path.join(manifest_dir, MANIFEST_NAME)
+    with open(path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != _MANIFEST_FORMAT:
+        raise ValueError(f"{path!r} is not a suite manifest")
+    suite = SuiteSpec.from_dict(manifest["suite"])
+    timings: Dict[str, float] = {}
+    timings_path = os.path.join(manifest_dir, TIMINGS_NAME)
+    if os.path.exists(timings_path):
+        with open(timings_path, "r", encoding="utf-8") as handle:
+            timings = json.load(handle).get("scenarios", {})
+    outcome = SuiteResult(name=suite.name)
+    for scenario, entry in zip(suite, manifest["scenarios"]):
+        if entry.get("status") != "done":
+            outcome.complete = False
+            continue
+        meta, table = read_segments(
+            os.path.join(manifest_dir, entry["result_file"])
+        )
+        if meta is None:
+            outcome.complete = False
+            continue
+        outcome.runs.append(
+            ScenarioRun(
+                scenario,
+                CampaignResult.from_table_meta(meta, table),
+                timings.get(scenario.scenario_id, 0.0),
+                "manifest",
+            )
+        )
+    outcome.total_seconds = sum(run.seconds for run in outcome.runs)
+    return outcome

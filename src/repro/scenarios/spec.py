@@ -1,0 +1,327 @@
+"""Scenario and suite specifications: campaigns as declarative values.
+
+A :class:`ScenarioSpec` is everything one campaign needs, as plain data;
+a :class:`SuiteSpec` is an ordered list of them. Both round-trip through
+dicts and JSON, so the whole paper evaluation fits in one spec file and
+``repro suite run`` reproduces it.
+
+Two derived identities matter downstream:
+
+* :meth:`ScenarioSpec.spec_hash` — a content hash over every field that
+  influences the campaign's *records* (``label`` is excluded). The suite
+  runner caches by this hash: two scenarios that differ only in label
+  (the paper grid feeds the same BV sweep to Figs. 8a, 9 and 10)
+  are computed once.
+* :meth:`ScenarioSpec.scenario_id` — the manifest key: the label if one
+  is given, otherwise a readable slug plus a short hash suffix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["ScenarioSpec", "SuiteSpec", "expand_grid"]
+
+NOISE_PROFILES = ("none", "light", "heavy", "calibrated")
+BACKEND_KINDS = (
+    "auto",
+    "statevector",
+    "density-matrix",
+    "trajectory",
+    "machine",
+    "machine-emulator",
+)
+EXECUTORS = ("serial", "batched", "parallel")
+MODES = ("single", "double")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One campaign, declaratively.
+
+    ``noise`` picks a profile: ``none`` (ideal), ``light``/``heavy``
+    (generic depolarizing+readout models at IBM-like magnitudes), or
+    ``calibrated`` (built from the named ``machine``'s calibration
+    snapshot). ``backend`` picks the engine: ``auto`` resolves to the
+    statevector simulator for noiseless scenarios and the density-matrix
+    simulator otherwise; ``trajectory`` Monte-Carlo-samples the noise;
+    ``machine`` runs the fake machine's exact noisy engine and
+    ``machine-emulator`` adds calibration drift plus shot sampling (the
+    paper's scenario 3). ``mode="double"`` sweeps fault pairs over the
+    physically adjacent couples of the ``machine``'s topology.
+    """
+
+    algorithm: str
+    width: int = 4
+    noise: str = "light"
+    backend: str = "auto"
+    mode: str = "single"
+    grid_step_deg: float = 45.0
+    phi_max_deg: float = 360.0
+    include_phi_endpoint: bool = False
+    shots: Optional[int] = None
+    seed: Optional[int] = None
+    executor: str = "batched"
+    workers: Optional[int] = None
+    machine: str = "jakarta"
+    drift_scale: float = 0.05
+    trajectories: int = 256
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.algorithm:
+            raise ValueError("scenario needs an algorithm name")
+        if self.width < 1:
+            raise ValueError(f"width must be positive, got {self.width}")
+        if self.noise not in NOISE_PROFILES:
+            raise ValueError(
+                f"unknown noise profile {self.noise!r} "
+                f"(choose from {NOISE_PROFILES})"
+            )
+        if self.backend not in BACKEND_KINDS:
+            raise ValueError(
+                f"unknown backend kind {self.backend!r} "
+                f"(choose from {BACKEND_KINDS})"
+            )
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor strategy {self.executor!r} "
+                f"(choose from {EXECUTORS})"
+            )
+        if self.mode not in MODES:
+            raise ValueError(f"unknown campaign mode {self.mode!r}")
+        if self.grid_step_deg <= 0:
+            raise ValueError("grid_step_deg must be positive")
+        if self.shots is not None and self.shots < 1:
+            raise ValueError("shots must be positive when given")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be positive when given")
+        # Normalize the noise profile the chosen backend actually runs
+        # under, so the spec, its hash and the manifest all tell the
+        # truth: machine backends always execute their calibration's
+        # noise, the statevector engine is noiseless by construction. A
+        # "noise sweep" over a machine-emulator would otherwise expand
+        # to scenarios labelled none/light/heavy that run identical
+        # physics.
+        if self.backend in ("machine", "machine-emulator"):
+            object.__setattr__(self, "noise", "calibrated")
+        elif self.backend == "statevector":
+            object.__setattr__(self, "noise", "none")
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def canonical_dict(self) -> Dict[str, object]:
+        """Every record-influencing field, in declaration order.
+
+        ``label`` is presentation, not physics: it is excluded, so
+        relabelled duplicates of the same campaign hash identically.
+        Fields the configuration renders inert are canonicalized for the
+        same reason — ``auto`` resolves to its concrete backend kind,
+        and trajectory counts / drift / worker counts / machine names
+        null out when nothing consumes them — so physically identical
+        campaigns hash identically however they were spelled.
+        """
+        data = asdict(self)
+        data.pop("label")
+        backend = self.backend
+        if backend == "auto":
+            backend = (
+                "statevector" if self.noise == "none" else "density-matrix"
+            )
+        data["backend"] = backend
+        if backend != "trajectory":
+            data["trajectories"] = None
+        if backend != "machine-emulator":
+            data["drift_scale"] = None
+        if self.executor != "parallel":
+            data["workers"] = None
+        if (
+            self.mode != "double"
+            and self.noise != "calibrated"
+            and backend not in ("machine", "machine-emulator")
+        ):
+            data["machine"] = None
+        return data
+
+    def spec_hash(self) -> str:
+        """Content hash of the campaign this spec describes."""
+        blob = json.dumps(self.canonical_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def scenario_id(self) -> str:
+        """Manifest key: the label, or a readable slug + hash suffix."""
+        if self.label:
+            return self.label
+        return (
+            f"{self.algorithm}{self.width}-{self.noise}-{self.mode}"
+            f"-{self.spec_hash()[:8]}"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Full dict (including label); defaults are kept explicit."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scenario field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
+
+    def relabel(self, label: Optional[str]) -> "ScenarioSpec":
+        return replace(self, label=label)
+
+
+def expand_grid(**axes: object) -> List[ScenarioSpec]:
+    """Cross-product scenario construction.
+
+    Every field given as a list becomes an axis; scalars are fixed. A
+    ``label`` containing ``{field}`` placeholders is formatted per
+    combination, so the expansion stays self-describing::
+
+        expand_grid(
+            algorithm=["ghz", "qft"], width=[2, 4, 8],
+            noise=["none", "light", "heavy"],
+            label="fig7-{algorithm}{width}-{noise}",
+        )
+
+    is 18 scenarios in one call.
+    """
+    keys = list(axes)
+    values = [
+        value if isinstance(value, list) else [value]
+        for value in axes.values()
+    ]
+    specs: List[ScenarioSpec] = []
+    for combo in itertools.product(*values):
+        entry = dict(zip(keys, combo))
+        label = entry.get("label")
+        if isinstance(label, str) and "{" in label:
+            # Format against the *full* spec, so placeholders may name
+            # defaulted fields the caller did not pass as axes.
+            base = ScenarioSpec.from_dict({**entry, "label": None})
+            entry["label"] = label.format(**{**base.to_dict(), "label": ""})
+        specs.append(ScenarioSpec.from_dict(entry))
+    return specs
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """An ordered, named collection of scenarios."""
+
+    name: str
+    scenarios: Tuple[ScenarioSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("suite needs a name")
+        if not self.scenarios:
+            raise ValueError("suite needs at least one scenario")
+        seen: Dict[str, int] = {}
+        for index, scenario in enumerate(self.scenarios):
+            sid = scenario.scenario_id
+            if sid in seen:
+                raise ValueError(
+                    f"duplicate scenario id {sid!r} (entries {seen[sid]} "
+                    f"and {index}); give relabelled duplicates distinct "
+                    f"labels"
+                )
+            seen[sid] = index
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self):
+        return iter(self.scenarios)
+
+    def suite_hash(self) -> str:
+        """Hash pinning the manifest identity: name + ordered (id, hash).
+
+        Ids are included so a relabelled suite gets a fresh manifest —
+        entries are keyed by scenario id, and mixing id sets would leave
+        the manifest disagreeing with the spec it claims to describe.
+        """
+        blob = json.dumps(
+            {
+                "name": self.name,
+                "scenarios": [
+                    (s.scenario_id, s.spec_hash()) for s in self.scenarios
+                ],
+            }
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def distinct_hashes(self) -> List[str]:
+        """Unique spec hashes in first-appearance order."""
+        ordered: Dict[str, None] = {}
+        for scenario in self.scenarios:
+            ordered.setdefault(scenario.spec_hash())
+        return list(ordered)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, name: str, scenarios: Iterable[ScenarioSpec]
+    ) -> "SuiteSpec":
+        return cls(name=name, scenarios=tuple(scenarios))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SuiteSpec":
+        """Build a suite, expanding any grid entries.
+
+        A scenario entry whose field holds a *list* is a cross-product
+        axis (see :func:`expand_grid`); plain entries pass through
+        unchanged. This is what lets a JSON spec express "GHZ..QFT x
+        widths 2..8 x 3 noise levels" in a few lines.
+        """
+        if "name" not in data or "scenarios" not in data:
+            raise ValueError("suite spec needs 'name' and 'scenarios'")
+        scenarios: List[ScenarioSpec] = []
+        for entry in data["scenarios"]:
+            if isinstance(entry, ScenarioSpec):
+                scenarios.append(entry)
+            elif any(isinstance(value, list) for value in entry.values()):
+                scenarios.extend(expand_grid(**entry))
+            else:
+                scenarios.append(ScenarioSpec.from_dict(entry))
+        return cls(name=data["name"], scenarios=tuple(scenarios))
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_json(cls, path: str) -> "SuiteSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def __repr__(self) -> str:
+        return (
+            f"SuiteSpec({self.name!r}, scenarios={len(self.scenarios)}, "
+            f"distinct={len(self.distinct_hashes())})"
+        )

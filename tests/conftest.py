@@ -4,12 +4,11 @@ import numpy as np
 import pytest
 
 from repro.algorithms import bernstein_vazirani, deutsch_jozsa, qft
+from repro.scenarios import factory
 from repro.simulators import (
     DensityMatrixSimulator,
     NoiseModel,
-    ReadoutError,
     StatevectorSimulator,
-    depolarizing_channel,
 )
 
 
@@ -30,18 +29,8 @@ def exact_backend():
 
 
 def build_light_noise_model(num_qubits: int = 4) -> NoiseModel:
-    """Small generic noise model used across tests: realistic magnitudes."""
-    model = NoiseModel("light")
-    model.add_all_qubit_error(
-        depolarizing_channel(0.002),
-        ["h", "x", "y", "z", "s", "t", "u", "p", "rx", "ry", "rz", "sx", "id"],
-    )
-    model.add_all_qubit_error(
-        depolarizing_channel(0.01, num_qubits=2), ["cx", "cz", "cp", "swap"]
-    )
-    for qubit in range(num_qubits):
-        model.add_readout_error(ReadoutError(0.015, 0.03), qubit)
-    return model
+    """The shared light noise model (one copy, in the scenario factory)."""
+    return factory.light_noise_model(num_qubits)
 
 
 @pytest.fixture

@@ -1,0 +1,201 @@
+"""ScenarioSpec/SuiteSpec: validation, identity, round-trips, expansion."""
+
+import json
+
+import pytest
+
+from repro.scenarios import ScenarioSpec, SuiteSpec, expand_grid
+
+
+class TestScenarioSpec:
+    def test_defaults_are_a_valid_campaign(self):
+        spec = ScenarioSpec(algorithm="bv")
+        assert spec.width == 4
+        assert spec.noise == "light"
+        assert spec.executor == "batched"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"algorithm": ""},
+            {"algorithm": "bv", "width": 0},
+            {"algorithm": "bv", "noise": "medium"},
+            {"algorithm": "bv", "backend": "gpu"},
+            {"algorithm": "bv", "executor": "threads"},
+            {"algorithm": "bv", "mode": "triple"},
+            {"algorithm": "bv", "grid_step_deg": 0.0},
+            {"algorithm": "bv", "shots": 0},
+            {"algorithm": "bv", "workers": 0},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioSpec(**kwargs)
+
+    def test_dict_round_trip(self):
+        spec = ScenarioSpec(
+            algorithm="qft",
+            width=5,
+            noise="heavy",
+            mode="double",
+            grid_step_deg=30.0,
+            shots=256,
+            seed=11,
+            executor="parallel",
+            workers=2,
+            label="fig8-qft5",
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            ScenarioSpec.from_dict({"algorithm": "bv", "depth": 3})
+
+    def test_spec_hash_ignores_label(self):
+        base = ScenarioSpec(algorithm="bv", width=3, label="fig5")
+        relabelled = base.relabel("fig10")
+        assert base.spec_hash() == relabelled.spec_hash()
+        assert base.scenario_id != relabelled.scenario_id
+
+    def test_spec_hash_tracks_campaign_fields(self):
+        base = ScenarioSpec(algorithm="bv", width=3)
+        assert base.spec_hash() != ScenarioSpec(
+            algorithm="bv", width=4
+        ).spec_hash()
+        assert base.spec_hash() != ScenarioSpec(
+            algorithm="bv", width=3, seed=1
+        ).spec_hash()
+
+    def test_scenario_id_prefers_label(self):
+        assert ScenarioSpec(algorithm="bv", label="x").scenario_id == "x"
+        auto = ScenarioSpec(algorithm="bv", width=3, noise="none")
+        assert auto.scenario_id.startswith("bv3-none-single-")
+
+    def test_noise_normalized_to_what_the_backend_runs(self):
+        """Machine backends always run calibrated noise; a 'noise sweep'
+        over them must collapse instead of faking three scenarios."""
+        emulated = ScenarioSpec(
+            algorithm="bv", backend="machine-emulator", noise="light"
+        )
+        assert emulated.noise == "calibrated"
+        ideal = ScenarioSpec(
+            algorithm="bv", backend="statevector", noise="heavy"
+        )
+        assert ideal.noise == "none"
+        sweep = expand_grid(
+            algorithm="bv",
+            backend="machine-emulator",
+            noise=["none", "light", "heavy"],
+        )
+        assert len({s.spec_hash() for s in sweep}) == 1
+
+    def test_inert_fields_do_not_change_the_hash(self):
+        """Spellings of the same physics hash identically."""
+        auto = ScenarioSpec(algorithm="bv", noise="none")
+        explicit = ScenarioSpec(algorithm="bv", backend="statevector")
+        assert auto.spec_hash() == explicit.spec_hash()
+        # drift/trajectories/machine are inert off their backend kinds.
+        assert auto.spec_hash() == ScenarioSpec(
+            algorithm="bv", noise="none", drift_scale=0.3, trajectories=7,
+            machine="lagos",
+        ).spec_hash()
+        # ... but drive the hash where they matter.
+        assert ScenarioSpec(
+            algorithm="bv", backend="machine-emulator", drift_scale=0.3,
+            seed=1,
+        ).spec_hash() != ScenarioSpec(
+            algorithm="bv", backend="machine-emulator", drift_scale=0.1,
+            seed=1,
+        ).spec_hash()
+
+
+class TestExpandGrid:
+    def test_cross_product_counts(self):
+        specs = expand_grid(
+            algorithm=["ghz", "qft"],
+            width=[2, 4, 8],
+            noise=["none", "light", "heavy"],
+        )
+        assert len(specs) == 18
+        combos = {(s.algorithm, s.width, s.noise) for s in specs}
+        assert len(combos) == 18
+
+    def test_label_templating(self):
+        specs = expand_grid(
+            algorithm=["bv"], width=[3, 4], label="fig7-{algorithm}{width}"
+        )
+        assert [s.scenario_id for s in specs] == ["fig7-bv3", "fig7-bv4"]
+
+    def test_scalars_are_fixed_axes(self):
+        specs = expand_grid(algorithm="bv", width=[3, 4], seed=9)
+        assert all(s.seed == 9 for s in specs)
+        assert len(specs) == 2
+
+
+class TestSuiteSpec:
+    def _suite(self):
+        return SuiteSpec.build(
+            "demo",
+            [
+                ScenarioSpec(algorithm="bv", width=3, label="a"),
+                ScenarioSpec(algorithm="ghz", width=3, label="b"),
+                ScenarioSpec(algorithm="bv", width=3, label="a-again"),
+            ],
+        )
+
+    def test_duplicate_ids_rejected(self):
+        spec = ScenarioSpec(algorithm="bv", label="same")
+        with pytest.raises(ValueError, match="duplicate scenario id"):
+            SuiteSpec.build("bad", [spec, spec])
+
+    def test_distinct_hashes_deduplicate(self):
+        suite = self._suite()
+        assert len(suite) == 3
+        assert len(suite.distinct_hashes()) == 2
+
+    def test_json_round_trip(self, tmp_path):
+        suite = self._suite()
+        path = str(tmp_path / "suite.json")
+        suite.to_json(path)
+        loaded = SuiteSpec.from_json(path)
+        assert loaded == suite
+        assert loaded.suite_hash() == suite.suite_hash()
+
+    def test_from_dict_expands_grid_entries(self):
+        suite = SuiteSpec.from_dict(
+            {
+                "name": "grid",
+                "scenarios": [
+                    {
+                        "algorithm": ["bv", "dj"],
+                        "width": [3, 4],
+                        "label": "{algorithm}{width}",
+                    },
+                    {"algorithm": "qft", "width": 3, "label": "solo"},
+                ],
+            }
+        )
+        assert len(suite) == 5
+        assert [s.scenario_id for s in suite.scenarios] == [
+            "bv3",
+            "bv4",
+            "dj3",
+            "dj4",
+            "solo",
+        ]
+
+    def test_suite_hash_tracks_labels(self):
+        suite = self._suite()
+        relabelled = SuiteSpec.build(
+            "demo",
+            [s.relabel(f"new-{i}") for i, s in enumerate(suite.scenarios)],
+        )
+        assert suite.suite_hash() != relabelled.suite_hash()
+
+    def test_json_is_deterministic(self, tmp_path):
+        suite = self._suite()
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        suite.to_json(a)
+        suite.to_json(b)
+        assert open(a).read() == open(b).read()
+        assert json.load(open(a))["name"] == "demo"

@@ -1,0 +1,301 @@
+"""SuiteRunner: bit-identity, manifests, kill/resume, caching, pools.
+
+The acceptance contract (the suite analogue of the checkpoint-resume
+tests): a suite of N >= 4 scenarios run through ``SuiteRunner`` yields
+per-scenario results bit-identical to running each campaign individually
+with the same seeds; a suite killed mid-run resumes at campaign
+granularity to the *same* manifest a fresh uninterrupted run produces;
+and duplicate specs are computed once.
+"""
+
+import json
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    ScenarioSpec,
+    SuiteRunner,
+    SuiteSpec,
+    load_suite_result,
+    run_scenario,
+)
+from repro.scenarios import runner as runner_module
+from repro.scenarios.runner import MANIFEST_NAME, TIMINGS_NAME
+
+
+def mixed_suite() -> SuiteSpec:
+    """Four distinct campaigns + one relabelled duplicate, mixed kinds."""
+    return SuiteSpec.build(
+        "acceptance",
+        [
+            ScenarioSpec(
+                algorithm="bv",
+                width=3,
+                noise="none",
+                grid_step_deg=90.0,
+                executor="serial",
+                label="bv3-ideal",
+            ),
+            ScenarioSpec(
+                algorithm="ghz",
+                width=3,
+                noise="light",
+                grid_step_deg=90.0,
+                shots=64,
+                seed=7,
+                label="ghz3-sampled",
+            ),
+            ScenarioSpec(
+                algorithm="qft",
+                width=3,
+                noise="heavy",
+                grid_step_deg=90.0,
+                label="qft3-heavy",
+            ),
+            ScenarioSpec(
+                algorithm="bv",
+                width=3,
+                noise="none",
+                mode="double",
+                grid_step_deg=90.0,
+                phi_max_deg=180.0,
+                label="bv3-double",
+            ),
+            ScenarioSpec(
+                algorithm="bv",
+                width=3,
+                noise="none",
+                grid_step_deg=90.0,
+                executor="serial",
+                label="bv3-ideal-bis",
+            ),
+        ],
+    )
+
+
+def tables(outcome):
+    return {
+        run.scenario_id: run.result.table.data.tobytes() for run in outcome
+    }
+
+
+class SimulatedKill(Exception):
+    pass
+
+
+class TestSuiteBitIdentity:
+    def test_suite_matches_individual_campaigns(self, tmp_path):
+        """Acceptance: N >= 4 scenarios, suite == standalone, bit for bit."""
+        suite = mixed_suite()
+        outcome = SuiteRunner(suite, manifest_dir=str(tmp_path / "m")).run()
+        assert outcome.complete and len(outcome) == len(suite)
+        for run in outcome:
+            standalone = run_scenario(run.spec)
+            assert (
+                run.result.table.data.tobytes()
+                == standalone.table.data.tobytes()
+            ), f"suite diverged from standalone for {run.scenario_id}"
+            assert run.result.fault_free_qvf == standalone.fault_free_qvf
+
+    def test_in_memory_suite_matches_persisted(self, tmp_path):
+        suite = mixed_suite()
+        in_memory = SuiteRunner(suite).run()
+        persisted = SuiteRunner(suite, manifest_dir=str(tmp_path / "m")).run()
+        assert tables(in_memory) == tables(persisted)
+
+
+class TestSpecHashCaching:
+    def test_duplicate_specs_computed_once(self, tmp_path, monkeypatch):
+        suite = mixed_suite()
+        calls = []
+        real = runner_module.run_scenario
+
+        def counting(spec, **kwargs):
+            calls.append(spec.scenario_id)
+            return real(spec, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_scenario", counting)
+        outcome = SuiteRunner(suite, manifest_dir=str(tmp_path / "m")).run()
+        assert len(calls) == 4  # 5 scenarios, 4 distinct campaigns
+        assert "bv3-ideal-bis" not in calls
+        duplicate = outcome.result("bv3-ideal-bis")
+        original = outcome.result("bv3-ideal")
+        assert duplicate.table is original.table  # shared, immutable
+        assert duplicate.metadata["scenario_id"] == "bv3-ideal-bis"
+
+    def test_duplicate_still_persisted_per_scenario(self, tmp_path):
+        manifest_dir = str(tmp_path / "m")
+        SuiteRunner(mixed_suite(), manifest_dir=manifest_dir).run()
+        manifest = json.load(open(os.path.join(manifest_dir, MANIFEST_NAME)))
+        done = [e for e in manifest["scenarios"] if e["status"] == "done"]
+        assert len(done) == 5
+        files = {e["result_file"] for e in done}
+        assert len(files) == 5
+        for entry in done:
+            assert os.path.exists(os.path.join(manifest_dir, entry["result_file"]))
+
+
+class TestKillAndResume:
+    def _run_with_kill(self, suite, manifest_dir, kill_after, monkeypatch):
+        """Kill the suite after ``kill_after`` computed campaigns."""
+        real = runner_module.run_scenario
+        computed = {"n": 0}
+
+        def killing(spec, **kwargs):
+            if computed["n"] >= kill_after:
+                raise SimulatedKill(f"killed before {spec.scenario_id}")
+            computed["n"] += 1
+            return real(spec, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_scenario", killing)
+        with pytest.raises(SimulatedKill):
+            SuiteRunner(suite, manifest_dir=manifest_dir).run()
+        monkeypatch.setattr(runner_module, "run_scenario", real)
+
+    def test_resumed_suite_equals_uninterrupted(self, tmp_path, monkeypatch):
+        suite = mixed_suite()
+        reference_dir = str(tmp_path / "reference")
+        reference = SuiteRunner(suite, manifest_dir=reference_dir).run()
+
+        killed_dir = str(tmp_path / "killed")
+        self._run_with_kill(suite, killed_dir, 2, monkeypatch)
+        partial = json.load(open(os.path.join(killed_dir, MANIFEST_NAME)))
+        statuses = [e["status"] for e in partial["scenarios"]]
+        assert "done" in statuses and "pending" in statuses
+        # The timings sidecar must not claim a dead run completed.
+        timings = json.load(open(os.path.join(killed_dir, TIMINGS_NAME)))
+        assert timings["complete"] is False
+
+        resumed = SuiteRunner(suite, manifest_dir=killed_dir).run()
+        assert resumed.complete
+        assert tables(resumed) == tables(reference)
+        # Resume recomputed only what the kill lost.
+        assert resumed.computed == 2
+        assert resumed.reused == 3
+
+        # The manifest is deterministic: byte-identical to the fresh run.
+        fresh_bytes = open(os.path.join(reference_dir, MANIFEST_NAME)).read()
+        resumed_bytes = open(os.path.join(killed_dir, MANIFEST_NAME)).read()
+        assert fresh_bytes == resumed_bytes
+
+    def test_max_campaigns_halts_resumably(self, tmp_path):
+        suite = mixed_suite()
+        manifest_dir = str(tmp_path / "m")
+        partial = SuiteRunner(
+            suite, manifest_dir=manifest_dir, max_campaigns=1
+        ).run()
+        assert not partial.complete
+        assert partial.computed == 1
+        finished = SuiteRunner(suite, manifest_dir=manifest_dir).run()
+        assert finished.complete
+        assert len(finished) == len(suite)
+
+    def test_mid_campaign_kill_recomputes_that_campaign(
+        self, tmp_path, monkeypatch
+    ):
+        """A kill *inside* a campaign loses only that campaign."""
+        suite = mixed_suite()
+        manifest_dir = str(tmp_path / "m")
+        real = runner_module.run_scenario
+        seen = []
+
+        def dying_third(spec, **kwargs):
+            seen.append(spec.scenario_id)
+            if len(seen) == 3:
+                raise SimulatedKill("died mid-campaign")
+            return real(spec, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_scenario", dying_third)
+        with pytest.raises(SimulatedKill):
+            SuiteRunner(suite, manifest_dir=manifest_dir).run()
+        monkeypatch.setattr(runner_module, "run_scenario", real)
+        resumed = SuiteRunner(suite, manifest_dir=manifest_dir).run()
+        assert resumed.complete
+        # The two finished campaigns were loaded, the dead one recomputed.
+        sources = {run.scenario_id: run.source for run in resumed}
+        assert sources["bv3-ideal"] == "manifest"
+        assert sources["ghz3-sampled"] == "manifest"
+        assert sources["qft3-heavy"] == "computed"
+
+
+class TestManifestIntegrity:
+    def test_refuses_foreign_manifest(self, tmp_path):
+        manifest_dir = str(tmp_path / "m")
+        SuiteRunner(mixed_suite(), manifest_dir=manifest_dir).run()
+        other = SuiteSpec.build(
+            "other",
+            [ScenarioSpec(algorithm="dj", width=3, grid_step_deg=90.0)],
+        )
+        with pytest.raises(ValueError, match="refusing to mix suites"):
+            SuiteRunner(other, manifest_dir=manifest_dir).run()
+
+    def test_load_suite_result_round_trips(self, tmp_path):
+        manifest_dir = str(tmp_path / "m")
+        suite = mixed_suite()
+        outcome = SuiteRunner(suite, manifest_dir=manifest_dir).run()
+        loaded = load_suite_result(manifest_dir)
+        assert loaded.complete
+        assert tables(loaded) == tables(outcome)
+        assert loaded.total_injections == outcome.total_injections
+
+    def test_timings_sidecar_written(self, tmp_path):
+        manifest_dir = str(tmp_path / "m")
+        SuiteRunner(mixed_suite(), manifest_dir=manifest_dir).run()
+        timings = json.load(open(os.path.join(manifest_dir, TIMINGS_NAME)))
+        assert timings["complete"] is True
+        assert len(timings["scenarios"]) == 4  # computed campaigns only
+        assert all(t >= 0 for t in timings["scenarios"].values())
+
+    def test_corrupt_result_file_recomputed(self, tmp_path):
+        manifest_dir = str(tmp_path / "m")
+        suite = mixed_suite()
+        reference = SuiteRunner(suite, manifest_dir=manifest_dir).run()
+        # Corrupt one store; resume must recompute it and still agree.
+        manifest = json.load(open(os.path.join(manifest_dir, MANIFEST_NAME)))
+        victim = manifest["scenarios"][0]["result_file"]
+        with open(os.path.join(manifest_dir, victim), "wb") as handle:
+            handle.write(b"garbage")
+        resumed = SuiteRunner(suite, manifest_dir=manifest_dir).run()
+        assert tables(resumed) == tables(reference)
+
+
+class TestPoolReuse:
+    def test_parallel_scenarios_share_one_started_pool(self, tmp_path):
+        """All parallel scenarios run through one persistent executor."""
+        suite = SuiteSpec.build(
+            "pooled",
+            [
+                ScenarioSpec(
+                    algorithm="bv",
+                    width=3,
+                    noise="none",
+                    grid_step_deg=90.0,
+                    executor="parallel",
+                    workers=2,
+                    label="p1",
+                ),
+                ScenarioSpec(
+                    algorithm="ghz",
+                    width=3,
+                    noise="none",
+                    grid_step_deg=90.0,
+                    executor="parallel",
+                    workers=2,
+                    label="p2",
+                ),
+            ],
+        )
+        with warnings.catch_warnings():
+            # Sandboxes without process pools degrade to serial; pool
+            # reuse must not change results either way.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            outcome = SuiteRunner(suite).run()
+            assert len(outcome) == 2
+            for run in outcome:
+                standalone = run_scenario(run.spec)
+                assert np.array_equal(
+                    run.result.qvf_values(), standalone.qvf_values()
+                )

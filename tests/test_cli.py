@@ -278,6 +278,93 @@ class TestCampaignExecutors:
         assert second["metadata"]["checkpointed"] is True
 
 
+class TestSuite:
+    SPEC = {
+        "name": "cli-suite",
+        "scenarios": [
+            {
+                "algorithm": "bv",
+                "width": 3,
+                "noise": "none",
+                "grid_step_deg": 90.0,
+                "executor": "serial",
+                "label": "bv3",
+            },
+            {
+                "algorithm": ["ghz", "qft"],
+                "width": 3,
+                "noise": "light",
+                "grid_step_deg": 90.0,
+                "label": "{algorithm}3-light",
+            },
+            {
+                "algorithm": "bv",
+                "width": 3,
+                "noise": "none",
+                "grid_step_deg": 90.0,
+                "executor": "serial",
+                "label": "bv3-dup",
+            },
+        ],
+    }
+
+    def _write_spec(self, tmp_path):
+        path = str(tmp_path / "suite.json")
+        with open(path, "w") as handle:
+            json.dump(self.SPEC, handle)
+        return path
+
+    def test_list_expands_and_marks_duplicates(self, tmp_path, capsys):
+        assert main(["suite", "list", self._write_spec(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-suite: 4 scenarios" in out
+        assert "ghz3-light" in out and "qft3-light" in out
+        assert "(dup)" in out and "computed once" in out
+
+    def test_run_writes_manifest_and_report_reads_it(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        manifest = str(tmp_path / "out")
+        assert main(["suite", "run", spec, "--manifest", manifest]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 scenarios (3 computed, 1 reused)" in out
+        assert "complete" in out
+        with open(manifest + "/manifest.json") as handle:
+            data = json.load(handle)
+        assert [e["status"] for e in data["scenarios"]] == ["done"] * 4
+
+        assert main(["suite", "report", "--manifest", manifest]) == 0
+        report = capsys.readouterr().out
+        assert "# QuFI suite report — cli-suite" in report
+        assert "bv3-dup" in report
+
+    def test_max_campaigns_halts_then_resumes(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        halted = str(tmp_path / "halted")
+        fresh = str(tmp_path / "fresh")
+        assert main(["suite", "run", spec, "--manifest", fresh]) == 0
+        assert (
+            main(
+                [
+                    "suite",
+                    "run",
+                    spec,
+                    "--manifest",
+                    halted,
+                    "--max-campaigns",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "halted (resumable)" in capsys.readouterr().out
+        assert main(["suite", "run", spec, "--manifest", halted]) == 0
+        # Resume-after-halt converges to the identical manifest.
+        with open(fresh + "/manifest.json") as a, open(
+            halted + "/manifest.json"
+        ) as b:
+            assert a.read() == b.read()
+
+
 class TestReport:
     def test_report_from_saved_campaign(self, tmp_path, capsys):
         output = str(tmp_path / "dj.json")
