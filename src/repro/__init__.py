@@ -37,11 +37,12 @@ from .scenarios import (
     ScenarioSpec,
     SuiteRunner,
     SuiteSpec,
+    TranspileSpec,
     expand_grid,
     run_scenario,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "QuantumCircuit",
@@ -63,6 +64,7 @@ __all__ = [
     "qft",
     "ScenarioSpec",
     "SuiteSpec",
+    "TranspileSpec",
     "SuiteRunner",
     "expand_grid",
     "run_scenario",

@@ -55,16 +55,19 @@ def _worst_faults_section(result: CampaignResult, top: int) -> List[str]:
     return lines
 
 
-def _per_qubit_section(result: CampaignResult) -> List[str]:
+def _per_qubit_section(
+    result: CampaignResult, frame: str = "wire"
+) -> List[str]:
+    prefix = {"wire": "q", "physical": "Q", "logical": "q"}[frame]
     lines = [
         "| qubit | injections | mean QVF | silent share |",
         "|---|---|---|---|",
     ]
-    for qubit in result.qubits():
-        sliced = result.for_qubit(qubit)
+    for qubit in result.qubits(frame):
+        sliced = result.for_qubit(qubit, frame)
         silent = sliced.classification_fractions()[FaultClass.SILENT]
         lines.append(
-            f"| q{qubit} | {sliced.num_injections} "
+            f"| {prefix}{qubit} | {sliced.num_injections} "
             f"| {sliced.mean_qvf():.4f} | {silent:.1%} |"
         )
     return lines
@@ -84,6 +87,16 @@ def campaign_report(
     lines += [
         f"- backend: `{result.backend_name}`",
         f"- correct state(s): {', '.join(result.correct_states)}",
+    ]
+    transpile = result.metadata.get("transpile")
+    if transpile:
+        lines.append(
+            f"- transpiled onto `{transpile.get('machine', '?')}` "
+            f"(optimization level {transpile.get('optimization_level')}, "
+            f"{transpile.get('swap_count')} routing SWAPs; wires -> "
+            f"physical {transpile.get('wire_to_physical')})"
+        )
+    lines += [
         f"- injections: {result.num_injections}",
         f"- fault-free QVF: {result.fault_free_qvf:.4f}",
         f"- mean QVF: {summary.mean:.4f} (std {summary.std:.4f}, "
@@ -99,6 +112,18 @@ def campaign_report(
     lines += _worst_faults_section(result, top_faults)
     lines += ["", "## Per-qubit sensitivity", ""]
     lines += _per_qubit_section(result)
+    if result.has_frames():
+        # Transpiled campaign: report both hardware frames. Physical
+        # ranks the device's qubits (machine realism, Fig. 6's claim);
+        # logical attributes each fault to the program qubit whose state
+        # it corrupted (comparable across backends and routings).
+        transpile = result.metadata.get("transpile", {})
+        machine = transpile.get("machine")
+        suffix = f" on `{machine}`" if machine else ""
+        lines += ["", f"## Per physical qubit{suffix}", ""]
+        lines += _per_qubit_section(result, frame="physical")
+        lines += ["", "## Per logical qubit (SWAP-tracked)", ""]
+        lines += _per_qubit_section(result, frame="logical")
     lines += [
         "",
         "## QVF heatmap",

@@ -10,6 +10,8 @@ Examples::
         --checkpoint qft5.ckpt.json --output qft5.json
     python -m repro campaign --algorithm ghz --width 8 --batched \\
         --noise none --output ghz8.json
+    python -m repro campaign --algorithm qft --width 4 --noise light \\
+        --transpile-to jakarta --output qft4_jakarta.json
     python -m repro suite run examples/paper_suite.json --manifest paper.out
     python -m repro suite report --manifest paper.out
     python -m repro suite list examples/paper_suite.json
@@ -33,14 +35,22 @@ from .analysis.report import campaign_report, suite_report
 from .faults import CampaignResult, CheckpointedRunner
 from .quantum.qasm import circuit_to_qasm
 from .scenarios import (
+    MACHINES,
     ScenarioSpec,
     SuiteRunner,
     SuiteSpec,
+    TranspileSpec,
     load_suite_result,
     make_algorithm,
     make_executor,
     make_faults,
     make_injector,
+    run_scenario,
+)
+from .scenarios.factory import (
+    FactoryCache,
+    make_transpiled_campaign_inputs,
+    scenario_metadata,
 )
 
 __all__ = ["main", "build_parser"]
@@ -99,6 +109,27 @@ def build_parser() -> argparse.ArgumentParser:
             "vectorize the fault branches of each injection point into one "
             "stacked array (records stay bit-identical to the serial "
             "executor); ignored when --workers > 1"
+        ),
+    )
+    campaign.add_argument(
+        "--transpile-to",
+        choices=sorted(MACHINES),
+        default=None,
+        help=(
+            "transpile the circuit onto this machine's topology and basis "
+            "before injecting (layout + routing + lowering); records gain "
+            "physical/logical qubit attribution and the report shows both "
+            "frames"
+        ),
+    )
+    campaign.add_argument(
+        "--transpile-level",
+        type=int,
+        choices=[0, 1, 2, 3],
+        default=3,
+        help=(
+            "transpiler optimization level for --transpile-to "
+            "(3 = the paper's densest-layout configuration)"
         ),
     )
     campaign.add_argument(
@@ -193,6 +224,11 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
         executor, workers = "batched", None
     else:
         executor, workers = "serial", None
+    transpile = None
+    machine = "jakarta"
+    if args.transpile_to:
+        transpile = TranspileSpec(optimization_level=args.transpile_level)
+        machine = args.transpile_to
     return ScenarioSpec(
         algorithm=args.algorithm,
         width=args.width,
@@ -202,6 +238,8 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
         seed=args.seed,
         executor=executor,
         workers=workers,
+        machine=machine,
+        transpile=transpile,
     )
 
 
@@ -209,16 +247,36 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be a positive integer")
     scenario = _scenario_from_args(args)
-    spec = make_algorithm(scenario)
-    executor = make_executor(scenario)
-    qufi = make_injector(scenario, executor=executor)
-    faults = make_faults(scenario)
+    cache = FactoryCache()
     if args.checkpoint:
-        # The runner inherits qufi's executor (set above).
+        # Checkpointed runs assemble the campaign pieces explicitly so
+        # the runner can stream segments; the layout metadata rides in
+        # the checkpoint store, keeping the .ckpt frame-convertible even
+        # when a kill makes it the only artefact.
+        spec = make_algorithm(scenario, cache)
+        qufi = make_injector(scenario, cache, executor=make_executor(scenario))
+        faults = make_faults(scenario, cache)
+        extra_meta = scenario_metadata(scenario)
+        if scenario.transpile is not None:
+            transpiled, points, transpile_meta = (
+                make_transpiled_campaign_inputs(scenario, cache)
+            )
+            target, states = transpiled.circuit, spec.correct_states
+            extra_meta.update(transpile_meta)
+        else:
+            target, states, points = spec, None, None
         runner = CheckpointedRunner(qufi, args.checkpoint)
-        result = runner.run(spec, faults=faults)
+        result = runner.run(
+            target,
+            correct_states=states,
+            faults=faults,
+            points=points,
+            metadata=extra_meta,
+        )
     else:
-        result = qufi.run_campaign(spec, faults=faults)
+        # Everything else is exactly the scenario layer's single entry
+        # point — one construction path shared with suites/benchmarks.
+        result = run_scenario(scenario, cache)
     if args.export == "csv":
         result.to_csv(args.output)
     elif args.export == "npz":
@@ -227,7 +285,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         result.to_json(args.output)
     print(
         f"{result.circuit_name}: {result.num_injections} injections "
-        f"[{executor.name} executor, {args.workers} worker(s)], "
+        f"[{scenario.executor} executor, {args.workers} worker(s)], "
         f"mean QVF {result.mean_qvf():.4f} "
         f"(fault-free {result.fault_free_qvf:.4f}) -> {args.output}"
     )
@@ -266,12 +324,20 @@ def _cmd_suite_list(args: argparse.Namespace) -> int:
     for scenario in suite:
         mark = " (dup)" if scenario.spec_hash() in seen else ""
         seen.add(scenario.spec_hash())
+        routed = (
+            ""
+            if scenario.transpile is None
+            else (
+                f" transpiled->{scenario.effective_machine}"
+                f"(O{scenario.transpile.optimization_level})"
+            )
+        )
         print(
             f"  {scenario.scenario_id}: {scenario.algorithm}"
             f"({scenario.width}) noise={scenario.noise} "
             f"backend={scenario.backend} mode={scenario.mode} "
             f"grid={scenario.grid_step_deg:g}deg "
-            f"executor={scenario.executor}{mark}"
+            f"executor={scenario.executor}{routed}{mark}"
         )
     if len(seen) != len(suite):
         print(

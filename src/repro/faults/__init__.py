@@ -1,14 +1,21 @@
 """QuFI: the quantum fault injector (the paper's primary contribution)."""
 
 from .campaign import (
+    FRAMES,
     CampaignResult,
     InjectionRecord,
     delta_heatmap,
     record_sort_key,
 )
-from .records import RECORD_DTYPE, RecordTable
+from .records import (
+    RECORD_DTYPE,
+    RECORD_DTYPE_V1,
+    RecordTable,
+    promote_record_array,
+)
 from .checkpoint import CheckpointedRunner
 from .double import NeighborReport, find_neighbor_couples
+from .layout_map import LayoutMap, TranspiledCircuit, map_transpiled
 from .executor import (
     BaseExecutor,
     BatchedExecutor,
@@ -83,10 +90,16 @@ __all__ = [
     "InjectionRecord",
     "RecordTable",
     "RECORD_DTYPE",
+    "RECORD_DTYPE_V1",
+    "promote_record_array",
+    "FRAMES",
     "delta_heatmap",
     "CheckpointedRunner",
     "find_neighbor_couples",
     "NeighborReport",
+    "LayoutMap",
+    "TranspiledCircuit",
+    "map_transpiled",
     "michelson_contrast",
     "michelson_contrast_batch",
     "qvf_from_probabilities",

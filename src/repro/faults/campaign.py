@@ -38,10 +38,12 @@ from .records import (
     RECORD_DTYPE,
     InjectionRecord,
     RecordTable,
+    promote_record_array,
     record_sort_key,
 )
 
 __all__ = [
+    "FRAMES",
     "InjectionRecord",
     "RecordTable",
     "CampaignResult",
@@ -50,6 +52,19 @@ __all__ = [
 ]
 
 _ANGLE_TOL = 1e-9
+
+#: Reporting frames for per-qubit views. ``wire`` is the campaign
+#: circuit's own qubit index (the only frame a logical-circuit campaign
+#: has); ``physical`` groups by device qubit and ``logical`` by the
+#: pre-transpilation qubit whose state the fault corrupted — both only
+#: populated for campaigns over transpiled circuits.
+FRAMES = ("wire", "physical", "logical")
+
+_FRAME_COLUMNS = {
+    "wire": "qubit",
+    "physical": "physical_qubit",
+    "logical": "logical_qubit",
+}
 
 _CSV_COLUMNS = (
     "theta",
@@ -62,6 +77,8 @@ _CSV_COLUMNS = (
     "second_theta",
     "second_phi",
     "second_qubit",
+    "physical_qubit",
+    "logical_qubit",
 )
 
 
@@ -226,14 +243,59 @@ class CampaignResult:
     def phis(self) -> List[float]:
         return self._phi_axis().tolist()
 
-    def qubits(self) -> List[int]:
-        return np.unique(self.table.column("qubit")).tolist()
+    def has_frames(self) -> bool:
+        """True when records carry physical/logical frame attribution.
+
+        Campaigns over transpiled circuits do; logical-circuit campaigns
+        (and artefacts recorded before topology-aware injection) do not,
+        and only support the default ``wire`` frame.
+        """
+        return self.table.has_frame_info()
+
+    def _frame_column(self, frame: str) -> np.ndarray:
+        """The qubit column of the requested reporting frame."""
+        if frame not in _FRAME_COLUMNS:
+            raise ValueError(
+                f"unknown frame {frame!r} (choose from {FRAMES})"
+            )
+        if frame != "wire" and not self.has_frames():
+            raise ValueError(
+                f"campaign has no {frame}-frame attribution; only "
+                f"campaigns over transpiled circuits are frame-aware"
+            )
+        return self.table.column(_FRAME_COLUMNS[frame])
+
+    def qubits(self, frame: str = "wire") -> List[int]:
+        """Distinct qubits injected into, in the requested frame.
+
+        The ``-1`` "no qubit in this frame" sentinel (a fault on a wire
+        that held no program state at that instant) is not a qubit and
+        is excluded from non-wire frames.
+        """
+        values = np.unique(self._frame_column(frame))
+        return values[values >= 0].tolist() if frame != "wire" else values.tolist()
 
     def positions(self) -> List[int]:
         return np.unique(self.table.column("position")).tolist()
 
     def is_double(self) -> bool:
         return bool(self.table.has_second().any())
+
+    def layout_map(self):
+        """The layout map of a transpiled campaign (``None`` otherwise).
+
+        Rehydrated from ``metadata["transpile"]``, where the scenario
+        factory records it — so a campaign loaded from any artefact
+        (JSON, npz, segment store) can still translate wires to device
+        qubits and positions to logical occupants without re-running the
+        transpiler.
+        """
+        data = self.metadata.get("transpile")
+        if not data:
+            return None
+        from .layout_map import LayoutMap
+
+        return LayoutMap.from_metadata(data)
 
     # ------------------------------------------------------------------
     # Filters
@@ -248,11 +310,39 @@ class CampaignResult:
             metadata={**self.metadata, "filter": tag},
         )
 
-    def for_qubit(self, qubit: int) -> "CampaignResult":
-        """Records whose *first* fault hit ``qubit`` (Fig. 6 slicing)."""
+    def for_qubit(self, qubit: int, frame: str = "wire") -> "CampaignResult":
+        """Records whose *first* fault hit ``qubit`` (Fig. 6 slicing).
+
+        ``frame`` selects how the hit is attributed: ``wire`` (the
+        campaign circuit's qubit index — the default and the only frame
+        of a logical-circuit campaign), ``physical`` (device qubit of a
+        transpiled campaign) or ``logical`` (the program qubit whose
+        state occupied the wire when the fault struck, SWAP-tracked
+        through routing).
+        """
         return self._filtered(
-            self.table.column("qubit") == qubit, f"qubit={qubit}"
+            self._frame_column(frame) == qubit, f"{frame}-qubit={qubit}"
         )
+
+    def per_qubit_qvf(self, frame: str = "wire") -> Dict[int, float]:
+        """Mean QVF per qubit in the requested frame (Fig. 6's ranking).
+
+        One grouped ``np.bincount`` pass over the frame column,
+        accumulating in record order; rows carrying the frame's ``-1``
+        sentinel (no qubit in this frame) are excluded.
+        """
+        column = self._frame_column(frame)
+        qvf = self.qvf_values()
+        keep = column >= 0
+        values = column[keep]
+        if not values.size:
+            return {}
+        totals = np.bincount(values, weights=qvf[keep])
+        counts = np.bincount(values)
+        return {
+            int(qubit): float(totals[qubit] / counts[qubit])
+            for qubit in np.nonzero(counts)[0]
+        }
 
     def for_position(self, position: int) -> "CampaignResult":
         return self._filtered(
@@ -439,13 +529,21 @@ class CampaignResult:
     def from_dict(cls, data: Dict[str, object]) -> "CampaignResult":
         # RecordTable.from_records owns the columnar (NaN/-1 sentinel)
         # encoding; this stays a plain schema-to-record translation.
+        def frame_qubit(raw: Dict[str, object], key: str) -> int:
+            value = raw.get(key)
+            return -1 if value is None else int(value)
+
         records = [
             InjectionRecord(
                 fault=PhaseShiftFault(
                     raw["theta"], raw["phi"], raw.get("lam", 0.0)
                 ),
                 point=InjectionPoint(
-                    raw["position"], raw["qubit"], raw["gate_name"]
+                    raw["position"],
+                    raw["qubit"],
+                    raw["gate_name"],
+                    physical_qubit=frame_qubit(raw, "physical_qubit"),
+                    logical_qubit=frame_qubit(raw, "logical_qubit"),
                 ),
                 qvf=raw["qvf"],
                 second_fault=(
@@ -493,11 +591,13 @@ class CampaignResult:
     @classmethod
     def from_npz(cls, path: str) -> "CampaignResult":
         with np.load(path, allow_pickle=False) as archive:
-            header = json.loads(str(archive["header"]))
+            # promote_record_array upgrades pre-frame-column (v1)
+            # archives; RecordTable adopts current-version rows as-is.
             table = RecordTable(
-                np.array(archive["records"], dtype=RECORD_DTYPE),
+                promote_record_array(np.asarray(archive["records"])),
                 [str(name) for name in archive["gate_names"]],
             )
+            header = json.loads(str(archive["header"]))
         return cls.from_table_meta(header, table)
 
     def to_csv(self, path: str) -> None:
@@ -523,6 +623,12 @@ class CampaignResult:
                         "" if row["theta1"] is None else repr(row["theta1"]),
                         "" if row["phi1"] is None else repr(row["phi1"]),
                         "" if row["qubit1"] is None else row["qubit1"],
+                        ""
+                        if row["physical_qubit"] is None
+                        else row["physical_qubit"],
+                        ""
+                        if row["logical_qubit"] is None
+                        else row["logical_qubit"],
                     )
                 )
         os.replace(tmp_path, path)
@@ -562,7 +668,10 @@ class CampaignResult:
 
 
 def delta_heatmap(
-    double: CampaignResult, single: CampaignResult
+    double: CampaignResult,
+    single: CampaignResult,
+    qubit: Optional[int] = None,
+    frame: str = "wire",
 ) -> Tuple[List[float], List[float], np.ndarray]:
     """Fig. 9: double-fault QVF minus single-fault QVF per (phi, theta) cell.
 
@@ -571,7 +680,25 @@ def delta_heatmap(
     (same ``_ANGLE_TOL`` membership test and the same lower-index
     tie-breaking the historical per-cell scans used), so building the
     delta grid is O((cells + grid) log grid) instead of O(cells x grid).
+
+    ``qubit`` restricts both campaigns to one qubit before diffing,
+    interpreted in the *same* ``frame`` for both
+    (``wire``/``physical``/``logical`` — see
+    :meth:`CampaignResult.for_qubit`); both campaigns must support that
+    frame. To compare campaigns across *different* frames — e.g. a
+    transpiled double against a logical-circuit single — pre-slice each
+    side yourself (``delta_heatmap(double.for_qubit(q, "logical"),
+    single.for_qubit(q))``) instead of passing ``qubit``.
     """
+    if qubit is None:
+        if frame != "wire":
+            raise ValueError(
+                "frame only applies when slicing by qubit; pass qubit= "
+                "or pre-slice each campaign with for_qubit"
+            )
+    else:
+        double = double.for_qubit(qubit, frame)
+        single = single.for_qubit(qubit, frame)
     thetas_d, phis_d, grid_d = double.heatmap()
     thetas_s, phis_s, grid_s = single.heatmap()
     axis_t_d = np.asarray(thetas_d)

@@ -27,7 +27,7 @@ the serial, batched and parallel strategies alike.
 from __future__ import annotations
 
 import os
-from typing import Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Optional, Sequence, Set, Tuple, Union
 
 from ..algorithms.spec import AlgorithmSpec
 from ..quantum.circuit import QuantumCircuit
@@ -112,11 +112,18 @@ class CheckpointedRunner:
         correct_states: Optional[Sequence[str]] = None,
         faults: Optional[Sequence[PhaseShiftFault]] = None,
         points: Optional[Sequence[InjectionPoint]] = None,
+        metadata: Optional[Dict[str, object]] = None,
     ) -> CampaignResult:
         """Run (or resume) the campaign, appending a checkpoint segment
         every ``save_every`` completed injections (a kill loses fewer
         than ``2 x save_every``: the unflushed buffer plus one in-flight
-        delivery batch). Returns the complete result."""
+        delivery batch). Returns the complete result.
+
+        ``metadata`` entries are merged into the campaign metadata and
+        persisted in the checkpoint store's metadata segment — transpiled
+        campaigns pass their layout map here, so the ``.ckpt`` artefact
+        itself stays frame-convertible (including after a kill, when it
+        is the only artefact)."""
         if isinstance(target, AlgorithmSpec):
             circuit, states, name = (
                 target.circuit,
@@ -141,6 +148,23 @@ class CheckpointedRunner:
                 f"checkpoint holds campaign {existing.circuit_name!r}, "
                 f"refusing to mix with {name!r}"
             )
+        if existing is not None:
+            # The circuit name alone cannot distinguish two routings of
+            # the same circuit onto the same machine (e.g. different
+            # optimization levels) — but their positions and frame
+            # attribution differ, so mixing records would corrupt the
+            # campaign silently. The transpile block recorded in the
+            # store settles it.
+            stored_block = existing.metadata.get("transpile")
+            incoming_block = (metadata or {}).get("transpile")
+            if stored_block != incoming_block:
+                raise ValueError(
+                    "checkpoint was recorded for a different "
+                    "transpilation of this circuit (machine, "
+                    "optimization level, basis or seed differ); "
+                    "refusing to mix routings — use a fresh checkpoint "
+                    "path"
+                )
         done_table = (
             existing.table if existing is not None else RecordTable.empty()
         )
@@ -171,6 +195,7 @@ class CheckpointedRunner:
                 "num_points": len(points),
                 "shots": self.qufi.shots,
                 "executor": executor.name,
+                **(metadata or {}),
             },
         }
 

@@ -132,6 +132,7 @@ class InjectionTask:
     second_qubit: Optional[int] = None
 
     def to_record(self, qvf: float) -> InjectionRecord:
+        """Materialise this task's scored outcome as a record object."""
         return InjectionRecord(
             fault=self.fault,
             point=self.point,
@@ -164,6 +165,7 @@ class CampaignPlan:
 
     @property
     def total(self) -> int:
+        """Number of injections the plan schedules."""
         return len(self.tasks)
 
 
@@ -329,6 +331,8 @@ def _table_from_tasks(
     second_phi = np.full(n, np.nan)
     second_lam = np.full(n, np.nan)
     second_qubit = np.full(n, -1, dtype=np.int64)
+    physical_qubit = np.empty(n, dtype=np.int64)
+    logical_qubit = np.empty(n, dtype=np.int64)
     pool: dict = {}
     for k, task in enumerate(tasks):
         fault, point = task.fault, task.point
@@ -338,6 +342,8 @@ def _table_from_tasks(
         position[k] = point.position
         qubit[k] = point.qubit
         gate_ids[k] = pool.setdefault(point.gate_name, len(pool))
+        physical_qubit[k] = point.physical_qubit
+        logical_qubit[k] = point.logical_qubit
         if task.second_fault is not None:
             second_theta[k] = task.second_fault.theta
             second_phi[k] = task.second_fault.phi
@@ -357,6 +363,8 @@ def _table_from_tasks(
         second_phi=second_phi,
         second_lam=second_lam,
         second_qubit=second_qubit,
+        physical_qubit=physical_qubit,
+        logical_qubit=logical_qubit,
     )
 
 
@@ -571,6 +579,7 @@ class BaseExecutor:
         on_batch: Optional[BatchCallback] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> RecordTable:
+        """Execute every task of ``plan`` (see the class contract)."""
         raise NotImplementedError
 
     def bounded(self, limit: int) -> "BaseExecutor":
@@ -598,6 +607,7 @@ class SerialExecutor(BaseExecutor):
         self.batch_size = int(batch_size)
 
     def bounded(self, limit: int) -> "SerialExecutor":
+        """A copy whose delivery batches hold at most ``limit`` records."""
         return SerialExecutor(
             prefix_reuse=self.prefix_reuse,
             batch_size=max(1, min(self.batch_size, limit)),
@@ -631,6 +641,7 @@ class SerialExecutor(BaseExecutor):
         on_batch: Optional[BatchCallback] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> RecordTable:
+        """Run the plan in-process, streaming blocks to ``on_batch``."""
         rng = rng if rng is not None else np.random.default_rng(plan.seed)
         blocks: List[RecordTable] = []
         for block in self._block_stream(backend, plan, rng):
@@ -675,6 +686,7 @@ class BatchedExecutor(SerialExecutor):
         self.max_branches = int(max_branches)
 
     def bounded(self, limit: int) -> "BatchedExecutor":
+        """A copy whose delivery batches hold at most ``limit`` records."""
         return BatchedExecutor(
             max_branches=self.max_branches,
             batch_size=max(1, min(self.batch_size, limit)),
@@ -782,6 +794,7 @@ class ParallelExecutor(BaseExecutor):
         self.shutdown()
 
     def bounded(self, limit: int) -> "ParallelExecutor":
+        """A pool-sharing copy whose chunks hold at most ``limit`` tasks."""
         limit = max(1, int(limit))
         clone = ParallelExecutor(
             workers=self.workers,
@@ -825,6 +838,7 @@ class ParallelExecutor(BaseExecutor):
         on_batch: Optional[BatchCallback] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> RecordTable:
+        """Fan the plan's chunks out over the worker pool (see class doc)."""
         tasks = plan.tasks
         if not tasks:
             return RecordTable.empty()

@@ -19,16 +19,31 @@ __all__ = ["InjectionPoint", "enumerate_injection_points"]
 
 @dataclass(frozen=True)
 class InjectionPoint:
-    """Where a fault lands: after instruction ``position``, on ``qubit``."""
+    """Where a fault lands: after instruction ``position``, on ``qubit``.
+
+    ``qubit`` is the index in the campaign circuit (the *wire* frame).
+    For campaigns over transpiled circuits the point additionally
+    carries the wire's device qubit (``physical_qubit``) and the logical
+    qubit whose state occupied the wire at that instant
+    (``logical_qubit``); both default to ``-1`` — "no frame
+    information" — for campaigns over logical circuits.
+    """
 
     position: int
     qubit: int
     gate_name: str
+    physical_qubit: int = -1
+    logical_qubit: int = -1
 
     def __repr__(self) -> str:
+        frames = ""
+        if self.physical_qubit >= 0 or self.logical_qubit >= 0:
+            frames = (
+                f" [phys Q{self.physical_qubit}, log q{self.logical_qubit}]"
+            )
         return (
             f"InjectionPoint(after #{self.position} {self.gate_name}, "
-            f"q{self.qubit})"
+            f"q{self.qubit}{frames})"
         )
 
 
@@ -36,12 +51,17 @@ def enumerate_injection_points(
     circuit: QuantumCircuit,
     qubits: Optional[Sequence[int]] = None,
     positions: Optional[Sequence[int]] = None,
+    layout=None,
 ) -> List[InjectionPoint]:
     """All (gate, qubit) fault sites of ``circuit``.
 
     Barriers and measurements are not fault sites (no quantum operation to
     corrupt). ``qubits``/``positions`` restrict the sweep — campaigns use
     them for per-qubit slicing and cheap subsampled runs.
+
+    ``layout`` (a :class:`~repro.faults.layout_map.LayoutMap` for a
+    transpiled ``circuit``) stamps each point with its physical and
+    logical qubit so campaign records stay reportable in either frame.
     """
     qubit_filter = set(qubits) if qubits is not None else None
     position_filter = set(positions) if positions is not None else None
@@ -54,5 +74,16 @@ def enumerate_injection_points(
         for qubit in inst.qubits:
             if qubit_filter is not None and qubit not in qubit_filter:
                 continue
-            points.append(InjectionPoint(index, qubit, inst.name))
+            if layout is None:
+                points.append(InjectionPoint(index, qubit, inst.name))
+            else:
+                points.append(
+                    InjectionPoint(
+                        index,
+                        qubit,
+                        inst.name,
+                        physical_qubit=layout.physical_qubit(qubit),
+                        logical_qubit=layout.logical_at(index, qubit),
+                    )
+                )
     return points

@@ -260,6 +260,15 @@ class QuFI:
         theta0`` and ``phi1 <= phi0`` — the farther qubit sees less charge
         (Sec. III-C / IV-C). ``second_faults`` defaults to the same grid as
         ``faults``, filtered by the constraint per first fault.
+
+        The second fault only targets qubits still *live* at the
+        injection position: once ``b`` has been measured, a phase shift
+        on it cannot influence the outcome (and the splice would be
+        invalid). Benchmark circuits measure terminally, so this changes
+        nothing for logical-circuit campaigns — but transpiled circuits
+        interleave measurements (single-qubit fusion defers gates past
+        other wires' measures), where the first-fault site can postdate
+        the neighbour's measurement.
         """
         circuit, states, name = self._resolve(target, correct_states)
         executor = executor if executor is not None else self.executor
@@ -280,6 +289,11 @@ class QuFI:
                 ):
                     combos.append((first, second))
 
+        first_measure: Dict[int, int] = {}
+        for position, inst in enumerate(circuit):
+            if inst.name == "measure":
+                first_measure.setdefault(inst.qubits[0], position)
+
         tasks: List[InjectionTask] = []
         for qubit_a, qubit_b in couples:
             base_points = (
@@ -287,8 +301,13 @@ class QuFI:
                 if points is not None
                 else enumerate_injection_points(circuit, qubits=[qubit_a])
             )
+            measured_at = first_measure.get(qubit_b)
             for point in base_points:
                 if point.qubit != qubit_a:
+                    continue
+                if measured_at is not None and point.position >= measured_at:
+                    # The neighbour is already measured out here: no
+                    # quantum state left for the second fault to corrupt.
                     continue
                 for first, second in combos:
                     tasks.append(

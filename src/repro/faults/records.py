@@ -7,8 +7,13 @@ flush. This module is the columnar core the results layer is built on:
 
 * :data:`RECORD_DTYPE` — one numpy structured row per injection
   (``theta, phi, lam, position, qubit, gate, qvf, second_theta,
-  second_phi, second_lam, second_qubit``), explicitly little-endian so
-  the binary checkpoint format is platform-stable.
+  second_phi, second_lam, second_qubit, physical_qubit,
+  logical_qubit``), explicitly little-endian so the binary checkpoint
+  format is platform-stable. The two frame columns attribute each
+  injection on a *transpiled* circuit to the device qubit it landed on
+  and the logical qubit whose state it corrupted (``-1`` sentinels on
+  logical-circuit campaigns); v1 arrays without them still load via
+  :func:`promote_record_array`.
 * :class:`RecordTable` — an immutable table of such rows plus the
   gate-name pool the ``gate`` column indexes into. Executors emit these
   as blocks (the ``qvf`` column comes straight out of the vectorized
@@ -39,12 +44,17 @@ from .qvf import FaultClass, classify_qvf
 
 __all__ = [
     "RECORD_DTYPE",
+    "RECORD_DTYPE_V1",
     "InjectionRecord",
     "RecordTable",
+    "promote_record_array",
     "record_sort_key",
 ]
 
-RECORD_DTYPE = np.dtype(
+#: The original (pre-frame-column) record layout. Kept so binary
+#: artefacts written before the transpilation stage still load; see
+#: :func:`promote_record_array`.
+RECORD_DTYPE_V1 = np.dtype(
     [
         ("theta", "<f8"),
         ("phi", "<f8"),
@@ -60,7 +70,40 @@ RECORD_DTYPE = np.dtype(
     ]
 )
 
+RECORD_DTYPE = np.dtype(
+    RECORD_DTYPE_V1.descr
+    + [
+        ("physical_qubit", "<i8"),
+        ("logical_qubit", "<i8"),
+    ]
+)
+
 _NO_SECOND_QUBIT = -1
+_NO_FRAME_QUBIT = -1
+
+
+def promote_record_array(data: np.ndarray) -> np.ndarray:
+    """Bring a record array written at any schema version to the current one.
+
+    V1 rows (no frame columns — campaigns recorded before topology-aware
+    injection) gain ``physical_qubit = logical_qubit = -1``, the "no
+    frame information" sentinel; current-version arrays pass through
+    unchanged.
+    """
+    if data.dtype == RECORD_DTYPE:
+        return data
+    if data.dtype.names != RECORD_DTYPE_V1.names:
+        raise ValueError(
+            f"unknown record schema {data.dtype.names!r}; this build "
+            f"reads v1 {RECORD_DTYPE_V1.names!r} and current "
+            f"{RECORD_DTYPE.names!r} layouts"
+        )
+    out = np.empty(len(data), dtype=RECORD_DTYPE)
+    for name in RECORD_DTYPE_V1.names:
+        out[name] = data[name]
+    out["physical_qubit"] = _NO_FRAME_QUBIT
+    out["logical_qubit"] = _NO_FRAME_QUBIT
+    return out
 
 
 @dataclass(frozen=True)
@@ -134,7 +177,10 @@ class RecordTable:
 
     def __init__(self, data: np.ndarray, gate_names: Sequence[str]) -> None:
         if data.dtype != RECORD_DTYPE:
-            data = data.astype(RECORD_DTYPE)
+            if data.dtype.names == RECORD_DTYPE_V1.names:
+                data = promote_record_array(data)
+            else:
+                data = data.astype(RECORD_DTYPE)
         self._data = data
         self._gate_names = list(gate_names)
         self._records: Optional[List[InjectionRecord]] = None
@@ -162,6 +208,8 @@ class RecordTable:
         second_phi=np.nan,
         second_lam=np.nan,
         second_qubit=_NO_SECOND_QUBIT,
+        physical_qubit=_NO_FRAME_QUBIT,
+        logical_qubit=_NO_FRAME_QUBIT,
     ) -> "RecordTable":
         """Build a table from plain column arrays (scalars broadcast)."""
         qvf = np.asarray(qvf, dtype=np.float64)
@@ -178,6 +226,8 @@ class RecordTable:
         data["second_phi"] = _as_float_column(second_phi, n)
         data["second_lam"] = _as_float_column(second_lam, n)
         data["second_qubit"] = _as_int_column(second_qubit, n)
+        data["physical_qubit"] = _as_int_column(physical_qubit, n)
+        data["logical_qubit"] = _as_int_column(logical_qubit, n)
         return cls(data, gate_names)
 
     @classmethod
@@ -206,6 +256,8 @@ class RecordTable:
                 _NO_SECOND_QUBIT
                 if record.second_qubit is None
                 else record.second_qubit,
+                point.physical_qubit,
+                point.logical_qubit,
             )
         return cls(data, list(pool))
 
@@ -253,6 +305,22 @@ class RecordTable:
         """Boolean mask of double-fault rows."""
         return ~np.isnan(self._data["second_theta"])
 
+    def has_frame_info(self) -> bool:
+        """True when rows carry physical/logical frame attribution.
+
+        Campaigns over transpiled circuits stamp every record with its
+        device qubit and logical occupant; logical-circuit campaigns
+        (and v1 artefacts) hold the ``-1`` sentinel everywhere.
+        """
+        data = self._data
+        return bool(
+            len(data)
+            and (
+                (data["physical_qubit"] >= 0).any()
+                or (data["logical_qubit"] >= 0).any()
+            )
+        )
+
     def gate_name(self, index: int) -> str:
         return self._gate_names[int(self._data["gate"][index])]
 
@@ -284,6 +352,8 @@ class RecordTable:
                 int(row["position"]),
                 int(row["qubit"]),
                 self._gate_names[int(row["gate"])],
+                physical_qubit=int(row["physical_qubit"]),
+                logical_qubit=int(row["logical_qubit"]),
             ),
             qvf=float(row["qvf"]),
             second_fault=second,
@@ -297,7 +367,13 @@ class RecordTable:
             self._records = [
                 InjectionRecord(
                     fault=PhaseShiftFault(theta, phi, lam),
-                    point=InjectionPoint(position, qubit, names[gate]),
+                    point=InjectionPoint(
+                        position,
+                        qubit,
+                        names[gate],
+                        physical_qubit=phys_qubit,
+                        logical_qubit=log_qubit,
+                    ),
                     qvf=qvf,
                     second_fault=(
                         None
@@ -318,6 +394,8 @@ class RecordTable:
                     s_phi,
                     s_lam,
                     s_qubit,
+                    phys_qubit,
+                    log_qubit,
                 ) in self._data.tolist()
             ]
         return self._records
@@ -342,6 +420,8 @@ class RecordTable:
             s_phi,
             _s_lam,
             s_qubit,
+            phys_qubit,
+            log_qubit,
         ) in self._data.tolist():
             yield {
                 "theta": theta,
@@ -354,6 +434,8 @@ class RecordTable:
                 "theta1": None if s_theta != s_theta else s_theta,
                 "phi1": None if s_theta != s_theta else s_phi,
                 "qubit1": None if s_qubit < 0 else s_qubit,
+                "physical_qubit": None if phys_qubit < 0 else phys_qubit,
+                "logical_qubit": None if log_qubit < 0 else log_qubit,
             }
 
     def __iter__(self) -> Iterator[InjectionRecord]:

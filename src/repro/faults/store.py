@@ -15,11 +15,14 @@ File layout (everything little-endian)::
     kind    := b"M" (campaign metadata, empty payload)
              | b"R" (records: payload is RECORD_DTYPE rows)
 
-A record segment's header carries its own gate-name pool (``gates``) and
-row count; pools are remapped into one table on load. Loading tolerates a
-truncated trailing segment — a kill mid-append loses only that segment's
-records, never the file — and refuses files whose leading magic does not
-match (callers fall back to the legacy JSON checkpoint parser).
+A record segment's header carries its own gate-name pool (``gates``),
+row count and column-name list (``columns`` — the record schema version;
+headers without it are the pre-frame-column v1 layout and are promoted
+on load, so old stores keep working). Pools are remapped into one table
+on load. Loading tolerates a truncated trailing segment — a kill
+mid-append loses only that segment's records, never the file — and
+refuses files whose leading magic does not match (callers fall back to
+the legacy JSON checkpoint parser).
 
 On campaign completion the runner *compacts* the file: the same format,
 rewritten atomically as one metadata segment plus one record segment in
@@ -35,7 +38,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .records import RECORD_DTYPE, RecordTable
+from .records import (
+    RECORD_DTYPE,
+    RECORD_DTYPE_V1,
+    RecordTable,
+    promote_record_array,
+)
 
 __all__ = [
     "SEGMENT_MAGIC",
@@ -72,8 +80,30 @@ def _pack_segment(kind: bytes, header: Dict[str, object], payload: bytes) -> byt
 
 def _records_segment(table: RecordTable) -> bytes:
     data = np.ascontiguousarray(table.data, dtype=RECORD_DTYPE)
-    header = {"count": len(table), "gates": table.gate_names}
+    header = {
+        "count": len(table),
+        "gates": table.gate_names,
+        "columns": list(RECORD_DTYPE.names),
+    }
     return _pack_segment(_KIND_RECORDS, header, data.tobytes())
+
+
+def _segment_dtype(header: Dict[str, object]) -> np.dtype:
+    """The row layout a record segment was written with.
+
+    Headers name their columns since the frame-column schema; headers
+    without the key are v1. Unknown column sets mean the file came from
+    a newer build — that is an error, not a truncation.
+    """
+    columns = header.get("columns")
+    if columns is None or tuple(columns) == RECORD_DTYPE_V1.names:
+        return RECORD_DTYPE_V1
+    if tuple(columns) == RECORD_DTYPE.names:
+        return RECORD_DTYPE
+    raise ValueError(
+        f"record segment with unsupported columns {columns!r} "
+        f"(written by a newer build?)"
+    )
 
 
 def write_meta_segment(path: str, meta: Dict[str, object]) -> None:
@@ -126,10 +156,13 @@ def read_segments(
         if kind == _KIND_META:
             meta = header
         elif kind == _KIND_RECORDS:
+            dtype = _segment_dtype(header)
             count = int(header["count"])
-            if count * RECORD_DTYPE.itemsize != len(payload):
+            if count * dtype.itemsize != len(payload):
                 break  # inconsistent tail: treat as truncated
-            rows = np.frombuffer(payload, dtype=RECORD_DTYPE).copy()
+            rows = promote_record_array(
+                np.frombuffer(payload, dtype=dtype).copy()
+            )
             tables.append(RecordTable(rows, header.get("gates", [])))
         else:
             raise ValueError(

@@ -56,19 +56,32 @@ _TWO_QUBIT_GATES = ("cx", "cz", "cp", "swap")
 def noise_model_from_calibration(
     calibration: DeviceCalibration,
     coupling: Optional[CouplingMap] = None,
+    wires: Optional[Sequence[int]] = None,
 ) -> NoiseModel:
-    """Build the scenario-(2) noise model from a calibration snapshot."""
+    """Build the scenario-(2) noise model from a calibration snapshot.
+
+    ``wires`` relabels the model into a compacted frame: wire ``w`` of
+    the circuit carries physical qubit ``wires[w]``'s calibration, and
+    two-qubit errors attach to wire pairs whose physical qubits are
+    coupled. Campaigns over transpiled-then-compacted circuits use this
+    so each wire sees exactly the errors of the device qubit it occupies
+    without simulating the idle remainder of the machine.
+    """
     model = NoiseModel(name=calibration.name)
+    if wires is None:
+        wires = range(calibration.num_qubits)
+    physical_to_wire = {int(phys): wire for wire, phys in enumerate(wires)}
 
     one_q = calibration.gate_defaults.get("u", GateCalibration(3e-4, 35e-9))
     two_q = calibration.gate_defaults.get("cx", GateCalibration(1e-2, 300e-9))
 
-    for qubit_index, qubit in enumerate(calibration.qubits):
+    for physical, wire in physical_to_wire.items():
+        qubit = calibration.qubits[physical]
         relax_1q = thermal_relaxation_channel(qubit.t1, qubit.t2, one_q.duration)
         channel_1q = relax_1q.compose(depolarizing_channel(one_q.error))
-        model.add_qubit_error(channel_1q, _ONE_QUBIT_GATES, [qubit_index])
+        model.add_qubit_error(channel_1q, _ONE_QUBIT_GATES, [wire])
         model.add_readout_error(
-            ReadoutError(qubit.readout_p01, qubit.readout_p10), qubit_index
+            ReadoutError(qubit.readout_p01, qubit.readout_p10), wire
         )
 
     pairs: List[Tuple[int, int]]
@@ -79,6 +92,8 @@ def noise_model_from_calibration(
         pairs = [(a, b) for a in range(n) for b in range(a + 1, n)]
 
     for pair in pairs:
+        if pair[0] not in physical_to_wire or pair[1] not in physical_to_wire:
+            continue
         cal = calibration.gate_calibration("cx", pair) or two_q
         qubit_a = calibration.qubits[pair[0]]
         qubit_b = calibration.qubits[pair[1]]
@@ -87,7 +102,8 @@ def noise_model_from_calibration(
         channel = relax_a.tensor(relax_b).compose(
             depolarizing_channel(cal.error, num_qubits=2)
         )
-        for ordered in (pair, (pair[1], pair[0])):
+        wire_pair = (physical_to_wire[pair[0]], physical_to_wire[pair[1]])
+        for ordered in (wire_pair, (wire_pair[1], wire_pair[0])):
             model.add_qubit_error(channel, _TWO_QUBIT_GATES, ordered)
     return model
 

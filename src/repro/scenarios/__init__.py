@@ -23,6 +23,7 @@ that grid a value, not a script:
 """
 
 from .factory import (
+    MACHINES,
     FactoryCache,
     heavy_noise_model,
     light_noise_model,
@@ -33,14 +34,17 @@ from .factory import (
     make_faults,
     make_injector,
     make_noise_model,
+    make_transpiled,
     run_scenario,
 )
 from .runner import ScenarioRun, SuiteResult, SuiteRunner, load_suite_result
-from .spec import ScenarioSpec, SuiteSpec, expand_grid
+from .spec import ScenarioSpec, SuiteSpec, TranspileSpec, expand_grid
 
 __all__ = [
+    "MACHINES",
     "ScenarioSpec",
     "SuiteSpec",
+    "TranspileSpec",
     "expand_grid",
     "FactoryCache",
     "light_noise_model",
@@ -52,6 +56,7 @@ __all__ = [
     "make_executor",
     "make_faults",
     "make_injector",
+    "make_transpiled",
     "run_scenario",
     "SuiteRunner",
     "SuiteResult",

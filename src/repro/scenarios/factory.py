@@ -33,7 +33,9 @@ from ..faults.executor import (
     SerialExecutor,
 )
 from ..faults.fault_model import PhaseShiftFault, fault_grid
+from ..faults.injection_points import enumerate_injection_points
 from ..faults.injector import QuFI
+from ..faults.layout_map import TranspiledCircuit, map_transpiled
 from ..machines.emulator import PhysicalMachineEmulator
 from ..machines.fake import (
     FakeBackend,
@@ -42,6 +44,7 @@ from ..machines.fake import (
     fake_jakarta,
     fake_lagos,
     fake_montreal,
+    noise_model_from_calibration,
 )
 from ..simulators import (
     DensityMatrixSimulator,
@@ -51,6 +54,7 @@ from ..simulators import (
     TrajectorySimulator,
     depolarizing_channel,
 )
+from ..transpiler.transpile import transpile
 from .spec import ScenarioSpec
 
 __all__ = [
@@ -65,6 +69,10 @@ __all__ = [
     "make_couples",
     "make_algorithm",
     "make_injector",
+    "make_transpiled",
+    "make_transpiled_campaign_inputs",
+    "scenario_metadata",
+    "transpile_metadata",
     "run_scenario",
 ]
 
@@ -142,6 +150,7 @@ def make_noise_model(
 
 
 def make_machine(name: str) -> FakeBackend:
+    """Construct the named fake IBM machine (fresh instance per call)."""
     try:
         return MACHINES[name]()
     except KeyError:
@@ -169,6 +178,7 @@ class FactoryCache:
         self.misses = 0
 
     def get(self, key: Tuple, build):
+        """The artefact under ``key``, building (and storing) it once."""
         try:
             value = self._store[key]
         except KeyError:
@@ -220,6 +230,110 @@ def make_faults(
     return cache.get(key, build)
 
 
+def make_transpiled(
+    spec: ScenarioSpec, cache: Optional[FactoryCache] = None
+) -> TranspiledCircuit:
+    """The scenario's hardware-native circuit plus its layout map.
+
+    Transpiles the benchmark circuit onto the effective machine's
+    topology per the spec's ``transpile`` block and tracks the
+    logical-to-physical mapping through layout/routing
+    (:func:`repro.faults.layout_map.map_transpiled`). Simulator backends
+    get the circuit *compacted* onto its used wires (state size follows
+    the circuit, not the device); machine backends keep device indices,
+    since their noise models are keyed by physical qubit.
+    """
+    block = spec.transpile
+    if block is None:
+        raise ValueError(f"scenario {spec.scenario_id!r} has no transpile block")
+    machine_name = spec.effective_machine
+    compact = spec.backend not in ("machine", "machine-emulator")
+
+    def build() -> TranspiledCircuit:
+        algorithm = make_algorithm(spec, cache)
+        result = transpile(
+            algorithm.circuit,
+            make_machine(machine_name).coupling,
+            optimization_level=block.optimization_level,
+            basis=block.basis,
+            seed=block.seed,
+        )
+        return map_transpiled(result, machine=machine_name, compact=compact)
+
+    if cache is None:
+        return build()
+    key = (
+        "transpiled",
+        spec.algorithm,
+        spec.width,
+        machine_name,
+        block.optimization_level,
+        block.basis,
+        block.seed,
+        compact,
+    )
+    return cache.get(key, build)
+
+
+def scenario_metadata(spec: ScenarioSpec) -> Dict[str, object]:
+    """The scenario-identity metadata stamped on every campaign result.
+
+    One definition shared by :func:`run_scenario` and the CLI's
+    checkpointed path, so artefacts produced either way carry the same
+    keys (suite consumers match on ``spec_hash``).
+    """
+    return {
+        "scenario_id": spec.scenario_id,
+        "spec_hash": spec.spec_hash(),
+        "scenario": spec.to_dict(),
+    }
+
+
+def transpile_metadata(
+    spec: ScenarioSpec, transpiled: TranspiledCircuit
+) -> Dict[str, object]:
+    """The ``metadata["transpile"]`` block recorded with a campaign.
+
+    Layout map plus the transpile block's basis and seed — everything a
+    consumer needs to translate stored records between the wire,
+    physical and logical frames (``CampaignResult.layout_map``) and to
+    re-derive the transpilation. The single definition shared by
+    :func:`run_scenario` and the CLI, so campaign artefacts and
+    checkpoint stores record the same schema.
+    """
+    block = spec.transpile
+    if block is None:
+        raise ValueError(f"scenario {spec.scenario_id!r} has no transpile block")
+    return {
+        **transpiled.layout.to_metadata(),
+        "basis": list(block.basis),
+        "seed": block.seed,
+    }
+
+
+def make_transpiled_campaign_inputs(
+    spec: ScenarioSpec, cache: Optional[FactoryCache] = None
+):
+    """Everything a transpiled campaign needs, assembled once.
+
+    Returns ``(transpiled, points, extra_metadata)``: the
+    :class:`~repro.faults.layout_map.TranspiledCircuit`, the
+    frame-stamped injection points over it, and the ``{"transpile":
+    ...}`` metadata block. The single assembly shared by
+    :func:`run_scenario` and the CLI's checkpointed path, so both
+    produce identical points and artefact metadata.
+    """
+    transpiled = make_transpiled(spec, cache)
+    points = enumerate_injection_points(
+        transpiled.circuit, layout=transpiled.layout
+    )
+    return (
+        transpiled,
+        points,
+        {"transpile": transpile_metadata(spec, transpiled)},
+    )
+
+
 def make_couples(
     spec: ScenarioSpec, cache: Optional[FactoryCache] = None
 ) -> List[Tuple[int, int]]:
@@ -227,30 +341,62 @@ def make_couples(
 
     Derived exactly as the paper does (Sec. IV-C): transpile onto the
     scenario's machine topology at optimization level 3 and keep the
-    logical couples that end up on coupled physical qubits.
+    logical couples that end up on coupled physical qubits. Transpiled
+    scenarios instead read the couples straight off their layout map —
+    campaign-circuit wire pairs sitting on coupled device qubits.
     """
+    if spec.transpile is not None:
+        return [tuple(pair) for pair in make_transpiled(spec, cache).layout.couples]
 
     def build() -> List[Tuple[int, int]]:
         algorithm = make_algorithm(spec, cache)
-        coupling = make_machine(spec.machine).coupling
+        coupling = make_machine(spec.effective_machine).coupling
         return find_neighbor_couples(algorithm, coupling).couples
 
     if cache is None:
         return build()
-    key = ("couples", spec.algorithm, spec.width, spec.machine)
+    key = ("couples", spec.algorithm, spec.width, spec.effective_machine)
     return cache.get(key, build)
 
 
 def _scenario_noise_model(
     spec: ScenarioSpec, cache: Optional[FactoryCache]
 ) -> Optional[NoiseModel]:
-    def build() -> Optional[NoiseModel]:
-        return make_noise_model(spec.noise, spec.width, spec.machine)
+    """The noise model the scenario's simulator backend runs under.
+
+    Untranspiled scenarios keep the historical behaviour: generic models
+    sized to the circuit width, or the machine's device-wide calibrated
+    model. Transpiled scenarios size generic models to the campaign
+    circuit's wire count, and build calibrated models *remapped into the
+    wire frame* — each wire carries the calibration of the device qubit
+    it occupies, and two-qubit errors attach to physically coupled wire
+    pairs.
+    """
+    if spec.transpile is None:
+        def build() -> Optional[NoiseModel]:
+            return make_noise_model(spec.noise, spec.width, spec.machine)
+
+        if cache is None:
+            return build()
+        key = ("noise", spec.noise, spec.width, spec.machine)
+        return cache.get(key, build)
+
+    transpiled = make_transpiled(spec, cache)
+    wires = transpiled.layout.wire_to_physical
+    machine_name = spec.effective_machine
+
+    def build_transpiled() -> Optional[NoiseModel]:
+        if spec.noise == "calibrated":
+            machine = make_machine(machine_name)
+            return noise_model_from_calibration(
+                machine.calibration, machine.coupling, wires=wires
+            )
+        return make_noise_model(spec.noise, len(wires), machine_name)
 
     if cache is None:
-        return build()
-    key = ("noise", spec.noise, spec.width, spec.machine)
-    return cache.get(key, build)
+        return build_transpiled()
+    key = ("noise-wires", spec.noise, machine_name, wires)
+    return cache.get(key, build_transpiled)
 
 
 def make_backend(spec: ScenarioSpec, cache: Optional[FactoryCache] = None):
@@ -276,10 +422,10 @@ def make_backend(spec: ScenarioSpec, cache: Optional[FactoryCache] = None):
             seed=spec.seed,
         )
     if kind == "machine":
-        return make_machine(spec.machine)
+        return make_machine(spec.effective_machine)
     if kind == "machine-emulator":
         return PhysicalMachineEmulator(
-            make_machine(spec.machine),
+            make_machine(spec.effective_machine),
             drift_scale=spec.drift_scale,
             seed=spec.seed,
         )
@@ -324,22 +470,55 @@ def run_scenario(
     standalone — produces bit-identical records. ``executor`` overrides
     the spec's strategy with an existing instance; the suite runner uses
     this to route all parallel scenarios through one long-lived pool.
+
+    Scenarios with a ``transpile`` block sweep the *hardware-native*
+    circuit instead of the logical one: injection points enumerate the
+    transpiled gate list (stamped with their physical/logical frame
+    attribution), double-fault couples come from the device topology in
+    the campaign's own wire frame, and the layout map is recorded in
+    ``result.metadata["transpile"]`` so stored campaigns stay
+    frame-convertible.
     """
+    # A throwaway cache still deduplicates within this call (the
+    # transpiled artefact is consumed by the backend's noise model, the
+    # injection points and the couples alike).
+    cache = cache if cache is not None else FactoryCache()
     algorithm = make_algorithm(spec, cache)
     qufi = make_injector(spec, cache, executor)
     faults = make_faults(spec, cache)
-    if spec.mode == "double":
-        result = qufi.run_double_campaign(
-            algorithm,
-            couples=make_couples(spec, cache),
-            faults=faults,
-            progress=progress,
-        )
+    if spec.transpile is None:
+        if spec.mode == "double":
+            result = qufi.run_double_campaign(
+                algorithm,
+                couples=make_couples(spec, cache),
+                faults=faults,
+                progress=progress,
+            )
+        else:
+            result = qufi.run_campaign(
+                algorithm, faults=faults, progress=progress
+            )
     else:
-        result = qufi.run_campaign(algorithm, faults=faults, progress=progress)
-    result.metadata.update(
-        scenario_id=spec.scenario_id,
-        spec_hash=spec.spec_hash(),
-        scenario=spec.to_dict(),
-    )
+        transpiled, points, extra_meta = make_transpiled_campaign_inputs(
+            spec, cache
+        )
+        if spec.mode == "double":
+            result = qufi.run_double_campaign(
+                transpiled.circuit,
+                couples=make_couples(spec, cache),
+                correct_states=algorithm.correct_states,
+                faults=faults,
+                points=points,
+                progress=progress,
+            )
+        else:
+            result = qufi.run_campaign(
+                transpiled.circuit,
+                correct_states=algorithm.correct_states,
+                faults=faults,
+                points=points,
+                progress=progress,
+            )
+        result.metadata.update(extra_meta)
+    result.metadata.update(scenario_metadata(spec))
     return result

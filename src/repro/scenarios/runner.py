@@ -100,6 +100,7 @@ class ScenarioRun:
 
     @property
     def scenario_id(self) -> str:
+        """The manifest key this run is recorded under."""
         return self.spec.scenario_id
 
 
@@ -119,9 +120,11 @@ class SuiteResult:
         return iter(self.runs)
 
     def results(self) -> Dict[str, CampaignResult]:
+        """All campaign results keyed by scenario id."""
         return {run.scenario_id: run.result for run in self.runs}
 
     def result(self, scenario_id: str) -> CampaignResult:
+        """One scenario's campaign result (``KeyError`` if absent)."""
         for run in self.runs:
             if run.scenario_id == scenario_id:
                 return run.result
@@ -129,14 +132,17 @@ class SuiteResult:
 
     @property
     def total_injections(self) -> int:
+        """Injections executed (or reused) across every scenario."""
         return sum(run.result.num_injections for run in self.runs)
 
     @property
     def computed(self) -> int:
+        """Scenarios whose campaigns actually ran in this invocation."""
         return sum(1 for run in self.runs if run.source == "computed")
 
     @property
     def reused(self) -> int:
+        """Scenarios satisfied from the manifest or the spec-hash cache."""
         return len(self.runs) - self.computed
 
     def __repr__(self) -> str:

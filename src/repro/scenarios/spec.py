@@ -24,7 +24,7 @@ import json
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["ScenarioSpec", "SuiteSpec", "expand_grid"]
+__all__ = ["TranspileSpec", "ScenarioSpec", "SuiteSpec", "expand_grid"]
 
 NOISE_PROFILES = ("none", "light", "heavy", "calibrated")
 BACKEND_KINDS = (
@@ -37,6 +37,78 @@ BACKEND_KINDS = (
 )
 EXECUTORS = ("serial", "batched", "parallel")
 MODES = ("single", "double")
+
+
+@dataclass(frozen=True)
+class TranspileSpec:
+    """How a scenario's circuit is mapped onto hardware before injection.
+
+    QuFI injects into the *transpiled* circuit — the gate list a machine
+    actually executes after layout, routing and basis lowering — which is
+    what makes its per-qubit reliability claims and its machine-vs-
+    simulation comparison (Fig. 11) meaningful. A ``TranspileSpec``
+    attached to a :class:`ScenarioSpec` turns the campaign into a sweep
+    over that hardware-native circuit:
+
+    * ``machine`` — the target topology; ``None`` inherits the scenario's
+      ``machine`` field, so a suite can sweep ``machine`` as an axis with
+      one shared ``"transpile": {}`` block.
+    * ``optimization_level`` — 0..3 exactly as
+      :func:`repro.transpiler.transpile.transpile` defines them; the
+      paper uses 3 ("the most dense layout and as few SWAPs as
+      possible").
+    * ``basis`` — the device's native gate names. ``swap`` is rejected:
+      router-inserted SWAP gates are how the logical-to-physical mapping
+      is tracked through the circuit, and program SWAPs surviving
+      lowering would be indistinguishable from them.
+    * ``seed`` — reserved for stochastic layout/routing passes (the
+      current passes are deterministic; the seed still participates in
+      the spec hash so future stochastic passes cannot silently collide).
+    """
+
+    machine: Optional[str] = None
+    optimization_level: int = 3
+    basis: Tuple[str, ...] = ("u", "cx")
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.optimization_level <= 3:
+            raise ValueError(
+                f"optimization_level must be 0..3, got "
+                f"{self.optimization_level}"
+            )
+        basis = tuple(self.basis)
+        if not basis:
+            raise ValueError("transpile basis must name at least one gate")
+        if "swap" in basis:
+            raise ValueError(
+                "transpile basis must not contain 'swap': program SWAPs "
+                "kept native would be indistinguishable from the "
+                "router-inserted SWAPs that track the logical-to-physical "
+                "mapping"
+            )
+        object.__setattr__(self, "basis", basis)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (``basis`` as a list)."""
+        return {
+            "machine": self.machine,
+            "optimization_level": self.optimization_level,
+            "basis": list(self.basis),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TranspileSpec":
+        """Build from a JSON object, rejecting unknown fields."""
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown transpile field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -70,6 +142,7 @@ class ScenarioSpec:
     machine: str = "jakarta"
     drift_scale: float = 0.05
     trajectories: int = 256
+    transpile: Optional[TranspileSpec] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -100,6 +173,19 @@ class ScenarioSpec:
             raise ValueError("shots must be positive when given")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be positive when given")
+        # A JSON spec (or expand_grid entry) supplies the transpile block
+        # as a plain dict; coerce it here so from_dict stays cls(**data).
+        if isinstance(self.transpile, dict):
+            object.__setattr__(
+                self, "transpile", TranspileSpec.from_dict(self.transpile)
+            )
+        elif self.transpile is not None and not isinstance(
+            self.transpile, TranspileSpec
+        ):
+            raise ValueError(
+                f"transpile must be a TranspileSpec (or its dict form), "
+                f"got {type(self.transpile).__name__}"
+            )
         # Normalize the noise profile the chosen backend actually runs
         # under, so the spec, its hash and the manifest all tell the
         # truth: machine backends always execute their calibration's
@@ -111,6 +197,19 @@ class ScenarioSpec:
             object.__setattr__(self, "noise", "calibrated")
         elif self.backend == "statevector":
             object.__setattr__(self, "noise", "none")
+
+    @property
+    def effective_machine(self) -> str:
+        """The machine every topology-aware consumer of this spec uses.
+
+        The transpile block may name its own target; ``None`` there (the
+        common case) inherits the scenario's ``machine`` field, which is
+        what lets suites sweep ``machine`` as a grid axis under one
+        shared ``"transpile": {}`` block.
+        """
+        if self.transpile is not None and self.transpile.machine:
+            return self.transpile.machine
+        return self.machine
 
     # ------------------------------------------------------------------
     # Identity
@@ -140,12 +239,31 @@ class ScenarioSpec:
             data["drift_scale"] = None
         if self.executor != "parallel":
             data["workers"] = None
-        if (
-            self.mode != "double"
-            and self.noise != "calibrated"
-            and backend not in ("machine", "machine-emulator")
-        ):
+        if self.transpile is not None:
+            # The transpile block consumes the machine name: resolve the
+            # inherit-from-scenario shorthand so "machine axis + shared
+            # empty transpile block" and "explicit per-block machine"
+            # spell the same campaign and hash identically. The
+            # scenario-level machine is then inert (every transpiled
+            # consumer — topology, couples, calibrated noise, machine
+            # backends — reads the effective machine) and nulls out.
+            block = self.transpile.to_dict()
+            block["machine"] = self.effective_machine
+            data["transpile"] = block
             data["machine"] = None
+        else:
+            # Untranspiled specs drop the key entirely rather than
+            # emitting "transpile": null: spec hashes (and therefore
+            # suite hashes) of every pre-transpilation campaign stay
+            # exactly what earlier releases computed, so half-completed
+            # suite manifests keep resuming across the upgrade.
+            data.pop("transpile")
+            if (
+                self.mode != "double"
+                and self.noise != "calibrated"
+                and backend not in ("machine", "machine-emulator")
+            ):
+                data["machine"] = None
         return data
 
     def spec_hash(self) -> str:
@@ -158,8 +276,9 @@ class ScenarioSpec:
         """Manifest key: the label, or a readable slug + hash suffix."""
         if self.label:
             return self.label
+        routed = "" if self.transpile is None else f"@{self.effective_machine}"
         return (
-            f"{self.algorithm}{self.width}-{self.noise}-{self.mode}"
+            f"{self.algorithm}{self.width}{routed}-{self.noise}-{self.mode}"
             f"-{self.spec_hash()[:8]}"
         )
 
@@ -172,6 +291,7 @@ class ScenarioSpec:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Build a spec from its dict form, rejecting unknown fields."""
         known = {field.name for field in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -182,6 +302,7 @@ class ScenarioSpec:
         return cls(**data)
 
     def relabel(self, label: Optional[str]) -> "ScenarioSpec":
+        """A copy under a new label (same campaign, same spec hash)."""
         return replace(self, label=label)
 
 
@@ -278,12 +399,14 @@ class SuiteSpec:
     def build(
         cls, name: str, scenarios: Iterable[ScenarioSpec]
     ) -> "SuiteSpec":
+        """Construct a suite from any iterable of scenarios."""
         return cls(name=name, scenarios=tuple(scenarios))
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
+        """The suite as plain data (every scenario fully explicit)."""
         return {
             "name": self.name,
             "scenarios": [s.to_dict() for s in self.scenarios],
@@ -311,12 +434,14 @@ class SuiteSpec:
         return cls(name=data["name"], scenarios=tuple(scenarios))
 
     def to_json(self, path: str) -> None:
+        """Write the suite spec as a (sorted, indented) JSON file."""
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
 
     @classmethod
     def from_json(cls, path: str) -> "SuiteSpec":
+        """Load a spec file, expanding any grid entries (see from_dict)."""
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_dict(json.load(handle))
 

@@ -1,0 +1,195 @@
+"""Layout-map frame tracking for transpiled fault campaigns.
+
+The acceptance claim of topology-aware injection is a *golden* one: for a
+routed circuit, per-qubit QVF must be reported correctly in both the
+physical frame (where the fault landed on the device) and the logical
+frame (whose program state it corrupted) — pinned here against an
+unrouted equivalent circuit.
+"""
+
+import pytest
+
+from repro.algorithms import bernstein_vazirani, ghz, qft
+from repro.faults import (
+    QuFI,
+    enumerate_injection_points,
+    fault_grid,
+    map_transpiled,
+)
+from repro.faults.layout_map import NO_QUBIT, LayoutMap
+from repro.machines.fake import fake_casablanca, fake_jakarta
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.gates import SwapGate
+from repro.simulators import DensityMatrixSimulator
+from repro.transpiler.transpile import transpile
+
+
+def _transpiled(spec, machine, **kwargs):
+    result = transpile(spec.circuit, machine.coupling, **kwargs)
+    return result, map_transpiled(result, machine=machine.name)
+
+
+class TestWalkConsistency:
+    @pytest.mark.parametrize("builder", [bernstein_vazirani, ghz, qft])
+    @pytest.mark.parametrize("factory", [fake_jakarta, fake_casablanca])
+    def test_final_snapshot_matches_final_layout(self, builder, factory):
+        """Walking the circuit's SWAPs must land on the router's answer."""
+        machine = factory()
+        spec = builder(4)
+        result, art = _transpiled(spec, machine)
+        layout = art.layout
+        final = layout.logical_by_position[-1]
+        for logical in range(spec.circuit.num_qubits):
+            physical = result.final_layout.physical(logical)
+            wire = layout.wire_of_physical(physical)
+            assert wire is not None
+            assert final[wire] == logical
+
+    def test_every_snapshot_is_a_partial_bijection(self):
+        machine = fake_casablanca()
+        _, art = _transpiled(qft(4), machine)
+        for snapshot in art.layout.logical_by_position:
+            occupants = [q for q in snapshot if q != NO_QUBIT]
+            assert len(occupants) == len(set(occupants))
+            assert set(occupants) <= set(range(4))
+
+    def test_swapped_circuit_changes_attribution(self):
+        """With routing SWAPs, logical occupancy must actually move."""
+        machine = fake_jakarta()
+        result, art = _transpiled(qft(4), machine)
+        assert result.swap_count > 0
+        layout = art.layout
+        first = layout.logical_by_position[0]
+        last = layout.logical_by_position[-1]
+        assert first != last
+
+    def test_compaction_keeps_physical_identity(self):
+        machine = fake_jakarta()
+        result, art = _transpiled(ghz(3), machine)
+        # Compacted wires name real device qubits, ascending.
+        wires = art.layout.wire_to_physical
+        assert list(wires) == sorted(wires)
+        assert set(wires) <= set(range(machine.num_qubits))
+        assert art.circuit.num_qubits == len(wires)
+        # And the uncompacted variant is the identity over the device.
+        device = map_transpiled(result, machine=machine.name, compact=False)
+        assert device.layout.wire_to_physical == tuple(
+            range(machine.num_qubits)
+        )
+
+    def test_couples_are_coupled_on_device(self):
+        machine = fake_jakarta()
+        _, art = _transpiled(ghz(3), machine)
+        layout = art.layout
+        for wire_a, wire_b in layout.couples:
+            assert machine.coupling.are_connected(
+                layout.physical_qubit(wire_a), layout.physical_qubit(wire_b)
+            )
+
+    def test_metadata_round_trip(self):
+        machine = fake_casablanca()
+        _, art = _transpiled(qft(4), machine)
+        rehydrated = LayoutMap.from_metadata(art.layout.to_metadata())
+        assert rehydrated == art.layout
+
+
+class TestInjectionPointFrames:
+    def test_points_carry_frames(self):
+        machine = fake_jakarta()
+        _, art = _transpiled(ghz(3), machine)
+        points = enumerate_injection_points(art.circuit, layout=art.layout)
+        assert points
+        for point in points:
+            assert point.physical_qubit == art.layout.physical_qubit(
+                point.qubit
+            )
+            assert point.logical_qubit == art.layout.logical_at(
+                point.position, point.qubit
+            )
+
+    def test_points_without_layout_carry_sentinels(self):
+        points = enumerate_injection_points(ghz(3).circuit)
+        assert all(p.physical_qubit == -1 for p in points)
+        assert all(p.logical_qubit == -1 for p in points)
+
+
+class TestGoldenLogicalFrame:
+    """Acceptance golden: routed campaign vs its unrouted equivalent.
+
+    GHZ(3) placed on Jakarta routes without SWAPs but onto a non-trivial
+    physical line (1-3-5): the transpiled campaign is the same circuit
+    as the unrouted reference up to a wire permutation. Logical-frame
+    per-qubit QVF must therefore agree with the reference's per-qubit
+    QVF exactly, while the physical frame reports the device qubits.
+    """
+
+    def _campaigns(self):
+        machine = fake_jakarta()
+        spec = ghz(3)
+        result, art = _transpiled(spec, machine)
+        assert result.swap_count == 0, "golden setup expects zero SWAPs"
+        layout = art.layout
+
+        # The unrouted reference: the compacted circuit relabelled back
+        # to logical wires — identical gates, logical order.
+        reference = QuantumCircuit(
+             spec.circuit.num_qubits,
+            art.circuit.num_clbits,
+            "reference",
+        )
+        for inst in art.circuit:
+            reference.append(
+                inst.gate,
+                [layout.logical_at(0, q) for q in inst.qubits],
+                inst.clbits,
+            )
+
+        faults = fault_grid(step_deg=90)
+        routed = QuFI(DensityMatrixSimulator()).run_campaign(
+            art.circuit,
+            correct_states=spec.correct_states,
+            faults=faults,
+            points=enumerate_injection_points(art.circuit, layout=layout),
+        )
+        unrouted = QuFI(DensityMatrixSimulator()).run_campaign(
+            reference, correct_states=spec.correct_states, faults=faults
+        )
+        return layout, routed, unrouted
+
+    def test_logical_frame_matches_unrouted_equivalent(self):
+        layout, routed, unrouted = self._campaigns()
+        golden = unrouted.per_qubit_qvf()
+        logical = routed.per_qubit_qvf("logical")
+        assert set(logical) == set(golden)
+        for qubit, value in golden.items():
+            assert logical[qubit] == pytest.approx(value, abs=1e-12)
+
+    def test_physical_frame_reports_device_qubits(self):
+        layout, routed, unrouted = self._campaigns()
+        physical = routed.per_qubit_qvf("physical")
+        assert set(physical) == set(layout.wire_to_physical)
+        # Wire and physical groupings coincide up to renaming.
+        wire = routed.per_qubit_qvf()
+        for w, qvf in wire.items():
+            assert physical[layout.physical_qubit(w)] == qvf
+
+    def test_unrouted_campaign_rejects_frame_queries(self):
+        _, routed, unrouted = self._campaigns()
+        with pytest.raises(ValueError, match="no physical-frame"):
+            unrouted.per_qubit_qvf("physical")
+        with pytest.raises(ValueError, match="unknown frame"):
+            routed.per_qubit_qvf("banana")
+
+
+class TestMapTranspiledValidation:
+    def test_foreign_swap_is_rejected(self):
+        """A hand-spliced SWAP breaks the walk and must be caught."""
+        machine = fake_jakarta()
+        result = transpile(ghz(3).circuit, machine.coupling)
+        sabotage = result.circuit.copy()
+        # Insert a SWAP the router never performed.
+        wires = sorted(sabotage.qubits_used())[:2]
+        sabotage.insert(len(sabotage) - 1, SwapGate(), wires)
+        result.circuit = sabotage
+        with pytest.raises(ValueError, match="final layout"):
+            map_transpiled(result, machine=machine.name)

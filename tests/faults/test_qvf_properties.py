@@ -90,6 +90,11 @@ def test_qvf_scale_invariant(scale, a, b):
     """QVF depends only on relative probabilities (counts vs frequencies)."""
     if a + b <= 0:
         return
+    if (a > 0 and a * scale == 0) or (b > 0 and b * scale == 0):
+        # Subnormal inputs can underflow to zero under scaling, which
+        # changes the distribution's support — the invariant genuinely
+        # does not survive that, so it is out of scope here.
+        return
     raw = {"0": a, "1": b}
     scaled = {"0": a * scale, "1": b * scale}
     assert qvf_from_probabilities(raw, ["0"]) == pytest.approx(

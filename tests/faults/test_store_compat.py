@@ -1,0 +1,158 @@
+"""Schema-version compatibility of binary campaign artefacts.
+
+The frame columns (``physical_qubit``/``logical_qubit``) extended
+:data:`~repro.faults.records.RECORD_DTYPE`; every artefact written
+before that — segment checkpoints, suite stores, npz exports — must keep
+loading, with the new columns filled with the ``-1`` "no frame
+information" sentinel.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    RECORD_DTYPE,
+    RECORD_DTYPE_V1,
+    CampaignResult,
+    RecordTable,
+    promote_record_array,
+)
+from repro.faults.store import (
+    SEGMENT_MAGIC,
+    _pack_segment,
+    read_segments,
+)
+
+
+def _v1_rows(n: int) -> np.ndarray:
+    rows = np.zeros(n, dtype=RECORD_DTYPE_V1)
+    rows["theta"] = np.linspace(0.0, 3.0, n)
+    rows["phi"] = np.linspace(0.0, 6.0, n)
+    rows["position"] = np.arange(n)
+    rows["qubit"] = np.arange(n) % 3
+    rows["qvf"] = np.linspace(0.1, 0.9, n)
+    rows["second_theta"] = np.nan
+    rows["second_phi"] = np.nan
+    rows["second_lam"] = np.nan
+    rows["second_qubit"] = -1
+    return rows
+
+
+class TestPromotion:
+    def test_v1_rows_gain_sentinel_frames(self):
+        promoted = promote_record_array(_v1_rows(5))
+        assert promoted.dtype == RECORD_DTYPE
+        assert (promoted["physical_qubit"] == -1).all()
+        assert (promoted["logical_qubit"] == -1).all()
+        for name in RECORD_DTYPE_V1.names:
+            expected = _v1_rows(5)[name]
+            if expected.dtype.kind == "f":
+                assert np.array_equal(
+                    promoted[name], expected, equal_nan=True
+                )
+            else:
+                assert np.array_equal(promoted[name], expected)
+
+    def test_current_rows_pass_through(self):
+        rows = np.zeros(3, dtype=RECORD_DTYPE)
+        assert promote_record_array(rows) is rows
+
+    def test_unknown_schema_rejected(self):
+        weird = np.zeros(2, dtype=[("theta", "<f8"), ("bogus", "<i8")])
+        with pytest.raises(ValueError, match="unknown record schema"):
+            promote_record_array(weird)
+
+    def test_record_table_adopts_v1_rows(self):
+        table = RecordTable(_v1_rows(4), ["h"] )
+        assert len(table) == 4
+        assert not table.has_frame_info()
+        record = table.record(0)
+        assert record.point.physical_qubit == -1
+        assert record.point.logical_qubit == -1
+
+
+class TestV1SegmentStore:
+    def _write_v1_store(self, path, rows):
+        """A store exactly as the pre-frame-column code wrote it."""
+        meta = {
+            "circuit_name": "legacy",
+            "correct_states": ["000"],
+            "fault_free_qvf": 0.01,
+            "backend_name": "legacy-backend",
+            "metadata": {},
+        }
+        header = {"count": len(rows), "gates": ["h", "cx"]}  # no "columns"
+        with open(path, "wb") as handle:
+            handle.write(_pack_segment(b"M", meta, b""))
+            handle.write(_pack_segment(b"R", header, rows.tobytes()))
+
+    def test_v1_store_loads_with_sentinels(self, tmp_path):
+        rows = _v1_rows(6)
+        path = str(tmp_path / "legacy.qfs")
+        self._write_v1_store(path, rows)
+        meta, table = read_segments(path)
+        assert meta["circuit_name"] == "legacy"
+        assert len(table) == 6
+        assert not table.has_frame_info()
+        assert np.array_equal(table.data["qvf"], rows["qvf"])
+
+    def test_v1_store_loads_via_campaign_result(self, tmp_path):
+        rows = _v1_rows(6)
+        path = str(tmp_path / "legacy.qfs")
+        self._write_v1_store(path, rows)
+        result = CampaignResult.load(path)
+        assert result.num_injections == 6
+        assert not result.has_frames()
+        with pytest.raises(ValueError, match="no logical-frame"):
+            result.qubits("logical")
+
+    def test_truncated_v1_tail_still_dropped(self, tmp_path):
+        rows = _v1_rows(6)
+        path = str(tmp_path / "torn.qfs")
+        self._write_v1_store(path, rows)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:-17])
+        meta, table = read_segments(path)
+        assert meta is not None
+        assert len(table) == 0  # torn record segment dropped
+
+    def test_newer_schema_is_an_error_not_truncation(self, tmp_path):
+        path = str(tmp_path / "future.qfs")
+        header = {
+            "count": 1,
+            "gates": [],
+            "columns": ["theta", "hyperqvf"],
+        }
+        with open(path, "wb") as handle:
+            handle.write(_pack_segment(b"M", {"metadata": {}}, b""))
+            handle.write(_pack_segment(b"R", header, b"\x00" * 8))
+        with pytest.raises(ValueError, match="unsupported columns"):
+            read_segments(path)
+
+
+class TestV1Npz:
+    def test_v1_npz_export_loads(self, tmp_path):
+        rows = _v1_rows(4)
+        path = str(tmp_path / "legacy.npz")
+        header = {
+            "circuit_name": "legacy",
+            "correct_states": ["000"],
+            "fault_free_qvf": 0.0,
+            "backend_name": "legacy",
+            "metadata": {},
+        }
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                records=rows,
+                gate_names=np.asarray(["h", "cx"], dtype=np.str_),
+                header=np.asarray(json.dumps(header)),
+            )
+        result = CampaignResult.from_npz(path)
+        assert result.num_injections == 4
+        assert not result.has_frames()
+        assert np.array_equal(result.table.data["qvf"], rows["qvf"])

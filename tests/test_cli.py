@@ -278,6 +278,98 @@ class TestCampaignExecutors:
         assert second["metadata"]["checkpointed"] is True
 
 
+class TestCampaignTranspile:
+    def _run(self, tmp_path, *extra):
+        output = str(tmp_path / "out.json")
+        code = main(
+            [
+                "campaign",
+                "--algorithm",
+                "ghz",
+                "--width",
+                "3",
+                "--grid-step",
+                "90",
+                "--noise",
+                "light",
+                "--transpile-to",
+                "jakarta",
+                "--output",
+                output,
+                *extra,
+            ]
+        )
+        return code, output
+
+    def test_transpile_to_records_frames(self, tmp_path, capsys):
+        from repro.faults import CampaignResult
+
+        code, output = self._run(tmp_path)
+        assert code == 0
+        result = CampaignResult.load(output)
+        assert result.has_frames()
+        layout = result.layout_map()
+        assert layout is not None
+        assert layout.machine == "jakarta"
+        assert result.qubits("physical") == sorted(layout.wire_to_physical)
+
+    def test_transpiled_report_shows_both_frames(self, tmp_path, capsys):
+        code, output = self._run(tmp_path)
+        assert code == 0
+        capsys.readouterr()
+        assert main(["report", "--input", output]) == 0
+        out = capsys.readouterr().out
+        assert "transpiled onto `jakarta`" in out
+        assert "## Per physical qubit" in out
+        assert "## Per logical qubit" in out
+
+    def test_transpiled_checkpoint_resume_keeps_frames(self, tmp_path):
+        from repro.faults import CampaignResult
+
+        ckpt = str(tmp_path / "ghz.ckpt")
+        code, output = self._run(tmp_path, "--checkpoint", ckpt)
+        assert code == 0
+        # The checkpoint store itself must be frame-convertible — after
+        # a kill it can be the only artefact a campaign leaves behind.
+        from_ckpt = CampaignResult.load(ckpt)
+        assert from_ckpt.table.has_frame_info()
+        assert from_ckpt.layout_map() is not None
+        assert from_ckpt.layout_map().machine == "jakarta"
+        # Resuming a completed checkpoint recomputes nothing and the
+        # frame columns survive the store round trip.
+        code, output = self._run(tmp_path, "--checkpoint", ckpt)
+        assert code == 0
+        loaded = CampaignResult.load(output)
+        assert loaded.has_frames()
+        assert loaded.layout_map() == from_ckpt.layout_map()
+
+    def test_checkpoint_refuses_mixed_routings(self, tmp_path):
+        """Same circuit, same machine, different optimization level:
+        positions and frame attribution differ, so resuming must refuse
+        rather than silently mix the two routings."""
+        ckpt = str(tmp_path / "ghz.ckpt")
+        code, _ = self._run(tmp_path, "--checkpoint", ckpt)
+        assert code == 0
+        with pytest.raises(ValueError, match="different\\s+transpilation"):
+            self._run(
+                tmp_path, "--checkpoint", ckpt, "--transpile-level", "0"
+            )
+
+    def test_unknown_transpile_machine_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "campaign",
+                    "--algorithm",
+                    "bv",
+                    "--transpile-to",
+                    "osaka",
+                    "--output",
+                    "x.json",
+                ]
+            )
+
+
 class TestSuite:
     SPEC = {
         "name": "cli-suite",

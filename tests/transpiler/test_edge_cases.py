@@ -1,0 +1,139 @@
+"""Transpiler edge cases feeding fault campaigns.
+
+Three ways a transpiled campaign can silently go wrong, pinned here:
+routing over barely-connected couplings (long SWAP chains), measurement
+remapping (the routed circuit must measure the *right* physical qubits
+into the *same* clbits), and the QASM interchange path for transpiled
+circuits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bernstein_vazirani, ghz, qft
+from repro.faults import map_transpiled
+from repro.quantum.qasm import circuit_from_qasm, circuit_to_qasm
+from repro.simulators import StatevectorSimulator
+from repro.transpiler.topology import CouplingMap, linear_topology
+from repro.transpiler.transpile import transpile
+
+
+def bridge_topology() -> CouplingMap:
+    """Two dense clusters joined by a single bridge edge.
+
+    Not literally disconnected (routing requires a connected device),
+    but the worst connected case: any interaction across the bridge
+    must funnel through one edge.
+    """
+    return CouplingMap(
+        [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        name="bridge",
+    )
+
+
+class TestSparseRouting:
+    @pytest.mark.parametrize("builder", [qft, ghz, bernstein_vazirani])
+    def test_routing_on_bridge_coupling(self, builder):
+        spec = builder(5)
+        result = transpile(spec.circuit, bridge_topology())
+        # Every 2q gate in the routed circuit respects the coupling.
+        for inst in result.circuit:
+            if inst.is_unitary() and len(inst.qubits) == 2:
+                assert result.coupling.are_connected(*inst.qubits)
+        # And the routed circuit still computes the same answer.
+        probabilities = (
+            StatevectorSimulator().run(result.circuit).get_probabilities()
+        )
+        expected = (
+            StatevectorSimulator().run(spec.circuit).get_probabilities()
+        )
+        for state, p in expected.items():
+            assert probabilities.get(state, 0.0) == pytest.approx(p, abs=1e-9)
+
+    def test_routing_on_line_needs_swaps_and_stays_correct(self):
+        spec = qft(5)
+        result = transpile(spec.circuit, linear_topology(5))
+        assert result.swap_count > 0
+        art = map_transpiled(result, machine="line5")
+        final = art.layout.logical_by_position[-1]
+        assert sorted(q for q in final if q >= 0) == list(range(5))
+
+    def test_width_overflow_is_rejected(self):
+        with pytest.raises(ValueError, match="needs"):
+            transpile(ghz(7).circuit, bridge_topology())
+
+
+class TestMeasurementRemapping:
+    @pytest.mark.parametrize("builder", [bernstein_vazirani, ghz, qft])
+    def test_clbit_distribution_survives_routing(self, builder):
+        """Measured clbit strings must be frame-independent.
+
+        Routing moves qubits physically, but each measure follows its
+        logical qubit and lands in the same classical bit — so the
+        output distribution over clbit strings is untouched.
+        """
+        spec = builder(4)
+        result = transpile(spec.circuit, bridge_topology())
+        routed = StatevectorSimulator().run(result.circuit)
+        reference = StatevectorSimulator().run(spec.circuit)
+        routed_p = routed.get_probabilities()
+        for state, p in reference.get_probabilities().items():
+            assert routed_p.get(state, 0.0) == pytest.approx(p, abs=1e-9)
+
+    def test_measures_target_tracked_physical_qubits(self):
+        spec = qft(4)
+        result = transpile(spec.circuit, linear_topology(4))
+        art = map_transpiled(result, machine="line4")
+        measured = {}
+        for position, inst in enumerate(art.circuit):
+            if inst.name == "measure":
+                logical = art.layout.logical_at(position, inst.qubits[0])
+                measured[inst.clbits[0]] = logical
+        # The original circuit measures logical qubit i into clbit i's
+        # slot; the routed one must preserve exactly that association.
+        original = {
+            inst.clbits[0]: inst.qubits[0]
+            for inst in spec.circuit
+            if inst.name == "measure"
+        }
+        assert measured == original
+
+    def test_compacted_circuit_keeps_clbit_count(self):
+        spec = ghz(3)
+        result = transpile(spec.circuit, bridge_topology())
+        art = map_transpiled(result, machine="bridge")
+        assert art.circuit.num_clbits == spec.circuit.num_clbits
+        assert art.circuit.num_qubits <= result.circuit.num_qubits
+
+
+class TestQasmRoundTrip:
+    @pytest.mark.parametrize("builder", [ghz, qft])
+    def test_transpiled_circuit_round_trips(self, builder):
+        """QASM export/import of a hardware-native circuit is lossless.
+
+        The paper exports faulty circuits as QASM "to load and execute
+        on different systems"; a transpiled circuit adds u/cx/swap gates
+        and remapped measures, all of which must survive the text form.
+        """
+        spec = builder(4)
+        result = transpile(spec.circuit, linear_topology(4))
+        art = map_transpiled(result, machine="line4")
+        text = circuit_to_qasm(art.circuit)
+        parsed = circuit_from_qasm(text)
+        assert parsed.num_qubits == art.circuit.num_qubits
+        assert parsed.num_clbits == art.circuit.num_clbits
+        assert len(parsed) == len(art.circuit)
+        for ours, theirs in zip(art.circuit, parsed):
+            assert ours.name == theirs.name
+            assert ours.qubits == theirs.qubits
+            assert ours.clbits == theirs.clbits
+            if ours.gate.params:
+                assert np.allclose(
+                    ours.gate.params, theirs.gate.params, atol=1e-12
+                )
+        # Same physics, not just same text: identical distributions.
+        ours_p = StatevectorSimulator().run(art.circuit).get_probabilities()
+        theirs_p = StatevectorSimulator().run(parsed).get_probabilities()
+        assert set(ours_p) == set(theirs_p)
+        for state, p in ours_p.items():
+            assert theirs_p[state] == pytest.approx(p, abs=1e-9)
