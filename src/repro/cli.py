@@ -112,6 +112,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     campaign.add_argument(
+        "--fused",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "precompile the gate runs between injection positions into "
+            "fused segment matrices and apply each as one contraction; "
+            "compiled segments are cached and shared across the sweep"
+        ),
+    )
+    campaign.add_argument(
+        "--memory-budget",
+        default=None,
+        help=(
+            "cap the peak working-set of batched branch states, e.g. "
+            "'512MB' or a raw byte count; batches are tiled so that "
+            "simultaneous branch states stay under the budget (records "
+            "are bit-identical at any tile size)"
+        ),
+    )
+    campaign.add_argument(
         "--transpile-to",
         choices=sorted(MACHINES),
         default=None,
@@ -240,6 +260,8 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
         workers=workers,
         machine=machine,
         transpile=transpile,
+        fused=args.fused,
+        memory_budget=args.memory_budget,
     )
 
 
@@ -254,7 +276,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # the checkpoint store, keeping the .ckpt frame-convertible even
         # when a kill makes it the only artefact.
         spec = make_algorithm(scenario, cache)
-        qufi = make_injector(scenario, cache, executor=make_executor(scenario))
+        qufi = make_injector(scenario, cache, executor=make_executor(scenario, cache))
         faults = make_faults(scenario, cache)
         extra_meta = scenario_metadata(scenario)
         if scenario.transpile is not None:

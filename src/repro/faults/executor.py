@@ -87,9 +87,11 @@ from ..simulators.backend import (
     Backend,
     BranchBatch,
     supports_batched_branches,
+    supports_fused_segments,
     supports_snapshots,
 )
 from ..simulators.sampler import Result
+from ..simulators.segments import SegmentCompiler
 from .fault_model import PhaseShiftFault
 from .injection_points import InjectionPoint
 from .qvf import qvf_from_probabilities, qvf_from_probability_matrix
@@ -109,6 +111,42 @@ __all__ = [
 ]
 
 BatchCallback = Callable[[RecordTable], None]
+
+# Numeric modes an executor can run fused campaigns in. ``"exact"`` keeps
+# complex128 segments and the bit-identity guarantees; ``"float32"``
+# compiles complex64 segments (optionally contracted through opt_einsum)
+# and explicitly waives bit-identity, so it is only legal together with
+# ``fused=True`` and a spec-level waiver.
+_PRECISIONS = ("exact", "float32")
+
+
+def _check_fusion_config(fused: bool, precision: str) -> None:
+    """Reject inconsistent fusion/precision combinations early."""
+    if precision not in _PRECISIONS:
+        raise ValueError(
+            f"precision must be one of {_PRECISIONS}, got {precision!r}"
+        )
+    if precision != "exact" and not fused:
+        raise ValueError(
+            "the float32 fast path runs on fused segments; "
+            "precision='float32' requires fused=True"
+        )
+
+
+def _compiler_options(precision: str, segment_options: Optional[dict]) -> dict:
+    """Constructor options for a backend's segment compiler.
+
+    ``segment_options`` (``pack``, support caps, ...) pass through
+    verbatim; the precision decides the compilation dtype unless the
+    caller pinned one explicitly.
+    """
+    options = dict(segment_options or {})
+    if precision == "float32":
+        # The fast path has already waived bit-identity, so it also
+        # defaults to packed composition — the fastest compile.
+        options.setdefault("dtype", np.complex64)
+        options.setdefault("pack", True)
+    return options
 
 
 # ----------------------------------------------------------------------
@@ -374,13 +412,17 @@ def _iter_scored_tasks(
     tasks: Sequence[InjectionTask],
     rng: np.random.Generator,
     prefix_reuse: bool,
+    compiler: Optional[SegmentCompiler] = None,
 ) -> Iterator[Tuple[InjectionTask, float]]:
     """Execute ``tasks`` in order, yielding ``(task, qvf)`` per task.
 
     On snapshot-capable backends with ``prefix_reuse`` the shared prefix of
     each run of same-position tasks is simulated once and extended
     incrementally across positions; otherwise every task rebuilds and
-    re-runs its full faulty circuit (the legacy behaviour).
+    re-runs its full faulty circuit (the legacy behaviour). With a
+    ``compiler`` (fused mode) each branch passes only its injector head
+    as the tail and the shared suffix runs as the compiler's precompiled
+    segment plan for that position.
     """
     circuit = plan.circuit
     if prefix_reuse and supports_snapshots(backend):
@@ -391,13 +433,27 @@ def _iter_scored_tasks(
             snapshot = backend.prefix_snapshot(
                 circuit, stop=position + 1, base=snapshot
             )
+            tail_plan = (
+                compiler.tail_plan(position + 1)
+                if compiler is not None
+                else None
+            )
             for task in group:
-                result = backend.run_from_snapshot(
-                    snapshot,
-                    circuit,
-                    _fault_tail(circuit, task),
-                    shots=plan.shots,
-                )
+                if tail_plan is not None:
+                    result = backend.run_from_snapshot(
+                        snapshot,
+                        circuit,
+                        _branch_head(task),
+                        shots=plan.shots,
+                        plan=tail_plan,
+                    )
+                else:
+                    result = backend.run_from_snapshot(
+                        snapshot,
+                        circuit,
+                        _fault_tail(circuit, task),
+                        shots=plan.shots,
+                    )
                 yield task, score_result(
                     result,
                     plan.correct_states,
@@ -421,6 +477,7 @@ def _iter_scored_groups(
     tasks: Sequence[InjectionTask],
     rng: np.random.Generator,
     max_branches: int,
+    compiler: Optional[SegmentCompiler] = None,
 ) -> Iterator[Tuple[List[InjectionTask], np.ndarray]]:
     """Execute ``tasks`` in order, one stacked batch per injection point.
 
@@ -428,10 +485,12 @@ def _iter_scored_groups(
     group every branch differs only in its rotation angles, so the group's
     heads align slot-wise and the backend evaluates the whole batch with
     stacked contractions. Groups larger than ``max_branches`` split into
-    consecutive sub-batches to bound peak memory (a density-matrix branch
-    is ``16 * 4**n`` bytes). The prefix snapshot extends across groups
-    exactly as the serial loop extends it across positions. Yields each
-    sub-batch with its scored QVF array.
+    consecutive sub-batches (tiles) to bound peak memory (a
+    density-matrix branch is ``16 * 4**n`` bytes). The prefix snapshot
+    extends across groups exactly as the serial loop extends it across
+    positions. With a ``compiler`` (fused mode) the shared tail of every
+    tile runs as that position's precompiled segment plan instead of
+    gate by gate. Yields each sub-batch with its scored QVF array.
     """
     circuit = plan.circuit
     snapshot = None
@@ -446,15 +505,29 @@ def _iter_scored_groups(
         snapshot = backend.prefix_snapshot(
             circuit, stop=position + 1, base=snapshot
         )
+        tail_plan = (
+            compiler.tail_plan(position + 1)
+            if compiler is not None
+            else None
+        )
         chunk = list(group)
         for start in range(0, len(chunk), max_branches):
             sub = chunk[start : start + max_branches]
-            batch = backend.run_branches_from_snapshot(
-                snapshot,
-                circuit,
-                [_branch_head(task) for task in sub],
-                shots=plan.shots,
-            )
+            if tail_plan is not None:
+                batch = backend.run_branches_from_snapshot(
+                    snapshot,
+                    circuit,
+                    [_branch_head(task) for task in sub],
+                    shots=plan.shots,
+                    plan=tail_plan,
+                )
+            else:
+                batch = backend.run_branches_from_snapshot(
+                    snapshot,
+                    circuit,
+                    [_branch_head(task) for task in sub],
+                    shots=plan.shots,
+                )
             if (
                 plan.per_task_seeding
                 and plan.shots is not None
@@ -486,12 +559,13 @@ def _execute_tasks(
     tasks: Sequence[InjectionTask],
     rng: np.random.Generator,
     prefix_reuse: bool,
+    compiler: Optional[SegmentCompiler] = None,
 ) -> RecordTable:
     """Run ``tasks`` serially and return them as one columnar block."""
     scored_tasks: List[InjectionTask] = []
     qvfs: List[float] = []
     for task, qvf in _iter_scored_tasks(
-        backend, plan, tasks, rng, prefix_reuse
+        backend, plan, tasks, rng, prefix_reuse, compiler
     ):
         scored_tasks.append(task)
         qvfs.append(qvf)
@@ -522,15 +596,66 @@ def _run_chunk(
     tasks: Tuple[InjectionTask, ...],
     seed_material: Optional[Tuple[int, int]],
     prefix_reuse: bool,
+    fusion: Optional[Tuple[bool, str, Optional[dict]]] = None,
 ) -> RecordTable:
     """Worker-process entry point: execute one chunk with its own rng.
 
     Returns the chunk as one columnar block — tables pickle back to the
     parent as a handful of arrays instead of thousands of dataclasses.
+    ``fusion`` carries the parent's ``(fused, precision,
+    segment_options)`` configuration; the worker rebuilds its own
+    segment compiler from it (compilation is deterministic, so every
+    worker's segments match the parent's bit for bit).
     """
     rng = np.random.default_rng(seed_material)
     _reseed_backend(backend, rng)
-    return _execute_tasks(backend, plan, tasks, rng, prefix_reuse)
+    compiler = None
+    if (
+        fusion is not None
+        and fusion[0]
+        and prefix_reuse
+        and supports_fused_segments(backend)
+    ):
+        compiler = backend.tail_compiler(
+            plan.circuit, **_compiler_options(fusion[1], fusion[2])
+        )
+    return _execute_tasks(backend, plan, tasks, rng, prefix_reuse, compiler)
+
+
+# Batch-sized arrays simultaneously alive while one tile advances: the
+# live batch, the kernels' axis-reordered working copy and contraction
+# result, the branched-head transient and the snapshot base state —
+# measured at ~6 batch-equivalents peak (tracemalloc, 10-qubit density
+# matrix); 8 leaves headroom for allocator slack. The memory-regression
+# test pins the budget claim against this factor.
+TILE_WORKING_SET = 8
+
+
+def _tile_limit(
+    backend: Backend,
+    num_qubits: int,
+    max_branches: int,
+    memory_budget: Optional[int],
+) -> int:
+    """Largest branch-tile size the memory budget admits.
+
+    Divides the budget by :data:`TILE_WORKING_SET` batch-sized arrays
+    per branch (complex128 is assumed even on the float32 fast path —
+    heads apply exact before the narrowing cast, so the wide batch
+    exists transiently). The floor is one branch: a budget below a
+    single branch's working set cannot be met, only approached.
+    Backends that cannot report their per-branch footprint ignore the
+    budget.
+    """
+    if memory_budget is None:
+        return max_branches
+    nbytes_of = getattr(backend, "branch_state_nbytes", None)
+    if nbytes_of is None:
+        return max_branches
+    tile = int(memory_budget) // (
+        TILE_WORKING_SET * int(nbytes_of(num_qubits))
+    )
+    return max(1, min(max_branches, tile))
 
 
 def _chunk_tasks(
@@ -596,22 +721,91 @@ class SerialExecutor(BaseExecutor):
     ``prefix_reuse=False`` it degrades to the legacy per-injection full
     re-simulation (useful as a baseline and for backends whose snapshots
     are unavailable).
+
+    ``fused=True`` opts into segment fusion on backends implementing the
+    fused protocol (:class:`~repro.simulators.backend.
+    FusedSnapshotBackend`): each injection position's shared circuit
+    suffix is precompiled once into fused unitary/superoperator segments
+    and every branch applies those instead of walking the tail gate by
+    gate. Compilers are cached per circuit on the executor (and may be
+    primed externally via :meth:`prime_segment_compiler`, which is how
+    the scenario factory shares compilations across a suite).
+    ``precision="float32"`` additionally compiles complex64 segments —
+    faster, but it waives the bit-identity guarantee and therefore
+    requires ``fused=True``. ``segment_options`` forward to the
+    backend's :class:`~repro.simulators.segments.SegmentCompiler`
+    (``pack``, support caps).
     """
 
     name = "serial"
 
-    def __init__(self, prefix_reuse: bool = True, batch_size: int = 64) -> None:
+    def __init__(
+        self,
+        prefix_reuse: bool = True,
+        batch_size: int = 64,
+        fused: bool = False,
+        precision: str = "exact",
+        segment_options: Optional[dict] = None,
+    ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
+        _check_fusion_config(fused, precision)
         self.prefix_reuse = bool(prefix_reuse)
         self.batch_size = int(batch_size)
+        self.fused = bool(fused)
+        self.precision = precision
+        self.segment_options = (
+            dict(segment_options) if segment_options else None
+        )
+        self._compilers: dict = {}
 
     def bounded(self, limit: int) -> "SerialExecutor":
         """A copy whose delivery batches hold at most ``limit`` records."""
-        return SerialExecutor(
+        clone = SerialExecutor(
             prefix_reuse=self.prefix_reuse,
             batch_size=max(1, min(self.batch_size, limit)),
+            fused=self.fused,
+            precision=self.precision,
+            segment_options=self.segment_options,
         )
+        clone._compilers = self._compilers
+        return clone
+
+    def prime_segment_compiler(self, compiler: SegmentCompiler) -> None:
+        """Register an externally built compiler for its circuit.
+
+        Fused runs over that exact circuit object then reuse the primed
+        compiler (and its already-compiled tail plans) instead of
+        compiling from scratch — the scenario factory uses this to share
+        one compilation across every scenario of a suite.
+        """
+        self._compilers[id(compiler.circuit)] = (compiler.circuit, compiler)
+
+    def _segment_compiler(
+        self, backend: Backend, circuit: QuantumCircuit
+    ) -> Optional[SegmentCompiler]:
+        """The (cached) segment compiler for ``circuit``, or ``None``.
+
+        Returns ``None`` unless this executor is fused, reuses prefixes,
+        and the backend implements the fused protocol. Cache entries key
+        by circuit identity and hold a strong reference to the circuit,
+        so a recycled ``id`` can never alias a dead entry.
+        """
+        if not (
+            self.fused
+            and self.prefix_reuse
+            and supports_fused_segments(backend)
+        ):
+            return None
+        entry = self._compilers.get(id(circuit))
+        if entry is not None and entry[0] is circuit:
+            return entry[1]
+        compiler = backend.tail_compiler(
+            circuit,
+            **_compiler_options(self.precision, self.segment_options),
+        )
+        self._compilers[id(circuit)] = (circuit, compiler)
+        return compiler
 
     def _block_stream(
         self,
@@ -623,8 +817,9 @@ class SerialExecutor(BaseExecutor):
         task order; subclasses swap the task loop."""
         pending: List[InjectionTask] = []
         qvfs: List[float] = []
+        compiler = self._segment_compiler(backend, plan.circuit)
         for task, qvf in _iter_scored_tasks(
-            backend, plan, plan.tasks, rng, self.prefix_reuse
+            backend, plan, plan.tasks, rng, self.prefix_reuse, compiler
         ):
             pending.append(task)
             qvfs.append(qvf)
@@ -668,8 +863,14 @@ class BatchedExecutor(SerialExecutor):
 
     ``max_branches`` caps how many branches stack at once (a density-matrix
     branch is ``16 * 4**n`` bytes, so unbounded stacking would exhaust
-    memory on wide circuits). Backends without the batched protocol — or
-    ``prefix_reuse=False`` — degrade to the inherited serial behaviour.
+    memory on wide circuits); ``memory_budget`` (bytes) tightens that cap
+    dynamically per backend and circuit width via
+    :meth:`~repro.simulators.backend.FusedSnapshotBackend.
+    branch_state_nbytes`, so wide campaigns stream through small tiles
+    instead of OOMing. Tiling never changes records: every tile size
+    produces bit-identical tables. Backends without the batched
+    protocol — or ``prefix_reuse=False`` — degrade to the inherited
+    serial behaviour.
     """
 
     name = "batched"
@@ -679,19 +880,40 @@ class BatchedExecutor(SerialExecutor):
         max_branches: int = 64,
         batch_size: int = 64,
         prefix_reuse: bool = True,
+        fused: bool = False,
+        precision: str = "exact",
+        segment_options: Optional[dict] = None,
+        memory_budget: Optional[int] = None,
     ) -> None:
-        super().__init__(prefix_reuse=prefix_reuse, batch_size=batch_size)
+        super().__init__(
+            prefix_reuse=prefix_reuse,
+            batch_size=batch_size,
+            fused=fused,
+            precision=precision,
+            segment_options=segment_options,
+        )
         if max_branches < 1:
             raise ValueError("max_branches must be positive")
+        if memory_budget is not None and memory_budget < 1:
+            raise ValueError("memory_budget must be positive")
         self.max_branches = int(max_branches)
+        self.memory_budget = (
+            None if memory_budget is None else int(memory_budget)
+        )
 
     def bounded(self, limit: int) -> "BatchedExecutor":
         """A copy whose delivery batches hold at most ``limit`` records."""
-        return BatchedExecutor(
+        clone = BatchedExecutor(
             max_branches=self.max_branches,
             batch_size=max(1, min(self.batch_size, limit)),
             prefix_reuse=self.prefix_reuse,
+            fused=self.fused,
+            precision=self.precision,
+            segment_options=self.segment_options,
+            memory_budget=self.memory_budget,
         )
+        clone._compilers = self._compilers
+        return clone
 
     def _block_stream(
         self,
@@ -702,8 +924,15 @@ class BatchedExecutor(SerialExecutor):
         if not (self.prefix_reuse and supports_batched_branches(backend)):
             yield from super()._block_stream(backend, plan, rng)
             return
+        compiler = self._segment_compiler(backend, plan.circuit)
+        limit = _tile_limit(
+            backend,
+            plan.circuit.num_qubits,
+            self.max_branches,
+            self.memory_budget,
+        )
         for sub, qvfs in _iter_scored_groups(
-            backend, plan, plan.tasks, rng, self.max_branches
+            backend, plan, plan.tasks, rng, limit, compiler
         ):
             # Scored sub-batches become blocks directly (the qvf column is
             # the scoring array itself), re-sliced only to honour the
@@ -749,16 +978,31 @@ class ParallelExecutor(BaseExecutor):
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         prefix_reuse: bool = True,
+        fused: bool = False,
+        precision: str = "exact",
+        segment_options: Optional[dict] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be positive")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        _check_fusion_config(fused, precision)
         self.workers = workers
         self.chunk_size = chunk_size
         self.prefix_reuse = bool(prefix_reuse)
+        self.fused = bool(fused)
+        self.precision = precision
+        self.segment_options = (
+            dict(segment_options) if segment_options else None
+        )
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_owner: Optional["ParallelExecutor"] = None
+
+    def _fusion_config(self) -> Optional[Tuple[bool, str, Optional[dict]]]:
+        """The picklable fusion tuple workers rebuild compilers from."""
+        if not self.fused:
+            return None
+        return (self.fused, self.precision, self.segment_options)
 
     # ------------------------------------------------------------------
     # Long-lived pool lifecycle (hoisted out of ``run`` for suite reuse)
@@ -800,6 +1044,9 @@ class ParallelExecutor(BaseExecutor):
             workers=self.workers,
             chunk_size=min(self.chunk_size or limit, limit),
             prefix_reuse=self.prefix_reuse,
+            fused=self.fused,
+            precision=self.precision,
+            segment_options=self.segment_options,
         )
         # The bounded copy shares (but never owns) the persistent pool:
         # checkpointed suite campaigns reuse the suite's workers. It
@@ -812,9 +1059,18 @@ class ParallelExecutor(BaseExecutor):
         return self.workers or os.cpu_count() or 1
 
     def _serial_fallback(self) -> SerialExecutor:
+        """The in-process stand-in for degraded parallel runs.
+
+        Carries the fusion configuration so a degraded fused campaign
+        still runs fused (compilation determinism keeps its records
+        identical to the pooled run's).
+        """
         return SerialExecutor(
             prefix_reuse=self.prefix_reuse,
             batch_size=self.chunk_size or 64,
+            fused=self.fused,
+            precision=self.precision,
+            segment_options=self.segment_options,
         )
 
     @staticmethod
@@ -876,6 +1132,7 @@ class ParallelExecutor(BaseExecutor):
                     max_workers=min(workers, len(chunks))
                 )
             try:
+                fusion = self._fusion_config()
                 future_index = {
                     pool.submit(
                         _run_chunk,
@@ -884,6 +1141,7 @@ class ParallelExecutor(BaseExecutor):
                         chunk,
                         seed,
                         self.prefix_reuse,
+                        fusion,
                     ): index
                     for index, (chunk, seed) in enumerate(zip(chunks, seeds))
                 }

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..algorithms import ALGORITHMS
 from ..algorithms.spec import AlgorithmSpec
 from ..faults.campaign import CampaignResult
@@ -65,6 +67,7 @@ __all__ = [
     "make_noise_model",
     "make_backend",
     "make_executor",
+    "make_segment_compiler",
     "make_faults",
     "make_couples",
     "make_algorithm",
@@ -432,15 +435,131 @@ def make_backend(spec: ScenarioSpec, cache: Optional[FactoryCache] = None):
     raise ValueError(f"unknown backend kind {spec.backend!r}")
 
 
-def make_executor(spec: ScenarioSpec) -> BaseExecutor:
-    """The spec's execution strategy (fresh, config-only instance)."""
+def _scenario_circuit(spec: ScenarioSpec, cache: Optional[FactoryCache]):
+    """The exact circuit object the scenario's campaign sweeps.
+
+    Transpiled scenarios sweep the hardware-native circuit; logical
+    scenarios sweep the benchmark circuit. The *identity* of the object
+    matters for segment-compiler sharing (compilers key by circuit
+    identity), which is why this goes through the cache like every other
+    consumer.
+    """
+    if spec.transpile is not None:
+        return make_transpiled(spec, cache).circuit
+    return make_algorithm(spec, cache).circuit
+
+
+def _segment_options(spec: ScenarioSpec) -> Dict[str, object]:
+    """The spec's segment-compiler options (``pack`` from the waiver).
+
+    Specs holding the bit-identity guarantee (the default) compile
+    unpacked segments — fused records stay bit-identical to the unfused
+    executors. Waiving it (``bit_identical=False``) unlocks packed
+    composition: the fastest compile, whose records are bitwise-stable
+    across executors and tile sizes but not against the per-gate loops.
+    """
+    return {"pack": not spec.bit_identical}
+
+
+def make_segment_compiler(
+    spec: ScenarioSpec, cache: Optional[FactoryCache] = None
+):
+    """The scenario's shared segment compiler, or ``None``.
+
+    Fused scenarios on the exact simulator backends get one
+    :class:`~repro.simulators.segments.SegmentCompiler` per ``(circuit,
+    backend kind, noise, precision)`` fragment, memoised in the
+    :class:`FactoryCache` — so every scenario of a suite that shares a
+    circuit and noise model also shares its compiled tail segments
+    instead of recompiling per campaign. Non-fused scenarios and
+    non-fusable backends (trajectory, machines) return ``None``.
+    """
+    if not spec.fused:
+        return None
+    kind = spec.backend
+    if kind == "auto":
+        kind = "statevector" if spec.noise == "none" else "density-matrix"
+    if kind not in ("statevector", "density-matrix"):
+        return None
+
+    def build():
+        circuit = _scenario_circuit(spec, cache)
+        if kind == "statevector":
+            backend = StatevectorSimulator()
+        else:
+            backend = DensityMatrixSimulator(
+                _scenario_noise_model(spec, cache)
+            )
+        options = _segment_options(spec)
+        if spec.precision == "float32":
+            options["dtype"] = np.complex64
+        return backend.tail_compiler(circuit, **options)
+
+    if cache is None:
+        return build()
+    transpile_key = (
+        None
+        if spec.transpile is None
+        else (
+            spec.effective_machine,
+            spec.transpile.optimization_level,
+            spec.transpile.basis,
+            spec.transpile.seed,
+        )
+    )
+    key = (
+        "segments",
+        spec.algorithm,
+        spec.width,
+        kind,
+        spec.noise,
+        spec.effective_machine,
+        transpile_key,
+        spec.precision,
+        spec.bit_identical,
+    )
+    return cache.get(key, build)
+
+
+def make_executor(
+    spec: ScenarioSpec, cache: Optional[FactoryCache] = None
+) -> BaseExecutor:
+    """The spec's execution strategy (fresh, config-only instance).
+
+    Fused specs get executors carrying the fusion configuration; with a
+    ``cache``, the suite-shared segment compiler is primed onto the
+    executor so campaigns over the same circuit reuse one compilation.
+    """
+    segment_options = _segment_options(spec) if spec.fused else None
     if spec.executor == "serial":
-        return SerialExecutor()
-    if spec.executor == "batched":
-        return BatchedExecutor()
-    if spec.executor == "parallel":
-        return ParallelExecutor(workers=spec.workers)
-    raise ValueError(f"unknown executor strategy {spec.executor!r}")
+        executor: BaseExecutor = SerialExecutor(
+            fused=spec.fused,
+            precision=spec.precision,
+            segment_options=segment_options,
+        )
+    elif spec.executor == "batched":
+        executor = BatchedExecutor(
+            fused=spec.fused,
+            precision=spec.precision,
+            segment_options=segment_options,
+            memory_budget=spec.memory_budget,
+        )
+    elif spec.executor == "parallel":
+        executor = ParallelExecutor(
+            workers=spec.workers,
+            fused=spec.fused,
+            precision=spec.precision,
+            segment_options=segment_options,
+        )
+    else:
+        raise ValueError(f"unknown executor strategy {spec.executor!r}")
+    if spec.fused and cache is not None and hasattr(
+        executor, "prime_segment_compiler"
+    ):
+        compiler = make_segment_compiler(spec, cache)
+        if compiler is not None:
+            executor.prime_segment_compiler(compiler)
+    return executor
 
 
 def make_injector(
@@ -453,7 +572,9 @@ def make_injector(
         make_backend(spec, cache),
         shots=spec.shots,
         seed=spec.seed,
-        executor=executor if executor is not None else make_executor(spec),
+        executor=(
+            executor if executor is not None else make_executor(spec, cache)
+        ),
     )
 
 

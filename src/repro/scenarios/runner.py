@@ -37,12 +37,12 @@ import os
 import re
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..faults.campaign import CampaignResult
 from ..faults.executor import BaseExecutor, ParallelExecutor
 from ..faults.store import compact, read_segments
-from .factory import FactoryCache, run_scenario
+from .factory import FactoryCache, _segment_options, run_scenario
 from .spec import ScenarioSpec, SuiteSpec
 
 __all__ = [
@@ -180,7 +180,7 @@ class SuiteRunner:
         self.max_campaigns = max_campaigns
         self.cache = FactoryCache()
         self._by_hash: Dict[str, CampaignResult] = {}
-        self._pools: Dict[Optional[int], ParallelExecutor] = {}
+        self._pools: Dict[Tuple, ParallelExecutor] = {}
         self._entries: List[Dict[str, object]] = []
         self._timings: Dict[str, float] = {}
 
@@ -293,13 +293,28 @@ class SuiteRunner:
         process pool, so all parallel scenarios of a suite share one
         started executor instead of paying pool spawn/teardown per
         campaign (``ParallelExecutor.run`` degrades gracefully if the
-        sandbox forbids subprocesses).
+        sandbox forbids subprocesses). The pool key includes the fusion
+        configuration — fused and unfused scenarios must not swap
+        executors, and the compiler options ride on the executor.
         """
         if scenario.executor != "parallel":
             return None
-        key = scenario.workers
+        key = (
+            scenario.workers,
+            scenario.fused,
+            scenario.precision,
+            scenario.bit_identical,
+        )
         if key not in self._pools:
-            self._pools[key] = ParallelExecutor(workers=key).start()
+            options = (
+                _segment_options(scenario) if scenario.fused else None
+            )
+            self._pools[key] = ParallelExecutor(
+                workers=scenario.workers,
+                fused=scenario.fused,
+                precision=scenario.precision,
+                segment_options=options,
+            ).start()
         return self._pools[key]
 
     def _adopt(

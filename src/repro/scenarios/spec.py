@@ -21,10 +21,17 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import re
 from dataclasses import asdict, dataclass, fields, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-__all__ = ["TranspileSpec", "ScenarioSpec", "SuiteSpec", "expand_grid"]
+__all__ = [
+    "TranspileSpec",
+    "ScenarioSpec",
+    "SuiteSpec",
+    "expand_grid",
+    "parse_memory_budget",
+]
 
 NOISE_PROFILES = ("none", "light", "heavy", "calibrated")
 BACKEND_KINDS = (
@@ -37,6 +44,48 @@ BACKEND_KINDS = (
 )
 EXECUTORS = ("serial", "batched", "parallel")
 MODES = ("single", "double")
+PRECISIONS = ("exact", "float32")
+
+_MEMORY_UNITS = {
+    "": 1,
+    "b": 1,
+    "kb": 1024,
+    "mb": 1024**2,
+    "gb": 1024**3,
+    "tb": 1024**4,
+}
+
+
+def parse_memory_budget(value: Union[int, float, str, None]) -> Optional[int]:
+    """Normalize a memory budget to bytes.
+
+    Accepts plain byte counts (``int``/``float``) or human-readable
+    strings like ``"512MB"`` / ``"2gb"`` / ``"1.5 GB"`` (binary units).
+    Returns ``None`` for ``None``; rejects non-positive budgets.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise ValueError(f"memory budget must be a size, got {value!r}")
+    if isinstance(value, (int, float)):
+        budget = int(value)
+    else:
+        match = re.fullmatch(
+            r"\s*([0-9]*\.?[0-9]+)\s*([kmgt]?b?)\s*",
+            str(value),
+            flags=re.IGNORECASE,
+        )
+        if match is None:
+            raise ValueError(
+                f"cannot parse memory budget {value!r}; expected bytes "
+                f"or a size like '512MB'"
+            )
+        budget = int(
+            float(match.group(1)) * _MEMORY_UNITS[match.group(2).lower()]
+        )
+    if budget < 1:
+        raise ValueError(f"memory budget must be positive, got {value!r}")
+    return budget
 
 
 @dataclass(frozen=True)
@@ -143,6 +192,31 @@ class ScenarioSpec:
     drift_scale: float = 0.05
     trajectories: int = 256
     transpile: Optional[TranspileSpec] = None
+    fused: bool = False
+    """Opt into segment fusion: the shared tail of every injection
+    position runs as precompiled segment matrices. Under the default
+    ``bit_identical=True`` the records stay bit-identical to the
+    unfused executors; every fused mode stays bit-identical across
+    Serial/Batched/Parallel and across tile sizes."""
+    precision: str = "exact"
+    """Numeric mode: ``exact`` (complex128, the bit-identity default) or
+    ``float32`` (complex64 fused fast path, requires ``fused`` and a
+    ``bit_identical=False`` waiver)."""
+    bit_identical: bool = True
+    """Whether this campaign holds the repo's bit-identity guarantee.
+    ``True`` (the default) compiles fused segments *unpacked* — one
+    segment per primitive operation — so fused records stay
+    bit-identical to the unfused executors. Waiving it
+    (``bit_identical=False``) unlocks packed segment composition (and
+    is required before ``precision="float32"``): the fastest mode,
+    whose records are still bitwise-stable across executors and tile
+    sizes but reorder floating-point products against the per-gate
+    loops."""
+    memory_budget: Optional[int] = None
+    """Peak batch-memory budget in bytes (also accepts ``"512MB"``-style
+    strings). Caps the batched executor's branch-tile size so wide
+    campaigns stream instead of OOMing; tiling never changes records, so
+    the budget is excluded from the spec hash."""
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -173,6 +247,25 @@ class ScenarioSpec:
             raise ValueError("shots must be positive when given")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be positive when given")
+        if self.precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {self.precision!r} "
+                f"(choose from {PRECISIONS})"
+            )
+        if self.precision != "exact":
+            if not self.fused:
+                raise ValueError(
+                    "precision='float32' runs on fused segments; "
+                    "set fused=true as well"
+                )
+            if self.bit_identical:
+                raise ValueError(
+                    "precision='float32' waives the bit-identity "
+                    "guarantee; set bit_identical=false to acknowledge"
+                )
+        object.__setattr__(
+            self, "memory_budget", parse_memory_budget(self.memory_budget)
+        )
         # A JSON spec (or expand_grid entry) supplies the transpile block
         # as a plain dict; coerce it here so from_dict stays cls(**data).
         if isinstance(self.transpile, dict):
@@ -227,6 +320,22 @@ class ScenarioSpec:
         """
         data = asdict(self)
         data.pop("label")
+        # memory_budget only tiles execution (tiling cannot change
+        # records), so it always drops. ``fused``/``precision``/
+        # ``bit_identical`` CAN move records — waiving bit-identity
+        # packs segment composition, which reorders floating-point
+        # products — so they participate when set, but drop at their
+        # defaults so every spec hash computed before these fields
+        # existed stays valid and half-finished suite manifests keep
+        # resuming. A waived guarantee also drops when fusion is off
+        # entirely: packing is inert there.
+        data.pop("memory_budget")
+        if self.bit_identical or not self.fused:
+            data.pop("bit_identical")
+        if not self.fused:
+            data.pop("fused")
+        if self.precision == "exact":
+            data.pop("precision")
         backend = self.backend
         if backend == "auto":
             backend = (

@@ -13,12 +13,20 @@ from .backend import (
     Backend,
     BatchedSnapshotBackend,
     BranchBatch,
+    FusedSnapshotBackend,
     SimulationSnapshot,
     SnapshotBackend,
     supports_batched_branches,
+    supports_fused_segments,
     supports_snapshots,
 )
 from .density_matrix import DensityMatrixSimulator
+from .segments import (
+    HAVE_OPT_EINSUM,
+    FusedSegment,
+    SegmentCompiler,
+    TailPlan,
+)
 from .noise import (
     NoiseModel,
     QuantumChannel,
@@ -38,10 +46,16 @@ __all__ = [
     "Backend",
     "SnapshotBackend",
     "BatchedSnapshotBackend",
+    "FusedSnapshotBackend",
     "SimulationSnapshot",
     "BranchBatch",
+    "SegmentCompiler",
+    "TailPlan",
+    "FusedSegment",
+    "HAVE_OPT_EINSUM",
     "supports_snapshots",
     "supports_batched_branches",
+    "supports_fused_segments",
     "StatevectorSimulator",
     "DensityMatrixSimulator",
     "TrajectorySimulator",

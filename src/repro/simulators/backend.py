@@ -50,10 +50,12 @@ __all__ = [
     "Backend",
     "SnapshotBackend",
     "BatchedSnapshotBackend",
+    "FusedSnapshotBackend",
     "SimulationSnapshot",
     "BranchBatch",
     "supports_snapshots",
     "supports_batched_branches",
+    "supports_fused_segments",
     "uniform_head_slots",
     "validate_branch_head",
     "batched_clbit_marginals",
@@ -199,6 +201,41 @@ class BatchedSnapshotBackend(SnapshotBackend, Protocol):
         ...
 
 
+@runtime_checkable
+class FusedSnapshotBackend(BatchedSnapshotBackend, Protocol):
+    """Batched backend whose tails can run as precompiled fused segments.
+
+    A fused backend hands out a
+    :class:`~repro.simulators.segments.SegmentCompiler` for a circuit via
+    :meth:`tail_compiler`; executors then pass the compiler's
+    :class:`~repro.simulators.segments.TailPlan` for a snapshot position
+    as the ``plan=`` keyword of :meth:`SnapshotBackend.run_from_snapshot`
+    / :meth:`BatchedSnapshotBackend.run_branches_from_snapshot` (the
+    keyword is accepted by implementations, not declared on the base
+    protocols — ``runtime_checkable`` only checks method presence). With
+    a plan, the backend applies one contraction per fused segment instead
+    of walking the tail instruction list gate by gate.
+
+    :meth:`branch_state_nbytes` reports the bytes one branch's state
+    occupies in a batch, which is what memory-budgeted tiling divides
+    against.
+    """
+
+    def tail_compiler(self, circuit: QuantumCircuit, **options):
+        """A segment compiler for ``circuit`` matching this backend's
+        state representation (unitary segments for statevectors,
+        superoperator segments with noise folded in for density
+        matrices). ``options`` forward to the compiler constructor
+        (``dtype``, ``pack``, support caps)."""
+        ...
+
+    def branch_state_nbytes(self, num_qubits: int) -> int:
+        """Bytes one branch's exact (complex128) state occupies in a
+        batch: ``16 * 2**n`` for statevectors, ``16 * 4**n`` for density
+        matrices."""
+        ...
+
+
 def supports_snapshots(backend: object) -> bool:
     """True when ``backend`` implements the snapshot/branch protocol."""
     return isinstance(backend, SnapshotBackend)
@@ -207,6 +244,11 @@ def supports_snapshots(backend: object) -> bool:
 def supports_batched_branches(backend: object) -> bool:
     """True when ``backend`` implements the batched branch protocol."""
     return isinstance(backend, BatchedSnapshotBackend)
+
+
+def supports_fused_segments(backend: object) -> bool:
+    """True when ``backend`` implements the fused-segment protocol."""
+    return isinstance(backend, FusedSnapshotBackend)
 
 
 def validate_branch_head(

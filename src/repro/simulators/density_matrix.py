@@ -16,7 +16,7 @@ to re-simulating the whole faulty circuit.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Set
 
 import numpy as np
 
@@ -27,7 +27,6 @@ from ..quantum.linalg import (
     apply_superop_to_density_batch,
     apply_unitary_to_density,
     apply_unitary_to_density_batch,
-    kraus_to_superoperator,
 )
 from ..quantum.states import DensityMatrix, format_bitstring
 from .backend import (
@@ -40,40 +39,31 @@ from .backend import (
 from .noise import NoiseModel
 from .sampler import Result
 
-__all__ = ["DensityMatrixSimulator"]
-
-
-def _channel_superop_plan(
-    channel, qubits: Sequence[int], gate_name: str
-) -> List[Tuple[np.ndarray, Tuple[int, ...]]]:
-    """How a noise channel lands on a gate's qubits: (superop, targets) list.
-
-    A channel matching the gate's arity acts once on all its qubits; a
-    one-qubit channel on a multi-qubit gate acts on each participating
-    qubit independently. Shared by the serial and batched advance loops so
-    both apply exactly the same superoperators in the same order.
-    """
-    if channel.num_qubits == len(qubits):
-        return [(channel.superoperator, tuple(qubits))]
-    if channel.num_qubits == 1:
-        return [(channel.superoperator, (qubit,)) for qubit in qubits]
-    raise ValueError(
-        f"channel {channel.name!r} arity "
-        f"{channel.num_qubits} does not match gate "
-        f"{gate_name} on {len(qubits)} qubit(s)"
-    )
-
-
-# Reset re-prepares |0> through this fixed two-operator Kraus channel. Both
-# advance loops apply it in superoperator form: the serial path via
+# The channel plan and the Reset superoperator live in the segments
+# module, which must apply exactly these operators when it folds noise
+# and resets into fused superoperator segments. Both advance loops apply
+# the Reset channel in superoperator form — the serial path via
 # reset_qubit -> apply_kraus_to_density (which converts multi-operator
 # channels to a superoperator), the batched path directly — same matrix,
 # same contraction per slice, hence bit-identical.
-_RESET_KRAUS = (
-    np.array([[1, 0], [0, 0]], dtype=complex),
-    np.array([[0, 1], [0, 0]], dtype=complex),
+from .segments import (
+    RESET_SUPEROP as _RESET_SUPEROP,
+    SegmentCompiler,
+    TailPlan,
+    apply_plan_to_density_batch,
+    channel_superop_plan as _channel_superop_plan,
 )
-_RESET_SUPEROP = kraus_to_superoperator(_RESET_KRAUS)
+
+__all__ = ["DensityMatrixSimulator"]
+
+
+def _check_plan_start(plan: TailPlan, snapshot: SimulationSnapshot) -> None:
+    """A tail plan only substitutes for the suffix it was compiled from."""
+    if plan.start != snapshot.position:
+        raise ValueError(
+            f"tail plan compiled for position {plan.start} cannot run "
+            f"from a snapshot at position {snapshot.position}"
+        )
 
 
 class DensityMatrixSimulator:
@@ -141,18 +131,39 @@ class DensityMatrixSimulator:
         tail: Optional[Sequence[Instruction]] = None,
         shots: Optional[int] = None,
         seed: Optional[int] = None,
+        plan: Optional[TailPlan] = None,
     ) -> Result:
         """Branch from ``snapshot``, apply ``tail``, return the Result.
 
         Bit-identical to :meth:`run` on the equivalent full circuit: the
         branch replays exactly the gate/channel sequence the suffix would
         see, then folds in readout confusion the same way.
+
+        With a ``plan`` (compiled for ``snapshot.position`` with this
+        backend's noise model folded in), ``tail`` carries only the
+        branch's private head; the shared suffix — gates, channels,
+        resets — applies as the plan's fused segments.
         """
         measure_map = dict(snapshot.measure_map)
         measured = set(snapshot.measured)
-        if tail is None:
-            tail = circuit.instructions[snapshot.position :]
-        state = self._advance(snapshot.state, tail, measure_map, measured)
+        if plan is not None:
+            _check_plan_start(plan, snapshot)
+            state = self._advance(
+                snapshot.state, tail or (), measure_map, measured
+            )
+            batch = apply_plan_to_density_batch(
+                state.data[np.newaxis, :, :], plan, circuit.num_qubits
+            )
+            for clbit, qubit in plan.measures:
+                measure_map[clbit] = qubit
+                measured.add(qubit)
+            state = DensityMatrix(batch[0])
+        else:
+            if tail is None:
+                tail = circuit.instructions[snapshot.position :]
+            state = self._advance(
+                snapshot.state, tail, measure_map, measured
+            )
         probabilities = self._measured_distribution(
             state, circuit, measure_map
         )
@@ -175,6 +186,7 @@ class DensityMatrixSimulator:
         circuit: QuantumCircuit,
         heads: Sequence[Sequence[Instruction]],
         shots: Optional[int] = None,
+        plan: Optional[TailPlan] = None,
     ) -> BranchBatch:
         """Evaluate one fault branch per head as a density-matrix batch.
 
@@ -185,6 +197,10 @@ class DensityMatrixSimulator:
         confusion — applies across the whole batch at once. Row ``b`` is
         bit-identical to :meth:`run_from_snapshot` with the tail
         ``heads[b] + circuit.instructions[snapshot.position:]``.
+
+        With a ``plan`` compiled for ``snapshot.position``, the shared
+        tail applies as fused superoperator/unitary segments (one
+        contraction per segment) instead of operation by operation.
         """
         heads = [tuple(head) for head in heads]
         num_qubits = circuit.num_qubits
@@ -194,11 +210,20 @@ class DensityMatrixSimulator:
             snapshot.state.data[np.newaxis, :, :], len(heads), axis=0
         )
         batch = self._apply_heads_batch(batch, heads, measured, num_qubits)
-        batch = self._advance_batch(
-            batch, circuit.instructions[snapshot.position :],
-            measure_map, measured, num_qubits,
-        )
+        if plan is not None:
+            _check_plan_start(plan, snapshot)
+            batch = apply_plan_to_density_batch(batch, plan, num_qubits)
+            for clbit, qubit in plan.measures:
+                measure_map[clbit] = qubit
+                measured.add(qubit)
+        else:
+            batch = self._advance_batch(
+                batch, circuit.instructions[snapshot.position :],
+                measure_map, measured, num_qubits,
+            )
         probs = self._batch_probabilities(batch)
+        if probs.dtype != np.float64:
+            probs = probs.astype(np.float64)
         probs = self._apply_readout_confusion_batch(
             probs, measure_map, num_qubits
         )
@@ -354,6 +379,28 @@ class DensityMatrixSimulator:
                 axis + 1,
             )
         return tensor.reshape(probs.shape[0], -1)
+
+    # ------------------------------------------------------------------
+    # Fused-segment protocol
+    # ------------------------------------------------------------------
+    def tail_compiler(
+        self, circuit: QuantumCircuit, **options
+    ) -> SegmentCompiler:
+        """A superoperator segment compiler for ``circuit`` with this
+        backend's noise model folded into the segments. ``options``
+        forward to :class:`~repro.simulators.segments.SegmentCompiler`
+        (``dtype``, ``pack``, support caps)."""
+        return SegmentCompiler(
+            circuit,
+            superop=True,
+            noise_model=self.noise_model,
+            **options,
+        )
+
+    def branch_state_nbytes(self, num_qubits: int) -> int:
+        """Bytes per branch in an exact batch: a full complex128 density
+        matrix."""
+        return 16 * 4**num_qubits
 
     # ------------------------------------------------------------------
     def density_matrix(self, circuit: QuantumCircuit) -> DensityMatrix:

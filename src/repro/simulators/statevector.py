@@ -21,6 +21,11 @@ from .backend import (
     validate_branch_head,
 )
 from .sampler import Result
+from .segments import (
+    SegmentCompiler,
+    TailPlan,
+    apply_plan_to_statevector_batch,
+)
 
 __all__ = ["StatevectorSimulator"]
 
@@ -114,12 +119,18 @@ class StatevectorSimulator:
         tail: Optional[Sequence[Instruction]] = None,
         shots: Optional[int] = None,
         seed: Optional[int] = None,
+        plan: Optional[TailPlan] = None,
     ) -> Result:
         """Branch from ``snapshot``, apply ``tail``, return the Result.
 
         ``tail`` defaults to the rest of ``circuit``; the fault injector
         passes the spliced continuation instead. The snapshot itself is
         never mutated, so many branches may share it.
+
+        With a ``plan`` (a :class:`~repro.simulators.segments.TailPlan`
+        compiled for ``snapshot.position``), ``tail`` carries only the
+        branch's private head; the shared circuit suffix applies as the
+        plan's fused segments instead of gate by gate.
 
         Without a ``seed`` the exact distribution is returned even when
         ``shots`` is set, leaving re-sampling to the caller (campaign code
@@ -130,11 +141,29 @@ class StatevectorSimulator:
         """
         measure_map = dict(snapshot.measure_map)
         measured = set(snapshot.measured)
-        if tail is None:
-            tail = circuit.instructions[snapshot.position :]
-        state = self._advance(snapshot.state, tail, measure_map, measured)
+        if plan is not None:
+            _check_plan_start(plan, snapshot)
+            state = self._advance(
+                snapshot.state, tail or (), measure_map, measured
+            )
+            batch = apply_plan_to_statevector_batch(
+                state.data[np.newaxis, :], plan, circuit.num_qubits
+            )
+            for clbit, qubit in plan.measures:
+                measure_map[clbit] = qubit
+                measured.add(qubit)
+            qubit_probs = np.abs(batch[0]) ** 2
+            if qubit_probs.dtype != np.float64:
+                qubit_probs = qubit_probs.astype(np.float64)
+        else:
+            if tail is None:
+                tail = circuit.instructions[snapshot.position :]
+            state = self._advance(
+                snapshot.state, tail, measure_map, measured
+            )
+            qubit_probs = state.probabilities()
         probabilities = _marginal_clbit_distribution(
-            state.probabilities(), measure_map, circuit
+            qubit_probs, measure_map, circuit
         )
         num_clbits = circuit.num_clbits or circuit.num_qubits
         metadata: Dict[str, object] = {"backend": self.name, "ideal": True}
@@ -166,6 +195,7 @@ class StatevectorSimulator:
         circuit: QuantumCircuit,
         heads: Sequence[Sequence[Instruction]],
         shots: Optional[int] = None,
+        plan: Optional[TailPlan] = None,
     ) -> BranchBatch:
         """Evaluate one fault branch per head as a single statevector batch.
 
@@ -175,6 +205,10 @@ class StatevectorSimulator:
         to the whole batch at once. Row ``b`` of the returned batch is
         bit-identical to :meth:`run_from_snapshot` with the tail
         ``heads[b] + circuit.instructions[snapshot.position:]``.
+
+        With a ``plan`` compiled for ``snapshot.position``, the shared
+        tail applies as fused segments (one contraction per segment)
+        instead of gate by gate.
         """
         heads = [tuple(head) for head in heads]
         num_qubits = circuit.num_qubits
@@ -184,12 +218,24 @@ class StatevectorSimulator:
             snapshot.state.data[np.newaxis, :], len(heads), axis=0
         )
         batch = _apply_heads_batch(batch, heads, measured, num_qubits)
-        batch = self._advance_batch(
-            batch, circuit.instructions[snapshot.position :],
-            measure_map, measured, num_qubits,
-        )
+        if plan is not None:
+            _check_plan_start(plan, snapshot)
+            batch = apply_plan_to_statevector_batch(
+                batch, plan, num_qubits
+            )
+            for clbit, qubit in plan.measures:
+                measure_map[clbit] = qubit
+                measured.add(qubit)
+        else:
+            batch = self._advance_batch(
+                batch, circuit.instructions[snapshot.position :],
+                measure_map, measured, num_qubits,
+            )
+        qubit_probs = np.abs(batch) ** 2
+        if qubit_probs.dtype != np.float64:
+            qubit_probs = qubit_probs.astype(np.float64)
         probabilities, present, key_width = batched_clbit_marginals(
-            np.abs(batch) ** 2, measure_map, circuit
+            qubit_probs, measure_map, circuit
         )
         return BranchBatch(
             probabilities=probabilities,
@@ -268,6 +314,32 @@ class StatevectorSimulator:
     def statevector(self, circuit: QuantumCircuit) -> Statevector:
         """Final pure state of the measurement-free part of ``circuit``."""
         return Statevector.from_circuit(circuit)
+
+    # ------------------------------------------------------------------
+    # Fused-segment protocol
+    # ------------------------------------------------------------------
+    def tail_compiler(
+        self, circuit: QuantumCircuit, **options
+    ) -> SegmentCompiler:
+        """A unitary segment compiler for ``circuit`` (pure states carry
+        no noise, so fused segments are plain unitaries). ``options``
+        forward to :class:`~repro.simulators.segments.SegmentCompiler`
+        (``dtype``, ``pack``, support caps)."""
+        return SegmentCompiler(circuit, superop=False, **options)
+
+    def branch_state_nbytes(self, num_qubits: int) -> int:
+        """Bytes per branch in an exact batch: one complex128 amplitude
+        per basis state."""
+        return 16 * 2**num_qubits
+
+
+def _check_plan_start(plan: TailPlan, snapshot: SimulationSnapshot) -> None:
+    """A tail plan only substitutes for the suffix it was compiled from."""
+    if plan.start != snapshot.position:
+        raise ValueError(
+            f"tail plan compiled for position {plan.start} cannot run "
+            f"from a snapshot at position {snapshot.position}"
+        )
 
 
 def _apply_heads_batch(

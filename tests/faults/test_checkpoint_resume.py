@@ -25,6 +25,7 @@ from repro.faults import (
     SerialExecutor,
     fault_grid,
 )
+from repro.faults.executor import TILE_WORKING_SET
 from repro.faults.store import (
     append_record_segment,
     is_segment_file,
@@ -277,3 +278,131 @@ class TestSegmentStoreRobustness:
         assert not is_segment_file(path)
         with pytest.raises(ValueError, match="not a segment checkpoint"):
             read_segments(path)
+
+
+def fused_tiled(tile=None):
+    """A fused BatchedExecutor budgeted down to ``tile`` branches.
+
+    ``None`` leaves the budget open (the full default batch). Budgets
+    are sized against the statevector backend's 3-qubit branch states,
+    matching the campaigns these tests run.
+    """
+    if tile is None:
+        return BatchedExecutor(fused=True)
+    nbytes = StatevectorSimulator().branch_state_nbytes(3)
+    return BatchedExecutor(
+        fused=True, memory_budget=TILE_WORKING_SET * tile * nbytes
+    )
+
+
+class TestTilingInvariance:
+    """Tile size is an execution detail: stores must not see it.
+
+    The same fused campaign run at tile sizes {1, 3, B} must leave
+    byte-identical segment checkpoints on disk, and a campaign killed at
+    one tile size then resumed at another must converge to the same
+    bytes — record layout is pinned by ``docs/file_formats.md``, so
+    tiling has nowhere to hide.
+    """
+
+    def test_tile_sizes_leave_byte_identical_stores(self, tmp_path):
+        spec = bernstein_vazirani(3)
+        faults = fault_grid(step_deg=90)
+        blobs = {}
+        for tile in (1, 3, None):
+            path = str(tmp_path / f"tile-{tile}.ckpt")
+            run_checkpointed(path, spec, faults, fused_tiled(tile), None, None)
+            with open(path, "rb") as handle:
+                blobs[tile] = handle.read()
+        assert blobs[1] == blobs[3] == blobs[None]
+
+    def test_kill_at_one_tile_resume_at_another(self, tmp_path):
+        """Kill at tile 3, resume at the full batch: same bytes as an
+        uninterrupted run (the resume manifest holds no tile residue)."""
+        spec = bernstein_vazirani(3)
+        faults = fault_grid(step_deg=90)
+        reference_path = str(tmp_path / "reference.ckpt")
+        reference = run_checkpointed(
+            reference_path, spec, faults, fused_tiled(), None, None
+        )
+        path = str(tmp_path / "killed.ckpt")
+        with pytest.raises(SimulatedKill):
+            run_checkpointed(
+                path,
+                spec,
+                faults,
+                KillingExecutor(fused_tiled(3), kill_after=30),
+                None,
+                None,
+            )
+        resumed = run_checkpointed(
+            path, spec, faults, fused_tiled(), None, None
+        )
+        assert_records_identical(
+            resumed.sorted_records(), reference.sorted_records()
+        )
+        with open(reference_path, "rb") as handle:
+            reference_bytes = handle.read()
+        with open(path, "rb") as handle:
+            assert handle.read() == reference_bytes
+
+    def test_sampled_tiling_invariance(self, tmp_path):
+        """Per-task seeding is tile-independent too."""
+        spec = bernstein_vazirani(3)
+        faults = fault_grid(step_deg=90)
+        blobs = []
+        for tile in (1, None):
+            path = str(tmp_path / f"sampled-{tile}.ckpt")
+            run_checkpointed(path, spec, faults, fused_tiled(tile), 128, 7)
+            with open(path, "rb") as handle:
+                blobs.append(handle.read())
+        assert blobs[0] == blobs[1]
+
+    def test_transpiled_scenario_tiling_invariance(self, tmp_path):
+        """The PR 5 transpiled path: fused + tiled checkpoints agree
+        byte for byte whatever the memory budget."""
+        from repro.scenarios import ScenarioSpec
+        from repro.scenarios.factory import (
+            FactoryCache,
+            make_algorithm,
+            make_faults,
+            make_injector,
+            make_segment_compiler,
+            make_transpiled_campaign_inputs,
+            scenario_metadata,
+        )
+
+        scenario = ScenarioSpec(
+            algorithm="ghz",
+            width=3,
+            noise="light",
+            grid_step_deg=90.0,
+            executor="batched",
+            transpile={"optimization_level": 1, "seed": 7},
+            fused=True,
+        )
+        blobs = []
+        for budget in (1024, None):
+            cache = FactoryCache()
+            algorithm = make_algorithm(scenario, cache)
+            executor = BatchedExecutor(fused=True, memory_budget=budget)
+            executor.prime_segment_compiler(
+                make_segment_compiler(scenario, cache)
+            )
+            qufi = make_injector(scenario, cache, executor=executor)
+            transpiled, points, extra_meta = make_transpiled_campaign_inputs(
+                scenario, cache
+            )
+            extra_meta.update(scenario_metadata(scenario))
+            path = str(tmp_path / f"transpiled-{budget}.ckpt")
+            runner = CheckpointedRunner(qufi, path, save_every=10)
+            runner.run(
+                transpiled.circuit,
+                correct_states=algorithm.correct_states,
+                faults=make_faults(scenario, cache),
+                points=points,
+                metadata=extra_meta,
+            )
+            with open(path, "rb") as handle:
+                blobs.append(handle.read())
+        assert blobs[0] == blobs[1]

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.scenarios import ScenarioSpec, SuiteSpec, expand_grid
+from repro.scenarios.spec import parse_memory_budget
 
 
 class TestScenarioSpec:
@@ -107,6 +108,109 @@ class TestScenarioSpec:
             algorithm="bv", backend="machine-emulator", drift_scale=0.1,
             seed=1,
         ).spec_hash()
+
+
+class TestFusionFields:
+    """The PR 6 fields: fusion, precision, waiver, memory budget."""
+
+    def test_defaults(self):
+        spec = ScenarioSpec(algorithm="bv")
+        assert spec.fused is False
+        assert spec.precision == "exact"
+        assert spec.bit_identical is True
+        assert spec.memory_budget is None
+
+    def test_memory_budget_strings_parse(self):
+        spec = ScenarioSpec(algorithm="bv", memory_budget="512MB")
+        assert spec.memory_budget == 512 * 2**20
+
+    def test_fusion_round_trips_through_dict(self):
+        spec = ScenarioSpec(
+            algorithm="bv",
+            fused=True,
+            precision="float32",
+            bit_identical=False,
+            memory_budget="1gb",
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defaults_hash_like_pre_fusion_specs(self):
+        """Adding the fields must not invalidate stored spec hashes:
+        default-valued fusion fields stay out of the canonical dict."""
+        spec = ScenarioSpec(algorithm="bv", width=3)
+        canonical = spec.canonical_dict()
+        for name in ("fused", "precision", "bit_identical", "memory_budget"):
+            assert name not in canonical
+
+    def test_fused_changes_the_hash(self):
+        base = ScenarioSpec(algorithm="bv", width=3)
+        assert base.spec_hash() != ScenarioSpec(
+            algorithm="bv", width=3, fused=True
+        ).spec_hash()
+
+    def test_waiver_changes_the_hash_only_when_fused(self):
+        base = ScenarioSpec(algorithm="bv", width=3)
+        # Packing changes records, so the waiver participates when fused...
+        assert ScenarioSpec(
+            algorithm="bv", width=3, fused=True
+        ).spec_hash() != ScenarioSpec(
+            algorithm="bv", width=3, fused=True, bit_identical=False
+        ).spec_hash()
+        # ... but is inert (and hash-neutral) without fusion.
+        assert base.spec_hash() == ScenarioSpec(
+            algorithm="bv", width=3, bit_identical=False
+        ).spec_hash()
+
+    def test_memory_budget_never_changes_the_hash(self):
+        base = ScenarioSpec(algorithm="bv", width=3, fused=True)
+        assert base.spec_hash() == ScenarioSpec(
+            algorithm="bv", width=3, fused=True, memory_budget="64mb"
+        ).spec_hash()
+
+    def test_float32_requires_fusion_and_waiver(self):
+        with pytest.raises(ValueError, match="set fused=true"):
+            ScenarioSpec(
+                algorithm="bv", precision="float32", bit_identical=False
+            )
+        with pytest.raises(ValueError, match="waives the bit-identity"):
+            ScenarioSpec(algorithm="bv", fused=True, precision="float32")
+
+    def test_float32_changes_the_hash(self):
+        assert ScenarioSpec(
+            algorithm="bv", fused=True, bit_identical=False
+        ).spec_hash() != ScenarioSpec(
+            algorithm="bv",
+            fused=True,
+            precision="float32",
+            bit_identical=False,
+        ).spec_hash()
+
+
+class TestParseMemoryBudget:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, None),
+            (1024, 1024),
+            (2.5 * 2**20, int(2.5 * 2**20)),
+            ("4096", 4096),
+            ("64kb", 64 * 2**10),
+            ("512MB", 512 * 2**20),
+            ("2 GB", 2 * 2**30),
+            ("1.5gb", int(1.5 * 2**30)),
+            ("1tb", 2**40),
+            ("128b", 128),
+        ],
+    )
+    def test_accepted_forms(self, value, expected):
+        assert parse_memory_budget(value) == expected
+
+    @pytest.mark.parametrize(
+        "value", ["", "lots", "12xb", "-1", 0, -5, True]
+    )
+    def test_rejected_forms(self, value):
+        with pytest.raises(ValueError):
+            parse_memory_budget(value)
 
 
 class TestExpandGrid:
