@@ -9,6 +9,16 @@ from .compare import (
 from .heatmap import HeatmapData, gate_reference_lines, heatmap_data, render_ascii
 from .image import heatmap_to_ppm, qvf_color, save_heatmap_ppm
 from .mitigation import mitigate_readout, mitigation_matrix
+from .query import (
+    GROUP_KEYS,
+    ScenarioHandle,
+    comparison_table,
+    delta_comparison,
+    export_records,
+    find_scenario,
+    iter_scenarios,
+    per_qubit_comparison,
+)
 from .report import campaign_report, suite_report
 from .histogram import (
     DistributionSummary,
@@ -39,4 +49,12 @@ __all__ = [
     "save_heatmap_ppm",
     "mitigate_readout",
     "mitigation_matrix",
+    "GROUP_KEYS",
+    "ScenarioHandle",
+    "iter_scenarios",
+    "find_scenario",
+    "per_qubit_comparison",
+    "delta_comparison",
+    "comparison_table",
+    "export_records",
 ]

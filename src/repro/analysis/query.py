@@ -1,0 +1,418 @@
+"""Cross-suite analytics over manifest directories, out-of-core.
+
+A suite run leaves a manifest directory behind (``manifest.json`` plus
+one segment store per scenario); a research campaign leaves many — one
+per machine, topology, optimization level, noise model. This module is
+the layer that reads *across* them without loading any store whole:
+
+* :func:`iter_scenarios` walks manifest directories into lightweight
+  :class:`ScenarioHandle` rows (spec + digest + store path; nothing is
+  opened);
+* :func:`per_qubit_comparison` streams every selected store in
+  memory-mapped windows and tabulates mean QVF per qubit, grouped by any
+  spec axis (machine, optimization level, noise, ...);
+* :func:`delta_comparison` computes Fig. 9-style delta heatmaps between
+  two scenarios picked out of (possibly different) manifests, on lazy
+  results;
+* :func:`export_records` writes the selected scenarios' records as one
+  flat analytics table — Parquet or Arrow IPC when ``pyarrow`` is
+  available, an npz bundle otherwise (the fallback is automatic and
+  explicit in the return value).
+
+Everything here is also reachable as ``repro query ...`` from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..faults.campaign import CampaignResult, delta_heatmap
+from ..faults.records import RECORD_DTYPE, RecordTable
+from ..faults.store import DEFAULT_WINDOW_ROWS, open_store
+from ..scenarios.runner import MANIFEST_NAME
+from ..scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "GROUP_KEYS",
+    "ScenarioHandle",
+    "iter_scenarios",
+    "find_scenario",
+    "per_qubit_comparison",
+    "delta_comparison",
+    "comparison_table",
+    "export_records",
+]
+
+_MANIFEST_FORMAT = "qufi-suite-manifest-v1"
+
+#: Spec axes a comparison can group scenarios by.
+GROUP_KEYS = (
+    "machine",
+    "optimization",
+    "noise",
+    "algorithm",
+    "backend",
+    "executor",
+    "suite",
+    "scenario",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioHandle:
+    """One completed scenario inside a manifest directory.
+
+    Holds the parsed spec and the manifest digest only — opening the
+    record store is an explicit, separate step (:meth:`open`), so a
+    query can enumerate and filter thousands of scenarios for free.
+    """
+
+    suite: str
+    manifest_dir: str
+    scenario_id: str
+    spec: ScenarioSpec
+    spec_hash: str
+    store_path: str
+    digest: Dict[str, object]
+
+    def open(
+        self, window_rows: int = DEFAULT_WINDOW_ROWS
+    ) -> CampaignResult:
+        """The scenario's campaign as a lazy, out-of-core result."""
+        return CampaignResult.open(self.store_path, window_rows=window_rows)
+
+    def group(self, key: str) -> str:
+        """The scenario's label on a :data:`GROUP_KEYS` axis."""
+        if key == "machine":
+            return (
+                self.spec.effective_machine
+                if self.spec.transpile is not None
+                else "logical"
+            )
+        if key == "optimization":
+            if self.spec.transpile is None:
+                return "untranspiled"
+            return f"O{self.spec.transpile.optimization_level}"
+        if key == "noise":
+            return self.spec.noise
+        if key == "algorithm":
+            return f"{self.spec.algorithm}{self.spec.width}"
+        if key == "backend":
+            return self.spec.backend
+        if key == "executor":
+            return self.spec.executor
+        if key == "suite":
+            return self.suite
+        if key == "scenario":
+            return self.scenario_id
+        raise ValueError(
+            f"unknown group key {key!r} (choose from {GROUP_KEYS})"
+        )
+
+
+def _load_manifest(manifest_dir: str) -> Dict[str, object]:
+    path = os.path.join(manifest_dir, MANIFEST_NAME)
+    with open(path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != _MANIFEST_FORMAT:
+        raise ValueError(f"{path!r} is not a suite manifest")
+    return manifest
+
+
+def iter_scenarios(
+    manifest_dirs: Sequence[str],
+    algorithm: Optional[str] = None,
+    status: str = "done",
+) -> Iterator[ScenarioHandle]:
+    """Walk manifest directories into :class:`ScenarioHandle` rows.
+
+    Yields in manifest order, directory by directory. ``status="done"``
+    (the default) skips pending entries — a halted suite is still
+    queryable for what it finished. ``algorithm`` filters on the spec's
+    algorithm name. Nothing heavier than ``manifest.json`` is read.
+    """
+    for manifest_dir in manifest_dirs:
+        manifest = _load_manifest(manifest_dir)
+        suite = manifest.get("suite", {}).get("name", "?")
+        for entry in manifest.get("scenarios", []):
+            if status and entry.get("status") != status:
+                continue
+            spec = ScenarioSpec.from_dict(entry["spec"])
+            if algorithm is not None and spec.algorithm != algorithm:
+                continue
+            yield ScenarioHandle(
+                suite=suite,
+                manifest_dir=manifest_dir,
+                scenario_id=entry["id"],
+                spec=spec,
+                spec_hash=entry.get("spec_hash", ""),
+                store_path=os.path.join(
+                    manifest_dir, entry["result_file"]
+                ),
+                digest=dict(entry.get("digest", {})),
+            )
+
+
+def find_scenario(
+    manifest_dirs: Sequence[str], scenario_id: str
+) -> ScenarioHandle:
+    """The handle for ``scenario_id`` across the given manifests.
+
+    IDs are unique within a manifest; across manifests the first match
+    wins (directories are searched in the order given).
+    """
+    for handle in iter_scenarios(manifest_dirs):
+        if handle.scenario_id == scenario_id:
+            return handle
+    raise KeyError(
+        f"no completed scenario {scenario_id!r} in "
+        f"{list(manifest_dirs)}"
+    )
+
+
+def per_qubit_comparison(
+    handles: Sequence[ScenarioHandle],
+    frame: str = "wire",
+    group_by: str = "machine",
+    window_rows: int = DEFAULT_WINDOW_ROWS,
+) -> Dict[str, Dict[int, float]]:
+    """Mean QVF per qubit, grouped by a spec axis, streamed.
+
+    Returns ``{group_label: {qubit: mean_qvf}}`` where the mean is over
+    *all records* of the group's scenarios (scenarios with more
+    injections weigh proportionally, exactly as if their records were
+    one campaign). Stores stream in memory-mapped windows; peak memory
+    is one window per store, never a table.
+
+    ``frame`` follows :meth:`CampaignResult.per_qubit_qvf`; scenarios
+    without frame attribution are an error for non-wire frames — filter
+    the handles first if mixing is intended.
+    """
+    frame_columns = {
+        "wire": "qubit",
+        "physical": "physical_qubit",
+        "logical": "logical_qubit",
+    }
+    if frame not in frame_columns:
+        raise ValueError(f"unknown frame {frame!r}")
+    column = frame_columns[frame]
+    totals: Dict[str, np.ndarray] = {}
+    counts: Dict[str, np.ndarray] = {}
+    for handle in handles:
+        label = handle.group(group_by)
+        result = handle.open(window_rows=window_rows)
+        if frame != "wire" and not result.has_frames():
+            raise ValueError(
+                f"scenario {handle.scenario_id!r} has no {frame}-frame "
+                f"attribution; restrict the query to transpiled "
+                f"scenarios"
+            )
+        group_total = totals.setdefault(label, np.zeros(0))
+        group_count = counts.setdefault(label, np.zeros(0, dtype=np.int64))
+        for chunk in result.iter_chunk_tables():
+            values = np.asarray(chunk.column(column))
+            keep = values >= 0
+            values = values[keep]
+            if not values.size:
+                continue
+            width = max(group_total.size, int(values.max()) + 1)
+            if width > group_total.size:
+                group_total = np.pad(
+                    group_total, (0, width - group_total.size)
+                )
+                group_count = np.pad(
+                    group_count, (0, width - group_count.size)
+                )
+            qvf = np.asarray(chunk.column("qvf"))[keep]
+            group_total += np.bincount(
+                values, weights=qvf, minlength=width
+            )
+            group_count += np.bincount(values, minlength=width).astype(
+                np.int64
+            )
+        totals[label] = group_total
+        counts[label] = group_count
+    return {
+        label: {
+            int(qubit): float(totals[label][qubit] / counts[label][qubit])
+            for qubit in np.nonzero(counts[label])[0]
+        }
+        for label in totals
+    }
+
+
+def delta_comparison(
+    manifest_dirs: Sequence[str],
+    double_id: str,
+    single_id: str,
+    qubit: Optional[int] = None,
+    frame: str = "wire",
+    window_rows: int = DEFAULT_WINDOW_ROWS,
+) -> Tuple[List[float], List[float], np.ndarray]:
+    """Fig. 9 delta heatmap between two scenarios, by id, out-of-core.
+
+    The two scenarios may live in different manifest directories (a
+    double-fault suite vs a single-fault suite, two machines, two
+    optimization levels); both stores stream lazily.
+    """
+    double = find_scenario(manifest_dirs, double_id).open(window_rows)
+    single = find_scenario(manifest_dirs, single_id).open(window_rows)
+    return delta_heatmap(double, single, qubit=qubit, frame=frame)
+
+
+def comparison_table(comparison: Dict[str, Dict[int, float]]) -> str:
+    """Render a per-qubit comparison as a fixed-width text table."""
+    labels = sorted(comparison)
+    qubits = sorted({q for values in comparison.values() for q in values})
+    if not labels or not qubits:
+        return "(no records)"
+    width = max(8, *(len(label) for label in labels))
+    lines = [
+        "qubit  " + "  ".join(label.rjust(width) for label in labels)
+    ]
+    for qubit in qubits:
+        cells = []
+        for label in labels:
+            value = comparison[label].get(qubit)
+            cells.append(
+                ("-" if value is None else f"{value:.4f}").rjust(width)
+            )
+        lines.append(f"{qubit:5d}  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Flat-table export (Parquet / Arrow IPC, npz fallback)
+# ----------------------------------------------------------------------
+
+#: Scenario identity columns appended to every exported record row.
+_ID_COLUMNS = ("suite", "scenario_id", "machine", "optimization", "noise")
+
+
+def _pyarrow():
+    """The pyarrow module, or ``None`` when the build lacks it."""
+    try:
+        import pyarrow  # noqa: F401 — optional dependency
+
+        return pyarrow
+    except ModuleNotFoundError:
+        return None
+
+
+def _chunk_columns(
+    chunk: RecordTable, handle: ScenarioHandle
+) -> Dict[str, np.ndarray]:
+    """One window's columns as plain arrays, plus identity columns."""
+    columns: Dict[str, np.ndarray] = {}
+    for name in RECORD_DTYPE.names:
+        if name == "gate":
+            pool = np.asarray(chunk.gate_names, dtype=np.str_)
+            columns["gate_name"] = pool[np.asarray(chunk.column("gate"))]
+        else:
+            columns[name] = np.asarray(chunk.column(name))
+    size = len(chunk)
+    for key in _ID_COLUMNS:
+        value = (
+            handle.group(key)
+            if key != "scenario_id"
+            else handle.scenario_id
+        )
+        columns[key] = np.full(size, value)
+    return columns
+
+
+def export_records(
+    handles: Sequence[ScenarioHandle],
+    path: str,
+    fmt: str = "auto",
+    window_rows: int = DEFAULT_WINDOW_ROWS,
+) -> str:
+    """Export the scenarios' records as one flat analytics table.
+
+    Columns are the record schema (``gate`` resolved to ``gate_name``)
+    plus scenario identity (suite, scenario id, machine, optimization,
+    noise), so the table is self-describing across suites. Returns the
+    format actually written:
+
+    * ``parquet`` / ``arrow`` — streamed batch-by-batch through
+      ``pyarrow`` (one window per batch; peak memory stays bounded);
+    * ``npz`` — the numpy fallback when ``pyarrow`` is missing (or
+      ``fmt="npz"``): same columns as arrays in one archive. The
+      fallback concatenates in RAM — it trades the bounded-memory
+      property for zero dependencies, and the return value says so.
+
+    ``fmt="auto"`` picks from the extension (``.parquet``, ``.arrow``/
+    ``.feather``, anything else npz) and silently degrades to npz when
+    pyarrow is absent — the CLI surfaces the returned format.
+    """
+    if fmt == "auto":
+        ext = os.path.splitext(path)[1].lower()
+        fmt = {
+            ".parquet": "parquet",
+            ".arrow": "arrow",
+            ".feather": "arrow",
+        }.get(ext, "npz")
+    if fmt not in ("parquet", "arrow", "npz"):
+        raise ValueError(f"unknown export format {fmt!r}")
+    arrow = _pyarrow() if fmt in ("parquet", "arrow") else None
+    if fmt != "npz" and arrow is None:
+        fmt = "npz"
+
+    if fmt == "npz":
+        _export_npz(handles, path, window_rows)
+        return "npz"
+
+    batches = (
+        arrow.RecordBatch.from_pydict(
+            {
+                name: values.tolist() if values.dtype.kind == "U" else values
+                for name, values in _chunk_columns(chunk, handle).items()
+            }
+        )
+        for handle in handles
+        for chunk in handle.open(window_rows).iter_chunk_tables()
+    )
+    first = next(batches, None)
+    if first is None:
+        raise ValueError("no records to export")
+    tmp_path = f"{path}.tmp"
+    if fmt == "parquet":
+        import pyarrow.parquet as parquet
+
+        with parquet.ParquetWriter(tmp_path, first.schema) as writer:
+            writer.write_batch(first)
+            for batch in batches:
+                writer.write_batch(batch)
+    else:
+        import pyarrow.ipc as ipc
+
+        with ipc.new_file(tmp_path, first.schema) as writer:
+            writer.write_batch(first)
+            for batch in batches:
+                writer.write_batch(batch)
+    os.replace(tmp_path, path)
+    return fmt
+
+
+def _export_npz(
+    handles: Sequence[ScenarioHandle], path: str, window_rows: int
+) -> None:
+    parts: Dict[str, List[np.ndarray]] = {}
+    for handle in handles:
+        for chunk in handle.open(window_rows).iter_chunk_tables():
+            for name, values in _chunk_columns(chunk, handle).items():
+                parts.setdefault(name, []).append(values)
+    if not parts:
+        raise ValueError("no records to export")
+    columns = {
+        name: np.concatenate(values) for name, values in parts.items()
+    }
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "wb") as handle:
+        np.savez(handle, **columns)
+    os.replace(tmp_path, path)

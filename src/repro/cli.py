@@ -16,12 +16,20 @@ Examples::
     python -m repro suite report --manifest paper.out
     python -m repro suite list examples/paper_suite.json
     python -m repro report --input bv4.json
+    python -m repro query list paper.out
+    python -m repro query per-qubit paper.out --group-by machine
+    python -m repro query delta paper.out --double bv4-double \\
+        --single bv4-single --out delta.npz
+    python -m repro query export paper.out --out records.parquet
 
 ``campaign`` is a thin wrapper over the scenario layer: the flags build a
 :class:`~repro.scenarios.spec.ScenarioSpec` and the shared factory
 (:mod:`repro.scenarios.factory`) constructs the backend, executor and
 fault grid — the same construction path suites, benchmarks and examples
-use. ``suite`` runs a whole spec file as one resumable job.
+use. ``suite`` runs a whole spec file as one resumable job; ``query``
+reads *across* finished manifests out-of-core (per-qubit comparisons,
+delta heatmaps, flat-table exports with an npz fallback when pyarrow
+is absent).
 """
 
 from __future__ import annotations
@@ -31,6 +39,14 @@ import sys
 from typing import List, Optional
 
 from .algorithms import ALGORITHMS
+from .analysis.query import (
+    GROUP_KEYS,
+    comparison_table,
+    delta_comparison,
+    export_records,
+    iter_scenarios,
+    per_qubit_comparison,
+)
 from .analysis.report import campaign_report, suite_report
 from .faults import CampaignResult, CheckpointedRunner
 from .quantum.qasm import circuit_to_qasm
@@ -221,6 +237,76 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--input", required=True)
     report.add_argument("--top", type=int, default=5)
 
+    query = subparsers.add_parser(
+        "query",
+        help="cross-suite analytics over manifest directories "
+        "(out-of-core: stores stream in memory-mapped windows)",
+    )
+    query_sub = query.add_subparsers(dest="query_command", required=True)
+
+    def manifests(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "manifests",
+            nargs="+",
+            help="one or more suite manifest directories",
+        )
+        sub.add_argument(
+            "--algorithm",
+            default=None,
+            help="restrict to scenarios of this algorithm",
+        )
+
+    query_list = query_sub.add_parser(
+        "list", help="enumerate completed scenarios across manifests"
+    )
+    manifests(query_list)
+
+    query_qubits = query_sub.add_parser(
+        "per-qubit",
+        help="mean QVF per qubit, grouped by a spec axis "
+        "(machine, optimization, noise, ...)",
+    )
+    manifests(query_qubits)
+    query_qubits.add_argument(
+        "--frame", choices=["wire", "physical", "logical"], default="wire"
+    )
+    query_qubits.add_argument(
+        "--group-by", choices=list(GROUP_KEYS), default="machine"
+    )
+
+    query_delta = query_sub.add_parser(
+        "delta",
+        help="delta heatmap (double minus single QVF) between two "
+        "scenarios, by id",
+    )
+    manifests(query_delta)
+    query_delta.add_argument("--double", required=True, metavar="ID")
+    query_delta.add_argument("--single", required=True, metavar="ID")
+    query_delta.add_argument("--qubit", type=int, default=None)
+    query_delta.add_argument(
+        "--frame", choices=["wire", "physical", "logical"], default="wire"
+    )
+    query_delta.add_argument(
+        "--out",
+        default=None,
+        help="also save the grid as npz (thetas, phis, delta)",
+    )
+
+    query_export = query_sub.add_parser(
+        "export",
+        help="export the selected scenarios' records as one flat table "
+        "(Parquet/Arrow via pyarrow, npz fallback)",
+    )
+    manifests(query_export)
+    query_export.add_argument("--out", required=True, help="output path")
+    query_export.add_argument(
+        "--format",
+        choices=["auto", "parquet", "arrow", "npz"],
+        default="auto",
+        help="auto picks from the extension and falls back to npz "
+        "when pyarrow is absent",
+    )
+
     return parser
 
 
@@ -369,6 +455,89 @@ def _cmd_suite_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _query_handles(args: argparse.Namespace):
+    return list(
+        iter_scenarios(args.manifests, algorithm=args.algorithm)
+    )
+
+
+def _cmd_query_list(args: argparse.Namespace) -> int:
+    handles = _query_handles(args)
+    for handle in handles:
+        digest = handle.digest
+        mean = digest.get("mean_qvf")
+        print(
+            f"{handle.scenario_id}: suite={handle.suite} "
+            f"machine={handle.group('machine')} "
+            f"opt={handle.group('optimization')} "
+            f"noise={handle.group('noise')} "
+            f"injections={digest.get('num_injections', '?')} "
+            f"mean_qvf={'?' if mean is None else format(mean, '.4f')}"
+        )
+    if not handles:
+        print("(no completed scenarios)")
+    return 0
+
+
+def _cmd_query_per_qubit(args: argparse.Namespace) -> int:
+    comparison = per_qubit_comparison(
+        _query_handles(args), frame=args.frame, group_by=args.group_by
+    )
+    print(
+        f"mean QVF per {args.frame}-frame qubit, "
+        f"grouped by {args.group_by}"
+    )
+    print(comparison_table(comparison))
+    return 0
+
+
+def _cmd_query_delta(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    thetas, phis, delta = delta_comparison(
+        args.manifests,
+        double_id=args.double,
+        single_id=args.single,
+        qubit=args.qubit,
+        frame=args.frame,
+    )
+    finite = delta[np.isfinite(delta)]
+    print(
+        f"delta heatmap {args.double} - {args.single}: "
+        f"{delta.shape[0]}x{delta.shape[1]} cells, "
+        f"mean {finite.mean():+.4f}, max {finite.max():+.4f}"
+        if finite.size
+        else f"delta heatmap {args.double} - {args.single}: no common cells"
+    )
+    if args.out:
+        np.savez(
+            args.out,
+            thetas=np.asarray(thetas),
+            phis=np.asarray(phis),
+            delta=delta,
+        )
+        print(f"-> {args.out}")
+    return 0
+
+
+def _cmd_query_export(args: argparse.Namespace) -> int:
+    handles = _query_handles(args)
+    if not handles:
+        raise SystemExit("no completed scenarios to export")
+    written = export_records(handles, args.out, fmt=args.format)
+    if args.format not in ("auto", "npz") and written == "npz":
+        print(
+            f"pyarrow unavailable: fell back to npz "
+            f"({len(handles)} scenario(s)) -> {args.out}"
+        )
+    else:
+        print(
+            f"exported {len(handles)} scenario(s) as {written} "
+            f"-> {args.out}"
+        )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     # Sniffs the format: campaign JSON, npz export, or a (possibly
     # still-running) segment checkpoint.
@@ -397,6 +566,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "query":
+        if args.query_command == "list":
+            return _cmd_query_list(args)
+        if args.query_command == "per-qubit":
+            return _cmd_query_per_qubit(args)
+        if args.query_command == "delta":
+            return _cmd_query_delta(args)
+        if args.query_command == "export":
+            return _cmd_query_export(args)
+        raise AssertionError(
+            f"unhandled query command {args.query_command!r}"
+        )
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -19,6 +19,17 @@ vectorized pass over the table's columns (grouped accumulation via
 to the historical per-record loops), and ``result.records`` materialises
 the :class:`~repro.faults.records.InjectionRecord` dataclass view lazily
 for consumers that still want objects.
+
+Since the out-of-core refactor the backing table may also stay on disk:
+:meth:`CampaignResult.open` wraps a segment store
+(:class:`~repro.faults.store.StoreView`) without loading it, and every
+aggregation streams the store in bounded memory-mapped windows. The
+streamed passes *continue* the same sequential ``np.bincount`` folds
+across window boundaries (each window's pass is seeded with the running
+totals, and ``0.0 + x`` is exact), so an out-of-core aggregation is
+bit-identical to the in-RAM aggregation of the same records — pinned by
+``tests/faults/test_outofcore.py`` on every algorithm/backend/mode
+combination the executors support.
 """
 
 from __future__ import annotations
@@ -27,7 +38,16 @@ import csv
 import json
 import math
 import os
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -41,6 +61,7 @@ from .records import (
     promote_record_array,
     record_sort_key,
 )
+from .store import DEFAULT_WINDOW_ROWS, SEGMENT_MAGIC, StoreView, open_store
 
 __all__ = [
     "FRAMES",
@@ -124,41 +145,31 @@ def _nearest_indices(axis: np.ndarray, queries: np.ndarray) -> np.ndarray:
     return np.where(take_prev, prev, pos)
 
 
-def _mean_grid(
-    row_values: np.ndarray,
-    col_values: np.ndarray,
-    qvf: np.ndarray,
-) -> Tuple[List[float], List[float], np.ndarray]:
-    """Mean QVF per (row, col) tolerance cell, accumulated in record order.
-
-    Cells accumulate through ``np.bincount`` on the flattened cell index,
-    which adds weights sequentially in input order — each cell's total is
-    the same left-to-right float sum the per-record loop produced, so the
-    grids are bit-identical, not merely close.
-    """
-    rows = _unique_sorted(row_values)
-    cols = _unique_sorted(col_values)
-    grid = _accumulate_grid(
-        _axis_indices(row_values, rows),
-        _axis_indices(col_values, cols),
-        (rows.size, cols.size),
-        qvf,
-    )
-    return cols.tolist(), rows.tolist(), grid
-
-
-def _accumulate_grid(
-    i: np.ndarray, j: np.ndarray, shape: Tuple[int, int], qvf: np.ndarray
+def _carry_bincount(
+    total: np.ndarray, cells: np.ndarray, weights: np.ndarray
 ) -> np.ndarray:
-    rows, cols = shape
-    cells = i * cols + j
-    total = np.bincount(
-        cells, weights=qvf, minlength=rows * cols
-    ).reshape(shape)
-    count = np.bincount(cells, minlength=rows * cols).reshape(shape)
+    """One chunk's ``np.bincount`` fold, continued from ``total``.
+
+    ``np.bincount`` accumulates its weights *sequentially in input
+    order*; prepending one entry per cell carrying the running total
+    seeds the new pass with exactly the old partial sums (``0.0 + x``
+    is exact in IEEE-754), so folding a column chunk by chunk produces
+    the same floats, bit for bit, as one pass over the whole column.
+    """
+    size = total.size
+    return np.bincount(
+        np.concatenate([np.arange(size), cells]),
+        weights=np.concatenate([total, weights]),
+        minlength=size,
+    )
+
+
+def _finish_grid(
+    total: np.ndarray, count: np.ndarray, shape: Tuple[int, int]
+) -> np.ndarray:
     with np.errstate(invalid="ignore"):
         grid = np.where(count > 0, total / np.maximum(count, 1), np.nan)
-    return grid
+    return grid.reshape(shape)
 
 
 class CampaignResult:
@@ -169,23 +180,37 @@ class CampaignResult:
     :class:`InjectionRecord` (columnarised on construction). The table is
     treated as immutable; axes, QVF moments and the record-object view
     are computed once and cached.
+
+    A result built by :meth:`open` instead holds a lazy
+    :class:`~repro.faults.store.StoreView`: aggregations stream the
+    store's segments in bounded windows (bit-identical to the in-RAM
+    passes), and ``.table``/``.records`` materialise everything only
+    when a consumer actually asks for objects or whole-table access.
     """
 
     def __init__(
         self,
         circuit_name: str,
         correct_states: Sequence[str],
-        records: Union[RecordTable, Sequence[InjectionRecord]],
+        records: Union[RecordTable, Sequence[InjectionRecord], None],
         fault_free_qvf: float,
         backend_name: str = "unknown",
         metadata: Optional[Dict[str, object]] = None,
+        store: Optional[StoreView] = None,
+        window_rows: int = DEFAULT_WINDOW_ROWS,
     ) -> None:
         self.circuit_name = circuit_name
         self.correct_states = tuple(correct_states)
-        if isinstance(records, RecordTable):
-            self.table = records
+        if records is None:
+            if store is None:
+                raise ValueError("records or a store view is required")
+            self._table: Optional[RecordTable] = None
+        elif isinstance(records, RecordTable):
+            self._table = records
         else:
-            self.table = RecordTable.from_records(list(records))
+            self._table = RecordTable.from_records(list(records))
+        self._store = store
+        self._window_rows = int(window_rows)
         self.fault_free_qvf = float(fault_free_qvf)
         self.backend_name = backend_name
         self.metadata = dict(metadata or {})
@@ -194,10 +219,70 @@ class CampaignResult:
         self._std: Optional[float] = None
         self._thetas: Optional[np.ndarray] = None
         self._phis: Optional[np.ndarray] = None
+        self._has_frames: Optional[bool] = None
+
+    @classmethod
+    def open(
+        cls, path: str, window_rows: int = DEFAULT_WINDOW_ROWS
+    ) -> "CampaignResult":
+        """Open a segment store as a lazy, out-of-core result.
+
+        Nothing is loaded here beyond the segment headers; aggregations
+        stream the store in ``window_rows``-row memory-mapped windows
+        and are bit-identical to loading the whole table first. Only
+        segment stores can stay out-of-core — use :meth:`load` for the
+        JSON/npz exports (which are whole-file formats anyway).
+        """
+        view = open_store(path)
+        if view.meta is None:
+            raise ValueError(f"{path!r} holds no campaign metadata")
+        return cls.from_table_meta(
+            view.meta, None, store=view, window_rows=window_rows
+        )
 
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
+    @property
+    def table(self) -> RecordTable:
+        """The full record table (materialised from the store if lazy)."""
+        if self._table is None:
+            self._table = self._store.table()
+        return self._table
+
+    @property
+    def is_lazy(self) -> bool:
+        """True while the records still live on disk, not in RAM."""
+        return self._table is None
+
+    def _chunks(self) -> Iterator[RecordTable]:
+        """Record-order table chunks: one per window (lazy) or the table.
+
+        Every aggregation is written as a fold over these chunks; the
+        in-RAM case is simply the one-chunk fold, which keeps the two
+        paths numerically indistinguishable by construction.
+        """
+        if self._table is not None or self._store is None:
+            yield self.table
+        else:
+            yield from self._store.iter_tables(self._window_rows)
+
+    def iter_chunk_tables(self) -> Iterator[RecordTable]:
+        """Public chunk iterator for out-of-core consumers.
+
+        The analysis/query layer streams campaigns with this instead of
+        ``.table`` to keep cross-suite passes bounded in memory.
+        """
+        return self._chunks()
+
+    def _qvf_chunks(self) -> Iterator[np.ndarray]:
+        """The QVF column in chunks (the cached array when available)."""
+        if self._qvf is not None or not self.is_lazy:
+            yield self.qvf_values()
+        else:
+            for chunk in self._chunks():
+                yield chunk.column("qvf")
+
     @property
     def records(self) -> List[InjectionRecord]:
         """Record-object view (lazily materialised, cached; read-only)."""
@@ -205,12 +290,25 @@ class CampaignResult:
 
     @property
     def num_injections(self) -> int:
-        return len(self.table)
+        if self._table is None:
+            return self._store.num_records
+        return len(self._table)
 
     def qvf_values(self) -> np.ndarray:
-        """The QVF column as a contiguous array (cached; read-only)."""
+        """The QVF column as a contiguous array (cached; read-only).
+
+        For a lazy result this gathers only the 8-byte QVF column —
+        ~8% of the table's bytes — not the table itself.
+        """
         if self._qvf is None:
-            qvf = np.ascontiguousarray(self.table.column("qvf"))
+            if self.is_lazy:
+                qvf = np.empty(self.num_injections, dtype=np.float64)
+                cursor = 0
+                for chunk in self._chunks():
+                    qvf[cursor : cursor + len(chunk)] = chunk.column("qvf")
+                    cursor += len(chunk)
+            else:
+                qvf = np.ascontiguousarray(self.table.column("qvf"))
             qvf.flags.writeable = False
             self._qvf = qvf
         return self._qvf
@@ -227,14 +325,28 @@ class CampaignResult:
             self._std = float(values.std()) if values.size else math.nan
         return self._std
 
+    def _column_unique(self, name: str) -> np.ndarray:
+        """Distinct values of one column, streamed chunk by chunk.
+
+        ``np.unique`` of the concatenated per-chunk uniques is the same
+        sorted set ``np.unique`` of the whole column yields, at the
+        memory cost of the distinct values only.
+        """
+        parts = [np.unique(chunk.column(name)) for chunk in self._chunks()]
+        if not parts:
+            return np.unique(np.empty(0, dtype=RECORD_DTYPE[name]))
+        if len(parts) == 1:
+            return parts[0]
+        return np.unique(np.concatenate(parts))
+
     def _theta_axis(self) -> np.ndarray:
         if self._thetas is None:
-            self._thetas = _unique_sorted(self.table.column("theta"))
+            self._thetas = _unique_sorted(self._column_unique("theta"))
         return self._thetas
 
     def _phi_axis(self) -> np.ndarray:
         if self._phis is None:
-            self._phis = _unique_sorted(self.table.column("phi"))
+            self._phis = _unique_sorted(self._column_unique("phi"))
         return self._phis
 
     def thetas(self) -> List[float]:
@@ -250,10 +362,14 @@ class CampaignResult:
         (and artefacts recorded before topology-aware injection) do not,
         and only support the default ``wire`` frame.
         """
-        return self.table.has_frame_info()
+        if self._has_frames is None:
+            self._has_frames = any(
+                chunk.has_frame_info() for chunk in self._chunks()
+            )
+        return self._has_frames
 
-    def _frame_column(self, frame: str) -> np.ndarray:
-        """The qubit column of the requested reporting frame."""
+    def _check_frame(self, frame: str) -> str:
+        """Validate a reporting frame; returns its column name."""
         if frame not in _FRAME_COLUMNS:
             raise ValueError(
                 f"unknown frame {frame!r} (choose from {FRAMES})"
@@ -263,7 +379,7 @@ class CampaignResult:
                 f"campaign has no {frame}-frame attribution; only "
                 f"campaigns over transpiled circuits are frame-aware"
             )
-        return self.table.column(_FRAME_COLUMNS[frame])
+        return _FRAME_COLUMNS[frame]
 
     def qubits(self, frame: str = "wire") -> List[int]:
         """Distinct qubits injected into, in the requested frame.
@@ -272,14 +388,16 @@ class CampaignResult:
         that held no program state at that instant) is not a qubit and
         is excluded from non-wire frames.
         """
-        values = np.unique(self._frame_column(frame))
+        values = self._column_unique(self._check_frame(frame))
         return values[values >= 0].tolist() if frame != "wire" else values.tolist()
 
     def positions(self) -> List[int]:
-        return np.unique(self.table.column("position")).tolist()
+        return self._column_unique("position").tolist()
 
     def is_double(self) -> bool:
-        return bool(self.table.has_second().any())
+        return any(
+            bool(chunk.has_second().any()) for chunk in self._chunks()
+        )
 
     def layout_map(self):
         """The layout map of a transpiled campaign (``None`` otherwise).
@@ -300,11 +418,22 @@ class CampaignResult:
     # ------------------------------------------------------------------
     # Filters
     # ------------------------------------------------------------------
-    def _filtered(self, mask: np.ndarray, tag: str) -> "CampaignResult":
+    def _filtered(
+        self, predicate: Callable[[RecordTable], np.ndarray], tag: str
+    ) -> "CampaignResult":
+        """Rows where ``predicate(chunk)`` holds, as an in-RAM result.
+
+        Selection streams the chunks and materialises only the matching
+        rows; on an in-RAM result this is the familiar one-pass mask.
+        """
+        parts = [
+            chunk.select(np.asarray(predicate(chunk)))
+            for chunk in self._chunks()
+        ]
         return CampaignResult(
             circuit_name=self.circuit_name,
             correct_states=self.correct_states,
-            records=self.table.select(mask),
+            records=RecordTable.concatenate(parts),
             fault_free_qvf=self.fault_free_qvf,
             backend_name=self.backend_name,
             metadata={**self.metadata, "filter": tag},
@@ -320,25 +449,36 @@ class CampaignResult:
         state occupied the wire when the fault struck, SWAP-tracked
         through routing).
         """
+        column = self._check_frame(frame)
         return self._filtered(
-            self._frame_column(frame) == qubit, f"{frame}-qubit={qubit}"
+            lambda chunk: chunk.column(column) == qubit,
+            f"{frame}-qubit={qubit}",
         )
 
     def per_qubit_qvf(self, frame: str = "wire") -> Dict[int, float]:
         """Mean QVF per qubit in the requested frame (Fig. 6's ranking).
 
-        One grouped ``np.bincount`` pass over the frame column,
-        accumulating in record order; rows carrying the frame's ``-1``
-        sentinel (no qubit in this frame) are excluded.
+        Grouped ``np.bincount`` passes over the frame column, folded
+        across chunks in record order (see :func:`_carry_bincount`);
+        rows carrying the frame's ``-1`` sentinel (no qubit in this
+        frame) are excluded.
         """
-        column = self._frame_column(frame)
-        qvf = self.qvf_values()
-        keep = column >= 0
-        values = column[keep]
-        if not values.size:
-            return {}
-        totals = np.bincount(values, weights=qvf[keep])
-        counts = np.bincount(values)
+        column = self._check_frame(frame)
+        totals = np.zeros(0)
+        counts = np.zeros(0, dtype=np.int64)
+        for chunk in self._chunks():
+            values = np.asarray(chunk.column(column))
+            keep = values >= 0
+            values = values[keep]
+            if not values.size:
+                continue
+            width = max(totals.size, int(values.max()) + 1)
+            if width > totals.size:
+                totals = np.pad(totals, (0, width - totals.size))
+                counts = np.pad(counts, (0, width - counts.size))
+            qvf = np.asarray(chunk.column("qvf"))[keep]
+            totals = _carry_bincount(totals, values, qvf)
+            counts += np.bincount(values, minlength=width).astype(np.int64)
         return {
             int(qubit): float(totals[qubit] / counts[qubit])
             for qubit in np.nonzero(counts)[0]
@@ -346,14 +486,15 @@ class CampaignResult:
 
     def for_position(self, position: int) -> "CampaignResult":
         return self._filtered(
-            self.table.column("position") == position, f"position={position}"
+            lambda chunk: chunk.column("position") == position,
+            f"position={position}",
         )
 
     def singles(self) -> "CampaignResult":
-        return self._filtered(~self.table.has_second(), "singles")
+        return self._filtered(lambda chunk: ~chunk.has_second(), "singles")
 
     def doubles(self) -> "CampaignResult":
-        return self._filtered(self.table.has_second(), "doubles")
+        return self._filtered(lambda chunk: chunk.has_second(), "doubles")
 
     # ------------------------------------------------------------------
     # Aggregations (the paper's plots)
@@ -364,17 +505,29 @@ class CampaignResult:
         Returns ``(thetas, phis, grid)`` with ``grid[i_phi, i_theta]`` the
         mean over all positions/qubits (and, for double campaigns, over all
         second-fault configurations) — exactly how Figs. 5 and 8b average.
-        Cells never injected hold NaN.
+        Cells never injected hold NaN. Streams the record chunks; cell
+        totals fold across chunks in record order, so the grid is
+        bit-identical however the records are chunked (or not).
         """
         thetas = self._theta_axis()
         phis = self._phi_axis()
-        grid = _accumulate_grid(
-            _axis_indices(self.table.column("phi"), phis),
-            _axis_indices(self.table.column("theta"), thetas),
-            (phis.size, thetas.size),
-            self.qvf_values(),
+        shape = (phis.size, thetas.size)
+        total = np.zeros(shape[0] * shape[1])
+        count = np.zeros(shape[0] * shape[1], dtype=np.int64)
+        for chunk in self._chunks():
+            cells = (
+                _axis_indices(chunk.column("phi"), phis) * shape[1]
+                + _axis_indices(chunk.column("theta"), thetas)
+            )
+            total = _carry_bincount(total, cells, chunk.column("qvf"))
+            count += np.bincount(cells, minlength=count.size).astype(
+                np.int64
+            )
+        return (
+            thetas.tolist(),
+            phis.tolist(),
+            _finish_grid(total, count, shape),
         )
-        return thetas.tolist(), phis.tolist(), grid
 
     def detail_surface(
         self, theta0: float, phi0: float
@@ -384,50 +537,98 @@ class CampaignResult:
         Returns ``(theta1_values, phi1_values, grid)`` with
         ``grid[i_phi1, i_theta1]`` the mean QVF over positions/couples.
         """
-        mask = (
-            self.table.has_second()
-            & (np.abs(self.table.column("theta") - theta0) < _ANGLE_TOL)
-            & (np.abs(self.table.column("phi") - phi0) < _ANGLE_TOL)
-        )
-        if not mask.any():
+
+        def selected(chunk: RecordTable) -> np.ndarray:
+            return chunk.has_second() & (
+                np.abs(chunk.column("theta") - theta0) < _ANGLE_TOL
+            ) & (np.abs(chunk.column("phi") - phi0) < _ANGLE_TOL)
+
+        row_parts: List[np.ndarray] = []
+        col_parts: List[np.ndarray] = []
+        for chunk in self._chunks():
+            mask = selected(chunk)
+            if mask.any():
+                row_parts.append(np.unique(chunk.column("second_phi")[mask]))
+                col_parts.append(
+                    np.unique(chunk.column("second_theta")[mask])
+                )
+        if not row_parts:
             raise ValueError(
                 f"no double injections with first fault "
                 f"(theta={theta0}, phi={phi0})"
             )
-        selected = self.table.select(mask)
-        return _mean_grid(
-            selected.column("second_phi"),
-            selected.column("second_theta"),
-            selected.column("qvf"),
+        rows = _unique_sorted(np.concatenate(row_parts))
+        cols = _unique_sorted(np.concatenate(col_parts))
+        shape = (rows.size, cols.size)
+        total = np.zeros(shape[0] * shape[1])
+        count = np.zeros(shape[0] * shape[1], dtype=np.int64)
+        for chunk in self._chunks():
+            mask = selected(chunk)
+            if not mask.any():
+                continue
+            cells = (
+                _axis_indices(chunk.column("second_phi")[mask], rows)
+                * shape[1]
+                + _axis_indices(chunk.column("second_theta")[mask], cols)
+            )
+            total = _carry_bincount(
+                total, cells, chunk.column("qvf")[mask]
+            )
+            count += np.bincount(cells, minlength=count.size).astype(
+                np.int64
+            )
+        return (
+            cols.tolist(),
+            rows.tolist(),
+            _finish_grid(total, count, shape),
         )
 
     def histogram(
         self, bins: int = 20, density: bool = True
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """QVF distribution over [0, 1] (Figs. 7 and 10)."""
-        return np.histogram(
-            self.qvf_values(), bins=bins, range=(0.0, 1.0), density=density
-        )
+        """QVF distribution over [0, 1] (Figs. 7 and 10).
+
+        Streamed: per-chunk integer counts add exactly, and the density
+        normalisation repeats ``np.histogram``'s own arithmetic on the
+        merged counts, so the output matches the one-pass call bit for
+        bit.
+        """
+        counts = None
+        edges = None
+        for values in self._qvf_chunks():
+            chunk_counts, edges = np.histogram(
+                values, bins=bins, range=(0.0, 1.0)
+            )
+            counts = chunk_counts if counts is None else counts + chunk_counts
+        if counts is None:
+            counts, edges = np.histogram(
+                np.empty(0), bins=bins, range=(0.0, 1.0)
+            )
+        if not density:
+            return counts, edges
+        db = np.array(np.diff(edges), float)
+        return counts / db / counts.sum(), edges
 
     def classification_counts(self) -> Dict[FaultClass, int]:
-        """Number of masked / dubious / silent injections."""
-        qvf = self.qvf_values()
-        masked = int((qvf < MASKED_THRESHOLD).sum())
-        silent = int((qvf > SILENT_THRESHOLD).sum())
+        """Number of masked / dubious / silent injections (streamed)."""
+        masked = silent = size = 0
+        for values in self._qvf_chunks():
+            masked += int((values < MASKED_THRESHOLD).sum())
+            silent += int((values > SILENT_THRESHOLD).sum())
+            size += int(values.size)
         return {
             FaultClass.MASKED: masked,
-            FaultClass.DUBIOUS: int(qvf.size) - masked - silent,
+            FaultClass.DUBIOUS: size - masked - silent,
             FaultClass.SILENT: silent,
         }
 
     def classification_fractions(self) -> Dict[FaultClass, float]:
         """Share of masked / dubious / silent injections."""
-        if not len(self.table):
+        total = self.num_injections
+        if not total:
             return {cls: math.nan for cls in FaultClass}
         counts = self.classification_counts()
-        return {
-            cls: count / len(self.table) for cls, count in counts.items()
-        }
+        return {cls: count / total for cls, count in counts.items()}
 
     def improved_fraction(self, tol: float = 1e-12) -> float:
         """Share of injections with QVF *better* than the fault-free run.
@@ -435,10 +636,14 @@ class CampaignResult:
         The paper reports ~0.9% of injections compensating the intrinsic
         noise; this is that statistic.
         """
-        qvf = self.qvf_values()
-        if not qvf.size:
+        total = self.num_injections
+        if not total:
             return math.nan
-        return int((qvf < self.fault_free_qvf - tol).sum()) / qvf.size
+        threshold = self.fault_free_qvf - tol
+        improved = sum(
+            int((values < threshold).sum()) for values in self._qvf_chunks()
+        )
+        return improved / total
 
     def qvf_at(self, theta: float, phi: float) -> float:
         """Mean QVF of the cell nearest (theta, phi)."""
@@ -447,14 +652,21 @@ class CampaignResult:
         i = int(np.abs(np.asarray(phis) - phi).argmin())
         return float(grid[i, j])
 
+    def _record_at(self, index: int) -> InjectionRecord:
+        """Row ``index`` as a record, without materialising a lazy table."""
+        if self.is_lazy:
+            return self._store.record_row(index).record(0)
+        return self.table.record(index)
+
     def top_faults(self, count: int) -> List[InjectionRecord]:
         """The ``count`` most damaging injections, worst first.
 
         Stable descending sort on the QVF column: ties keep record order,
-        exactly as sorting the record list by ``-qvf`` did.
+        exactly as sorting the record list by ``-qvf`` did. Only the top
+        records materialise (point row reads on a lazy result).
         """
         order = np.argsort(-self.qvf_values(), kind="stable")[:count]
-        return [self.table.record(int(index)) for index in order]
+        return [self._record_at(int(index)) for index in order]
 
     def sorted_records(self) -> List[InjectionRecord]:
         """Records in canonical :func:`record_sort_key` order."""
@@ -505,13 +717,17 @@ class CampaignResult:
 
     @classmethod
     def from_table_meta(
-        cls, meta: Dict[str, object], table: RecordTable
+        cls,
+        meta: Dict[str, object],
+        table: Optional[RecordTable],
+        store: Optional[StoreView] = None,
+        window_rows: int = DEFAULT_WINDOW_ROWS,
     ) -> "CampaignResult":
         """Build a result from a header/meta dict plus a record table.
 
         The one place the header schema is decoded — the npz loader, the
-        segment-checkpoint loaders and the checkpoint runner all go
-        through here.
+        segment-checkpoint loaders (eager and lazy) and the checkpoint
+        runner all go through here.
         """
         return cls(
             circuit_name=meta["circuit_name"],
@@ -520,10 +736,17 @@ class CampaignResult:
             fault_free_qvf=meta["fault_free_qvf"],
             backend_name=meta.get("backend_name", "unknown"),
             metadata=meta.get("metadata", {}),
+            store=store,
+            window_rows=window_rows,
         )
 
+    def _row_dicts(self) -> Iterator[Dict[str, object]]:
+        """Export rows, streamed chunk by chunk in record order."""
+        for chunk in self._chunks():
+            yield from chunk.row_dicts()
+
     def to_dict(self) -> Dict[str, object]:
-        return {**self._header(), "records": list(self.table.row_dicts())}
+        return {**self._header(), "records": list(self._row_dicts())}
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "CampaignResult":
@@ -603,34 +826,43 @@ class CampaignResult:
     def to_csv(self, path: str) -> None:
         """Flat-file export for external analysis (spreadsheets, R, ...).
 
-        One row per record; ``repr`` floats, so values round-trip. Single
-        faults leave the ``second_*`` fields empty.
+        One row per record, streamed; ``repr`` floats, so values
+        round-trip. Single faults leave the ``second_*`` fields empty.
+        The ``physical_qubit``/``logical_qubit`` columns appear only for
+        campaigns that carry frame attribution — an untranspiled
+        campaign has no frame context, so emitting its ``-1`` sentinels
+        (or blank cells) would only invite misreading; the header says
+        exactly what the rows contain.
         """
+        with_frames = self.has_frames()
+        columns = _CSV_COLUMNS if with_frames else _CSV_COLUMNS[:-2]
         tmp_path = f"{path}.tmp"
         with open(tmp_path, "w", encoding="utf-8", newline="") as handle:
             writer = csv.writer(handle, lineterminator="\n")
-            writer.writerow(_CSV_COLUMNS)
-            for row in self.table.row_dicts():
-                writer.writerow(
-                    (
-                        repr(row["theta"]),
-                        repr(row["phi"]),
-                        repr(row["lam"]),
-                        row["position"],
-                        row["qubit"],
-                        row["gate_name"],
-                        repr(row["qvf"]),
-                        "" if row["theta1"] is None else repr(row["theta1"]),
-                        "" if row["phi1"] is None else repr(row["phi1"]),
-                        "" if row["qubit1"] is None else row["qubit1"],
+            writer.writerow(columns)
+            for row in self._row_dicts():
+                cells = [
+                    repr(row["theta"]),
+                    repr(row["phi"]),
+                    repr(row["lam"]),
+                    row["position"],
+                    row["qubit"],
+                    row["gate_name"],
+                    repr(row["qvf"]),
+                    "" if row["theta1"] is None else repr(row["theta1"]),
+                    "" if row["phi1"] is None else repr(row["phi1"]),
+                    "" if row["qubit1"] is None else row["qubit1"],
+                ]
+                if with_frames:
+                    cells += [
                         ""
                         if row["physical_qubit"] is None
                         else row["physical_qubit"],
                         ""
                         if row["logical_qubit"] is None
                         else row["logical_qubit"],
-                    )
-                )
+                    ]
+                writer.writerow(cells)
         os.replace(tmp_path, path)
 
     @classmethod
@@ -638,17 +870,15 @@ class CampaignResult:
         """Load a campaign from JSON, ``.npz``, or a segment checkpoint.
 
         Sniffs the format from the file's leading bytes, so CLI consumers
-        can point at any artefact a campaign run leaves behind.
+        can point at any artefact a campaign run leaves behind. Loads
+        eagerly; use :meth:`open` to keep a segment store out-of-core.
         """
-        from .store import SEGMENT_MAGIC, read_segments
-
         with open(path, "rb") as handle:
             head = handle.read(4)
         if head == SEGMENT_MAGIC:
-            meta, table = read_segments(path)
-            if meta is None:
-                raise ValueError(f"{path!r} holds no campaign metadata")
-            return cls.from_table_meta(meta, table)
+            result = cls.open(path)
+            result.table  # materialise: load() promises an in-RAM result
+            return result
         if head[:2] == b"PK":  # npz archives are zip files
             return cls.from_npz(path)
         try:
@@ -689,6 +919,9 @@ def delta_heatmap(
     transpiled double against a logical-circuit single — pre-slice each
     side yourself (``delta_heatmap(double.for_qubit(q, "logical"),
     single.for_qubit(q))``) instead of passing ``qubit``.
+
+    Both results may be lazy (:meth:`CampaignResult.open`); the
+    constituent heatmaps stream without materialising either table.
     """
     if qubit is None:
         if frame != "wire":

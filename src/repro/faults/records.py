@@ -193,6 +193,22 @@ class RecordTable:
         return cls(np.empty(0, dtype=RECORD_DTYPE), [])
 
     @classmethod
+    def open(cls, path: str):
+        """Open a segment store lazily, without loading any records.
+
+        Returns a :class:`~repro.faults.store.StoreView` whose
+        ``segment_table``/``iter_tables`` expose per-segment (and
+        per-window) tables backed by ``np.memmap`` — column views come
+        straight off the file, zero-copy for current-schema segments.
+        Use :meth:`~repro.faults.store.StoreView.table` to materialise
+        everything (what the eager loaders do), or iterate windows to
+        stay out-of-core.
+        """
+        from .store import open_store
+
+        return open_store(path)
+
+    @classmethod
     def from_columns(
         cls,
         *,

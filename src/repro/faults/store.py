@@ -20,9 +20,21 @@ row count and column-name list (``columns`` — the record schema version;
 headers without it are the pre-frame-column v1 layout and are promoted
 on load, so old stores keep working). Pools are remapped into one table
 on load. Loading tolerates a truncated trailing segment — a kill
-mid-append loses only that segment's records, never the file — and
-refuses files whose leading magic does not match (callers fall back to
-the legacy JSON checkpoint parser).
+mid-append loses only that segment's records, never the file — but a
+torn segment *followed by* further bytes is interior corruption and
+raises (silently dropping everything after it would misreport a
+campaign). Files whose leading magic does not match are refused
+(callers fall back to the legacy JSON checkpoint parser).
+
+Since store format 2, writers pad each segment header with trailing
+spaces (ignored by every JSON parser, including older builds of this
+reader) so that every record payload begins at a
+:data:`STORE_ALIGNMENT`-byte file offset. Aligned payloads are directly
+``np.memmap``-able: :func:`open_store` returns a :class:`StoreView`
+whose per-segment record tables are zero-copy views over the mapped
+file, and whose windowed iterator bounds resident memory however large
+the store is. Format-1 stores (unaligned) still load everywhere; their
+segments are read through a copying window instead of a mapping.
 
 On campaign completion the runner *compacts* the file: the same format,
 rewritten atomically as one metadata segment plus one record segment in
@@ -34,7 +46,8 @@ from __future__ import annotations
 import json
 import os
 import struct
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,17 +60,45 @@ from .records import (
 
 __all__ = [
     "SEGMENT_MAGIC",
+    "STORE_ALIGNMENT",
+    "STORE_FORMAT",
+    "DEFAULT_WINDOW_ROWS",
     "is_segment_file",
     "write_meta_segment",
     "append_record_segment",
     "read_segments",
     "compact",
+    "iter_segments",
+    "open_store",
+    "SegmentInfo",
+    "StoreView",
 ]
 
 SEGMENT_MAGIC = b"QFS1"
 _KIND_META = b"M"
 _KIND_RECORDS = b"R"
 _PREFIX = struct.Struct("<4scIQ")  # magic, kind, header_len, payload_len
+
+#: Record payloads written by this build start at file offsets that are a
+#: multiple of this (store format 2). 64 covers every cache line and SIMD
+#: lane width numpy cares about; mmap page alignment is handled by
+#: ``np.memmap`` itself.
+STORE_ALIGNMENT = 64
+
+#: The store layout version this build writes. Format 2 = aligned
+#: payloads; format 1 (every store written before it) differs only in
+#: lacking the alignment padding, so both formats load everywhere — the
+#: version decides whether segment payloads may be memory-mapped in
+#: place (format 2) or are read through copying windows (format 1).
+STORE_FORMAT = 2
+
+#: Rows per window for out-of-core iteration (:meth:`StoreView.iter_tables`).
+#: ~6.5 MiB of mapped rows at the current 100-byte schema — small enough
+#: that a full aggregation pass stays well under any table's own size,
+#: large enough that per-window numpy overhead vanishes.
+DEFAULT_WINDOW_ROWS = 65536
+
+_FORMAT_KEY = "store_format"
 
 
 def is_segment_file(path: str) -> bool:
@@ -69,8 +110,24 @@ def is_segment_file(path: str) -> bool:
         return False
 
 
-def _pack_segment(kind: bytes, header: Dict[str, object], payload: bytes) -> bytes:
+def _pack_segment(
+    kind: bytes,
+    header: Dict[str, object],
+    payload: bytes,
+    offset: Optional[int] = None,
+) -> bytes:
+    """Serialise one segment, aligning the payload when ``offset`` is given.
+
+    ``offset`` is the file position the segment will be written at; the
+    header JSON is padded with trailing spaces (insignificant to every
+    JSON parser) so the payload lands on a :data:`STORE_ALIGNMENT`
+    boundary. ``None`` skips padding (legacy/format-1 layout — kept for
+    the compatibility tests that re-create old stores).
+    """
     header_bytes = json.dumps(header).encode("utf-8")
+    if offset is not None and payload:
+        payload_start = offset + _PREFIX.size + len(header_bytes)
+        header_bytes += b" " * (-payload_start % STORE_ALIGNMENT)
     return (
         _PREFIX.pack(SEGMENT_MAGIC, kind, len(header_bytes), len(payload))
         + header_bytes
@@ -78,14 +135,14 @@ def _pack_segment(kind: bytes, header: Dict[str, object], payload: bytes) -> byt
     )
 
 
-def _records_segment(table: RecordTable) -> bytes:
+def _records_segment(table: RecordTable, offset: Optional[int]) -> bytes:
     data = np.ascontiguousarray(table.data, dtype=RECORD_DTYPE)
     header = {
         "count": len(table),
         "gates": table.gate_names,
         "columns": list(RECORD_DTYPE.names),
     }
-    return _pack_segment(_KIND_RECORDS, header, data.tobytes())
+    return _pack_segment(_KIND_RECORDS, header, data.tobytes(), offset)
 
 
 def _segment_dtype(header: Dict[str, object]) -> np.dtype:
@@ -109,7 +166,7 @@ def _segment_dtype(header: Dict[str, object]) -> np.dtype:
 def write_meta_segment(path: str, meta: Dict[str, object]) -> None:
     """Start (or restart) a store at ``path`` with a metadata segment."""
     with open(path, "wb") as handle:
-        handle.write(_pack_segment(_KIND_META, meta, b""))
+        handle.write(_pack_segment(_KIND_META, {**meta, _FORMAT_KEY: STORE_FORMAT}, b""))
 
 
 def append_record_segment(path: str, table: RecordTable) -> None:
@@ -117,68 +174,276 @@ def append_record_segment(path: str, table: RecordTable) -> None:
     if not len(table):
         return
     with open(path, "ab") as handle:
-        handle.write(_records_segment(table))
+        handle.seek(0, os.SEEK_END)
+        handle.write(_records_segment(table, handle.tell()))
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One parsed segment header: where its payload lives in the file."""
+
+    kind: bytes
+    header: Dict[str, object]
+    payload_offset: int
+    payload_len: int
+
+
+def iter_segments(path: str) -> Iterator[SegmentInfo]:
+    """Scan a store's segment headers without reading any payload.
+
+    Seeks over payloads, so scanning a multi-gigabyte store touches only
+    its (small) headers. Tolerates exactly one torn *trailing* segment —
+    the mark a kill mid-append leaves — by stopping before it; a segment
+    that fails to parse while further bytes follow is interior
+    corruption and raises ``ValueError``. A file that does not start
+    with the magic raises ``ValueError`` so callers can try the legacy
+    JSON checkpoint format instead.
+    """
+    size = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        if handle.read(len(SEGMENT_MAGIC)) != SEGMENT_MAGIC:
+            raise ValueError(f"{path!r} is not a segment checkpoint")
+        offset = 0
+        while offset + _PREFIX.size <= size:
+            handle.seek(offset)
+            magic, kind, header_len, payload_len = _PREFIX.unpack(
+                handle.read(_PREFIX.size)
+            )
+            if magic != SEGMENT_MAGIC:
+                raise ValueError(
+                    f"corrupt segment at byte {offset} of {path!r}"
+                )
+            start = offset + _PREFIX.size
+            end = start + header_len + payload_len
+            if end > size:
+                break  # truncated tail segment: a kill landed mid-append
+            is_tail = end == size
+
+            def torn(what: str) -> Optional[ValueError]:
+                """Tolerate a torn *tail*; raise on interior corruption."""
+                if is_tail:
+                    return None
+                return ValueError(
+                    f"{what} in interior segment at byte {offset} of "
+                    f"{path!r} (followed by {size - end} more bytes — "
+                    f"not a truncated tail; the store is corrupt)"
+                )
+
+            try:
+                header = json.loads(handle.read(header_len))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                error = torn("unparseable segment header")
+                if error is None:
+                    break
+                raise error from None
+            if kind == _KIND_RECORDS:
+                dtype = _segment_dtype(header)
+                if int(header["count"]) * dtype.itemsize != payload_len:
+                    error = torn("record payload/count mismatch")
+                    if error is None:
+                        break
+                    raise error
+            elif kind != _KIND_META:
+                raise ValueError(
+                    f"unknown segment kind {kind!r} in {path!r}"
+                )
+            yield SegmentInfo(kind, header, start + header_len, payload_len)
+            offset = end
+
+
+@dataclass(frozen=True)
+class _RecordSegment:
+    """A record segment's location plus its decoded schema."""
+
+    header: Dict[str, object]
+    dtype: np.dtype
+    count: int
+    payload_offset: int
+
+    @property
+    def gate_names(self) -> List[str]:
+        return list(self.header.get("gates", []))
+
+
+class StoreView:
+    """A segment store opened lazily: headers in memory, payloads on disk.
+
+    The out-of-core counterpart of :func:`read_segments`: nothing is
+    loaded until asked for, and what is asked for arrives either as a
+    zero-copy ``np.memmap`` view (current-schema segments) or as a
+    bounded copying window (v1 segments, whose rows must be promoted).
+    ``iter_tables`` yields successive :class:`RecordTable` windows whose
+    backing maps are released as iteration advances, so a full pass over
+    the store keeps only one window resident at a time.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        meta: Optional[Dict[str, object]],
+        store_format: int,
+        segments: List[_RecordSegment],
+    ) -> None:
+        self.path = path
+        self.meta = meta
+        self.store_format = store_format
+        self._segments = segments
+        self._starts = np.cumsum([0] + [seg.count for seg in segments])
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def num_segments(self) -> int:
+        """Record segments in the store (metadata segments excluded)."""
+        return len(self._segments)
+
+    @property
+    def num_records(self) -> int:
+        """Total rows across every record segment."""
+        return int(self._starts[-1])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes the store's rows occupy at the *current* schema.
+
+        The in-RAM footprint :func:`read_segments` would allocate — the
+        denominator of the out-of-core memory benchmarks.
+        """
+        return self.num_records * RECORD_DTYPE.itemsize
+
+    # ------------------------------------------------------------------
+    # Payload access
+    # ------------------------------------------------------------------
+    def _window(
+        self, segment: _RecordSegment, start: int, count: int
+    ) -> np.ndarray:
+        """Rows ``[start, start+count)`` of one segment, schema-promoted.
+
+        Current-schema rows come back as a read-only ``np.memmap`` view
+        (zero copy — the file's pages are the array); v1 rows are read
+        through the same mapping but promotion necessarily copies them
+        into a fresh in-RAM array of window size.
+        """
+        mapped = np.memmap(
+            self.path,
+            dtype=segment.dtype,
+            mode="r",
+            offset=segment.payload_offset + start * segment.dtype.itemsize,
+            shape=(count,),
+        )
+        if segment.dtype is RECORD_DTYPE_V1:
+            return promote_record_array(np.asarray(mapped))
+        return mapped
+
+    def segment_table(self, index: int) -> RecordTable:
+        """Record segment ``index`` as a table (zero-copy where aligned)."""
+        segment = self._segments[index]
+        return RecordTable(
+            self._window(segment, 0, segment.count), segment.gate_names
+        )
+
+    def iter_tables(
+        self, window_rows: int = DEFAULT_WINDOW_ROWS
+    ) -> Iterator[RecordTable]:
+        """Tables over the store in record order, one bounded window each.
+
+        Each yielded table is backed by its own map of at most
+        ``window_rows`` rows; the map is released when iteration moves
+        on (drop the previous table before requesting the next to keep
+        peak residency at one window).
+        """
+        if window_rows < 1:
+            raise ValueError("window_rows must be positive")
+        for segment in self._segments:
+            names = segment.gate_names
+            for start in range(0, segment.count, window_rows):
+                count = min(window_rows, segment.count - start)
+                yield RecordTable(self._window(segment, start, count), names)
+
+    def record_row(self, index: int) -> RecordTable:
+        """Row ``index`` (store order) as a one-row table."""
+        if not 0 <= index < self.num_records:
+            raise IndexError(
+                f"record {index} out of range ({self.num_records} rows)"
+            )
+        seg_index = int(
+            np.searchsorted(self._starts, index, side="right") - 1
+        )
+        segment = self._segments[seg_index]
+        offset = index - int(self._starts[seg_index])
+        return RecordTable(
+            np.asarray(self._window(segment, offset, 1)).copy(),
+            segment.gate_names,
+        )
+
+    def table(self) -> RecordTable:
+        """The whole store materialised in RAM (what read_segments does)."""
+        return RecordTable.concatenate(
+            [self.segment_table(i) for i in range(self.num_segments)]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StoreView({self.path!r}, format={self.store_format}, "
+            f"segments={self.num_segments}, records={self.num_records})"
+        )
+
+
+def open_store(path: str) -> StoreView:
+    """Open a store lazily: parse headers, map payloads on demand.
+
+    Raises ``ValueError`` for non-segment files and for interior
+    corruption (see :func:`iter_segments`); a torn tail segment is
+    dropped, exactly like the eager loader.
+    """
+    meta: Optional[Dict[str, object]] = None
+    store_format = 1
+    segments: List[_RecordSegment] = []
+    for info in iter_segments(path):
+        if info.kind == _KIND_META:
+            header = dict(info.header)
+            store_format = int(header.pop(_FORMAT_KEY, 1))
+            meta = header
+        else:
+            segments.append(
+                _RecordSegment(
+                    header=info.header,
+                    dtype=_segment_dtype(info.header),
+                    count=int(info.header["count"]),
+                    payload_offset=info.payload_offset,
+                )
+            )
+    return StoreView(path, meta, store_format, segments)
 
 
 def read_segments(
     path: str,
 ) -> Tuple[Optional[Dict[str, object]], RecordTable]:
-    """Load a store: (metadata, concatenated record table).
+    """Load a store eagerly: (metadata, concatenated record table).
 
     A truncated trailing segment (kill mid-append) is dropped silently;
-    a file that does not start with the magic raises ``ValueError`` so
-    callers can try the legacy JSON format instead.
+    a torn segment with further data behind it raises (interior
+    corruption — see :func:`iter_segments`); a file that does not start
+    with the magic raises ``ValueError`` so callers can try the legacy
+    JSON format instead. A store holding metadata but no record
+    segments (killed before the first flush) loads as an empty table.
     """
-    with open(path, "rb") as handle:
-        blob = handle.read()
-    if blob[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
-        raise ValueError(f"{path!r} is not a segment checkpoint")
-    meta: Optional[Dict[str, object]] = None
-    tables: List[RecordTable] = []
-    offset = 0
-    while offset + _PREFIX.size <= len(blob):
-        magic, kind, header_len, payload_len = _PREFIX.unpack_from(
-            blob, offset
-        )
-        if magic != SEGMENT_MAGIC:
-            raise ValueError(
-                f"corrupt segment at byte {offset} of {path!r}"
-            )
-        start = offset + _PREFIX.size
-        end = start + header_len + payload_len
-        if end > len(blob):
-            break  # truncated tail segment: a kill landed mid-append
-        try:
-            header = json.loads(blob[start : start + header_len])
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            break  # torn header bytes: treat as a truncated tail too
-        payload = blob[start + header_len : end]
-        if kind == _KIND_META:
-            meta = header
-        elif kind == _KIND_RECORDS:
-            dtype = _segment_dtype(header)
-            count = int(header["count"])
-            if count * dtype.itemsize != len(payload):
-                break  # inconsistent tail: treat as truncated
-            rows = promote_record_array(
-                np.frombuffer(payload, dtype=dtype).copy()
-            )
-            tables.append(RecordTable(rows, header.get("gates", [])))
-        else:
-            raise ValueError(
-                f"unknown segment kind {kind!r} in {path!r}"
-            )
-        offset = end
-    return meta, RecordTable.concatenate(tables)
+    view = open_store(path)
+    return view.meta, view.table()
 
 
 def compact(
     path: str, meta: Dict[str, object], table: RecordTable
 ) -> None:
-    """Atomically rewrite the store as meta + one record segment."""
+    """Atomically rewrite the store as meta + one aligned record segment."""
     tmp_path = f"{path}.tmp"
     with open(tmp_path, "wb") as handle:
-        handle.write(_pack_segment(_KIND_META, meta, b""))
+        handle.write(
+            _pack_segment(
+                _KIND_META, {**meta, _FORMAT_KEY: STORE_FORMAT}, b""
+            )
+        )
         if len(table):
-            handle.write(_records_segment(table))
+            handle.write(_records_segment(table, handle.tell()))
     os.replace(tmp_path, path)

@@ -240,6 +240,31 @@ class SuiteRunner:
             handle.write("\n")
         os.replace(tmp_path, path)
 
+    def _load_timings(self) -> Dict[str, float]:
+        """Prior invocations' per-scenario timings, if a sidecar exists.
+
+        A resumed run recomputes only the scenarios that were missing,
+        so rewriting the sidecar from this invocation's timings alone
+        would erase the history of everything already done — merge the
+        existing sidecar in first (this run's timings override on
+        overlap). Keys are filtered to this suite's scenario ids, so a
+        stale sidecar cannot smuggle foreign entries into a fresh run.
+        """
+        path = os.path.join(self.manifest_dir, TIMINGS_NAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                recorded = json.load(handle).get("scenarios", {})
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(recorded, dict):
+            return {}
+        ids = {scenario.scenario_id for scenario in self.suite}
+        return {
+            key: float(value)
+            for key, value in recorded.items()
+            if key in ids and isinstance(value, (int, float))
+        }
+
     def _write_timings(self, total_seconds: float, complete: bool) -> None:
         payload = {
             "suite": self.suite.name,
@@ -349,6 +374,9 @@ class SuiteRunner:
             os.makedirs(self.manifest_dir, exist_ok=True)
             self._entries = self._load_entries()
             self._write_manifest()
+            # Seed with the previous invocations' timing history; this
+            # run's computed scenarios overwrite their own keys only.
+            self._timings = {**self._load_timings(), **self._timings}
         else:
             self._entries = self._fresh_entries()
 

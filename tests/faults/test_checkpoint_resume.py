@@ -27,6 +27,7 @@ from repro.faults import (
 )
 from repro.faults.executor import TILE_WORKING_SET
 from repro.faults.store import (
+    STORE_ALIGNMENT,
     append_record_segment,
     is_segment_file,
     read_segments,
@@ -261,13 +262,22 @@ class TestSegmentStoreRobustness:
         from repro.faults.store import write_meta_segment
 
         write_meta_segment(path, {"circuit_name": "x"})
+        payload = block.data.nbytes
         deltas = []
         for _ in range(8):
-            before = os.path.getsize(path)
+            with open(path, "rb") as handle:
+                before = handle.read()
             append_record_segment(path, block)
-            deltas.append(os.path.getsize(path) - before)
-        # Every append costs the same bytes: no rewrite of prior data.
-        assert len(set(deltas)) == 1
+            with open(path, "rb") as handle:
+                after = handle.read()
+            # Prior bytes are untouched: appends never rewrite.
+            assert after[: len(before)] == before
+            deltas.append(len(after) - len(before))
+        # Every append costs O(batch) bytes: the payload plus a bounded
+        # header (whose alignment padding varies by at most one
+        # STORE_ALIGNMENT stride with the append offset).
+        assert max(deltas) - min(deltas) < STORE_ALIGNMENT
+        assert all(payload < delta < payload + 1024 for delta in deltas)
         meta, table = read_segments(path)
         assert len(table) == 80
 

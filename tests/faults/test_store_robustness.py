@@ -1,0 +1,205 @@
+"""Segment-store robustness: empty stores, torn tails, interior corruption.
+
+Two regression suites from the store-robustness sweep:
+
+* a store killed before its first record flush (metadata only — or even
+  just the magic) must load as an *empty* campaign, not crash;
+* a segment that fails to parse is only a "torn tail" when it is the
+  **last** one — the same damage mid-file is interior corruption and
+  must raise, never silently drop the rest of a campaign.
+"""
+
+import json
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bernstein_vazirani
+from repro.faults import CampaignResult, QuFI, fault_grid
+from repro.faults.store import (
+    _PREFIX,
+    SEGMENT_MAGIC,
+    append_record_segment,
+    is_segment_file,
+    iter_segments,
+    open_store,
+    read_segments,
+    write_meta_segment,
+)
+from repro.simulators import StatevectorSimulator
+
+
+@pytest.fixture(scope="module")
+def result():
+    return QuFI(StatevectorSimulator()).run_campaign(
+        bernstein_vazirani(3), faults=fault_grid(step_deg=90)
+    )
+
+
+def fresh_store(tmp_path, result, segments=3, rows=10) -> str:
+    path = str(tmp_path / "store.qfs")
+    write_meta_segment(path, {"circuit_name": "bv3", "correct_states": ["000"],
+                              "fault_free_qvf": 0.0})
+    for i in range(segments):
+        block = result.table[np.arange(i * rows, (i + 1) * rows)]
+        append_record_segment(path, block)
+    return path
+
+
+class TestEmptyStores:
+    """A kill before the first flush leaves meta (or less) — still loads."""
+
+    def test_meta_only_store_loads_empty(self, tmp_path):
+        path = str(tmp_path / "meta-only.qfs")
+        write_meta_segment(path, {"circuit_name": "bv3"})
+        meta, table = read_segments(path)
+        assert meta == {"circuit_name": "bv3"}
+        assert len(table) == 0
+        view = open_store(path)
+        assert view.num_records == 0 and view.num_segments == 0
+        assert list(view.iter_tables()) == []
+        assert len(view.table()) == 0
+
+    def test_meta_only_store_as_campaign(self, tmp_path):
+        path = str(tmp_path / "meta-only.qfs")
+        write_meta_segment(
+            path,
+            {
+                "circuit_name": "bv3",
+                "correct_states": ["000"],
+                "fault_free_qvf": 0.0,
+            },
+        )
+        loaded = CampaignResult.load(path)
+        assert loaded.num_injections == 0
+        lazy = CampaignResult.open(path)
+        assert lazy.num_injections == 0
+        assert lazy.per_qubit_qvf() == {}
+        assert lazy.heatmap()[2].size == 0
+
+    def test_magic_only_file_loads_empty(self, tmp_path):
+        path = str(tmp_path / "magic.qfs")
+        with open(path, "wb") as handle:
+            handle.write(SEGMENT_MAGIC)
+        meta, table = read_segments(path)
+        assert meta is None and len(table) == 0
+
+    def test_zero_byte_file(self, tmp_path):
+        path = str(tmp_path / "empty.qfs")
+        open(path, "wb").close()
+        assert not is_segment_file(path)
+        with pytest.raises(ValueError, match="not a segment checkpoint"):
+            read_segments(path)
+        with pytest.raises(ValueError, match="not a campaign artefact"):
+            CampaignResult.load(path)
+
+    def test_missing_file_not_a_segment_file(self, tmp_path):
+        assert not is_segment_file(str(tmp_path / "nope.qfs"))
+
+
+class TestTornTailStillTolerated:
+    """The historical guarantee: a kill mid-append loses one segment."""
+
+    def test_truncated_tail_dropped(self, tmp_path, result):
+        path = fresh_store(tmp_path, result)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 7)  # rip into the last payload
+        meta, table = read_segments(path)
+        assert meta is not None
+        assert len(table) == 20  # first two segments survive
+
+    def test_garbled_tail_header_dropped(self, tmp_path, result):
+        path = fresh_store(tmp_path, result)
+        last = list(iter_segments(path))[-1]
+        # Overwrite the last segment's header bytes in place (length
+        # unchanged, so the extent still ends exactly at EOF).
+        with open(path, "r+b") as handle:
+            handle.seek(last.payload_offset - 8)
+            handle.write(b"\xff" * 8)
+        meta, table = read_segments(path)
+        assert meta is not None
+        assert len(table) == 20
+
+    def test_appends_after_torn_tail_replace_it(self, tmp_path, result):
+        # The checkpoint runner compacts before appending, so new bytes
+        # never land behind torn ones; this pins the reader side — a
+        # store truncated then reloaded sees only intact segments.
+        path = fresh_store(tmp_path, result)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)
+        meta, table = read_segments(path)
+        assert len(table) == 20
+
+
+class TestInteriorCorruptionRaises:
+    """Damage that is *not* at the tail must be loud, not silent."""
+
+    def _garble_segment(self, path, index):
+        """Corrupt the header JSON of record segment ``index`` in place."""
+        infos = [
+            info for info in iter_segments(path) if info.kind == b"R"
+        ]
+        target = infos[index]
+        with open(path, "r+b") as handle:
+            handle.seek(target.payload_offset - 8)
+            handle.write(b"\xff" * 8)
+
+    def test_garbled_interior_header_raises(self, tmp_path, result):
+        path = fresh_store(tmp_path, result)
+        self._garble_segment(path, 0)  # first of three record segments
+        with pytest.raises(ValueError, match="interior segment"):
+            read_segments(path)
+        with pytest.raises(ValueError, match="not a truncated tail"):
+            list(iter_segments(path))
+
+    def test_garbled_interior_magic_raises(self, tmp_path, result):
+        path = fresh_store(tmp_path, result)
+        with open(path, "r+b") as handle:
+            handle.seek(self._segment_start(path, 1))
+            handle.write(b"XXXX")
+        with pytest.raises(ValueError, match="corrupt segment"):
+            read_segments(path)
+
+    def _segment_start(self, path, index):
+        """Byte offset where segment ``index`` begins (re-scan)."""
+        size = os.path.getsize(path)
+        offsets = []
+        with open(path, "rb") as handle:
+            offset = 0
+            while offset + _PREFIX.size <= size:
+                handle.seek(offset)
+                magic, kind, header_len, payload_len = _PREFIX.unpack(
+                    handle.read(_PREFIX.size)
+                )
+                offsets.append(offset)
+                offset += _PREFIX.size + header_len + payload_len
+        return offsets[index]
+
+    def test_count_mismatch_interior_raises(self, tmp_path, result):
+        """An interior count/payload disagreement is corruption too."""
+        path = fresh_store(tmp_path, result)
+        start = self._segment_start(path, 1)
+        with open(path, "rb") as handle:
+            handle.seek(start)
+            magic, kind, header_len, payload_len = _PREFIX.unpack(
+                handle.read(_PREFIX.size)
+            )
+            header = json.loads(handle.read(header_len))
+        header["count"] = header["count"] + 1  # now disagrees with payload
+        rewritten = json.dumps(header).encode("utf-8")
+        rewritten += b" " * (header_len - len(rewritten))
+        assert len(rewritten) == header_len
+        with open(path, "r+b") as handle:
+            handle.seek(start + _PREFIX.size)
+            handle.write(rewritten)
+        with pytest.raises(ValueError, match="payload/count mismatch"):
+            read_segments(path)
+
+    def test_intact_store_still_loads(self, tmp_path, result):
+        path = fresh_store(tmp_path, result)
+        meta, table = read_segments(path)
+        assert len(table) == 30

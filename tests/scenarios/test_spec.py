@@ -200,13 +200,22 @@ class TestParseMemoryBudget:
             ("1.5gb", int(1.5 * 2**30)),
             ("1tb", 2**40),
             ("128b", 128),
+            ("0.5kb", 512),
         ],
     )
     def test_accepted_forms(self, value, expected):
         assert parse_memory_budget(value) == expected
 
     @pytest.mark.parametrize(
-        "value", ["", "lots", "12xb", "-1", 0, -5, True]
+        "value",
+        [
+            "", "lots", "12xb", "-1", 0, -5, True,
+            # Sub-byte budgets truncate to zero bytes — not a usable
+            # budget, so they are rejected like any other non-positive.
+            "0.5", 0.25, ".5b",
+            # A bare unit with no magnitude is noise, not a size.
+            "MB", "gb",
+        ],
     )
     def test_rejected_forms(self, value):
         with pytest.raises(ValueError):

@@ -181,6 +181,24 @@ class TestKillAndResume:
         resumed_bytes = open(os.path.join(killed_dir, MANIFEST_NAME)).read()
         assert fresh_bytes == resumed_bytes
 
+    def test_resume_merges_timings_sidecar(self, tmp_path, monkeypatch):
+        """Resume must keep the killed run's timings, not overwrite them."""
+        suite = mixed_suite()
+        killed_dir = str(tmp_path / "killed")
+        self._run_with_kill(suite, killed_dir, 2, monkeypatch)
+        before = json.load(open(os.path.join(killed_dir, TIMINGS_NAME)))
+        assert len(before["scenarios"]) == 2  # two campaigns finished
+
+        resumed = SuiteRunner(suite, manifest_dir=killed_dir).run()
+        assert resumed.complete
+        after = json.load(open(os.path.join(killed_dir, TIMINGS_NAME)))
+        assert after["complete"] is True
+        # All four computed campaigns are timed (the duplicate is reused),
+        # and the pre-kill entries survive with their exact values.
+        assert len(after["scenarios"]) == 4
+        for scenario_id, seconds in before["scenarios"].items():
+            assert after["scenarios"][scenario_id] == seconds
+
     def test_max_campaigns_halts_resumably(self, tmp_path):
         suite = mixed_suite()
         manifest_dir = str(tmp_path / "m")
