@@ -1,0 +1,136 @@
+"""Adaptive refinement vs the full uniform grid: the ISSUE 8 pins.
+
+The coarse-to-fine engine claims that on the paper's smooth theta-phi
+QVF surfaces it reaches the full-grid answer for a fraction of the
+injections. This bench makes that claim a regression pin: on four
+3-qubit algorithms under the paper's full 15-degree grid (312
+configurations per fault site), the refined campaign must
+
+* spend at most ``INJECTION_FRACTION_PIN`` (40%) of the uniform sweep's
+  injections, and
+* produce an interpolated full-grid heatmap within
+  ``HEATMAP_TOLERANCE`` of the golden uniform sweep everywhere —
+  visited cells are exact by construction (ideal backend), so the
+  tolerance is really about the interpolated gaps.
+
+Measured wall clocks and per-algorithm savings are archived as
+``adaptive_timings.json`` (uploaded by the bench-smoke CI job, kept out
+of git like the other timing artifacts).
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.algorithms import bernstein_vazirani, deutsch_jozsa, ghz, qft
+from repro.faults import (
+    QuFI,
+    fault_grid,
+    refined_heatmap,
+    run_adaptive_campaign,
+)
+from repro.simulators import StatevectorSimulator
+
+# Written at the repo root (the CI working directory) so the bench-smoke
+# job can archive it next to the fused and suite timings.
+TIMINGS_PATH = "adaptive_timings.json"
+
+GRID_STEP_DEG = 15.0  # the paper's full grid: 312 configurations
+ADAPTIVE = dict(coarse_points=5, gradient_threshold=0.2, max_rounds=8)
+
+# The acceptance pins. Measured at threshold 0.2: fractions 14-35% and
+# max heatmap error <= 0.055 across these algorithms; the pins leave
+# margin without letting either claim regress silently.
+INJECTION_FRACTION_PIN = 0.40
+HEATMAP_TOLERANCE = 0.08
+
+ALGORITHMS = {
+    "bv": lambda: bernstein_vazirani(3),
+    "dj": lambda: deutsch_jozsa(3),
+    "ghz": lambda: ghz(3),
+    "qft": lambda: qft(3),
+}
+
+
+def timed(run):
+    start = time.perf_counter()
+    result = run()
+    return result, time.perf_counter() - start
+
+
+class TestAdaptiveScaling:
+    """Acceptance: <= 40% of the grid, within tolerance, 4 algorithms."""
+
+    def test_refined_matches_full_grid_goldens(self):
+        report = {}
+        for name, build in ALGORITHMS.items():
+            spec = build()
+            full, t_full = timed(
+                lambda: QuFI(StatevectorSimulator()).run_campaign(
+                    spec, faults=fault_grid(step_deg=GRID_STEP_DEG)
+                )
+            )
+            adaptive, t_adaptive = timed(
+                lambda: run_adaptive_campaign(
+                    QuFI(StatevectorSimulator()),
+                    spec,
+                    grid_step_deg=GRID_STEP_DEG,
+                    **ADAPTIVE,
+                )
+            )
+            outcome = adaptive.metadata["adaptive"]
+            fraction = outcome["injections"] / outcome["full_grid_injections"]
+            _, _, golden = full.heatmap()
+            _, _, estimate = refined_heatmap(
+                adaptive, grid_step_deg=GRID_STEP_DEG
+            )
+            error = float(np.max(np.abs(estimate - golden)))
+
+            # Visited cells are exact: the uniform sweep recorded the
+            # same injections there (ideal backend, identical faults).
+            _, _, visited_only = refined_heatmap(
+                adaptive, grid_step_deg=GRID_STEP_DEG, fill="mask"
+            )
+            mask = ~np.isnan(visited_only)
+            assert np.array_equal(visited_only[mask], golden[mask]), name
+
+            report[name] = {
+                "full_injections": outcome["full_grid_injections"],
+                "adaptive_injections": outcome["injections"],
+                "fraction": fraction,
+                "rounds": outcome["rounds"],
+                "stopped": outcome["stopped"],
+                "max_heatmap_error": error,
+                "seconds": {"full": t_full, "adaptive": t_adaptive},
+            }
+            print(
+                f"\n{name}3 @ {GRID_STEP_DEG:g} deg: "
+                f"{outcome['injections']}/{outcome['full_grid_injections']} "
+                f"injections ({fraction:.1%}), "
+                f"max error {error:.4f}, "
+                f"full {t_full:.2f}s vs adaptive {t_adaptive:.2f}s"
+            )
+
+        timings = {
+            "workload": f"adaptive-refine-vs-full-grid-{GRID_STEP_DEG:g}deg",
+            "adaptive": ADAPTIVE,
+            "pins": {
+                "injection_fraction": INJECTION_FRACTION_PIN,
+                "heatmap_tolerance": HEATMAP_TOLERANCE,
+            },
+            "algorithms": report,
+        }
+        with open(TIMINGS_PATH, "w") as handle:
+            json.dump(timings, handle, indent=2)
+
+        for name, row in report.items():
+            assert row["fraction"] <= INJECTION_FRACTION_PIN, (
+                f"{name}: adaptive spent {row['fraction']:.1%} of the "
+                f"full grid (pin {INJECTION_FRACTION_PIN:.0%})"
+            )
+            assert row["max_heatmap_error"] <= HEATMAP_TOLERANCE, (
+                f"{name}: refined heatmap off by "
+                f"{row['max_heatmap_error']:.4f} "
+                f"(tolerance {HEATMAP_TOLERANCE})"
+            )

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -342,9 +343,9 @@ def export_records(
     * ``parquet`` / ``arrow`` — streamed batch-by-batch through
       ``pyarrow`` (one window per batch; peak memory stays bounded);
     * ``npz`` — the numpy fallback when ``pyarrow`` is missing (or
-      ``fmt="npz"``): same columns as arrays in one archive. The
-      fallback concatenates in RAM — it trades the bounded-memory
-      property for zero dependencies, and the return value says so.
+      ``fmt="npz"``): same columns as arrays in one archive, streamed
+      column by column straight into the zip container — peak memory is
+      one window per pass, never a table, dependencies zero.
 
     ``fmt="auto"`` picks from the extension (``.parquet``, ``.arrow``/
     ``.feather``, anything else npz) and silently degrades to npz when
@@ -399,20 +400,108 @@ def export_records(
     return fmt
 
 
+def _write_npz_member(
+    archive: zipfile.ZipFile,
+    name: str,
+    dtype: np.dtype,
+    rows: int,
+    chunks: Iterable[np.ndarray],
+) -> None:
+    """Stream one column into the archive as a ``.npy`` member.
+
+    An npz file is a plain zip of ``.npy`` members, and the npy v1
+    format is a fixed header followed by raw array bytes — so a column
+    whose length and dtype are known up front can be written window by
+    window through an open zip entry, never materialising the column.
+    """
+    with archive.open(f"{name}.npy", "w", force_zip64=True) as member:
+        np.lib.format.write_array_header_1_0(
+            member,
+            {
+                "descr": np.lib.format.dtype_to_descr(dtype),
+                "fortran_order": False,
+                "shape": (rows,),
+            },
+        )
+        for values in chunks:
+            member.write(
+                np.ascontiguousarray(values, dtype=dtype).tobytes()
+            )
+
+
 def _export_npz(
     handles: Sequence[ScenarioHandle], path: str, window_rows: int
 ) -> None:
-    parts: Dict[str, List[np.ndarray]] = {}
-    for handle in handles:
-        for chunk in handle.open(window_rows).iter_chunk_tables():
-            for name, values in _chunk_columns(chunk, handle).items():
-                parts.setdefault(name, []).append(values)
-    if not parts:
+    """The bounded-memory npz fallback: one column pass at a time.
+
+    Numeric columns stream directly (the first pass doubles as the
+    gate-name width scan); ``gate_name`` resolves each window's gate ids
+    through its own pool; the identity columns are constant per scenario
+    and are synthesised without touching the stores at all. Peak memory
+    is a single window regardless of how many records the export holds.
+    The member set and dtypes match what the historical concatenate-
+    then-``savez`` writer produced, so ``np.load`` consumers see no
+    difference.
+    """
+    results = [(handle, handle.open(window_rows)) for handle in handles]
+    rows = sum(result.num_injections for _, result in results)
+    if rows == 0:
         raise ValueError("no records to export")
-    columns = {
-        name: np.concatenate(values) for name, values in parts.items()
-    }
+
+    gate_width = 1
+    numeric = [name for name in RECORD_DTYPE.names if name != "gate"]
     tmp_path = f"{path}.tmp"
-    with open(tmp_path, "wb") as handle:
-        np.savez(handle, **columns)
+    with zipfile.ZipFile(
+        tmp_path, "w", zipfile.ZIP_STORED, allowZip64=True
+    ) as archive:
+        measure_gates = True
+        for name in numeric:
+
+            def column_chunks(name=name, measure=measure_gates):
+                nonlocal gate_width
+                for _, result in results:
+                    for chunk in result.iter_chunk_tables():
+                        if measure:
+                            for gate in chunk.gate_names:
+                                gate_width = max(gate_width, len(gate))
+                        yield np.asarray(chunk.column(name))
+
+            _write_npz_member(
+                archive, name, RECORD_DTYPE[name], rows, column_chunks()
+            )
+            measure_gates = False
+
+        gate_dtype = np.dtype(f"<U{gate_width}")
+
+        def gate_chunks():
+            for _, result in results:
+                for chunk in result.iter_chunk_tables():
+                    pool = np.asarray(chunk.gate_names, dtype=gate_dtype)
+                    yield pool[np.asarray(chunk.column("gate"))]
+
+        _write_npz_member(archive, "gate_name", gate_dtype, rows, gate_chunks())
+
+        for key in _ID_COLUMNS:
+            labels = [
+                (
+                    handle.scenario_id
+                    if key == "scenario_id"
+                    else handle.group(key),
+                    result.num_injections,
+                )
+                for handle, result in results
+            ]
+            id_dtype = np.dtype(
+                f"<U{max(1, max(len(label) for label, _ in labels))}"
+            )
+
+            def id_chunks(labels=labels, id_dtype=id_dtype):
+                for label, count in labels:
+                    remaining = count
+                    while remaining > 0:
+                        step = min(remaining, window_rows)
+                        yield np.full(step, label, dtype=id_dtype)
+                        remaining -= step
+
+            _write_npz_member(archive, key, id_dtype, rows, id_chunks())
     os.replace(tmp_path, path)

@@ -66,6 +66,7 @@ from .scenarios import (
 from .scenarios.factory import (
     FactoryCache,
     make_transpiled_campaign_inputs,
+    run_adaptive_scenario,
     scenario_metadata,
 )
 
@@ -169,6 +170,81 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     campaign.add_argument(
+        "--adaptive",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "explore the grid adaptively instead of sweeping it: start "
+            "from a coarse set of grid lines and refine only where the "
+            "QVF gradient exceeds the threshold (deterministic, "
+            "checkpointable through --checkpoint like any campaign)"
+        ),
+    )
+    campaign.add_argument(
+        "--adaptive-mode",
+        choices=["refine", "importance"],
+        default="refine",
+        help=(
+            "refine = coarse-to-fine grid refinement against the full "
+            "grid; importance = physics-weighted fault batches per round "
+            "(strike sampling) until the mean-QVF standard error reaches "
+            "the tolerance"
+        ),
+    )
+    campaign.add_argument(
+        "--adaptive-coarse",
+        type=int,
+        default=5,
+        help="grid lines per axis in the coarse starting round",
+    )
+    campaign.add_argument(
+        "--adaptive-threshold",
+        type=float,
+        default=0.05,
+        help="QVF finite-difference above which an interval is refined",
+    )
+    campaign.add_argument(
+        "--adaptive-rounds",
+        type=int,
+        default=8,
+        help="maximum refinement/sampling rounds",
+    )
+    campaign.add_argument(
+        "--adaptive-tolerance",
+        type=float,
+        default=0.0,
+        help=(
+            "convergence tolerance (round-over-round change of the "
+            "interpolated full-grid estimate, or the importance-mode "
+            "standard error); 0 disables the tolerance stop"
+        ),
+    )
+    campaign.add_argument(
+        "--adaptive-samples",
+        type=int,
+        default=64,
+        help="fault configurations drawn per importance-mode round",
+    )
+    campaign.add_argument(
+        "--max-injections",
+        type=int,
+        default=None,
+        help=(
+            "injection budget: adaptive campaigns stop at the last round "
+            "that fits; a uniform sweep that would exceed it is rejected "
+            "before running"
+        ),
+    )
+    campaign.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock budget for adaptive campaigns (checked at round "
+            "boundaries; a checkpointed run stopped by it resumes)"
+        ),
+    )
+    campaign.add_argument(
         "--checkpoint",
         default=None,
         help=(
@@ -216,6 +292,36 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "compute at most this many campaigns, then stop (the "
             "manifest stays resumable; reused/cached scenarios are free)"
+        ),
+    )
+    suite_run.add_argument(
+        "--budget-injections",
+        type=int,
+        default=None,
+        help=(
+            "suite injection budget: a pre-run estimator prices every "
+            "pending scenario and rejects or truncates the suite before "
+            "anything runs (reused scenarios are free)"
+        ),
+    )
+    suite_run.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help=(
+            "suite wall-clock budget, projected from the timings.json "
+            "sidecar's recorded per-injection rate when history exists "
+            "(and enforced at campaign boundaries while running)"
+        ),
+    )
+    suite_run.add_argument(
+        "--budget-action",
+        choices=["reject", "truncate"],
+        default="reject",
+        help=(
+            "what to do when the estimate exceeds the budget: reject "
+            "(refuse to run, print the per-scenario report) or truncate "
+            "(run the longest prefix that fits; resumable)"
         ),
     )
 
@@ -335,6 +441,22 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
     if args.transpile_to:
         transpile = TranspileSpec(optimization_level=args.transpile_level)
         machine = args.transpile_to
+    adaptive = None
+    if getattr(args, "adaptive", False):
+        adaptive = {
+            "mode": args.adaptive_mode,
+            "coarse_points": args.adaptive_coarse,
+            "gradient_threshold": args.adaptive_threshold,
+            "max_rounds": args.adaptive_rounds,
+            "tolerance": args.adaptive_tolerance,
+            "samples_per_round": args.adaptive_samples,
+        }
+    budget = None
+    if args.max_injections is not None or args.max_seconds is not None:
+        budget = {
+            "max_injections": args.max_injections,
+            "max_seconds": args.max_seconds,
+        }
     return ScenarioSpec(
         algorithm=args.algorithm,
         width=args.width,
@@ -348,6 +470,8 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
         transpile=transpile,
         fused=args.fused,
         memory_budget=args.memory_budget,
+        adaptive=adaptive,
+        budget=budget,
     )
 
 
@@ -356,7 +480,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         raise SystemExit("--workers must be a positive integer")
     scenario = _scenario_from_args(args)
     cache = FactoryCache()
-    if args.checkpoint:
+    if scenario.adaptive is not None:
+        # Adaptive campaigns own their checkpoint handling: every round
+        # streams through the same segment store, so --checkpoint is a
+        # parameter of the engine rather than a separate wrapper.
+        result = run_adaptive_scenario(
+            scenario, cache, checkpoint_path=args.checkpoint
+        )
+    elif args.checkpoint:
         # Checkpointed runs assemble the campaign pieces explicitly so
         # the runner can stream segments; the layout metadata rides in
         # the checkpoint store, keeping the .ckpt frame-convertible even
@@ -397,19 +528,41 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"mean QVF {result.mean_qvf():.4f} "
         f"(fault-free {result.fault_free_qvf:.4f}) -> {args.output}"
     )
+    adaptive = result.metadata.get("adaptive")
+    if adaptive:
+        full = adaptive["full_grid_injections"]
+        spent = adaptive["injections"]
+        fraction = f" ({100.0 * spent / full:.0f}% of the full grid)" if full else ""
+        print(
+            f"adaptive [{adaptive['mode']}]: {adaptive['rounds']} round(s), "
+            f"stopped by {adaptive['stopped']}, "
+            f"{spent} injections{fraction}"
+        )
     return 0
 
 
 def _cmd_suite_run(args: argparse.Namespace) -> int:
     suite = SuiteSpec.from_json(args.spec)
     runner = SuiteRunner(
-        suite, manifest_dir=args.manifest, max_campaigns=args.max_campaigns
+        suite,
+        manifest_dir=args.manifest,
+        max_campaigns=args.max_campaigns,
+        budget_injections=args.budget_injections,
+        budget_seconds=args.budget_seconds,
+        budget_action=args.budget_action,
     )
 
     def progress(done: int, total: int, scenario_id: str) -> None:
         print(f"[{done}/{total}] {scenario_id}")
 
-    outcome = runner.run(progress=progress)
+    try:
+        outcome = runner.run(progress=progress)
+    except ValueError as error:
+        # Budget rejection (and kindred misconfigurations) should read
+        # as a report, not a traceback.
+        raise SystemExit(str(error))
+    if outcome.budget_report and not outcome.complete:
+        print(outcome.budget_report)
     state = "complete" if outcome.complete else "halted (resumable)"
     print(
         f"suite {outcome.name}: {len(outcome)}/{len(suite)} scenarios "

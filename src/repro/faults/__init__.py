@@ -13,6 +13,11 @@ from .records import (
     RecordTable,
     promote_record_array,
 )
+from .adaptive import (
+    coarse_line_indices,
+    refined_heatmap,
+    run_adaptive_campaign,
+)
 from .checkpoint import CheckpointedRunner
 from .double import NeighborReport, find_neighbor_couples
 from .layout_map import LayoutMap, TranspiledCircuit, map_transpiled
@@ -52,6 +57,7 @@ from .sampling import (
     expected_qvf,
     run_strike_campaign,
     sample_strike_faults,
+    strike_theta_samples,
     theta_distribution,
 )
 from .qvf import (
@@ -115,8 +121,12 @@ __all__ = [
     "tid_dose_sweep",
     "run_collapse_campaign",
     "sample_strike_faults",
+    "strike_theta_samples",
     "theta_distribution",
     "expected_qvf",
+    "run_adaptive_campaign",
+    "refined_heatmap",
+    "coarse_line_indices",
     "StrikeModel",
     "attenuation",
     "charge_density",

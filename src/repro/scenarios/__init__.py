@@ -25,6 +25,7 @@ that grid a value, not a script:
 from .factory import (
     MACHINES,
     FactoryCache,
+    estimate_scenario_injections,
     heavy_noise_model,
     light_noise_model,
     make_algorithm,
@@ -35,13 +36,29 @@ from .factory import (
     make_injector,
     make_noise_model,
     make_transpiled,
+    run_adaptive_scenario,
     run_scenario,
 )
-from .runner import ScenarioRun, SuiteResult, SuiteRunner, load_suite_result
-from .spec import ScenarioSpec, SuiteSpec, TranspileSpec, expand_grid
+from .runner import (
+    ScenarioRun,
+    SuiteResult,
+    SuiteRunner,
+    format_cost_report,
+    load_suite_result,
+)
+from .spec import (
+    AdaptiveSpec,
+    BudgetSpec,
+    ScenarioSpec,
+    SuiteSpec,
+    TranspileSpec,
+    expand_grid,
+)
 
 __all__ = [
     "MACHINES",
+    "AdaptiveSpec",
+    "BudgetSpec",
     "ScenarioSpec",
     "SuiteSpec",
     "TranspileSpec",
@@ -57,9 +74,12 @@ __all__ = [
     "make_faults",
     "make_injector",
     "make_transpiled",
+    "estimate_scenario_injections",
+    "run_adaptive_scenario",
     "run_scenario",
     "SuiteRunner",
     "SuiteResult",
     "ScenarioRun",
+    "format_cost_report",
     "load_suite_result",
 ]

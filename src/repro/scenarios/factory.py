@@ -26,6 +26,7 @@ import numpy as np
 
 from ..algorithms import ALGORITHMS
 from ..algorithms.spec import AlgorithmSpec
+from ..faults.adaptive import run_adaptive_campaign
 from ..faults.campaign import CampaignResult
 from ..faults.double import find_neighbor_couples
 from ..faults.executor import (
@@ -76,6 +77,8 @@ __all__ = [
     "make_transpiled_campaign_inputs",
     "scenario_metadata",
     "transpile_metadata",
+    "estimate_scenario_injections",
+    "run_adaptive_scenario",
     "run_scenario",
 ]
 
@@ -578,6 +581,144 @@ def make_injector(
     )
 
 
+def _scenario_points(
+    spec: ScenarioSpec, cache: Optional[FactoryCache]
+) -> list:
+    """The injection points the scenario's single-fault sweep visits."""
+    if spec.transpile is not None:
+        transpiled = make_transpiled(spec, cache)
+        return enumerate_injection_points(
+            transpiled.circuit, layout=transpiled.layout
+        )
+    return enumerate_injection_points(make_algorithm(spec, cache).circuit)
+
+
+def _double_injection_count(
+    spec: ScenarioSpec, cache: Optional[FactoryCache]
+) -> int:
+    """Exact task count of the spec's double-fault sweep.
+
+    Mirrors :meth:`QuFI.run_double_campaign`'s enumeration — constrained
+    fault combos, per-couple point filtering, measured-out neighbour
+    pruning — without building a single task object.
+    """
+    faults = make_faults(spec, cache)
+    combos = sum(
+        1
+        for first in faults
+        for second in faults
+        if second.theta <= first.theta + 1e-9
+        and second.phi <= first.phi + 1e-9
+    )
+    circuit = _scenario_circuit(spec, cache)
+    points = (
+        _scenario_points(spec, cache) if spec.transpile is not None else None
+    )
+    first_measure: Dict[int, int] = {}
+    for position, inst in enumerate(circuit):
+        if inst.name == "measure":
+            first_measure.setdefault(inst.qubits[0], position)
+    sites = 0
+    for qubit_a, qubit_b in make_couples(spec, cache):
+        base_points = (
+            points
+            if points is not None
+            else enumerate_injection_points(circuit, qubits=[qubit_a])
+        )
+        measured_at = first_measure.get(qubit_b)
+        for point in base_points:
+            if point.qubit != qubit_a:
+                continue
+            if measured_at is not None and point.position >= measured_at:
+                continue
+            sites += 1
+    return sites * combos
+
+
+def estimate_scenario_injections(
+    spec: ScenarioSpec, cache: Optional[FactoryCache] = None
+) -> int:
+    """How many injections running ``spec`` costs, before running it.
+
+    Exact for uniform sweeps (single: ``faults x points``; double: the
+    real constrained-combo enumeration). Adaptive scenarios report their
+    *worst case* — the full grid for refinement (refined lines are
+    full-grid lines, so the grid is the ceiling), ``samples_per_round x
+    max_rounds x points`` for importance sampling — further clamped by
+    the spec's own ``budget.max_injections`` when set. The suite
+    runner's pre-run cost gate sums these.
+    """
+    points = len(_scenario_points(spec, cache))
+    if spec.adaptive is not None:
+        if spec.adaptive.mode == "importance":
+            worst = spec.adaptive.samples_per_round * spec.adaptive.max_rounds
+            worst *= points
+        else:
+            worst = len(make_faults(spec, cache)) * points
+        if spec.budget is not None and spec.budget.max_injections is not None:
+            worst = min(worst, spec.budget.max_injections)
+        return worst
+    if spec.mode == "double":
+        return _double_injection_count(spec, cache)
+    return len(make_faults(spec, cache)) * points
+
+
+def run_adaptive_scenario(
+    spec: ScenarioSpec,
+    cache: Optional[FactoryCache] = None,
+    executor: Optional[BaseExecutor] = None,
+    checkpoint_path: Optional[str] = None,
+    save_every: int = 200,
+) -> CampaignResult:
+    """Run ``spec``'s adaptive campaign (the ``spec.adaptive`` path).
+
+    The adaptive analogue of :func:`run_scenario`'s body, shared with
+    the CLI's checkpointed path: maps the spec's ``adaptive`` and
+    ``budget`` blocks onto :func:`repro.faults.adaptive.run_adaptive_campaign`,
+    sweeps the transpiled circuit (with frame-stamped points and the
+    layout map in the persisted metadata) when the spec has a
+    ``transpile`` block, and stamps the scenario identity on the result.
+    """
+    block = spec.adaptive
+    if block is None:
+        raise ValueError(f"scenario {spec.scenario_id!r} has no adaptive block")
+    cache = cache if cache is not None else FactoryCache()
+    algorithm = make_algorithm(spec, cache)
+    qufi = make_injector(spec, cache, executor)
+    budget = spec.budget
+    kwargs = dict(
+        grid_step_deg=spec.grid_step_deg,
+        phi_max_deg=spec.phi_max_deg,
+        include_phi_endpoint=spec.include_phi_endpoint,
+        coarse_points=block.coarse_points,
+        gradient_threshold=block.gradient_threshold,
+        max_rounds=block.max_rounds,
+        tolerance=block.tolerance,
+        mode=block.mode,
+        samples_per_round=block.samples_per_round,
+        max_injections=None if budget is None else budget.max_injections,
+        max_seconds=None if budget is None else budget.max_seconds,
+        checkpoint_path=checkpoint_path,
+        save_every=save_every,
+    )
+    if spec.transpile is None:
+        result = run_adaptive_campaign(qufi, algorithm, **kwargs)
+    else:
+        transpiled, points, extra_meta = make_transpiled_campaign_inputs(
+            spec, cache
+        )
+        result = run_adaptive_campaign(
+            qufi,
+            transpiled.circuit,
+            correct_states=algorithm.correct_states,
+            points=points,
+            metadata=extra_meta,
+            **kwargs,
+        )
+    result.metadata.update(scenario_metadata(spec))
+    return result
+
+
 def run_scenario(
     spec: ScenarioSpec,
     cache: Optional[FactoryCache] = None,
@@ -592,6 +733,17 @@ def run_scenario(
     the spec's strategy with an existing instance; the suite runner uses
     this to route all parallel scenarios through one long-lived pool.
 
+    Specs with an ``adaptive`` block dispatch to
+    :func:`run_adaptive_scenario` (coarse-to-fine refinement or
+    importance sampling instead of the uniform sweep; ``progress`` is
+    not threaded through the round loop). A ``budget.max_injections``
+    on a *non*-adaptive spec is a hard gate: an over-budget uniform
+    sweep raises before running anything, since truncating a grid
+    mid-sweep would silently change its records. ``budget.max_seconds``
+    is enforced by the suite runner's pre-run estimator and by the
+    adaptive round loop, not here — a uniform sweep's wall clock is not
+    checkable before it runs.
+
     Scenarios with a ``transpile`` block sweep the *hardware-native*
     circuit instead of the logical one: injection points enumerate the
     transpiled gate list (stamped with their physical/logical frame
@@ -604,6 +756,18 @@ def run_scenario(
     # transpiled artefact is consumed by the backend's noise model, the
     # injection points and the couples alike).
     cache = cache if cache is not None else FactoryCache()
+    if spec.adaptive is not None:
+        return run_adaptive_scenario(spec, cache, executor)
+    if spec.budget is not None and spec.budget.max_injections is not None:
+        cost = estimate_scenario_injections(spec, cache)
+        if cost > spec.budget.max_injections:
+            raise ValueError(
+                f"scenario {spec.scenario_id!r} needs {cost} injections "
+                f"but its budget allows {spec.budget.max_injections}; a "
+                f"uniform grid cannot be truncated without changing its "
+                f"records — coarsen the grid, raise the budget, or add "
+                f"an adaptive block"
+            )
     algorithm = make_algorithm(spec, cache)
     qufi = make_injector(spec, cache, executor)
     faults = make_faults(spec, cache)

@@ -42,7 +42,12 @@ from typing import Dict, List, Optional, Tuple
 from ..faults.campaign import CampaignResult
 from ..faults.executor import BaseExecutor, ParallelExecutor
 from ..faults.store import compact, read_segments
-from .factory import FactoryCache, _segment_options, run_scenario
+from .factory import (
+    FactoryCache,
+    _segment_options,
+    estimate_scenario_injections,
+    run_scenario,
+)
 from .spec import ScenarioSpec, SuiteSpec
 
 __all__ = [
@@ -51,6 +56,7 @@ __all__ = [
     "ScenarioRun",
     "SuiteResult",
     "SuiteRunner",
+    "format_cost_report",
     "load_suite_result",
 ]
 
@@ -112,6 +118,7 @@ class SuiteResult:
     runs: List[ScenarioRun] = field(default_factory=list)
     complete: bool = True
     total_seconds: float = 0.0
+    budget_report: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -165,6 +172,15 @@ class SuiteRunner:
     ``max_campaigns`` bounds how many campaigns this invocation may
     *compute* (cache/manifest reuse is free); the suite returns with
     ``complete=False`` when the budget stops it — re-running resumes.
+
+    ``budget_injections`` / ``budget_seconds`` gate the suite *before*
+    it runs: :meth:`estimate_cost` prices every pending scenario (exact
+    injection counts; seconds projected from the ``timings.json``
+    sidecar's recorded per-injection rate, when history exists) and an
+    over-budget suite is either rejected with the full per-scenario
+    report (``budget_action="reject"``, the default) or truncated to the
+    longest prefix that fits (``"truncate"`` — the suite returns
+    ``complete=False`` and re-running with a larger budget resumes).
     """
 
     def __init__(
@@ -172,12 +188,27 @@ class SuiteRunner:
         suite: SuiteSpec,
         manifest_dir: Optional[str] = None,
         max_campaigns: Optional[int] = None,
+        budget_injections: Optional[int] = None,
+        budget_seconds: Optional[float] = None,
+        budget_action: str = "reject",
     ) -> None:
         if max_campaigns is not None and max_campaigns < 1:
             raise ValueError("max_campaigns must be positive when given")
+        if budget_injections is not None and budget_injections < 1:
+            raise ValueError("budget_injections must be positive when given")
+        if budget_seconds is not None and budget_seconds <= 0:
+            raise ValueError("budget_seconds must be positive when given")
+        if budget_action not in ("reject", "truncate"):
+            raise ValueError(
+                f"unknown budget action {budget_action!r} "
+                f"(choose 'reject' or 'truncate')"
+            )
         self.suite = suite
         self.manifest_dir = manifest_dir
         self.max_campaigns = max_campaigns
+        self.budget_injections = budget_injections
+        self.budget_seconds = budget_seconds
+        self.budget_action = budget_action
         self.cache = FactoryCache()
         self._by_hash: Dict[str, CampaignResult] = {}
         self._pools: Dict[Tuple, ParallelExecutor] = {}
@@ -306,6 +337,114 @@ class SuiteRunner:
         self._write_manifest()
 
     # ------------------------------------------------------------------
+    # Pre-run cost estimation
+    # ------------------------------------------------------------------
+    def _history_rate(
+        self, entries: List[Dict[str, object]]
+    ) -> Optional[float]:
+        """Seconds per injection from the timings sidecar, or ``None``.
+
+        Pools every completed scenario that has both a recorded wall
+        clock (``timings.json``) and a recorded injection count (the
+        manifest digest) — one global rate, since the sidecar does not
+        resolve cost below scenario granularity. No history, no rate: a
+        seconds budget then gates only at run time, never pre-run.
+        """
+        if self.manifest_dir is None:
+            return None
+        timings = self._load_timings()
+        seconds = 0.0
+        injections = 0
+        for entry in entries:
+            digest = entry.get("digest") or {}
+            count = digest.get("num_injections")
+            recorded = timings.get(entry.get("id"))
+            if count and recorded and recorded > 0:
+                seconds += float(recorded)
+                injections += int(count)
+        return seconds / injections if injections else None
+
+    def estimate_cost(self) -> Dict[str, object]:
+        """Price the suite before running it.
+
+        Walks the suite in order, charging each scenario its injection
+        estimate (:func:`~repro.scenarios.factory.estimate_scenario_injections`;
+        zero for scenarios already satisfied by the manifest or by an
+        earlier duplicate spec hash) and, when the ``timings.json``
+        sidecar holds history, a projected wall clock. Scenarios are
+        admitted prefix-wise against the configured budgets: once one
+        does not fit, it and every later costed scenario are excluded —
+        matching the truncation the runner would apply, so the estimate
+        *is* the execution plan.
+
+        Returns a dict with per-scenario rows, the admitted totals, the
+        history rate, and the ``excluded`` ids (empty = within budget).
+        """
+        persist = self.manifest_dir is not None and os.path.exists(
+            self._manifest_path()
+        )
+        entries = self._load_entries() if persist else self._fresh_entries()
+        rate = self._history_rate(entries)
+        rows: List[Dict[str, object]] = []
+        excluded: List[str] = []
+        seen_hashes: set = set()
+        total_injections = 0
+        total_seconds = 0.0
+        truncated = False
+        for entry, scenario in zip(entries, self.suite):
+            spec_hash = scenario.spec_hash()
+            reused = (
+                entry.get("status") == "done"
+                and entry.get("spec_hash") == spec_hash
+            ) or spec_hash in seen_hashes
+            seen_hashes.add(spec_hash)
+            injections = (
+                0
+                if reused
+                else estimate_scenario_injections(scenario, self.cache)
+            )
+            seconds = injections * rate if rate is not None else None
+            fits = not truncated
+            if fits and self.budget_injections is not None:
+                fits = total_injections + injections <= self.budget_injections
+            if (
+                fits
+                and self.budget_seconds is not None
+                and seconds is not None
+            ):
+                fits = total_seconds + seconds <= self.budget_seconds
+            if fits:
+                total_injections += injections
+                if seconds is not None:
+                    total_seconds += seconds
+            elif injections:
+                # Prefix semantics: the first scenario that does not fit
+                # truncates everything costed after it, however cheap —
+                # running later scenarios before earlier ones would make
+                # "resume with a larger budget" reorder the suite.
+                truncated = True
+                excluded.append(scenario.scenario_id)
+            rows.append(
+                {
+                    "id": scenario.scenario_id,
+                    "injections": injections,
+                    "seconds": seconds,
+                    "reused": reused,
+                    "within_budget": fits or not injections,
+                }
+            )
+        return {
+            "suite": self.suite.name,
+            "rate_seconds_per_injection": rate,
+            "total_injections": total_injections,
+            "total_seconds": total_seconds if rate is not None else None,
+            "budget_injections": self.budget_injections,
+            "budget_seconds": self.budget_seconds,
+            "scenarios": rows,
+            "excluded": excluded,
+        }
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def _shared_executor(
@@ -381,6 +520,22 @@ class SuiteRunner:
             self._entries = self._fresh_entries()
 
         outcome = SuiteResult(name=self.suite.name)
+        denied: set = set()
+        if (
+            self.budget_injections is not None
+            or self.budget_seconds is not None
+        ):
+            estimate = self.estimate_cost()
+            report = format_cost_report(estimate)
+            outcome.budget_report = report
+            if estimate["excluded"]:
+                if self.budget_action == "reject":
+                    raise ValueError(
+                        f"suite {self.suite.name!r} exceeds its budget; "
+                        f"nothing was run\n{report}"
+                    )
+                denied = set(estimate["excluded"])
+
         started = time.perf_counter()
         computed = 0
         finished = False
@@ -408,6 +563,24 @@ class SuiteRunner:
                         self.max_campaigns is not None
                         and computed >= self.max_campaigns
                     ):
+                        outcome.complete = False
+                        break
+                    if scenario.scenario_id in denied:
+                        # The pre-run estimate truncated the suite here;
+                        # everything costed after this point was denied
+                        # with it (prefix semantics), so stop cleanly —
+                        # re-running with a larger budget resumes.
+                        outcome.complete = False
+                        break
+                    if (
+                        self.budget_seconds is not None
+                        and self.budget_action == "truncate"
+                        and time.perf_counter() - started
+                        > self.budget_seconds
+                    ):
+                        # Runtime seconds gate: estimates (or absent
+                        # history) can undershoot; degrade gracefully at
+                        # a campaign boundary instead of running long.
                         outcome.complete = False
                         break
                     tick = time.perf_counter()
@@ -444,6 +617,53 @@ class SuiteRunner:
                     outcome.total_seconds, outcome.complete and finished
                 )
         return outcome
+
+
+def format_cost_report(estimate: Dict[str, object]) -> str:
+    """Human-readable rendering of :meth:`SuiteRunner.estimate_cost`.
+
+    One line per scenario (injections, projected seconds when timing
+    history exists, reuse and budget verdicts), then the admitted totals
+    against the configured budgets — the text shown when a suite is
+    rejected or truncated, so the operator sees exactly which scenario
+    broke the budget and what it would cost to admit.
+    """
+    lines = [f"cost estimate for suite {estimate['suite']!r}:"]
+    rate = estimate["rate_seconds_per_injection"]
+    for row in estimate["scenarios"]:
+        seconds = (
+            f" ~{row['seconds']:.1f}s" if row["seconds"] is not None else ""
+        )
+        status = (
+            "reused"
+            if row["reused"]
+            else ("ok" if row["within_budget"] else "OVER BUDGET")
+        )
+        lines.append(
+            f"  {row['id']}: {row['injections']} injections{seconds}"
+            f" [{status}]"
+        )
+    totals = f"  admitted: {estimate['total_injections']} injections"
+    if estimate["total_seconds"] is not None:
+        totals += f" ~{estimate['total_seconds']:.1f}s"
+    budgets = []
+    if estimate["budget_injections"] is not None:
+        budgets.append(f"{estimate['budget_injections']} injections")
+    if estimate["budget_seconds"] is not None:
+        budgets.append(f"{estimate['budget_seconds']:g}s")
+    if budgets:
+        totals += f" (budget: {', '.join(budgets)})"
+    lines.append(totals)
+    if rate is None and estimate["budget_seconds"] is not None:
+        lines.append(
+            "  no timing history in timings.json — seconds budget "
+            "enforced at run time only"
+        )
+    if estimate["excluded"]:
+        lines.append(
+            f"  excluded: {', '.join(estimate['excluded'])}"
+        )
+    return "\n".join(lines)
 
 
 def load_suite_result(manifest_dir: str) -> SuiteResult:

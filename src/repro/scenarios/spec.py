@@ -26,6 +26,8 @@ from dataclasses import asdict, dataclass, fields, replace
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 __all__ = [
+    "AdaptiveSpec",
+    "BudgetSpec",
     "TranspileSpec",
     "ScenarioSpec",
     "SuiteSpec",
@@ -86,6 +88,124 @@ def parse_memory_budget(value: Union[int, float, str, None]) -> Optional[int]:
     if budget < 1:
         raise ValueError(f"memory budget must be positive, got {value!r}")
     return budget
+
+
+ADAPTIVE_MODES = ("refine", "importance")
+
+
+@dataclass(frozen=True)
+class AdaptiveSpec:
+    """How an adaptive campaign explores the theta-phi fault surface.
+
+    Instead of sweeping the full ``grid_step_deg`` grid uniformly, an
+    adaptive campaign starts from a coarse subset and spends further
+    rounds only where the QVF surface actually varies
+    (:mod:`repro.faults.adaptive`):
+
+    * ``mode="refine"`` — coarse-to-fine grid refinement: begin with
+      ``coarse_points`` evenly spaced grid lines per axis, then each
+      round activate the midpoint line of every interval whose
+      finite-difference QVF change exceeds ``gradient_threshold``,
+      until no interval qualifies, the round-over-round change of the
+      interpolated full-grid estimate drops to ``tolerance``, or
+      ``max_rounds``/the scenario budget stops the loop.
+    * ``mode="importance"`` — physics-weighted sampling: each round
+      draws ``samples_per_round`` fault configurations from the strike
+      physics of :func:`repro.faults.sampling.sample_strike_faults`
+      (round ``r`` seeded from ``(seed, r)``), stopping once the
+      standard error of the mean QVF reaches ``tolerance``.
+
+    Both modes run every round through the ordinary
+    :class:`~repro.faults.executor.CampaignPlan` machinery with
+    per-task seeding, so adaptive campaigns stay deterministic,
+    checkpointable and kill/resume-safe like uniform ones.
+    """
+
+    coarse_points: int = 5
+    gradient_threshold: float = 0.05
+    max_rounds: int = 8
+    tolerance: float = 0.0
+    mode: str = "refine"
+    samples_per_round: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in ADAPTIVE_MODES:
+            raise ValueError(
+                f"unknown adaptive mode {self.mode!r} "
+                f"(choose from {ADAPTIVE_MODES})"
+            )
+        if self.coarse_points < 2:
+            raise ValueError(
+                f"coarse_points must be at least 2 (the axis endpoints), "
+                f"got {self.coarse_points}"
+            )
+        if self.gradient_threshold <= 0:
+            raise ValueError("gradient_threshold must be positive")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be positive")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if self.samples_per_round < 1:
+            raise ValueError("samples_per_round must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AdaptiveSpec":
+        """Build from a JSON object, rejecting unknown fields."""
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown adaptive field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """A cost ceiling for one scenario's campaign.
+
+    ``max_injections`` caps executed injections; ``max_seconds`` caps
+    wall clock. Adaptive campaigns stop refining (cleanly, at a round
+    boundary) when the next round would exceed the budget; uniform
+    campaigns whose fixed cost already exceeds ``max_injections`` are
+    rejected up front with the estimate — a grid campaign cannot be
+    truncated without changing its records. The suite runner's pre-run
+    cost estimator reads these blocks when gating a whole suite.
+
+    Budgets never alter which records a *completed* campaign holds, so
+    the block is excluded from :meth:`ScenarioSpec.spec_hash` — a
+    budgeted re-run of a cached scenario still hits the cache.
+    """
+
+    max_injections: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_injections is not None and self.max_injections < 1:
+            raise ValueError("max_injections must be positive when given")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ValueError("max_seconds must be positive when given")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BudgetSpec":
+        """Build from a JSON object, rejecting unknown fields."""
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown budget field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -217,6 +337,15 @@ class ScenarioSpec:
     strings). Caps the batched executor's branch-tile size so wide
     campaigns stream instead of OOMing; tiling never changes records, so
     the budget is excluded from the spec hash."""
+    adaptive: Optional[AdaptiveSpec] = None
+    """Adaptive exploration of the fault surface instead of the uniform
+    grid sweep (see :class:`AdaptiveSpec`). The block changes which
+    records the campaign holds, so — unlike ``budget`` — it participates
+    in the spec hash whenever it is set."""
+    budget: Optional[BudgetSpec] = None
+    """Cost ceiling for this scenario (see :class:`BudgetSpec`).
+    Hash-excluded: a budget bounds *how much* of the campaign runs, and
+    completed campaigns are identical with or without one."""
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -279,6 +408,34 @@ class ScenarioSpec:
                 f"transpile must be a TranspileSpec (or its dict form), "
                 f"got {type(self.transpile).__name__}"
             )
+        if isinstance(self.adaptive, dict):
+            object.__setattr__(
+                self, "adaptive", AdaptiveSpec.from_dict(self.adaptive)
+            )
+        elif self.adaptive is not None and not isinstance(
+            self.adaptive, AdaptiveSpec
+        ):
+            raise ValueError(
+                f"adaptive must be an AdaptiveSpec (or its dict form), "
+                f"got {type(self.adaptive).__name__}"
+            )
+        if isinstance(self.budget, dict):
+            object.__setattr__(
+                self, "budget", BudgetSpec.from_dict(self.budget)
+            )
+        elif self.budget is not None and not isinstance(
+            self.budget, BudgetSpec
+        ):
+            raise ValueError(
+                f"budget must be a BudgetSpec (or its dict form), "
+                f"got {type(self.budget).__name__}"
+            )
+        if self.adaptive is not None and self.mode != "single":
+            raise ValueError(
+                "adaptive campaigns support mode='single' only: the "
+                "double-fault sweep has no theta-phi surface to refine "
+                "per couple"
+            )
         # Normalize the noise profile the chosen backend actually runs
         # under, so the spec, its hash and the manifest all tell the
         # truth: machine backends always execute their calibration's
@@ -330,6 +487,15 @@ class ScenarioSpec:
         # resuming. A waived guarantee also drops when fusion is off
         # entirely: packing is inert there.
         data.pop("memory_budget")
+        # ``budget`` bounds how much of a campaign runs, never what a
+        # completed campaign's records are — always hash-excluded, so a
+        # budgeted re-run of a cached scenario still hits the cache.
+        # ``adaptive`` *selects* which cells run at all: it participates
+        # whenever set, and drops (rather than emitting null) when
+        # absent so every pre-adaptive spec hash stays valid.
+        data.pop("budget")
+        if self.adaptive is None:
+            data.pop("adaptive")
         if self.bit_identical or not self.fused:
             data.pop("bit_identical")
         if not self.fused:

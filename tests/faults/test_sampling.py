@@ -11,8 +11,10 @@ from repro.faults import (
     expected_qvf,
     fault_grid,
     sample_strike_faults,
+    strike_theta_samples,
     theta_distribution,
 )
+from repro.faults.physics import CHARGE_DECAY_UM
 from repro.simulators import DensityMatrixSimulator
 
 
@@ -50,6 +52,71 @@ class TestSampleStrikeFaults:
         a = sample_strike_faults(50, np.random.default_rng(3))
         b = sample_strike_faults(50, np.random.default_rng(3))
         assert a == b
+
+
+class TestStrikeThetaSamples:
+    """The vectorized core: same physics as the per-fault loop it
+    replaced, now checked against the closed-form strike geometry."""
+
+    def test_matches_sample_strike_faults(self):
+        thetas = strike_theta_samples(200, np.random.default_rng(5))
+        faults = sample_strike_faults(200, np.random.default_rng(5))
+        assert np.array_equal(thetas, np.array([f.theta for f in faults]))
+
+    def test_saturation_probability_analytic(self):
+        """P(theta = pi) is the disc fraction inside the saturation
+        radius r* = decay * ln(1 / saturation): (r* / R)^2 exactly."""
+        thetas = strike_theta_samples(
+            200_000, np.random.default_rng(0)
+        )
+        r_star = CHARGE_DECAY_UM * math.log(1.0 / 0.25)
+        expected = (r_star / 0.5) ** 2
+        observed = float(np.mean(thetas >= math.pi - 1e-12))
+        assert observed == pytest.approx(expected, rel=0.1)
+
+    def test_mean_matches_numeric_integral(self):
+        """E[theta] = integral of theta(r) against the disc density
+        2r / R^2 — the Monte-Carlo mean must converge to it."""
+        radii = np.linspace(0.0, 0.5, 20_001)
+        density = 2.0 * radii / 0.5**2
+        theta_of_r = math.pi * np.minimum(
+            1.0, np.exp(-radii / CHARGE_DECAY_UM) / 0.25
+        )
+        expected = float(np.trapezoid(theta_of_r * density, radii))
+        thetas = strike_theta_samples(
+            200_000, np.random.default_rng(0)
+        )
+        assert float(thetas.mean()) == pytest.approx(expected, rel=0.02)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            strike_theta_samples(0, rng)
+        with pytest.raises(ValueError):
+            strike_theta_samples(10, rng, max_distance_um=0.0)
+        with pytest.raises(ValueError):
+            strike_theta_samples(10, rng, saturation_fraction=0.0)
+
+
+class TestSeedParameter:
+    """``seed=`` builds the generator when the caller passes no rng."""
+
+    def test_sample_strike_faults_seeded(self):
+        assert sample_strike_faults(20, seed=11) == sample_strike_faults(
+            20, seed=11
+        )
+
+    def test_rng_wins_over_seed(self):
+        with_seed = sample_strike_faults(
+            20, np.random.default_rng(3), seed=11
+        )
+        without = sample_strike_faults(20, np.random.default_rng(3))
+        assert with_seed == without
+
+    def test_theta_distribution_seeded(self):
+        a = theta_distribution(samples=500, seed=11)
+        b = theta_distribution(samples=500, seed=11)
+        assert np.array_equal(a["thetas"], b["thetas"])
+        assert np.array_equal(a["density"], b["density"])
 
 
 class TestThetaDistribution:
@@ -92,3 +159,25 @@ class TestExpectedQVF:
         empty = CampaignResult("e", ("0",), [], 0.0)
         with pytest.raises(ValueError):
             expected_qvf(empty, rng)
+
+    def test_single_record_campaign_returns_its_qvf(self, rng):
+        """One heatmap cell: every sampled strike bins to it, so the
+        expectation is that record's QVF exactly."""
+        from repro.faults import CampaignResult, InjectionRecord
+        from repro.faults.fault_model import PhaseShiftFault
+        from repro.faults.injection_points import InjectionPoint
+
+        record = InjectionRecord(
+            fault=PhaseShiftFault(0.5, 1.0),
+            point=InjectionPoint(position=0, qubit=0, gate_name="h"),
+            qvf=0.375,
+        )
+        single = CampaignResult("e", ("0",), [record], 0.0)
+        assert expected_qvf(single, rng, samples=100) == pytest.approx(
+            0.375
+        )
+
+    def test_seeded_reproducible(self, campaign):
+        a = expected_qvf(campaign, samples=2000, seed=9)
+        b = expected_qvf(campaign, samples=2000, seed=9)
+        assert a == b

@@ -23,11 +23,13 @@ from repro.machines.fake import FakeBackend
 from repro.scenarios import (
     FactoryCache,
     ScenarioSpec,
+    estimate_scenario_injections,
     make_backend,
     make_couples,
     make_executor,
     make_faults,
     make_noise_model,
+    run_adaptive_scenario,
     run_scenario,
 )
 from repro.scenarios.factory import heavy_noise_model, light_noise_model
@@ -207,6 +209,62 @@ class TestRunScenario:
         assert result.metadata["spec_hash"] == spec.spec_hash()
         assert result.metadata["scenario"]["algorithm"] == "bv"
 
+    def test_adaptive_spec_dispatches_to_adaptive_engine(self):
+        spec = ScenarioSpec(
+            algorithm="ghz",
+            width=3,
+            noise="none",
+            grid_step_deg=30.0,
+            executor="serial",
+            adaptive={"coarse_points": 3, "gradient_threshold": 0.2},
+        )
+        result = run_scenario(spec)
+        outcome = result.metadata["adaptive"]
+        assert outcome["mode"] == "refine"
+        assert outcome["injections"] < outcome["full_grid_injections"]
+        assert result.metadata["spec_hash"] == spec.spec_hash()
+
+    def test_adaptive_matches_direct_engine_call(self):
+        """run_scenario and run_adaptive_scenario are the same path."""
+        spec = ScenarioSpec(
+            algorithm="ghz",
+            width=3,
+            noise="none",
+            grid_step_deg=30.0,
+            executor="serial",
+            adaptive={"coarse_points": 3, "gradient_threshold": 0.2},
+        )
+        via_run = run_scenario(spec)
+        direct = run_adaptive_scenario(spec)
+        assert via_run.table.data.tobytes() == direct.table.data.tobytes()
+
+    def test_over_budget_uniform_scenario_rejected(self):
+        """A uniform grid cannot be truncated without changing its
+        records, so a budget below its fixed cost is an error."""
+        spec = ScenarioSpec(
+            algorithm="bv",
+            width=3,
+            noise="none",
+            grid_step_deg=90.0,
+            budget={"max_injections": 5},
+        )
+        with pytest.raises(ValueError, match="budget"):
+            run_scenario(spec)
+
+    def test_budgeted_adaptive_stops_instead_of_failing(self):
+        spec = ScenarioSpec(
+            algorithm="ghz",
+            width=3,
+            noise="none",
+            grid_step_deg=30.0,
+            executor="serial",
+            adaptive={"coarse_points": 3, "gradient_threshold": 0.01},
+            budget={"max_injections": 50},
+        )
+        result = run_scenario(spec)
+        assert result.metadata["adaptive"]["stopped"] == "budget"
+        assert result.num_injections <= 50
+
     def test_seeded_emulator_scenario_is_reproducible(self):
         """The suite-level determinism the emulator seeding fix buys."""
         spec = ScenarioSpec(
@@ -222,3 +280,57 @@ class TestRunScenario:
         first = run_scenario(spec)
         second = run_scenario(spec)
         assert np.array_equal(first.qvf_values(), second.qvf_values())
+
+
+class TestEstimateScenarioInjections:
+    """The suite gate's price list must match what campaigns execute."""
+
+    def test_single_mode_exact(self):
+        spec = ScenarioSpec(
+            algorithm="bv", width=3, noise="none", grid_step_deg=90.0
+        )
+        result = run_scenario(spec)
+        assert estimate_scenario_injections(spec) == result.num_injections
+
+    def test_double_mode_exact(self):
+        spec = ScenarioSpec(
+            algorithm="bv",
+            width=3,
+            noise="none",
+            mode="double",
+            grid_step_deg=90.0,
+            phi_max_deg=180.0,
+        )
+        result = run_scenario(spec)
+        assert estimate_scenario_injections(spec) == result.num_injections
+
+    def test_adaptive_estimate_is_an_upper_bound(self):
+        spec = ScenarioSpec(
+            algorithm="ghz",
+            width=3,
+            noise="none",
+            grid_step_deg=30.0,
+            executor="serial",
+            adaptive={"coarse_points": 3, "gradient_threshold": 0.2},
+        )
+        result = run_scenario(spec)
+        assert estimate_scenario_injections(spec) >= result.num_injections
+
+    def test_adaptive_estimate_clamped_by_budget(self):
+        unbudgeted = ScenarioSpec(
+            algorithm="ghz",
+            width=3,
+            noise="none",
+            grid_step_deg=30.0,
+            adaptive={"coarse_points": 3},
+        )
+        budgeted = ScenarioSpec(
+            algorithm="ghz",
+            width=3,
+            noise="none",
+            grid_step_deg=30.0,
+            adaptive={"coarse_points": 3},
+            budget={"max_injections": 60},
+        )
+        assert estimate_scenario_injections(budgeted) == 60
+        assert estimate_scenario_injections(unbudgeted) > 60

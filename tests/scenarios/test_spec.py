@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.scenarios import ScenarioSpec, SuiteSpec, expand_grid
+from repro.scenarios import (
+    AdaptiveSpec,
+    BudgetSpec,
+    ScenarioSpec,
+    SuiteSpec,
+    expand_grid,
+)
 from repro.scenarios.spec import parse_memory_budget
 
 
@@ -184,6 +190,99 @@ class TestFusionFields:
             precision="float32",
             bit_identical=False,
         ).spec_hash()
+
+
+class TestAdaptiveSpec:
+    """The ISSUE 8 adaptive block: validation and round-trips."""
+
+    def test_defaults(self):
+        spec = AdaptiveSpec()
+        assert spec.mode == "refine"
+        assert spec.coarse_points == 5
+        assert spec.gradient_threshold == 0.05
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "random"},
+            {"coarse_points": 1},
+            {"gradient_threshold": 0.0},
+            {"max_rounds": 0},
+            {"tolerance": -0.1},
+            {"samples_per_round": 0},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveSpec(**kwargs)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown adaptive field"):
+            AdaptiveSpec.from_dict({"coarse_points": 3, "step": 2})
+
+    def test_round_trip(self):
+        spec = AdaptiveSpec(mode="importance", samples_per_round=16)
+        assert AdaptiveSpec.from_dict(spec.to_dict()) == spec
+
+    def test_scenario_coerces_dict(self):
+        scenario = ScenarioSpec(
+            algorithm="bv", adaptive={"coarse_points": 3}
+        )
+        assert isinstance(scenario.adaptive, AdaptiveSpec)
+        assert scenario.adaptive.coarse_points == 3
+
+    def test_requires_single_mode(self):
+        with pytest.raises(ValueError, match="single"):
+            ScenarioSpec(algorithm="bv", mode="double", adaptive={})
+
+    def test_adaptive_changes_the_hash(self):
+        """An adaptive campaign records different cells than the full
+        sweep, so the block must participate in the identity."""
+        base = ScenarioSpec(algorithm="bv", width=3)
+        adaptive = ScenarioSpec(
+            algorithm="bv", width=3, adaptive={"coarse_points": 3}
+        )
+        assert base.spec_hash() != adaptive.spec_hash()
+        assert adaptive.spec_hash() != ScenarioSpec(
+            algorithm="bv", width=3, adaptive={"coarse_points": 4}
+        ).spec_hash()
+
+    def test_scenario_round_trips_adaptive(self):
+        spec = ScenarioSpec(
+            algorithm="bv",
+            adaptive={"mode": "importance", "samples_per_round": 8},
+            budget={"max_injections": 500},
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestBudgetSpec:
+    def test_defaults_are_unbounded(self):
+        spec = BudgetSpec()
+        assert spec.max_injections is None
+        assert spec.max_seconds is None
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_injections": 0}, {"max_seconds": 0.0}]
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BudgetSpec(**kwargs)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown budget field"):
+            BudgetSpec.from_dict({"max_minutes": 5})
+
+    def test_budget_never_changes_the_hash(self):
+        """Budgets stop a campaign early but never alter which records a
+        completed campaign holds — a budgeted re-run of a cached
+        scenario must still hit the cache."""
+        base = ScenarioSpec(algorithm="bv", width=3)
+        budgeted = ScenarioSpec(
+            algorithm="bv", width=3, budget={"max_injections": 100}
+        )
+        assert base.spec_hash() == budgeted.spec_hash()
+        assert "budget" not in budgeted.canonical_dict()
 
 
 class TestParseMemoryBudget:

@@ -19,6 +19,8 @@ from repro.scenarios import (
     ScenarioSpec,
     SuiteRunner,
     SuiteSpec,
+    estimate_scenario_injections,
+    format_cost_report,
     load_suite_result,
     run_scenario,
 )
@@ -278,6 +280,135 @@ class TestManifestIntegrity:
             handle.write(b"garbage")
         resumed = SuiteRunner(suite, manifest_dir=manifest_dir).run()
         assert tables(resumed) == tables(reference)
+
+
+def budget_suite() -> SuiteSpec:
+    """Three cheap, distinct scenarios with exactly estimable costs."""
+    return SuiteSpec.build(
+        "budgeted",
+        [
+            ScenarioSpec(
+                algorithm="bv",
+                width=3,
+                noise="none",
+                grid_step_deg=90.0,
+                executor="serial",
+                label=f"s{i}",
+                seed=i,
+            )
+            for i in range(3)
+        ],
+    )
+
+
+class TestSuiteBudgets:
+    """The pre-run cost gate: estimate, reject, truncate, reuse-free."""
+
+    def test_estimate_prices_every_scenario(self):
+        suite = budget_suite()
+        runner = SuiteRunner(suite)
+        estimate = runner.estimate_cost()
+        per_scenario = estimate_scenario_injections(suite.scenarios[0])
+        assert [row["injections"] for row in estimate["scenarios"]] == [
+            per_scenario
+        ] * 3
+        assert estimate["total_injections"] == 3 * per_scenario
+        assert estimate["excluded"] == []
+        # No timing history yet: no wall-clock projection.
+        assert estimate["rate_seconds_per_injection"] is None
+
+    def test_reject_runs_nothing(self, tmp_path):
+        manifest_dir = str(tmp_path / "m")
+        runner = SuiteRunner(
+            budget_suite(), manifest_dir=manifest_dir, budget_injections=1
+        )
+        with pytest.raises(ValueError, match="exceeds its budget"):
+            runner.run()
+        # Nothing was computed: no scenario result files exist.
+        manifest = json.load(open(os.path.join(manifest_dir, MANIFEST_NAME)))
+        assert all(
+            e["status"] == "pending" for e in manifest["scenarios"]
+        )
+
+    def test_reject_report_names_offenders(self):
+        suite = budget_suite()
+        per_scenario = estimate_scenario_injections(suite.scenarios[0])
+        runner = SuiteRunner(suite, budget_injections=per_scenario)
+        with pytest.raises(ValueError) as excinfo:
+            runner.run()
+        message = str(excinfo.value)
+        assert "OVER BUDGET" in message
+        assert "s1" in message and "s2" in message
+
+    def test_truncate_runs_the_fitting_prefix(self, tmp_path):
+        suite = budget_suite()
+        per_scenario = estimate_scenario_injections(suite.scenarios[0])
+        outcome = SuiteRunner(
+            suite,
+            manifest_dir=str(tmp_path / "m"),
+            budget_injections=2 * per_scenario,
+            budget_action="truncate",
+        ).run()
+        assert not outcome.complete
+        assert outcome.budget_report is not None
+        assert {run.scenario_id for run in outcome} == {"s0", "s1"}
+
+    def test_truncated_suite_resumes_under_a_larger_budget(self, tmp_path):
+        suite = budget_suite()
+        manifest_dir = str(tmp_path / "m")
+        reference = SuiteRunner(
+            suite, manifest_dir=str(tmp_path / "ref")
+        ).run()
+        per_scenario = estimate_scenario_injections(suite.scenarios[0])
+        SuiteRunner(
+            suite,
+            manifest_dir=manifest_dir,
+            budget_injections=per_scenario,
+            budget_action="truncate",
+        ).run()
+        finished = SuiteRunner(suite, manifest_dir=manifest_dir).run()
+        assert finished.complete
+        assert tables(finished) == tables(reference)
+
+    def test_completed_scenarios_cost_nothing(self, tmp_path):
+        """A fully cached suite fits any budget: reuse is free."""
+        suite = budget_suite()
+        manifest_dir = str(tmp_path / "m")
+        SuiteRunner(suite, manifest_dir=manifest_dir).run()
+        outcome = SuiteRunner(
+            suite, manifest_dir=manifest_dir, budget_injections=1
+        ).run()
+        assert outcome.complete
+        assert outcome.computed == 0
+
+    def test_history_enables_seconds_projection(self, tmp_path):
+        """After one completed run the sidecar yields a rate, and a
+        seconds budget can gate pre-run."""
+        suite = budget_suite()
+        manifest_dir = str(tmp_path / "m")
+        SuiteRunner(suite, manifest_dir=manifest_dir).run()
+        runner = SuiteRunner(suite, manifest_dir=manifest_dir)
+        estimate = runner.estimate_cost()
+        assert estimate["rate_seconds_per_injection"] is not None
+        report = format_cost_report(estimate)
+        assert "reused" in report
+
+    def test_format_cost_report_lists_scenarios(self):
+        estimate = SuiteRunner(
+            budget_suite(), budget_injections=10
+        ).estimate_cost()
+        report = format_cost_report(estimate)
+        for scenario_id in ("s0", "s1", "s2"):
+            assert scenario_id in report
+        assert "10 injections" in report
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError, match="budget_injections"):
+            SuiteRunner(budget_suite(), budget_injections=0)
+        with pytest.raises(ValueError, match="budget_seconds"):
+            SuiteRunner(budget_suite(), budget_seconds=0.0)
+        with pytest.raises(ValueError, match="budget action"):
+            SuiteRunner(budget_suite(), budget_action="shrink")
 
 
 class TestPoolReuse:

@@ -457,6 +457,167 @@ class TestSuite:
             assert a.read() == b.read()
 
 
+class TestAdaptiveCampaign:
+    BASE = [
+        "campaign",
+        "--algorithm",
+        "ghz",
+        "--width",
+        "3",
+        "--grid-step",
+        "30",
+        "--noise",
+        "none",
+        "--adaptive",
+        "--adaptive-coarse",
+        "3",
+        "--adaptive-threshold",
+        "0.2",
+    ]
+
+    def test_adaptive_run_reports_savings(self, tmp_path, capsys):
+        output = str(tmp_path / "ghz.json")
+        assert main(self.BASE + ["--output", output]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive [refine]" in out
+        assert "% of the full grid" in out
+        with open(output) as handle:
+            data = json.load(handle)
+        assert data["metadata"]["adaptive"]["mode"] == "refine"
+
+    def test_round_capped_checkpoint_resumes(self, tmp_path, capsys):
+        """The CI smoke scenario: one round, then resume to completion —
+        byte-identical to a single uninterrupted run."""
+        capped = str(tmp_path / "capped.ckpt")
+        fresh = str(tmp_path / "fresh.ckpt")
+        out_a = str(tmp_path / "a.json")
+        out_b = str(tmp_path / "b.json")
+        assert (
+            main(
+                self.BASE
+                + [
+                    "--adaptive-rounds",
+                    "1",
+                    "--checkpoint",
+                    capped,
+                    "--output",
+                    out_a,
+                ]
+            )
+            == 0
+        )
+        assert "stopped by max-rounds" in capsys.readouterr().out
+        assert (
+            main(self.BASE + ["--checkpoint", capped, "--output", out_a])
+            == 0
+        )
+        assert (
+            main(self.BASE + ["--checkpoint", fresh, "--output", out_b])
+            == 0
+        )
+        with open(capped, "rb") as a, open(fresh, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_importance_mode_flag(self, tmp_path, capsys):
+        output = str(tmp_path / "imp.json")
+        code = main(
+            [
+                "campaign",
+                "--algorithm",
+                "ghz",
+                "--width",
+                "3",
+                "--noise",
+                "none",
+                "--seed",
+                "7",
+                "--adaptive",
+                "--adaptive-mode",
+                "importance",
+                "--adaptive-samples",
+                "8",
+                "--adaptive-rounds",
+                "2",
+                "--output",
+                output,
+            ]
+        )
+        assert code == 0
+        assert "adaptive [importance]" in capsys.readouterr().out
+
+    def test_over_budget_coarse_round_fails(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot fund"):
+            main(
+                self.BASE
+                + [
+                    "--max-injections",
+                    "5",
+                    "--output",
+                    str(tmp_path / "x.json"),
+                ]
+            )
+
+
+class TestSuiteBudgetFlags:
+    SPEC = {
+        "name": "cli-budget",
+        "scenarios": [
+            {
+                "algorithm": "bv",
+                "width": 3,
+                "noise": "none",
+                "grid_step_deg": 90.0,
+                "executor": "serial",
+                "label": f"s{i}",
+                "seed": i,
+            }
+            for i in range(2)
+        ],
+    }
+
+    def _write_spec(self, tmp_path):
+        path = str(tmp_path / "suite.json")
+        with open(path, "w") as handle:
+            json.dump(self.SPEC, handle)
+        return path
+
+    def test_reject_exits_with_report(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "suite",
+                    "run",
+                    spec,
+                    "--manifest",
+                    str(tmp_path / "m"),
+                    "--budget-injections",
+                    "1",
+                ]
+            )
+        assert "exceeds its budget" in str(excinfo.value)
+
+    def test_truncate_prints_report_and_runs_prefix(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        code = main(
+            [
+                "suite",
+                "run",
+                spec,
+                "--manifest",
+                str(tmp_path / "m"),
+                "--budget-injections",
+                "100",
+                "--budget-action",
+                "truncate",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OVER BUDGET" in out
+        assert "halted (resumable)" in out
+
+
 class TestReport:
     def test_report_from_saved_campaign(self, tmp_path, capsys):
         output = str(tmp_path / "dj.json")
