@@ -13,8 +13,13 @@ Examples::
     python -m repro campaign --algorithm qft --width 4 --noise light \\
         --transpile-to jakarta --output qft4_jakarta.json
     python -m repro suite run examples/paper_suite.json --manifest paper.out
+    python -m repro suite run examples/paper_suite.json --manifest paper.out \\
+        --jobs 4 --cache-dir ~/.cache/repro
     python -m repro suite report --manifest paper.out
     python -m repro suite list examples/paper_suite.json
+    python -m repro cache list ~/.cache/repro
+    python -m repro cache prune ~/.cache/repro --max-bytes 2GB
+    python -m repro cache verify ~/.cache/repro
     python -m repro report --input bv4.json
     python -m repro query list paper.out
     python -m repro query per-qubit paper.out --group-by machine
@@ -26,7 +31,10 @@ Examples::
 :class:`~repro.scenarios.spec.ScenarioSpec` and the shared factory
 (:mod:`repro.scenarios.factory`) constructs the backend, executor and
 fault grid — the same construction path suites, benchmarks and examples
-use. ``suite`` runs a whole spec file as one resumable job; ``query``
+use. ``suite`` runs a whole spec file as one resumable job — ``--jobs``
+shards independent campaigns over a process pool and ``--cache-dir``
+(or ``REPRO_CACHE``) reuses completed campaigns across suites;
+``cache`` inspects and maintains such a result cache; ``query``
 reads *across* finished manifests out-of-core (per-qubit comparisons,
 delta heatmaps, flat-table exports with an npz fallback when pyarrow
 is absent).
@@ -52,6 +60,7 @@ from .faults import CampaignResult, CheckpointedRunner
 from .quantum.qasm import circuit_to_qasm
 from .scenarios import (
     MACHINES,
+    ResultCache,
     ScenarioSpec,
     SuiteRunner,
     SuiteSpec,
@@ -61,8 +70,10 @@ from .scenarios import (
     make_executor,
     make_faults,
     make_injector,
+    resolve_cache_dir,
     run_scenario,
 )
+from .scenarios.spec import parse_memory_budget
 from .scenarios.factory import (
     FactoryCache,
     make_transpiled_campaign_inputs,
@@ -324,6 +335,33 @@ def build_parser() -> argparse.ArgumentParser:
             "(run the longest prefix that fits; resumable)"
         ),
     )
+    suite_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "campaign-level shards: run up to N independent campaigns "
+            "concurrently (whole campaigns as work units); manifests and "
+            "record stores stay byte-identical to --jobs 1"
+        ),
+    )
+    suite_run.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "persistent result cache directory shared across suites "
+            "(default: the REPRO_CACHE environment variable, else "
+            "cache/ under the manifest); completed campaigns are "
+            "published by spec hash and matching scenarios are reused "
+            "instead of simulated"
+        ),
+    )
+    suite_run.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="--no-cache disables the persistent result cache entirely",
+    )
 
     suite_report_p = suite_sub.add_parser(
         "report", help="render a markdown summary of a suite manifest"
@@ -334,6 +372,55 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="expand a suite spec and list its scenarios"
     )
     suite_list.add_argument("spec", help="suite spec JSON file")
+
+    cache_p = subparsers.add_parser(
+        "cache",
+        help="inspect/maintain a persistent suite result cache "
+        "(list entries, prune by size/age, verify stores)",
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+
+    def cache_dir_arg(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "cache_dir",
+            nargs="?",
+            default=None,
+            help=(
+                "cache directory (default: the REPRO_CACHE environment "
+                "variable)"
+            ),
+        )
+
+    cache_list = cache_sub.add_parser(
+        "list", help="list cache entries (most recently used first)"
+    )
+    cache_dir_arg(cache_list)
+
+    cache_prune = cache_sub.add_parser(
+        "prune", help="evict entries by age, then least-recently-used"
+    )
+    cache_dir_arg(cache_prune)
+    cache_prune.add_argument(
+        "--max-bytes",
+        default=None,
+        help=(
+            "shrink the cache under this total size, e.g. '2GB' or a "
+            "raw byte count (oldest-used entries evicted first)"
+        ),
+    )
+    cache_prune.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        help="evict entries created more than this many seconds ago",
+    )
+
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="scan every entry's record store headers; exit 1 on "
+        "corruption (corrupt entries self-heal on next use)",
+    )
+    cache_dir_arg(cache_verify)
 
     report = subparsers.add_parser(
         "report",
@@ -543,6 +630,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _cmd_suite_run(args: argparse.Namespace) -> int:
     suite = SuiteSpec.from_json(args.spec)
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be a positive integer")
     runner = SuiteRunner(
         suite,
         manifest_dir=args.manifest,
@@ -550,6 +639,9 @@ def _cmd_suite_run(args: argparse.Namespace) -> int:
         budget_injections=args.budget_injections,
         budget_seconds=args.budget_seconds,
         budget_action=args.budget_action,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=args.cache,
     )
 
     def progress(done: int, total: int, scenario_id: str) -> None:
@@ -564,9 +656,12 @@ def _cmd_suite_run(args: argparse.Namespace) -> int:
     if outcome.budget_report and not outcome.complete:
         print(outcome.budget_report)
     state = "complete" if outcome.complete else "halted (resumable)"
+    cached = (
+        f", {outcome.from_store} from cache" if outcome.from_store else ""
+    )
     print(
         f"suite {outcome.name}: {len(outcome)}/{len(suite)} scenarios "
-        f"({outcome.computed} computed, {outcome.reused} reused), "
+        f"({outcome.computed} computed, {outcome.reused} reused{cached}), "
         f"{outcome.total_injections} injections, "
         f"{outcome.total_seconds:.1f}s — {state} -> {args.manifest}"
     )
@@ -691,6 +786,83 @@ def _cmd_query_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_cache(args: argparse.Namespace) -> ResultCache:
+    """The cache the ``cache`` subcommands operate on."""
+    root = resolve_cache_dir(args.cache_dir, None)
+    if root is None:
+        raise SystemExit(
+            "no cache directory: pass one or set the REPRO_CACHE "
+            "environment variable"
+        )
+    return ResultCache(root)
+
+
+def _format_bytes(nbytes: int) -> str:
+    """A human-readable size (binary units, one decimal)."""
+    size = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return (
+                f"{size:.1f}{unit}" if unit != "B" else f"{int(size)}B"
+            )
+        size /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def _cmd_cache_list(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    entries = cache.entries()
+    for entry in entries:
+        print(
+            f"{entry.spec_hash}  {_format_bytes(entry.nbytes):>10}  "
+            f"records={entry.num_records:<8} hits={entry.hits:<4} "
+            f"{entry.scenario_id}"
+        )
+    print(
+        f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+        f"{_format_bytes(cache.total_bytes())} -> {cache.root}"
+    )
+    return 0
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    try:
+        max_bytes = parse_memory_budget(args.max_bytes)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    removed = cache.prune(
+        max_bytes=max_bytes, max_age_seconds=args.max_age
+    )
+    for entry in removed:
+        print(f"evicted {entry.spec_hash}  {_format_bytes(entry.nbytes)}")
+    print(
+        f"pruned {len(removed)} entr{'y' if len(removed) == 1 else 'ies'}; "
+        f"{_format_bytes(cache.total_bytes())} remain(s) -> {cache.root}"
+    )
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    reports = cache.verify()
+    bad = 0
+    for report in reports:
+        if report["ok"]:
+            print(
+                f"{report['spec_hash']}  ok  "
+                f"records={report['records']}"
+            )
+        else:
+            bad += 1
+            print(f"{report['spec_hash']}  CORRUPT  {report['detail']}")
+    print(
+        f"{len(reports)} entr{'y' if len(reports) == 1 else 'ies'} "
+        f"scanned, {bad} corrupt -> {cache.root}"
+    )
+    return 1 if bad else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     # Sniffs the format: campaign JSON, npz export, or a (possibly
     # still-running) segment checkpoint.
@@ -716,6 +888,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_suite_list(args)
         raise AssertionError(
             f"unhandled suite command {args.suite_command!r}"
+        )
+    if args.command == "cache":
+        if args.cache_command == "list":
+            return _cmd_cache_list(args)
+        if args.cache_command == "prune":
+            return _cmd_cache_prune(args)
+        if args.cache_command == "verify":
+            return _cmd_cache_verify(args)
+        raise AssertionError(
+            f"unhandled cache command {args.cache_command!r}"
         )
     if args.command == "report":
         return _cmd_report(args)

@@ -43,7 +43,29 @@ from .store import (
     read_segments,
 )
 
-__all__ = ["CheckpointedRunner"]
+__all__ = ["CheckpointedRunner", "load_completed_store"]
+
+
+def load_completed_store(path: str) -> Optional[CampaignResult]:
+    """A completed campaign's store as a result, or ``None`` if unusable.
+
+    The tolerant load shared by every consumer that has recompute
+    machinery behind it — the suite runner's manifest resume and the
+    persistent result cache: a missing file, non-store bytes, interior
+    corruption, or a store with no metadata segment all come back as
+    ``None``, and the caller recomputes-and-overwrites, repairing the
+    artefact in place. Contrast :class:`CheckpointedRunner`'s own resume
+    path, which must *not* swallow interior corruption (silently
+    restarting a hundred-million-injection campaign would be worse than
+    failing loudly).
+    """
+    try:
+        meta, table = read_segments(path)
+    except (OSError, ValueError):
+        return None
+    if meta is None:
+        return None
+    return CampaignResult.from_table_meta(meta, table)
 
 _Key = Tuple[float, float, int, int]
 

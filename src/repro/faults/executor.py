@@ -981,14 +981,25 @@ class ParallelExecutor(BaseExecutor):
         fused: bool = False,
         precision: str = "exact",
         segment_options: Optional[dict] = None,
+        pool_cap: Optional[int] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be positive")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if pool_cap is not None and pool_cap < 1:
+            raise ValueError("pool_cap must be positive when given")
         _check_fusion_config(fused, precision)
         self.workers = workers
         self.chunk_size = chunk_size
+        #: Hard ceiling on *pool processes*, independent of ``workers``.
+        #: Chunk partitioning (and therefore per-chunk sampling seeds)
+        #: follows ``workers`` alone, so capping the pool changes only
+        #: concurrency, never records — which is what lets the suite
+        #: shard scheduler divide the host between campaign-level shards
+        #: while each shard's campaign stays byte-identical to an
+        #: uncapped run.
+        self.pool_cap = pool_cap
         self.prefix_reuse = bool(prefix_reuse)
         self.fused = bool(fused)
         self.precision = precision
@@ -1012,7 +1023,7 @@ class ParallelExecutor(BaseExecutor):
         owner = self._pool_owner or self
         if owner._pool is None:
             owner._pool = ProcessPoolExecutor(
-                max_workers=self._resolve_workers()
+                max_workers=self._capped(self._resolve_workers())
             )
         return self
 
@@ -1047,6 +1058,7 @@ class ParallelExecutor(BaseExecutor):
             fused=self.fused,
             precision=self.precision,
             segment_options=self.segment_options,
+            pool_cap=self.pool_cap,
         )
         # The bounded copy shares (but never owns) the persistent pool:
         # checkpointed suite campaigns reuse the suite's workers. It
@@ -1057,6 +1069,12 @@ class ParallelExecutor(BaseExecutor):
 
     def _resolve_workers(self) -> int:
         return self.workers or os.cpu_count() or 1
+
+    def _capped(self, processes: int) -> int:
+        """``processes`` clamped to the pool cap (identity without one)."""
+        if self.pool_cap is None:
+            return processes
+        return max(1, min(processes, self.pool_cap))
 
     def _serial_fallback(self) -> SerialExecutor:
         """The in-process stand-in for degraded parallel runs.
@@ -1129,7 +1147,7 @@ class ParallelExecutor(BaseExecutor):
         try:
             if owns_pool:
                 pool = ProcessPoolExecutor(
-                    max_workers=min(workers, len(chunks))
+                    max_workers=self._capped(min(workers, len(chunks)))
                 )
             try:
                 fusion = self._fusion_config()

@@ -70,6 +70,7 @@ __all__ = [
     "compact",
     "iter_segments",
     "open_store",
+    "scan_store",
     "SegmentInfo",
     "StoreView",
 ]
@@ -415,6 +416,48 @@ def open_store(path: str) -> StoreView:
                 )
             )
     return StoreView(path, meta, store_format, segments)
+
+
+def scan_store(path: str) -> Dict[str, object]:
+    """Header-scan integrity summary of one store, without raising.
+
+    The shape-and-health check behind ``repro cache verify`` and any
+    other consumer that wants to report on a store rather than load it:
+    runs the format-2 header scan (:func:`open_store` — magic, header
+    JSON, payload/count consistency; payloads are seeked over, never
+    read) and folds the outcome into one dict::
+
+        {"path", "ok", "store_format", "num_segments", "num_records",
+         "has_meta", "error"}
+
+    ``ok`` is ``False`` — with ``error`` naming the reason — for files
+    that are not segment stores, interior corruption, and stores with no
+    metadata segment (a kill before the first compact); a torn *tail*
+    segment is tolerated exactly as the loaders tolerate it.
+    """
+    summary: Dict[str, object] = {
+        "path": path,
+        "ok": True,
+        "store_format": None,
+        "num_segments": 0,
+        "num_records": 0,
+        "has_meta": False,
+        "error": "",
+    }
+    try:
+        view = open_store(path)
+    except (OSError, ValueError) as error:
+        summary["ok"] = False
+        summary["error"] = str(error)
+        return summary
+    summary["store_format"] = view.store_format
+    summary["num_segments"] = view.num_segments
+    summary["num_records"] = view.num_records
+    summary["has_meta"] = view.meta is not None
+    if view.meta is None:
+        summary["ok"] = False
+        summary["error"] = "store holds no metadata segment"
+    return summary
 
 
 def read_segments(

@@ -19,9 +19,22 @@ that grid a value, not a script:
   campaigns stream into a suite manifest over the segment store, a killed
   suite resumes at campaign granularity, duplicate specs are computed
   once (the paper grid reuses the same campaigns across figures), and
-  parallel scenarios share one long-lived worker pool.
+  parallel scenarios share one long-lived worker pool;
+* :mod:`repro.scenarios.cache` persists completed campaigns in an
+  on-disk content-addressed :class:`ResultCache` keyed by spec hash, so
+  matching scenarios are reused across suites, manifests and processes;
+* :mod:`repro.scenarios.shard` adds campaign-level sharding
+  (``SuiteRunner(jobs=N)``): distinct pending campaigns run concurrently
+  on a shard pool under a global worker budget, with manifests and
+  stores byte-identical to sequential execution.
 """
 
+from .cache import (
+    CacheEntry,
+    ResultCache,
+    resolve_cache_dir,
+    result_store_meta,
+)
 from .factory import (
     MACHINES,
     FactoryCache,
@@ -46,6 +59,7 @@ from .runner import (
     format_cost_report,
     load_suite_result,
 )
+from .shard import ShardScheduler
 from .spec import (
     AdaptiveSpec,
     BudgetSpec,
@@ -82,4 +96,9 @@ __all__ = [
     "ScenarioRun",
     "format_cost_report",
     "load_suite_result",
+    "CacheEntry",
+    "ResultCache",
+    "resolve_cache_dir",
+    "result_store_meta",
+    "ShardScheduler",
 ]

@@ -525,13 +525,19 @@ def make_segment_compiler(
 
 
 def make_executor(
-    spec: ScenarioSpec, cache: Optional[FactoryCache] = None
+    spec: ScenarioSpec,
+    cache: Optional[FactoryCache] = None,
+    pool_cap: Optional[int] = None,
 ) -> BaseExecutor:
     """The spec's execution strategy (fresh, config-only instance).
 
     Fused specs get executors carrying the fusion configuration; with a
     ``cache``, the suite-shared segment compiler is primed onto the
     executor so campaigns over the same circuit reuse one compilation.
+    ``pool_cap`` bounds a parallel strategy's *pool processes* without
+    touching its chunk partitioning (records stay byte-identical) — the
+    shard scheduler's way of dividing the host between concurrent
+    campaigns; serial/batched strategies ignore it.
     """
     segment_options = _segment_options(spec) if spec.fused else None
     if spec.executor == "serial":
@@ -553,6 +559,7 @@ def make_executor(
             fused=spec.fused,
             precision=spec.precision,
             segment_options=segment_options,
+            pool_cap=pool_cap,
         )
     else:
         raise ValueError(f"unknown executor strategy {spec.executor!r}")

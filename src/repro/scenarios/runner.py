@@ -26,6 +26,18 @@ consume the same BV sweep, and Fig. 6 re-slices Fig. 5's) execute
 once; and all parallel scenarios
 share one long-lived worker pool (``ParallelExecutor.start``) instead of
 spawning a pool per campaign.
+
+Reuse also crosses suite boundaries: with a persistent
+:class:`~repro.scenarios.cache.ResultCache` configured (the default
+whenever a manifest directory exists), completed campaigns are published
+under their spec hash and later suites — any manifest, any process, any
+user sharing the cache directory — satisfy matching scenarios from the
+cached store instead of simulating (``source == "store"``). And
+``jobs=N`` turns the sequential campaign loop into campaign-level
+sharding (:mod:`repro.scenarios.shard`): distinct pending campaigns run
+concurrently on a shard pool, while manifests and segment stores stay
+byte-identical to sequential execution and kill/resume keeps working at
+campaign granularity.
 """
 
 from __future__ import annotations
@@ -40,14 +52,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..faults.campaign import CampaignResult
+from ..faults.checkpoint import load_completed_store
 from ..faults.executor import BaseExecutor, ParallelExecutor
 from ..faults.store import compact, read_segments
+from .cache import ResultCache, resolve_cache_dir, result_store_meta
 from .factory import (
     FactoryCache,
     _segment_options,
     estimate_scenario_injections,
     run_scenario,
 )
+from .shard import ShardScheduler
 from .spec import ScenarioSpec, SuiteSpec
 
 __all__ = [
@@ -73,14 +88,14 @@ def _result_filename(scenario_id: str) -> str:
 
 
 def _result_meta(result: CampaignResult) -> Dict[str, object]:
-    """The segment store's metadata header for one campaign."""
-    return {
-        "circuit_name": result.circuit_name,
-        "correct_states": list(result.correct_states),
-        "fault_free_qvf": result.fault_free_qvf,
-        "backend_name": result.backend_name,
-        "metadata": result.metadata,
-    }
+    """The segment store's metadata header for one campaign.
+
+    Now defined once in :func:`repro.scenarios.cache.result_store_meta`
+    (manifest stores and cache entries share the schema, which is what
+    lets cache hits hard-link); kept here as an alias for existing
+    consumers.
+    """
+    return result_store_meta(result)
 
 
 def _entry_digest(result: CampaignResult) -> Dict[str, object]:
@@ -102,7 +117,12 @@ class ScenarioRun:
     spec: ScenarioSpec
     result: CampaignResult
     seconds: float
-    source: str  # "computed" | "cache" (spec-hash reuse) | "manifest"
+    source: str
+    """Where the result came from: ``"computed"`` (simulated in this
+    invocation), ``"cache"`` (in-run spec-hash reuse of a relabelled
+    duplicate), ``"manifest"`` (resumed from this manifest directory),
+    or ``"store"`` (loaded from the persistent cross-suite result
+    cache)."""
 
     @property
     def scenario_id(self) -> str:
@@ -149,8 +169,13 @@ class SuiteResult:
 
     @property
     def reused(self) -> int:
-        """Scenarios satisfied from the manifest or the spec-hash cache."""
+        """Scenarios satisfied without simulating (any non-computed source)."""
         return len(self.runs) - self.computed
+
+    @property
+    def from_store(self) -> int:
+        """Scenarios satisfied by the persistent cross-suite result cache."""
+        return sum(1 for run in self.runs if run.source == "store")
 
     def __repr__(self) -> str:
         return (
@@ -181,6 +206,31 @@ class SuiteRunner:
     report (``budget_action="reject"``, the default) or truncated to the
     longest prefix that fits (``"truncate"`` — the suite returns
     ``complete=False`` and re-running with a larger budget resumes).
+
+    ``jobs`` shards the run at campaign granularity: distinct pending
+    campaigns execute concurrently on a pool of ``jobs`` shard
+    processes (:class:`~repro.scenarios.shard.ShardScheduler`), each
+    shard's intra-campaign parallelism capped so shards x workers never
+    exceeds ``host_workers`` (default: the host's CPU count). Manifests
+    and stores come out byte-identical to ``jobs=1``; only wall clock
+    (and the nondeterministic ``timings.json`` values) differ. The
+    run-time ``budget_seconds`` gate is sequential-only — a sharded run
+    bounds seconds through the pre-run estimate.
+
+    ``cache_dir`` / ``use_cache`` configure the persistent cross-suite
+    result cache (:class:`~repro.scenarios.cache.ResultCache`).
+    Resolution follows :func:`~repro.scenarios.cache.resolve_cache_dir`:
+    an explicit ``cache_dir`` wins, then the ``REPRO_CACHE`` environment
+    variable, then ``<manifest_dir>/cache``; ``use_cache=False`` (or an
+    in-memory run without an explicit/environment cache) disables it.
+    Cache hits land in the manifest byte-for-byte like computed results
+    (``source == "store"``), cost zero against the budgets, and
+    completed computes are published back under the entry's file lock.
+
+    The runner is a context manager; ``with SuiteRunner(...) as runner``
+    guarantees :meth:`close` (worker pools, shard pool) however the
+    body exits. :meth:`run` also closes everything it started on its
+    own error path, so bare calls stay leak-free.
     """
 
     def __init__(
@@ -191,6 +241,10 @@ class SuiteRunner:
         budget_injections: Optional[int] = None,
         budget_seconds: Optional[float] = None,
         budget_action: str = "reject",
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        host_workers: Optional[int] = None,
     ) -> None:
         if max_campaigns is not None and max_campaigns < 1:
             raise ValueError("max_campaigns must be positive when given")
@@ -203,17 +257,33 @@ class SuiteRunner:
                 f"unknown budget action {budget_action!r} "
                 f"(choose 'reject' or 'truncate')"
             )
+        if jobs < 1:
+            raise ValueError("jobs must be positive")
+        if host_workers is not None and host_workers < 1:
+            raise ValueError("host_workers must be positive when given")
         self.suite = suite
         self.manifest_dir = manifest_dir
         self.max_campaigns = max_campaigns
         self.budget_injections = budget_injections
         self.budget_seconds = budget_seconds
         self.budget_action = budget_action
+        self.jobs = jobs
+        self.host_workers = host_workers
         self.cache = FactoryCache()
+        cache_root = resolve_cache_dir(
+            cache_dir, manifest_dir, enabled=use_cache
+        )
+        self._cache = ResultCache(cache_root) if cache_root else None
         self._by_hash: Dict[str, CampaignResult] = {}
         self._pools: Dict[Tuple, ParallelExecutor] = {}
+        self._scheduler: Optional[ShardScheduler] = None
         self._entries: List[Dict[str, object]] = []
         self._timings: Dict[str, float] = {}
+
+    @property
+    def result_cache(self) -> Optional[ResultCache]:
+        """The persistent result cache this runner consults, if any."""
+        return self._cache
 
     # ------------------------------------------------------------------
     # Manifest persistence
@@ -310,6 +380,9 @@ class SuiteRunner:
             handle.write("\n")
         os.replace(tmp_path, path)
 
+    def _store_path(self, entry: Dict[str, object]) -> str:
+        return os.path.join(self.manifest_dir, entry["result_file"])
+
     def _load_completed(
         self, entry: Dict[str, object], scenario: ScenarioSpec
     ) -> Optional[CampaignResult]:
@@ -318,20 +391,12 @@ class SuiteRunner:
             return None
         if entry.get("spec_hash") != scenario.spec_hash():
             return None
-        path = os.path.join(self.manifest_dir, entry["result_file"])
-        try:
-            meta, table = read_segments(path)
-        except (OSError, ValueError):
-            return None
-        if meta is None:
-            return None
-        return CampaignResult.from_table_meta(meta, table)
+        return load_completed_store(self._store_path(entry))
 
     def _store_result(
         self, entry: Dict[str, object], result: CampaignResult
     ) -> None:
-        path = os.path.join(self.manifest_dir, entry["result_file"])
-        compact(path, _result_meta(result), result.table)
+        compact(self._store_path(entry), _result_meta(result), result.table)
         entry["status"] = "done"
         entry["digest"] = _entry_digest(result)
         self._write_manifest()
@@ -394,9 +459,18 @@ class SuiteRunner:
         for entry, scenario in zip(entries, self.suite):
             spec_hash = scenario.spec_hash()
             reused = (
-                entry.get("status") == "done"
-                and entry.get("spec_hash") == spec_hash
-            ) or spec_hash in seen_hashes
+                (
+                    entry.get("status") == "done"
+                    and entry.get("spec_hash") == spec_hash
+                )
+                or spec_hash in seen_hashes
+                # A persistent-cache hit is admission-free: the run will
+                # link the cached store in instead of simulating. (A
+                # corrupt entry prices as a hit and repairs itself by
+                # recomputing when reached — by then admission is past,
+                # which errs on the side of running, like resume does.)
+                or (self._cache is not None and self._cache.has(spec_hash))
+            )
             seen_hashes.add(spec_hash)
             injections = (
                 0
@@ -502,11 +576,292 @@ class SuiteRunner:
             },
         )
 
+    def _cache_hit(
+        self,
+        entry: Dict[str, object],
+        scenario: ScenarioSpec,
+        persist: bool,
+    ) -> Optional[ScenarioRun]:
+        """A persistent-cache hit for ``scenario``, landed in the manifest.
+
+        Loads the cache entry under the scenario's spec hash (a corrupt
+        entry is discarded by the cache and reads as a miss, so the
+        caller recomputes — repairing it in place), re-badges the result
+        with this scenario's identity, and writes the manifest store: a
+        cache hit leaves the manifest byte-identical to a compute.
+        """
+        if self._cache is None:
+            return None
+        loaded = self._cache.load(scenario.spec_hash())
+        if loaded is None:
+            return None
+        result = self._adopt(scenario, loaded)
+        if persist:
+            self._store_result(entry, result)
+        return ScenarioRun(scenario, result, 0.0, "store")
+
+    def _simulate(
+        self,
+        entry: Dict[str, object],
+        scenario: ScenarioSpec,
+        persist: bool,
+    ) -> ScenarioRun:
+        """Execute one campaign in-process and checkpoint it."""
+        tick = time.perf_counter()
+        result = run_scenario(
+            scenario,
+            cache=self.cache,
+            executor=self._shared_executor(scenario),
+        )
+        seconds = time.perf_counter() - tick
+        self._timings[scenario.scenario_id] = seconds
+        if persist:
+            self._store_result(entry, result)
+        return ScenarioRun(scenario, result, seconds, "computed")
+
+    def _compute_scenario(
+        self,
+        entry: Dict[str, object],
+        scenario: ScenarioSpec,
+        persist: bool,
+    ) -> ScenarioRun:
+        """Run one campaign — or take a last-moment cache hit — and persist.
+
+        With a cache configured the whole check-compute-publish sequence
+        holds the spec hash's exclusive file lock, with a
+        post-acquisition re-check: two runners racing on a shared cache
+        compute each spec exactly once (the loser blocks, then loads the
+        winner's entry). Completed computes publish back to the cache,
+        hard-linking the just-written manifest store where possible.
+        """
+        if self._cache is None:
+            return self._simulate(entry, scenario, persist)
+        spec_hash = scenario.spec_hash()
+        with self._cache.lock(spec_hash):
+            hit = self._cache_hit(entry, scenario, persist)
+            if hit is not None:
+                return hit
+            run = self._simulate(entry, scenario, persist)
+            self._cache.put(
+                spec_hash,
+                run.result,
+                store_path=self._store_path(entry) if persist else None,
+            )
+        return run
+
+    def _run_sequential(
+        self, outcome: SuiteResult, denied: set, persist: bool,
+        started: float, progress,
+    ) -> None:
+        """The ``jobs=1`` campaign loop (see :meth:`run`)."""
+        computed = 0
+        for index, scenario in enumerate(self.suite):
+            entry = self._entries[index]
+            spec_hash = scenario.spec_hash()
+            run = None
+
+            if persist:
+                existing = self._load_completed(entry, scenario)
+                if existing is not None:
+                    run = ScenarioRun(scenario, existing, 0.0, "manifest")
+
+            if run is None and spec_hash in self._by_hash:
+                # Spec-hash cache: an identical campaign (relabelled
+                # duplicate, or loaded from the manifest) already ran.
+                result = self._adopt(scenario, self._by_hash[spec_hash])
+                run = ScenarioRun(scenario, result, 0.0, "cache")
+                if persist:
+                    self._store_result(entry, result)
+
+            if run is None:
+                # Persistent-cache fast path: a hit is admission-free
+                # (like manifest resume), so it precedes every budget
+                # gate below.
+                run = self._cache_hit(entry, scenario, persist)
+
+            if run is None:
+                if (
+                    self.max_campaigns is not None
+                    and computed >= self.max_campaigns
+                ):
+                    outcome.complete = False
+                    break
+                if scenario.scenario_id in denied:
+                    # The pre-run estimate truncated the suite here;
+                    # everything costed after this point was denied
+                    # with it (prefix semantics), so stop cleanly —
+                    # re-running with a larger budget resumes.
+                    outcome.complete = False
+                    break
+                if (
+                    self.budget_seconds is not None
+                    and self.budget_action == "truncate"
+                    and time.perf_counter() - started
+                    > self.budget_seconds
+                ):
+                    # Runtime seconds gate: estimates (or absent
+                    # history) can undershoot; degrade gracefully at
+                    # a campaign boundary instead of running long.
+                    outcome.complete = False
+                    break
+                run = self._compute_scenario(entry, scenario, persist)
+                if run.source == "computed":
+                    computed += 1
+
+            self._by_hash.setdefault(spec_hash, run.result)
+            outcome.runs.append(run)
+            if progress is not None:
+                progress(
+                    len(outcome.runs),
+                    len(self.suite),
+                    scenario.scenario_id,
+                )
+
+    def _run_sharded(
+        self, outcome: SuiteResult, denied: set, persist: bool, progress
+    ) -> None:
+        """The ``jobs>1`` path: distinct pending campaigns on a shard pool.
+
+        Four stages. (1) *Scope*: walk the suite in order, resolving
+        what never needs a shard — manifest resumes, persistent-cache
+        hits — and collecting the distinct unresolved first occurrences,
+        stopping at the first scenario the budgets deny (the same prefix
+        semantics as the sequential loop). (2) *Execute*: dispatch the
+        collected campaigns onto the shard pool; each shard computes (or
+        cache-loads) one whole campaign under the cache's per-spec lock.
+        (3) *Land*: as results arrive — in completion order — write each
+        one's store and manifest entry, so a kill mid-run leaves exactly
+        the completed campaigns resumable, like sequential execution.
+        (4) *Assemble*: rebuild ``outcome.runs`` in suite order,
+        adopting relabelled duplicates. Per-campaign determinism makes
+        the manifest and stores byte-identical to a ``jobs=1`` run.
+        """
+        scenarios = list(self.suite)
+        total = len(scenarios)
+        first_at = {index for index, _ in self.suite.first_occurrences()}
+        resolved: Dict[int, ScenarioRun] = {}
+        to_schedule: List[Tuple[int, ScenarioSpec]] = []
+        cutoff = total
+        ticked = 0
+
+        def tick(scenario_id: str) -> None:
+            nonlocal ticked
+            ticked += 1
+            if progress is not None:
+                progress(ticked, total, scenario_id)
+
+        for index, scenario in enumerate(scenarios):
+            entry = self._entries[index]
+            spec_hash = scenario.spec_hash()
+            if persist:
+                existing = self._load_completed(entry, scenario)
+                if existing is not None:
+                    resolved[index] = ScenarioRun(
+                        scenario, existing, 0.0, "manifest"
+                    )
+                    self._by_hash.setdefault(spec_hash, existing)
+                    tick(scenario.scenario_id)
+                    continue
+            if index not in first_at or spec_hash in self._by_hash:
+                # Relabelled duplicate — adopts its first occurrence's
+                # result during assembly.
+                continue
+            hit = self._cache_hit(entry, scenario, persist)
+            if hit is not None:
+                resolved[index] = hit
+                self._by_hash.setdefault(spec_hash, hit.result)
+                tick(scenario.scenario_id)
+                continue
+            if scenario.scenario_id in denied:
+                cutoff = index
+                break
+            if (
+                self.max_campaigns is not None
+                and len(to_schedule) >= self.max_campaigns
+            ):
+                cutoff = index
+                break
+            to_schedule.append((index, scenario))
+        if cutoff < total:
+            outcome.complete = False
+
+        if to_schedule:
+            scheduler = ShardScheduler(
+                jobs=self.jobs,
+                cache_dir=(
+                    self._cache.root if self._cache is not None else None
+                ),
+                host_workers=self.host_workers,
+            )
+            self._scheduler = scheduler
+            scheduler.start()
+            for index, scenario in to_schedule:
+                scheduler.submit(index, scenario)
+            for index, result, seconds, from_cache in scheduler.results():
+                scenario = scenarios[index]
+                entry = self._entries[index]
+                if from_cache:
+                    result = self._adopt(scenario, result)
+                    run = ScenarioRun(scenario, result, 0.0, "store")
+                else:
+                    self._timings[scenario.scenario_id] = seconds
+                    run = ScenarioRun(scenario, result, seconds, "computed")
+                resolved[index] = run
+                self._by_hash.setdefault(scenario.spec_hash(), result)
+                if persist:
+                    self._store_result(entry, result)
+                tick(scenario.scenario_id)
+            scheduler.shutdown()
+            self._scheduler = None
+
+        for index in range(cutoff):
+            scenario = scenarios[index]
+            run = resolved.get(index)
+            if run is None:
+                # Duplicate: its first occurrence resolved above (it
+                # precedes the cutoff by construction).
+                result = self._adopt(
+                    scenario, self._by_hash[scenario.spec_hash()]
+                )
+                run = ScenarioRun(scenario, result, 0.0, "cache")
+                if persist:
+                    self._store_result(self._entries[index], result)
+                tick(scenario.scenario_id)
+            outcome.runs.append(run)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every pool this runner holds (idempotent).
+
+        Shuts down the long-lived intra-campaign worker pools and any
+        active shard pool. :meth:`run` calls this on its way out —
+        normal return *and* exception unwind alike — and the runner is a
+        context manager for callers that construct pools across multiple
+        ``run`` invocations.
+        """
+        for executor in self._pools.values():
+            executor.shutdown()
+        self._pools.clear()
+        if self._scheduler is not None:
+            self._scheduler.shutdown()
+            self._scheduler = None
+
+    def __enter__(self) -> "SuiteRunner":
+        """Context-manager entry: the runner itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close` (pools, shard pool)."""
+        self.close()
+
     def run(self, progress=None) -> SuiteResult:
         """Execute (or resume) the suite and return the aggregate.
 
         ``progress`` is called as ``progress(done, total, scenario_id)``
-        after each scenario completes.
+        after each scenario completes (suite order when sequential,
+        completion order when sharded).
         """
         persist = self.manifest_dir is not None
         if persist:
@@ -537,78 +892,17 @@ class SuiteRunner:
                 denied = set(estimate["excluded"])
 
         started = time.perf_counter()
-        computed = 0
         finished = False
         try:
-            for index, scenario in enumerate(self.suite):
-                entry = self._entries[index]
-                spec_hash = scenario.spec_hash()
-                run = None
-
-                if persist:
-                    existing = self._load_completed(entry, scenario)
-                    if existing is not None:
-                        run = ScenarioRun(scenario, existing, 0.0, "manifest")
-
-                if run is None and spec_hash in self._by_hash:
-                    # Spec-hash cache: an identical campaign (relabelled
-                    # duplicate, or loaded from the manifest) already ran.
-                    result = self._adopt(scenario, self._by_hash[spec_hash])
-                    run = ScenarioRun(scenario, result, 0.0, "cache")
-                    if persist:
-                        self._store_result(entry, result)
-
-                if run is None:
-                    if (
-                        self.max_campaigns is not None
-                        and computed >= self.max_campaigns
-                    ):
-                        outcome.complete = False
-                        break
-                    if scenario.scenario_id in denied:
-                        # The pre-run estimate truncated the suite here;
-                        # everything costed after this point was denied
-                        # with it (prefix semantics), so stop cleanly —
-                        # re-running with a larger budget resumes.
-                        outcome.complete = False
-                        break
-                    if (
-                        self.budget_seconds is not None
-                        and self.budget_action == "truncate"
-                        and time.perf_counter() - started
-                        > self.budget_seconds
-                    ):
-                        # Runtime seconds gate: estimates (or absent
-                        # history) can undershoot; degrade gracefully at
-                        # a campaign boundary instead of running long.
-                        outcome.complete = False
-                        break
-                    tick = time.perf_counter()
-                    result = run_scenario(
-                        scenario,
-                        cache=self.cache,
-                        executor=self._shared_executor(scenario),
-                    )
-                    seconds = time.perf_counter() - tick
-                    computed += 1
-                    self._timings[scenario.scenario_id] = seconds
-                    run = ScenarioRun(scenario, result, seconds, "computed")
-                    if persist:
-                        self._store_result(entry, result)
-
-                self._by_hash.setdefault(spec_hash, run.result)
-                outcome.runs.append(run)
-                if progress is not None:
-                    progress(
-                        len(outcome.runs),
-                        len(self.suite),
-                        scenario.scenario_id,
-                    )
+            if self.jobs > 1:
+                self._run_sharded(outcome, denied, persist, progress)
+            else:
+                self._run_sequential(
+                    outcome, denied, persist, started, progress
+                )
             finished = True
         finally:
-            for executor in self._pools.values():
-                executor.shutdown()
-            self._pools.clear()
+            self.close()
             outcome.total_seconds = time.perf_counter() - started
             if persist:
                 # A run that is unwinding through an exception is not

@@ -1,6 +1,7 @@
 """Command-line interface tests (direct main() invocation)."""
 
 import json
+import os
 
 import pytest
 
@@ -642,3 +643,146 @@ class TestReport:
         assert "# QuFI campaign report" in report
         assert "deutsch_jozsa_3q" in report
         assert "| 3 |" in report and "| 4 |" not in report
+
+
+class TestSuiteShardingFlags:
+    SPEC = TestSuite.SPEC
+
+    def _write_spec(self, tmp_path):
+        path = str(tmp_path / "suite.json")
+        with open(path, "w") as handle:
+            json.dump(self.SPEC, handle)
+        return path
+
+    def test_jobs_run_matches_sequential_manifest(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        seq = str(tmp_path / "seq")
+        shard = str(tmp_path / "shard")
+        assert (
+            main(["suite", "run", spec, "--manifest", seq, "--no-cache"])
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "suite",
+                    "run",
+                    spec,
+                    "--manifest",
+                    shard,
+                    "--jobs",
+                    "2",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                ]
+            )
+            == 0
+        )
+        assert "complete" in capsys.readouterr().out
+        with open(seq + "/manifest.json") as a, open(
+            shard + "/manifest.json"
+        ) as b:
+            assert a.read() == b.read()
+
+    def test_warm_cache_run_reports_store_hits(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        cache = str(tmp_path / "cache")
+        assert (
+            main(
+                [
+                    "suite", "run", spec,
+                    "--manifest", str(tmp_path / "m1"),
+                    "--cache-dir", cache,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "suite", "run", spec,
+                    "--manifest", str(tmp_path / "m2"),
+                    "--cache-dir", cache,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 computed" in out
+        assert "3 from cache" in out
+
+    def test_jobs_must_be_positive(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(
+                [
+                    "suite", "run", spec,
+                    "--manifest", str(tmp_path / "m"),
+                    "--jobs", "0",
+                ]
+            )
+
+
+class TestCacheCommand:
+    SPEC = TestSuite.SPEC
+
+    def _warm_cache(self, tmp_path):
+        spec = str(tmp_path / "suite.json")
+        with open(spec, "w") as handle:
+            json.dump(self.SPEC, handle)
+        cache = str(tmp_path / "cache")
+        assert (
+            main(
+                [
+                    "suite", "run", spec,
+                    "--manifest", str(tmp_path / "m"),
+                    "--cache-dir", cache,
+                ]
+            )
+            == 0
+        )
+        return cache
+
+    def test_list_shows_entries_and_total(self, tmp_path, capsys):
+        cache = self._warm_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "list", cache]) == 0
+        out = capsys.readouterr().out
+        assert "3 entries" in out
+        assert "bv3" in out and "records=" in out and "hits=" in out
+
+    def test_verify_clean_and_corrupt(self, tmp_path, capsys):
+        cache = self._warm_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "verify", cache]) == 0
+        assert "0 corrupt" in capsys.readouterr().out
+        victim = next(
+            name for name in os.listdir(cache) if name.endswith(".qfs")
+        )
+        with open(os.path.join(cache, victim), "r+b") as handle:
+            handle.write(b"garbage!")
+        assert main(["cache", "verify", cache]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out and "1 corrupt" in out
+
+    def test_prune_by_size_accepts_units(self, tmp_path, capsys):
+        cache = self._warm_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "prune", cache, "--max-bytes", "1KB"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out and "pruned" in out
+        assert main(["cache", "list", cache]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_dir_falls_back_to_env(self, tmp_path, capsys, monkeypatch):
+        cache = self._warm_cache(tmp_path)
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_CACHE", cache)
+        assert main(["cache", "list"]) == 0
+        assert "3 entries" in capsys.readouterr().out
+
+    def test_no_cache_dir_anywhere_fails(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        with pytest.raises(SystemExit, match="REPRO_CACHE"):
+            main(["cache", "list"])
