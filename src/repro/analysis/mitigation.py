@@ -6,6 +6,13 @@ multiplied by their inverse to undo classical readout bias. Mitigation
 sharpens QVF by removing the readout component of the noise floor —
 useful when separating *propagated fault* effects from *measurement*
 effects in a campaign.
+
+:class:`MitigatedReadoutBackend` lifts the post-processing into the
+campaign engine: it wraps any backend and mitigates every ``run``
+result against the noise model's readout confusion, so a scenario with
+``mitigation: true`` scores QVF from corrected distributions. Pairing
+such a scenario with its raw twin and diffing through
+:func:`mitigation_delta` yields the mitigated-vs-raw QVF delta columns.
 """
 
 from __future__ import annotations
@@ -14,9 +21,17 @@ from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..quantum.circuit import QuantumCircuit
+from ..quantum.gates import Measure
 from ..simulators.noise import NoiseModel, ReadoutError
+from ..simulators.sampler import Result
 
-__all__ = ["mitigate_readout", "mitigation_matrix"]
+__all__ = [
+    "mitigate_readout",
+    "mitigation_matrix",
+    "mitigation_delta",
+    "MitigatedReadoutBackend",
+]
 
 
 def mitigation_matrix(
@@ -68,4 +83,111 @@ def mitigate_readout(
         format(index, f"0{num_qubits}b"): float(p)
         for index, p in enumerate(mitigated)
         if p > 1e-12
+    }
+
+
+class MitigatedReadoutBackend:
+    """A backend whose every result is readout-mitigated before scoring.
+
+    Wraps an inner backend and a :class:`NoiseModel`: after each ``run``
+    the clbit-to-qubit measurement map of the executed circuit selects
+    the per-qubit :class:`ReadoutError` objects, and the distribution is
+    corrected through :func:`mitigate_readout` before it reaches the
+    caller. Campaigns over this backend therefore score QVF from
+    mitigated distributions with no change to the campaign engine.
+
+    The wrapper implements only the plain ``run`` protocol — no
+    snapshots, no batched branches — so executors drive it through the
+    naive per-task loop: exact, strategy-independent, and (for inner
+    backends marked ``per_run_seeding``, whose seed argument is
+    forwarded) deterministic across kill/resume boundaries as well.
+    """
+
+    def __init__(self, backend, noise_model: Optional[NoiseModel]) -> None:
+        self.backend = backend
+        self.noise_model = noise_model
+        self.name = f"mitigated({getattr(backend, 'name', 'backend')})"
+
+    @property
+    def per_run_seeding(self) -> bool:
+        """Whether the inner backend accepts a per-``run`` seed."""
+        return bool(getattr(self.backend, "per_run_seeding", False))
+
+    def _errors(
+        self, circuit: QuantumCircuit, num_clbits: int
+    ) -> Sequence[Optional[ReadoutError]]:
+        """Per-clbit readout errors, routed through the measure map."""
+        errors: list = [None] * num_clbits
+        if self.noise_model is None:
+            return errors
+        for inst in circuit:
+            if isinstance(inst.gate, Measure):
+                clbit = inst.clbits[0]
+                if 0 <= clbit < num_clbits:
+                    errors[clbit] = self.noise_model.readout_error(
+                        inst.qubits[0]
+                    )
+        return errors
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: Optional[int] = None,
+        seed=None,
+    ) -> Result:
+        """Run on the inner backend, then invert its readout confusion."""
+        if seed is not None and self.per_run_seeding:
+            result = self.backend.run(circuit, shots=shots, seed=seed)
+        else:
+            result = self.backend.run(circuit, shots=shots)
+        errors = self._errors(circuit, result.num_clbits)
+        if all(error is None for error in errors):
+            return result
+        corrected = mitigate_readout(result.get_probabilities(), errors)
+        return Result(
+            corrected,
+            num_clbits=result.num_clbits,
+            shots=result.shots,
+            metadata={**result.metadata, "mitigated": True},
+        )
+
+
+def mitigation_delta(raw, mitigated) -> Dict[str, object]:
+    """Mitigated-vs-raw QVF delta columns for twin campaigns.
+
+    ``raw`` and ``mitigated`` are :class:`~repro.faults.campaign.
+    CampaignResult` objects from the same scenario run with the
+    mitigation flag off and on: identical task enumeration, so their
+    record tables align row by row. Returns the aligned fault columns
+    plus ``qvf_raw`` / ``qvf_mitigated`` / ``qvf_delta`` arrays
+    (``delta = mitigated - raw``; negative means mitigation lowered the
+    apparent corruption) and the mean delta.
+    """
+    raw_table, mitigated_table = raw.table, mitigated.table
+    if len(raw_table) != len(mitigated_table):
+        raise ValueError(
+            f"campaigns do not align: {len(raw_table)} raw records vs "
+            f"{len(mitigated_table)} mitigated"
+        )
+    for column in ("theta", "phi", "position", "qubit"):
+        if not np.array_equal(
+            raw_table.column(column), mitigated_table.column(column)
+        ):
+            raise ValueError(
+                f"campaigns do not align on the {column!r} column; "
+                f"mitigation deltas need twin scenarios differing only "
+                f"in the mitigation flag"
+            )
+    qvf_raw = raw_table.column("qvf")
+    qvf_mitigated = mitigated_table.column("qvf")
+    delta = qvf_mitigated - qvf_raw
+    return {
+        "theta": raw_table.column("theta"),
+        "phi": raw_table.column("phi"),
+        "position": raw_table.column("position"),
+        "qubit": raw_table.column("qubit"),
+        "qvf_raw": qvf_raw,
+        "qvf_mitigated": qvf_mitigated,
+        "qvf_delta": delta,
+        "mean_delta": float(delta.mean()) if delta.size else 0.0,
     }

@@ -59,6 +59,9 @@ GROUP_KEYS = (
     "algorithm",
     "backend",
     "executor",
+    "mitigation",
+    "qec",
+    "strike",
     "suite",
     "scenario",
 )
@@ -107,6 +110,18 @@ class ScenarioHandle:
             return self.spec.backend
         if key == "executor":
             return self.spec.executor
+        if key == "mitigation":
+            return "mitigated" if self.spec.mitigation else "raw"
+        if key == "qec":
+            if self.spec.qec is None:
+                return "none"
+            block = self.spec.qec
+            label = f"{block.code}-d{block.distance}"
+            return label if block.decode else f"{label}-nodecode"
+        if key == "strike":
+            if self.spec.strike is None:
+                return "grid"
+            return f"strike-k{self.spec.strike.k}"
         if key == "suite":
             return self.suite
         if key == "scenario":

@@ -96,6 +96,28 @@ def campaign_report(
             f"{transpile.get('swap_count')} routing SWAPs; wires -> "
             f"physical {transpile.get('wire_to_physical')})"
         )
+    qec = result.metadata.get("qec")
+    if qec:
+        decode = "on" if qec.get("decode", True) else "off"
+        lines.append(
+            f"- QEC: `{qec.get('code')}` repetition code, distance "
+            f"{qec.get('distance')}, correction {decode} — QVF is the "
+            f"logical error probability"
+        )
+    if result.metadata.get("fault_source") == "strike_sampling":
+        strike = result.metadata.get("strike") or {}
+        detail = (
+            f" (k={strike.get('k')}, {strike.get('count')} strikes, "
+            f"max distance {strike.get('max_distance_um')} um)"
+            if strike
+            else f" (max distance {result.metadata.get('max_distance_um')} um)"
+        )
+        lines.append(f"- faults: physics-sampled particle strikes{detail}")
+    if result.metadata.get("mitigation"):
+        lines.append(
+            "- readout mitigation: on (QVF scored on corrected "
+            "distributions)"
+        )
     lines += [
         f"- injections: {result.num_injections}",
         f"- fault-free QVF: {result.fault_free_qvf:.4f}",
@@ -166,9 +188,16 @@ def suite_report(suite: "SuiteResult", title: Optional[str] = None) -> str:
         result = run.result
         silent = result.classification_fractions()[FaultClass.SILENT]
         silent_text = "-" if math.isnan(silent) else f"{silent:.1%}"
+        mode = run.spec.mode
+        if run.spec.strike is not None:
+            mode += f"+strike(k={run.spec.strike.k})"
+        if run.spec.qec is not None:
+            mode += f"+qec(d={run.spec.qec.distance})"
+        if run.spec.mitigation:
+            mode += "+mitigated"
         lines.append(
             f"| {run.scenario_id} | {result.circuit_name} "
-            f"| `{result.backend_name}` | {run.spec.mode} "
+            f"| `{result.backend_name}` | {mode} "
             f"| {result.num_injections} "
             f"| {result.fault_free_qvf:.4f} "
             f"| {result.mean_qvf():.4f} ({result.std_qvf():.4f}) "

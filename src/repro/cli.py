@@ -73,9 +73,10 @@ from .scenarios import (
     resolve_cache_dir,
     run_scenario,
 )
-from .scenarios.spec import parse_memory_budget
+from .scenarios.spec import BACKEND_KINDS, parse_memory_budget
 from .scenarios.factory import (
     FactoryCache,
+    _scenario_points,
     make_transpiled_campaign_inputs,
     run_adaptive_scenario,
     scenario_metadata,
@@ -101,7 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="run a single-fault campaign and save JSON"
     )
     campaign.add_argument(
-        "--algorithm", required=True, choices=sorted(ALGORITHMS)
+        "--algorithm",
+        required=True,
+        choices=sorted(ALGORITHMS) + ["qec"],
+        help=(
+            "benchmark circuit, or 'qec' for a repetition-code "
+            "protected-circuit sweep (see --qec-*)"
+        ),
     )
     campaign.add_argument("--width", type=int, default=4)
     campaign.add_argument(
@@ -178,6 +185,90 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "transpiler optimization level for --transpile-to "
             "(3 = the paper's densest-layout configuration)"
+        ),
+    )
+    campaign.add_argument(
+        "--backend",
+        choices=sorted(BACKEND_KINDS),
+        default="auto",
+        help=(
+            "simulation engine: auto resolves from the noise profile, "
+            "trajectory Monte-Carlo-samples the noise model with "
+            "deterministic per-injection seeding (needs --seed)"
+        ),
+    )
+    campaign.add_argument(
+        "--trajectories",
+        type=int,
+        default=256,
+        help="noise trajectories averaged per run (trajectory backend)",
+    )
+    campaign.add_argument(
+        "--qec-code",
+        choices=["bit_flip", "phase_flip", "none"],
+        default="bit_flip",
+        help=(
+            "repetition code for --algorithm qec ('none' = unprotected "
+            "baseline at the same width)"
+        ),
+    )
+    campaign.add_argument(
+        "--qec-distance",
+        type=int,
+        default=3,
+        help="code distance (physical qubits) for --algorithm qec",
+    )
+    campaign.add_argument(
+        "--qec-decode",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "apply majority-vote correction before measuring the logical "
+            "qubit (--no-qec-decode measures the raw encoded state)"
+        ),
+    )
+    campaign.add_argument(
+        "--strike-count",
+        type=int,
+        default=None,
+        help=(
+            "sample this many particle strikes from the radiation physics "
+            "model instead of sweeping the uniform (theta, phi) grid "
+            "(needs --seed; strike distance maps to fault magnitude)"
+        ),
+    )
+    campaign.add_argument(
+        "--strike-k",
+        type=int,
+        default=1,
+        help=(
+            "qubits hit per strike: 1 = independent single-qubit strikes, "
+            ">=2 = spatially correlated clusters of physically adjacent "
+            "qubits with hop-attenuated faults"
+        ),
+    )
+    campaign.add_argument(
+        "--strike-max-distance",
+        type=float,
+        default=0.5,
+        help="largest strike-to-qubit distance sampled, in micrometres",
+    )
+    campaign.add_argument(
+        "--strike-spacing",
+        type=float,
+        default=0.05,
+        help=(
+            "physical spacing between adjacent qubits in micrometres "
+            "(attenuates neighbour faults in k>=2 clusters)"
+        ),
+    )
+    campaign.add_argument(
+        "--mitigate",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "score QVF on readout-mitigated distributions (inverts the "
+            "noise model's per-qubit readout confusion before scoring)"
         ),
     )
     campaign.add_argument(
@@ -544,6 +635,21 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
             "max_injections": args.max_injections,
             "max_seconds": args.max_seconds,
         }
+    qec = None
+    if args.algorithm == "qec":
+        qec = {
+            "code": args.qec_code,
+            "distance": args.qec_distance,
+            "decode": args.qec_decode,
+        }
+    strike = None
+    if args.strike_count is not None:
+        strike = {
+            "count": args.strike_count,
+            "k": args.strike_k,
+            "max_distance_um": args.strike_max_distance,
+            "spacing_um": args.strike_spacing,
+        }
     return ScenarioSpec(
         algorithm=args.algorithm,
         width=args.width,
@@ -551,14 +657,19 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
         grid_step_deg=args.grid_step,
         shots=args.shots,
         seed=args.seed,
+        backend=args.backend,
         executor=executor,
         workers=workers,
         machine=machine,
         transpile=transpile,
         fused=args.fused,
         memory_budget=args.memory_budget,
+        trajectories=args.trajectories,
         adaptive=adaptive,
         budget=budget,
+        qec=qec,
+        strike=strike,
+        mitigation=args.mitigate,
     )
 
 
@@ -575,6 +686,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             scenario, cache, checkpoint_path=args.checkpoint
         )
     elif args.checkpoint:
+        if scenario.strike is not None and scenario.strike.k >= 2:
+            raise SystemExit(
+                "--checkpoint does not support correlated (k>=2) strike "
+                "campaigns; run without --checkpoint, or as a suite (the "
+                "suite manifest is the resumable unit)"
+            )
         # Checkpointed runs assemble the campaign pieces explicitly so
         # the runner can stream segments; the layout metadata rides in
         # the checkpoint store, keeping the .ckpt frame-convertible even
@@ -583,6 +700,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         qufi = make_injector(scenario, cache, executor=make_executor(scenario, cache))
         faults = make_faults(scenario, cache)
         extra_meta = scenario_metadata(scenario)
+        # Mirror run_scenario's physics-axis stamps so a checkpointed
+        # artefact is indistinguishable from the scenario layer's.
+        if scenario.strike is not None:
+            extra_meta["fault_source"] = "strike_sampling"
+            extra_meta["max_distance_um"] = scenario.strike.max_distance_um
+            extra_meta["strike"] = scenario.strike.to_dict()
+        if scenario.mitigation:
+            extra_meta["mitigation"] = True
         if scenario.transpile is not None:
             transpiled, points, transpile_meta = (
                 make_transpiled_campaign_inputs(scenario, cache)
@@ -591,6 +716,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             extra_meta.update(transpile_meta)
         else:
             target, states, points = spec, None, None
+            if scenario.qec is not None:
+                # QEC campaigns inject only at the encoder boundary, not
+                # after every gate — reuse the factory's point set so the
+                # checkpointed run matches run_scenario record for record.
+                points = _scenario_points(scenario, cache)
+                extra_meta["qec"] = scenario.qec.to_dict()
         runner = CheckpointedRunner(qufi, args.checkpoint)
         result = runner.run(
             target,

@@ -16,7 +16,7 @@ from ..quantum.circuit import QuantumCircuit
 from ..transpiler.topology import CouplingMap
 from ..transpiler.transpile import TranspileResult, transpile
 
-__all__ = ["find_neighbor_couples", "NeighborReport"]
+__all__ = ["find_neighbor_couples", "adjacency_clusters", "NeighborReport"]
 
 
 class NeighborReport:
@@ -62,3 +62,49 @@ def find_neighbor_couples(
     circuit = target.circuit if isinstance(target, AlgorithmSpec) else target
     transpiled = transpile(circuit, coupling, optimization_level)
     return NeighborReport(transpiled, transpiled.neighbor_couples())
+
+
+def adjacency_clusters(
+    couples: Sequence[Tuple[int, int]], size: int
+) -> List[Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]]:
+    """Grow each couple into its ``size`` nearest qubits by hop distance.
+
+    A k>2 correlated strike hits the qubits *around* an adjacent pair: for
+    every couple ``(a, b)`` this walks the couples graph breadth-first
+    from ``a`` (with ``b`` pinned as the first neighbour) and returns the
+    first ``size`` qubits reached as ``(qubits, hops)`` — ``hops[i]`` is
+    qubit ``qubits[i]``'s graph distance from the strike centre ``a``,
+    which is what the charge-attenuation model converts into fault
+    magnitudes. Ties expand in ascending qubit order, so clusters are
+    deterministic. Couples whose connected component holds fewer than
+    ``size`` qubits yield ``None``.
+    """
+    if size < 2:
+        raise ValueError(f"cluster size must be at least 2, got {size}")
+    adjacency: dict = {}
+    for a, b in couples:
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+    clusters: List[Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]] = []
+    for a, b in couples:
+        order = [a, b]
+        hops = {a: 0, b: 1}
+        queue = [a, b]
+        while queue and len(order) < size:
+            current = queue.pop(0)
+            for neighbor in sorted(adjacency.get(current, ())):
+                if neighbor in hops:
+                    continue
+                hops[neighbor] = hops[current] + 1
+                order.append(neighbor)
+                queue.append(neighbor)
+                if len(order) >= size:
+                    break
+        if len(order) < size:
+            clusters.append(None)
+        else:
+            chosen = order[:size]
+            clusters.append(
+                (tuple(chosen), tuple(hops[qubit] for qubit in chosen))
+            )
+    return clusters

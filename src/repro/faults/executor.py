@@ -59,6 +59,13 @@ from the serial one. Plans with ``per_task_seeding`` (checkpointed
 campaigns) instead derive one generator per task from ``(seed,
 task.index)``, so a killed-and-resumed sampled sweep draws exactly what
 the uninterrupted run would have drawn, on every strategy.
+
+Backends that sample *inside* ``run`` (the trajectory simulator marks
+itself with ``per_run_seeding``) are driven through a per-task seed
+derived from ``(plan.seed, task.index)`` whenever the plan carries a
+seed: each task's noise realizations depend only on the task, never on
+execution order, so seeded trajectory campaigns are bit-identical
+across Serial/Batched/Parallel and across kill/resume boundaries.
 """
 
 from __future__ import annotations
@@ -168,6 +175,12 @@ class InjectionTask:
     fault: PhaseShiftFault
     second_fault: Optional[PhaseShiftFault] = None
     second_qubit: Optional[int] = None
+    extra_faults: Tuple[Tuple[int, PhaseShiftFault], ...] = ()
+    """Further ``(qubit, fault)`` pairs spliced at the same position —
+    the k>2 qubits of a spatially correlated strike cluster. They
+    participate fully in the simulated physics (and therefore in the
+    QVF), but the recorded columns remain the primary pair: the record
+    schema is unchanged and downstream consumers keep working."""
 
     def to_record(self, qvf: float) -> InjectionRecord:
         """Materialise this task's scored outcome as a record object."""
@@ -244,10 +257,16 @@ def build_double_faulty_circuit(
 
 def _task_circuit(circuit: QuantumCircuit, task: InjectionTask) -> QuantumCircuit:
     if task.second_fault is not None:
-        return build_double_faulty_circuit(
+        faulty = build_double_faulty_circuit(
             circuit, task.point, task.fault, task.second_qubit, task.second_fault
         )
-    return build_faulty_circuit(circuit, task.point, task.fault)
+        offset = task.point.position + 3
+    else:
+        faulty = build_faulty_circuit(circuit, task.point, task.fault)
+        offset = task.point.position + 2
+    for shift, (qubit, fault) in enumerate(task.extra_faults):
+        faulty.insert(offset + shift, fault.as_gate(), [qubit])
+    return faulty
 
 
 def _branch_head(task: InjectionTask) -> List[Instruction]:
@@ -261,6 +280,8 @@ def _branch_head(task: InjectionTask) -> List[Instruction]:
         head.append(
             Instruction(task.second_fault.as_gate(), (task.second_qubit,))
         )
+    for qubit, fault in task.extra_faults:
+        head.append(Instruction(fault.as_gate(), (qubit,)))
     return head
 
 
@@ -461,8 +482,28 @@ def _iter_scored_tasks(
                     _task_rng(plan, task, rng),
                 )
     else:
+        # Backends that sample inside ``run`` (``per_run_seeding``
+        # marker, e.g. the trajectory simulator) take a per-task seed
+        # derived from ``(plan.seed, task.index)``: their draws then
+        # depend only on the task, so seeded campaigns are identical
+        # across strategies and across kill/resume boundaries. Without
+        # a plan seed the backend's own stream applies (legacy order-
+        # dependent behaviour).
+        per_run = (
+            getattr(backend, "per_run_seeding", False)
+            and plan.seed is not None
+        )
         for task in tasks:
-            result = backend.run(_task_circuit(circuit, task), shots=plan.shots)
+            if per_run:
+                result = backend.run(
+                    _task_circuit(circuit, task),
+                    shots=plan.shots,
+                    seed=(plan.seed, task.index),
+                )
+            else:
+                result = backend.run(
+                    _task_circuit(circuit, task), shots=plan.shots
+                )
             yield task, score_result(
                 result,
                 plan.correct_states,
@@ -481,8 +522,9 @@ def _iter_scored_groups(
 ) -> Iterator[Tuple[List[InjectionTask], np.ndarray]]:
     """Execute ``tasks`` in order, one stacked batch per injection point.
 
-    Tasks are grouped by ``(position, qubit, second qubit)`` — within a
-    group every branch differs only in its rotation angles, so the group's
+    Tasks are grouped by ``(position, qubit, second qubit, extra-fault
+    qubits)`` — within a group every branch differs only in its rotation
+    angles, so the group's
     heads align slot-wise and the backend evaluates the whole batch with
     stacked contractions. Groups larger than ``max_branches`` split into
     consecutive sub-batches (tiles) to bound peak memory (a
@@ -494,12 +536,16 @@ def _iter_scored_groups(
     """
     circuit = plan.circuit
     snapshot = None
-    for (position, _, _), group in itertools.groupby(
+    for (position, _, _, _), group in itertools.groupby(
         tasks,
         key=lambda task: (
             task.point.position,
             task.point.qubit,
             task.second_qubit,
+            # Correlated-strike clusters: branches only align slot-wise
+            # when their extra faults target the same qubits in the same
+            # order.
+            tuple(qubit for qubit, _ in task.extra_faults),
         ),
     ):
         snapshot = backend.prefix_snapshot(

@@ -14,7 +14,11 @@ from typing import Iterator, List, Optional, Sequence
 
 from ..quantum.circuit import QuantumCircuit
 
-__all__ = ["InjectionPoint", "enumerate_injection_points"]
+__all__ = [
+    "InjectionPoint",
+    "enumerate_injection_points",
+    "points_at_position",
+]
 
 
 @dataclass(frozen=True)
@@ -86,4 +90,36 @@ def enumerate_injection_points(
                         logical_qubit=layout.logical_at(index, qubit),
                     )
                 )
+    return points
+
+
+def points_at_position(
+    circuit: QuantumCircuit,
+    position: int,
+    qubits: Sequence[int],
+) -> List[InjectionPoint]:
+    """One injection point per ``qubits`` entry, all after ``position``.
+
+    :func:`enumerate_injection_points` only yields the qubits an
+    instruction *touches*; structured campaigns — QEC sweeps that strike
+    each encoded data wire at the encoder/decoder boundary — need points
+    on wires the boundary instruction does not act on. The faulty
+    circuit is built exactly as for enumerated points (the fault gate is
+    spliced immediately after instruction ``position``); the points
+    simply name arbitrary wires.
+    """
+    if not 0 <= position < len(circuit.instructions):
+        raise ValueError(
+            f"position {position} out of range for a circuit of "
+            f"{len(circuit.instructions)} instructions"
+        )
+    gate_name = circuit.instructions[position].name
+    points: List[InjectionPoint] = []
+    for qubit in qubits:
+        if not 0 <= qubit < circuit.num_qubits:
+            raise ValueError(
+                f"qubit {qubit} out of range for "
+                f"{circuit.num_qubits}-qubit circuit"
+            )
+        points.append(InjectionPoint(int(position), int(qubit), gate_name))
     return points

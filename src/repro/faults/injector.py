@@ -344,6 +344,123 @@ class QuFI:
             },
         )
 
+    def run_correlated_campaign(
+        self,
+        target: Union[AlgorithmSpec, QuantumCircuit],
+        strikes: Sequence[
+            Tuple[Sequence[int], Sequence[Tuple[PhaseShiftFault, ...]]]
+        ],
+        correct_states: Optional[Sequence[str]] = None,
+        points: Optional[Sequence[InjectionPoint]] = None,
+        progress: Optional[ProgressCallback] = None,
+        executor: Optional[BaseExecutor] = None,
+    ) -> CampaignResult:
+        """Correlated k-qubit strike sweep over adjacency clusters.
+
+        ``strikes`` is a sequence of ``(cluster, patterns)`` entries: the
+        cluster lists the campaign-circuit qubits one strike geometry
+        reaches (the strike centre first, its pinned neighbour second,
+        farther qubits after), and each pattern supplies one
+        physics-sampled fault per cluster slot, magnitude-ordered by hop
+        distance (:func:`repro.faults.physics.sample_strike_patterns`).
+        The first two slots map onto the double-fault machinery — and its
+        record schema — so a two-qubit cluster produces records
+        indistinguishable from :meth:`run_double_campaign` rows with the
+        same fault pair. Remaining slots ride along as
+        :attr:`~repro.faults.executor.InjectionTask.extra_faults`: they
+        shape the physics of every execution but are not recorded as
+        columns.
+
+        Point enumeration and measured-out pruning mirror
+        :meth:`run_double_campaign`: points sweep the strike centre's
+        gates, a measured-out neighbour drops the site entirely, and
+        measured-out outer slots are dropped per point (no quantum state
+        left to corrupt).
+        """
+        circuit, states, name = self._resolve(target, correct_states)
+        executor = executor if executor is not None else self.executor
+        strikes = [(tuple(cluster), list(patterns)) for cluster, patterns in strikes]
+        if not strikes:
+            raise ValueError("at least one strike cluster is required")
+        for cluster, patterns in strikes:
+            if len(cluster) < 2:
+                raise ValueError(
+                    "strike clusters need at least two qubits (the centre "
+                    "and its pinned neighbour)"
+                )
+            for pattern in patterns:
+                if len(pattern) != len(cluster):
+                    raise ValueError(
+                        "each strike pattern must carry exactly one fault "
+                        "per cluster slot"
+                    )
+        fault_free = self.fault_free_qvf(circuit, states)
+
+        first_measure: Dict[int, int] = {}
+        for position, inst in enumerate(circuit):
+            if inst.name == "measure":
+                first_measure.setdefault(inst.qubits[0], position)
+
+        def live(qubit: int, position: int) -> bool:
+            measured_at = first_measure.get(qubit)
+            return measured_at is None or position < measured_at
+
+        tasks: List[InjectionTask] = []
+        couples: List[Tuple[int, int]] = []
+        for cluster, patterns in strikes:
+            qubit_a, qubit_b = cluster[0], cluster[1]
+            couples.append((qubit_a, qubit_b))
+            base_points = (
+                list(points)
+                if points is not None
+                else enumerate_injection_points(circuit, qubits=[qubit_a])
+            )
+            for point in base_points:
+                if point.qubit != qubit_a:
+                    continue
+                if not live(qubit_b, point.position):
+                    continue
+                for pattern in patterns:
+                    extras = tuple(
+                        (qubit, fault)
+                        for qubit, fault in zip(cluster[2:], pattern[2:])
+                        if live(qubit, point.position)
+                    )
+                    tasks.append(
+                        InjectionTask(
+                            index=len(tasks),
+                            point=point,
+                            fault=pattern[0],
+                            second_fault=pattern[1],
+                            second_qubit=qubit_b,
+                            extra_faults=extras,
+                        )
+                    )
+
+        plan = CampaignPlan(
+            circuit=circuit,
+            correct_states=states,
+            tasks=tuple(tasks),
+            shots=self.shots,
+            seed=self.seed,
+        )
+        records = self._execute_plan(executor, plan, progress)
+        return CampaignResult(
+            circuit_name=name,
+            correct_states=states,
+            records=records,
+            fault_free_qvf=fault_free,
+            backend_name=getattr(self.backend, "name", "backend"),
+            metadata={
+                "mode": "double",
+                "couples": couples,
+                "num_faults": len(strikes[0][1]),
+                "cluster_size": max(len(cluster) for cluster, _ in strikes),
+                "shots": self.shots,
+                "executor": executor.name,
+            },
+        )
+
     def estimate_campaign_size(
         self,
         target: Union[AlgorithmSpec, QuantumCircuit],

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .fault_model import PhaseShiftFault
 
@@ -31,6 +33,7 @@ __all__ = [
     "charge_density",
     "attenuation",
     "phase_shift_magnitude",
+    "sample_strike_patterns",
     "StrikeModel",
 ]
 
@@ -85,6 +88,73 @@ def phase_shift_magnitude(
     return math.pi * min(1.0, charge_fraction / saturation_fraction)
 
 
+def sample_strike_patterns(
+    count: int,
+    hops: Sequence[int],
+    rng: Optional[np.random.Generator] = None,
+    max_distance_um: float = 0.5,
+    saturation_fraction: float = 0.25,
+    spacing_um: float = 0.05,
+    seed: Optional[int] = None,
+) -> List[Tuple[PhaseShiftFault, ...]]:
+    """Draw ``count`` correlated multi-qubit fault patterns, vectorized.
+
+    Each pattern is one particle strike seen by a cluster of physically
+    adjacent qubits: ``hops[j]`` is cluster slot ``j``'s graph distance
+    from the strike centre (``0`` for the struck qubit itself), and a
+    qubit ``h`` hops out sits ``h * spacing_um`` farther from the impact
+    point. The strike's radial distance is drawn uniformly over a disc of
+    radius ``max_distance_um`` (``r = sqrt(U) * R``), every slot's
+    deposited charge follows the exponential Fig. 3 attenuation of its
+    own distance — so slot ``j`` is attenuated by
+    ``exp(-hops[j] * spacing_um / CHARGE_DECAY_UM)`` relative to the
+    centre — and charge maps to theta through the saturating
+    :func:`phase_shift_magnitude`. Phase directions follow the
+    :class:`StrikeModel` convention: one ``phi_direction`` per strike,
+    uniform in ``[0, 2*pi)``, scaled by each slot's ``theta / pi``.
+
+    Because attenuation and the direction scaling are both monotone,
+    every pattern satisfies the double-fault ordering constraint
+    (``theta`` and ``phi`` non-increasing with hop distance), so pair
+    patterns drop directly into the double-campaign machinery.
+
+    The draw order is fixed — all radii first, then all directions — and
+    ``seed`` builds a fresh generator when no ``rng`` is passed
+    (``rng`` wins when both are given), mirroring
+    :func:`repro.faults.sampling.sample_strike_faults`.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    hop_list = [int(h) for h in hops]
+    if not hop_list:
+        raise ValueError("hops must name at least one cluster slot")
+    if any(h < 0 for h in hop_list):
+        raise ValueError("hop distances must be non-negative")
+    if max_distance_um <= 0:
+        raise ValueError("max distance must be positive")
+    if saturation_fraction <= 0:
+        raise ValueError("saturation fraction must be positive")
+    if spacing_um <= 0:
+        raise ValueError("qubit spacing must be positive")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    radii = np.sqrt(rng.uniform(0.0, 1.0, size=count)) * max_distance_um
+    directions = rng.uniform(0.0, 2.0 * math.pi, size=count)
+    distances = radii[:, np.newaxis] + (
+        np.asarray(hop_list, dtype=np.float64) * spacing_um
+    )[np.newaxis, :]
+    charges = np.exp(-distances / CHARGE_DECAY_UM)
+    thetas = math.pi * np.minimum(1.0, charges / saturation_fraction)
+    phis = (directions[:, np.newaxis] * (thetas / math.pi)) % (2.0 * math.pi)
+    return [
+        tuple(
+            PhaseShiftFault(theta, phi)
+            for theta, phi in zip(theta_row, phi_row)
+        )
+        for theta_row, phi_row in zip(thetas.tolist(), phis.tolist())
+    ]
+
+
 @dataclass(frozen=True)
 class StrikeModel:
     """A particle strike at a point of the qubit plane.
@@ -100,15 +170,18 @@ class StrikeModel:
     saturation_fraction: float = 0.25
 
     def distance_to(self, position_um: Tuple[float, float]) -> float:
+        """Euclidean distance from the strike point, in micrometres."""
         dx = position_um[0] - self.strike_um[0]
         dy = position_um[1] - self.strike_um[1]
         return math.hypot(dx, dy)
 
     def theta_at(self, position_um: Tuple[float, float]) -> float:
+        """Phase-shift magnitude theta induced at ``position_um``."""
         fraction = attenuation(self.distance_to(position_um))
         return phase_shift_magnitude(fraction, self.saturation_fraction)
 
     def fault_for(self, position_um: Tuple[float, float]) -> PhaseShiftFault:
+        """The :class:`PhaseShiftFault` this strike induces at a position."""
         theta = self.theta_at(position_um)
         # The phi shift scales with the same deposited charge.
         phi = self.phi_direction * (theta / math.pi if math.pi > 0 else 0.0)

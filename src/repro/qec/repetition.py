@@ -1,4 +1,4 @@
-"""Three-qubit repetition codes with coherent decoding.
+"""Repetition codes with coherent decoding, at any odd distance.
 
 Sec. II-C of the paper argues that Quantum Error Correction, designed for
 the well-characterized intrinsic noise, "is inefficient in handling
@@ -12,6 +12,14 @@ phase-flip code (the same code conjugated by Hadamards) corrects any single
 Z-type error. A radiation-induced fault is a U(theta, phi) phase shift of
 arbitrary direction — partially X-like and partially Z-like — so each code
 catches only its component, which is exactly the gap the paper highlights.
+
+Distance 3 is the seed circuit verbatim. Larger odd distances fan the
+encoder out to ``distance`` data wires and decode with a Toffoli AND-tree
+over the ``distance - 1`` syndrome wires (computed on ``distance - 3``
+ancillas, then uncomputed). The tree fires only when *every* syndrome is
+set — under the single-injected-fault model this coincides with majority
+decoding, because a fault on the logical wire flips all syndromes while a
+fault on any other data wire flips exactly its own.
 """
 
 from __future__ import annotations
@@ -31,48 +39,96 @@ __all__ = [
     "phase_flip_decoder",
     "protected_circuit",
     "logical_error_probability",
+    "total_qubits",
     "CODES",
 ]
 
 DATA_QUBITS = 3
 
 
-def bit_flip_encoder() -> QuantumCircuit:
-    """|psi>|00> -> alpha|000> + beta|111> (logical qubit on wire 0)."""
-    circuit = QuantumCircuit(DATA_QUBITS, name="bitflip_encode")
-    circuit.cx(0, 1)
-    circuit.cx(0, 2)
+def _check_distance(distance: int) -> None:
+    """Reject even or sub-minimal repetition distances."""
+    if distance < 3 or distance % 2 == 0:
+        raise ValueError(
+            f"repetition distance must be an odd integer >= 3, "
+            f"got {distance}"
+        )
+
+
+def total_qubits(distance: int = DATA_QUBITS) -> int:
+    """Wire count of a protected circuit at ``distance``.
+
+    ``distance`` data wires plus the ``distance - 3`` ancillas the
+    decoder's Toffoli AND-tree needs (zero at the seed distance 3). The
+    ancillas are allocated regardless of whether decoding is enabled so
+    decode-on and decode-off circuits stay width-comparable.
+    """
+    _check_distance(distance)
+    return distance + max(0, distance - 3)
+
+
+def bit_flip_encoder(distance: int = DATA_QUBITS) -> QuantumCircuit:
+    """|psi>|0..0> -> alpha|0..0> + beta|1..1> (logical qubit on wire 0)."""
+    _check_distance(distance)
+    circuit = QuantumCircuit(total_qubits(distance), name="bitflip_encode")
+    for target in range(1, distance):
+        circuit.cx(0, target)
     return circuit
 
 
-def bit_flip_decoder() -> QuantumCircuit:
+def bit_flip_decoder(
+    distance: int = DATA_QUBITS, correct: bool = True
+) -> QuantumCircuit:
     """Coherent majority vote: decode and correct a single X error.
 
-    CX fan-out writes the syndrome onto wires 1 and 2; the Toffoli flips
-    wire 0 back when both syndrome bits fire (error was on wire 0). Single
-    X errors on wires 1 or 2 leave wire 0 untouched already.
+    CX fan-out writes the syndrome onto wires ``1..distance-1``; the
+    Toffoli vote flips wire 0 back when every syndrome bit fires (error
+    was on wire 0). Single X errors on other wires leave wire 0
+    untouched already. At distance 3 the vote is one ``ccx(1, 2, 0)``;
+    beyond that the syndromes are ANDed pairwise through the ancilla
+    wires (computed, applied, uncomputed). ``correct=False`` keeps the
+    un-encoding fan-out but omits the vote, isolating exactly what the
+    correction step buys.
     """
-    circuit = QuantumCircuit(DATA_QUBITS, name="bitflip_decode")
-    circuit.cx(0, 1)
-    circuit.cx(0, 2)
-    circuit.ccx(1, 2, 0)
+    _check_distance(distance)
+    total = total_qubits(distance)
+    circuit = QuantumCircuit(total, name="bitflip_decode")
+    for target in range(1, distance):
+        circuit.cx(0, target)
+    if not correct:
+        return circuit
+    syndromes = list(range(1, distance))
+    if distance == 3:
+        circuit.ccx(1, 2, 0)
+        return circuit
+    ancillas = list(range(distance, total))
+    circuit.ccx(syndromes[0], syndromes[1], ancillas[0])
+    for level in range(1, len(ancillas)):
+        circuit.ccx(ancillas[level - 1], syndromes[level + 1], ancillas[level])
+    circuit.ccx(ancillas[-1], syndromes[-1], 0)
+    for level in reversed(range(1, len(ancillas))):
+        circuit.ccx(ancillas[level - 1], syndromes[level + 1], ancillas[level])
+    circuit.ccx(syndromes[0], syndromes[1], ancillas[0])
     return circuit
 
 
-def phase_flip_encoder() -> QuantumCircuit:
+def phase_flip_encoder(distance: int = DATA_QUBITS) -> QuantumCircuit:
     """Bit-flip encoder conjugated by H: protects against Z errors."""
-    circuit = bit_flip_encoder()
-    for qubit in range(DATA_QUBITS):
+    circuit = bit_flip_encoder(distance)
+    for qubit in range(distance):
         circuit.h(qubit)
     circuit.name = "phaseflip_encode"
     return circuit
 
 
-def phase_flip_decoder() -> QuantumCircuit:
-    """H-conjugated majority vote."""
-    inner = bit_flip_decoder()
-    circuit = QuantumCircuit(DATA_QUBITS, name="phaseflip_decode")
-    for qubit in range(DATA_QUBITS):
+def phase_flip_decoder(
+    distance: int = DATA_QUBITS, correct: bool = True
+) -> QuantumCircuit:
+    """H-conjugated majority vote (see :func:`bit_flip_decoder`)."""
+    _check_distance(distance)
+    inner = bit_flip_decoder(distance, correct)
+    circuit = QuantumCircuit(total_qubits(distance), name="phaseflip_decode")
+    for qubit in range(distance):
         circuit.h(qubit)
     for inst in inner:
         circuit.append(inst.gate, inst.qubits)
@@ -91,6 +147,8 @@ def protected_circuit(
     fault: Optional[PhaseShiftFault] = None,
     fault_qubit: int = 0,
     code: Optional[str] = "bit_flip",
+    distance: int = DATA_QUBITS,
+    decode: bool = True,
 ) -> QuantumCircuit:
     """Prepare-encode-fault-decode-measure pipeline.
 
@@ -99,22 +157,30 @@ def protected_circuit(
     ``fault_qubit`` inside the protected region, decoded, un-prepared, and
     wire 0 is measured: a fault-free run reads ``0`` with certainty, so the
     probability of reading ``1`` *is* the logical error probability.
+    ``decode=False`` un-encodes without the correction vote (see
+    :func:`bit_flip_decoder`); ``code=None`` skips encoding entirely and
+    gives the unprotected baseline at the same data width.
     """
     if code is not None and code not in CODES:
         raise ValueError(f"unknown code {code!r}; options: {sorted(CODES)}")
-    if not 0 <= fault_qubit < DATA_QUBITS:
-        raise ValueError(f"fault qubit must be one of the {DATA_QUBITS} data wires")
+    _check_distance(distance)
+    if not 0 <= fault_qubit < distance:
+        raise ValueError(
+            f"fault qubit must be one of the {distance} data wires"
+        )
 
-    circuit = QuantumCircuit(DATA_QUBITS, 1, name=f"protected_{code}")
+    circuit = QuantumCircuit(
+        total_qubits(distance), 1, name=f"protected_{code}"
+    )
     circuit.u(state_theta, state_phi, 0.0, 0)
 
     if code is not None:
         encoder, decoder = CODES[code]
-        circuit = circuit.compose(encoder())
+        circuit = circuit.compose(encoder(distance))
     if fault is not None:
         circuit.append(fault.as_gate(), [fault_qubit])
     if code is not None:
-        circuit = circuit.compose(decoder())
+        circuit = circuit.compose(decoder(distance, decode))
 
     # Un-prepare: a perfect recovery returns wire 0 to |0>.
     circuit.append(UGate(state_theta, state_phi, 0.0).inverse(), [0])
@@ -128,6 +194,8 @@ def logical_error_probability(
     code: Optional[str] = "bit_flip",
     fault_qubit: int = 0,
     state: Tuple[float, float] = (math.pi / 3, math.pi / 5),
+    distance: int = DATA_QUBITS,
+    decode: bool = True,
 ) -> float:
     """P(logical qubit corrupted) for one fault under one code.
 
@@ -135,6 +203,8 @@ def logical_error_probability(
     fault simply lands on the lone data qubit).
     """
     theta, phi = state
-    circuit = protected_circuit(theta, phi, fault, fault_qubit, code)
+    circuit = protected_circuit(
+        theta, phi, fault, fault_qubit, code, distance=distance, decode=decode
+    )
     result = backend.run(circuit)
     return result.probability_of("1")

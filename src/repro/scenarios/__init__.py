@@ -63,7 +63,9 @@ from .shard import ShardScheduler
 from .spec import (
     AdaptiveSpec,
     BudgetSpec,
+    QECSpec,
     ScenarioSpec,
+    StrikeSpec,
     SuiteSpec,
     TranspileSpec,
     expand_grid,
@@ -73,6 +75,8 @@ __all__ = [
     "MACHINES",
     "AdaptiveSpec",
     "BudgetSpec",
+    "QECSpec",
+    "StrikeSpec",
     "ScenarioSpec",
     "SuiteSpec",
     "TranspileSpec",

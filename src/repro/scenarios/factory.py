@@ -28,7 +28,7 @@ from ..algorithms import ALGORITHMS
 from ..algorithms.spec import AlgorithmSpec
 from ..faults.adaptive import run_adaptive_campaign
 from ..faults.campaign import CampaignResult
-from ..faults.double import find_neighbor_couples
+from ..faults.double import adjacency_clusters, find_neighbor_couples
 from ..faults.executor import (
     BaseExecutor,
     BatchedExecutor,
@@ -36,9 +36,15 @@ from ..faults.executor import (
     SerialExecutor,
 )
 from ..faults.fault_model import PhaseShiftFault, fault_grid
-from ..faults.injection_points import enumerate_injection_points
+from ..faults.injection_points import (
+    enumerate_injection_points,
+    points_at_position,
+)
 from ..faults.injector import QuFI
 from ..faults.layout_map import TranspiledCircuit, map_transpiled
+from ..faults.physics import sample_strike_patterns
+from ..faults.sampling import sample_strike_faults
+from ..qec import repetition as qec_repetition
 from ..machines.emulator import PhysicalMachineEmulator
 from ..machines.fake import (
     FakeBackend,
@@ -195,10 +201,72 @@ class FactoryCache:
         return value
 
 
+def _qec_algorithm(
+    spec: ScenarioSpec, cache: Optional[FactoryCache]
+) -> AlgorithmSpec:
+    """The protected-circuit target of a ``qec`` scenario.
+
+    The campaign circuit is the no-fault
+    :func:`repro.qec.repetition.protected_circuit` pipeline —
+    prepare, encode, decode, un-prepare, measure wire 0 — whose
+    fault-free output is ``"0"`` with certainty. QVF against the
+    single correct state ``"0"`` therefore *is* the logical error
+    probability, so campaign records over this target score the code
+    directly with no scoring changes.
+    """
+    block = spec.qec
+    code = None if block.code == "none" else block.code
+
+    def build() -> AlgorithmSpec:
+        circuit = qec_repetition.protected_circuit(
+            block.state_theta,
+            block.state_phi,
+            code=code,
+            distance=block.distance,
+            decode=block.decode,
+        )
+        return AlgorithmSpec(
+            name=f"qec-{block.code}-d{block.distance}",
+            circuit=circuit,
+            correct_states=("0",),
+            metadata={"qec": block.to_dict()},
+        )
+
+    if cache is None:
+        return build()
+    key = (
+        "qec-circuit",
+        block.code,
+        block.distance,
+        block.decode,
+        block.state_theta,
+        block.state_phi,
+    )
+    return cache.get(key, build)
+
+
+def _qec_fault_position(block) -> int:
+    """Instruction index of the encoder/decoder boundary.
+
+    Injecting *after* this instruction lands the fault inside the
+    protected region, exactly where ``protected_circuit`` splices its
+    own ``fault`` argument: the state-prep ``u`` occupies index 0 and
+    the encoder the next ``len(encoder)`` indices, so the boundary is
+    the encoder's last instruction (the prep itself for the unencoded
+    ``"none"`` baseline).
+    """
+    if block.code == "none":
+        return 0
+    encoder, _ = qec_repetition.CODES[block.code]
+    return len(encoder(block.distance).instructions)
+
+
 def make_algorithm(
     spec: ScenarioSpec, cache: Optional[FactoryCache] = None
 ) -> AlgorithmSpec:
     """The benchmark circuit + ground truth for ``spec``."""
+    if spec.qec is not None:
+        return _qec_algorithm(spec, cache)
     if spec.algorithm not in ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {spec.algorithm!r} "
@@ -216,7 +284,42 @@ def make_algorithm(
 def make_faults(
     spec: ScenarioSpec, cache: Optional[FactoryCache] = None
 ) -> List[PhaseShiftFault]:
-    """The scenario's phase-shift grid."""
+    """The scenario's fault list: the uniform grid, or strike samples.
+
+    A ``strike`` block (k=1) replaces the Sec. IV-B grid with faults
+    drawn from the charge-deposition physics —
+    :func:`repro.faults.sampling.sample_strike_faults` seeded by the
+    scenario seed, so the list is identical to what
+    :func:`repro.faults.sampling.run_strike_campaign` would draw from
+    ``default_rng(seed)``. Correlated strikes (k>=2) sample *patterns*,
+    not a flat list (see :func:`run_scenario`), and refuse this path.
+    """
+    if spec.strike is not None:
+        block = spec.strike
+        if block.k != 1:
+            raise ValueError(
+                f"scenario {spec.scenario_id!r} samples correlated "
+                f"k={block.k} strike patterns, not a flat fault list"
+            )
+
+        def build_strike() -> List[PhaseShiftFault]:
+            return sample_strike_faults(
+                block.count,
+                max_distance_um=block.max_distance_um,
+                saturation_fraction=block.saturation_fraction,
+                seed=spec.seed,
+            )
+
+        if cache is None:
+            return build_strike()
+        key = (
+            "strike-faults",
+            block.count,
+            block.max_distance_um,
+            block.saturation_fraction,
+            spec.seed,
+        )
+        return cache.get(key, build_strike)
 
     def build() -> List[PhaseShiftFault]:
         return fault_grid(
@@ -365,6 +468,78 @@ def make_couples(
     return cache.get(key, build)
 
 
+def _strike_clusters(
+    spec: ScenarioSpec, cache: Optional[FactoryCache]
+) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """The ``(qubits, hops)`` clusters a correlated strike sweeps.
+
+    ``k=2`` strikes hit the neighbour couples themselves (hops ``(0,
+    1)``); ``k>2`` grows each couple into its ``k`` nearest qubits on
+    the couples graph (:func:`repro.faults.double.adjacency_clusters`),
+    dropping couples whose connected component is too small. The couples
+    come from the same layout machinery as double-fault scenarios —
+    physically adjacent qubits in the campaign circuit's wire frame.
+    """
+    block = spec.strike
+    couples = make_couples(spec, cache)
+    if not couples:
+        raise ValueError(
+            f"scenario {spec.scenario_id!r} has no physically adjacent "
+            f"couples to strike on machine {spec.effective_machine!r}"
+        )
+    if block.k == 2:
+        return [((a, b), (0, 1)) for a, b in couples]
+    grown = [
+        cluster
+        for cluster in adjacency_clusters(couples, block.k)
+        if cluster is not None
+    ]
+    if not grown:
+        raise ValueError(
+            f"scenario {spec.scenario_id!r}: no adjacency cluster reaches "
+            f"k={block.k} qubits on machine {spec.effective_machine!r}"
+        )
+    return grown
+
+
+def _strike_patterns(
+    spec: ScenarioSpec,
+    hops: Tuple[int, ...],
+    cache: Optional[FactoryCache],
+) -> List[Tuple[PhaseShiftFault, ...]]:
+    """Physics-sampled fault patterns for one cluster hop geometry.
+
+    Seeded by the scenario seed and keyed by the hop tuple, so every
+    cluster sharing a geometry sees the *same* ``count`` strikes (the
+    underlying radius/direction draws are shared; only the per-slot
+    attenuation differs with the hops).
+    """
+    block = spec.strike
+
+    def build() -> List[Tuple[PhaseShiftFault, ...]]:
+        return sample_strike_patterns(
+            block.count,
+            hops,
+            max_distance_um=block.max_distance_um,
+            saturation_fraction=block.saturation_fraction,
+            spacing_um=block.spacing_um,
+            seed=spec.seed,
+        )
+
+    if cache is None:
+        return build()
+    key = (
+        "strike-patterns",
+        block.count,
+        tuple(hops),
+        block.max_distance_um,
+        block.saturation_fraction,
+        block.spacing_um,
+        spec.seed,
+    )
+    return cache.get(key, build)
+
+
 def _scenario_noise_model(
     spec: ScenarioSpec, cache: Optional[FactoryCache]
 ) -> Optional[NoiseModel]:
@@ -411,31 +586,44 @@ def make_backend(spec: ScenarioSpec, cache: Optional[FactoryCache] = None):
     ``auto`` keeps the historical CLI behaviour: statevector for
     noiseless scenarios, density matrix otherwise. Stateful backends
     (trajectory, machine emulator) are seeded from the scenario seed so
-    suite runs are reproducible end to end.
+    suite runs are reproducible end to end. ``mitigation: true`` wraps
+    the resolved engine in a
+    :class:`~repro.analysis.mitigation.MitigatedReadoutBackend` against
+    the scenario's noise model — every campaign execution (fault-free
+    baseline included) then scores readout-corrected distributions.
     """
     kind = spec.backend
     if kind == "auto":
         kind = "statevector" if spec.noise == "none" else "density-matrix"
     if kind == "statevector":
-        return StatevectorSimulator()
-    if kind == "density-matrix":
-        model = _scenario_noise_model(spec, cache)
-        return DensityMatrixSimulator(model)
-    if kind == "trajectory":
-        return TrajectorySimulator(
+        backend = StatevectorSimulator()
+    elif kind == "density-matrix":
+        backend = DensityMatrixSimulator(_scenario_noise_model(spec, cache))
+    elif kind == "trajectory":
+        backend = TrajectorySimulator(
             _scenario_noise_model(spec, cache),
             trajectories=spec.trajectories,
             seed=spec.seed,
         )
-    if kind == "machine":
-        return make_machine(spec.effective_machine)
-    if kind == "machine-emulator":
-        return PhysicalMachineEmulator(
+    elif kind == "machine":
+        backend = make_machine(spec.effective_machine)
+    elif kind == "machine-emulator":
+        backend = PhysicalMachineEmulator(
             make_machine(spec.effective_machine),
             drift_scale=spec.drift_scale,
             seed=spec.seed,
         )
-    raise ValueError(f"unknown backend kind {spec.backend!r}")
+    else:
+        raise ValueError(f"unknown backend kind {spec.backend!r}")
+    if spec.mitigation:
+        model = _scenario_noise_model(spec, cache)
+        if model is not None:
+            # Imported here: analysis -> query -> runner -> factory is a
+            # package-level cycle, and mitigation rides on analysis.
+            from ..analysis.mitigation import MitigatedReadoutBackend
+
+            backend = MitigatedReadoutBackend(backend, model)
+    return backend
 
 
 def _scenario_circuit(spec: ScenarioSpec, cache: Optional[FactoryCache]):
@@ -591,7 +779,20 @@ def make_injector(
 def _scenario_points(
     spec: ScenarioSpec, cache: Optional[FactoryCache]
 ) -> list:
-    """The injection points the scenario's single-fault sweep visits."""
+    """The injection points the scenario's single-fault sweep visits.
+
+    QEC scenarios do not enumerate gates: they strike each of the
+    ``distance`` data wires once, at the encoder/decoder boundary —
+    exactly where :func:`repro.qec.repetition.protected_circuit` places
+    its own fault argument, so campaign records match the standalone
+    module bit for bit.
+    """
+    if spec.qec is not None:
+        return points_at_position(
+            make_algorithm(spec, cache).circuit,
+            _qec_fault_position(spec.qec),
+            range(spec.qec.distance),
+        )
     if spec.transpile is not None:
         transpiled = make_transpiled(spec, cache)
         return enumerate_injection_points(
@@ -642,6 +843,42 @@ def _double_injection_count(
     return sites * combos
 
 
+def _correlated_strike_injection_count(
+    spec: ScenarioSpec, cache: Optional[FactoryCache]
+) -> int:
+    """Exact task count of a correlated (k >= 2) strike sweep.
+
+    Mirrors :meth:`QuFI.run_correlated_campaign`'s enumeration — one
+    task per (cluster, live centre point, pattern), with the
+    measured-out-neighbour pruning of the double-fault path — without
+    building a task object.
+    """
+    circuit = _scenario_circuit(spec, cache)
+    points = (
+        _scenario_points(spec, cache) if spec.transpile is not None else None
+    )
+    first_measure: Dict[int, int] = {}
+    for position, inst in enumerate(circuit):
+        if inst.name == "measure":
+            first_measure.setdefault(inst.qubits[0], position)
+    sites = 0
+    for qubits, _ in _strike_clusters(spec, cache):
+        qubit_a, qubit_b = qubits[0], qubits[1]
+        base_points = (
+            points
+            if points is not None
+            else enumerate_injection_points(circuit, qubits=[qubit_a])
+        )
+        measured_at = first_measure.get(qubit_b)
+        for point in base_points:
+            if point.qubit != qubit_a:
+                continue
+            if measured_at is not None and point.position >= measured_at:
+                continue
+            sites += 1
+    return sites * spec.strike.count
+
+
 def estimate_scenario_injections(
     spec: ScenarioSpec, cache: Optional[FactoryCache] = None
 ) -> int:
@@ -665,6 +902,8 @@ def estimate_scenario_injections(
         if spec.budget is not None and spec.budget.max_injections is not None:
             worst = min(worst, spec.budget.max_injections)
         return worst
+    if spec.strike is not None and spec.strike.k >= 2:
+        return _correlated_strike_injection_count(spec, cache)
     if spec.mode == "double":
         return _double_injection_count(spec, cache)
     return len(make_faults(spec, cache)) * points
@@ -758,6 +997,17 @@ def run_scenario(
     the campaign's own wire frame, and the layout map is recorded in
     ``result.metadata["transpile"]`` so stored campaigns stay
     frame-convertible.
+
+    The physics axes route through the same machinery: a ``qec`` block
+    sweeps the fault grid over the protected circuit's data wires at
+    the encoder boundary (records score logical error probability); a
+    ``strike`` block swaps the grid for physics-sampled faults (k=1)
+    or correlated per-cluster patterns (k>=2, via
+    :meth:`QuFI.run_correlated_campaign` over the layout couples); and
+    ``mitigation: true`` scores every execution through the
+    readout-corrected backend wrapper. Each stamps its marker into the
+    result metadata (``qec``, ``strike``/``fault_source``,
+    ``mitigation``).
     """
     # A throwaway cache still deduplicates within this call (the
     # transpiled artefact is consumed by the backend's noise model, the
@@ -777,8 +1027,29 @@ def run_scenario(
             )
     algorithm = make_algorithm(spec, cache)
     qufi = make_injector(spec, cache, executor)
-    faults = make_faults(spec, cache)
-    if spec.transpile is None:
+    if spec.strike is not None and spec.strike.k >= 2:
+        strikes = [
+            (qubits, _strike_patterns(spec, hops, cache))
+            for qubits, hops in _strike_clusters(spec, cache)
+        ]
+        if spec.transpile is None:
+            result = qufi.run_correlated_campaign(
+                algorithm, strikes, progress=progress
+            )
+        else:
+            transpiled, points, extra_meta = make_transpiled_campaign_inputs(
+                spec, cache
+            )
+            result = qufi.run_correlated_campaign(
+                transpiled.circuit,
+                strikes,
+                correct_states=algorithm.correct_states,
+                points=points,
+                progress=progress,
+            )
+            result.metadata.update(extra_meta)
+    elif spec.transpile is None:
+        faults = make_faults(spec, cache)
         if spec.mode == "double":
             result = qufi.run_double_campaign(
                 algorithm,
@@ -788,9 +1059,17 @@ def run_scenario(
             )
         else:
             result = qufi.run_campaign(
-                algorithm, faults=faults, progress=progress
+                algorithm,
+                faults=faults,
+                points=(
+                    _scenario_points(spec, cache)
+                    if spec.qec is not None
+                    else None
+                ),
+                progress=progress,
             )
     else:
+        faults = make_faults(spec, cache)
         transpiled, points, extra_meta = make_transpiled_campaign_inputs(
             spec, cache
         )
@@ -812,5 +1091,15 @@ def run_scenario(
                 progress=progress,
             )
         result.metadata.update(extra_meta)
+    if spec.strike is not None:
+        # The same stamps run_strike_campaign applies, plus the block —
+        # suite artefacts announce their fault source either way.
+        result.metadata["fault_source"] = "strike_sampling"
+        result.metadata["max_distance_um"] = spec.strike.max_distance_um
+        result.metadata["strike"] = spec.strike.to_dict()
+    if spec.qec is not None:
+        result.metadata["qec"] = spec.qec.to_dict()
+    if spec.mitigation:
+        result.metadata["mitigation"] = True
     result.metadata.update(scenario_metadata(spec))
     return result

@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import math
 import re
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Dict, Iterable, List, Optional, Tuple, Union
@@ -28,6 +29,8 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 __all__ = [
     "AdaptiveSpec",
     "BudgetSpec",
+    "QECSpec",
+    "StrikeSpec",
     "TranspileSpec",
     "ScenarioSpec",
     "SuiteSpec",
@@ -280,6 +283,144 @@ class TranspileSpec:
         return cls(**data)
 
 
+QEC_CODES = ("bit_flip", "phase_flip", "none")
+
+
+@dataclass(frozen=True)
+class QECSpec:
+    """Route a campaign through an error-correction-protected circuit.
+
+    Instead of sweeping faults over a named algorithm, a QEC campaign
+    injects into the repetition codes of :mod:`repro.qec.repetition`:
+    the logical state ``U(state_theta, state_phi, 0)|0>`` is encoded
+    across ``distance`` data qubits, one fault is inserted between
+    encoder and decoder (on each data wire in turn), and the decoded
+    wire is un-prepared and measured. The campaign's QVF column *is*
+    the logical error probability — a single measured clbit whose
+    correct state is ``"0"`` makes :func:`repro.analysis.qvf.
+    qvf_from_probabilities` collapse to ``P("1")`` exactly — so the
+    logical-error-collapse claim is scored with the ordinary QVF
+    machinery and stays comparable across the suite.
+
+    * ``code`` — ``"bit_flip"`` / ``"phase_flip"`` repetition, or
+      ``"none"`` for the unprotected baseline (same wire count, no
+      encode/decode) against which the collapse is measured.
+    * ``distance`` — odd repetition distance >= 3. Distance 3 is the
+      seed circuit verbatim; larger distances fan the encoder out and
+      decode by a Toffoli AND-tree over the syndromes.
+    * ``decode`` — ``False`` keeps the un-encode fan-out but omits the
+      correction step, isolating exactly what the corrector buys.
+    * ``state_theta`` / ``state_phi`` — the protected logical state;
+      the defaults pick a generic superposition off every symmetry
+      axis so both X- and Z-type faults are visible.
+    """
+
+    code: str = "bit_flip"
+    distance: int = 3
+    decode: bool = True
+    state_theta: float = math.pi / 3
+    state_phi: float = math.pi / 5
+
+    def __post_init__(self) -> None:
+        if self.code not in QEC_CODES:
+            raise ValueError(
+                f"unknown QEC code {self.code!r} (choose from {QEC_CODES})"
+            )
+        if self.distance < 3 or self.distance % 2 == 0:
+            raise ValueError(
+                f"repetition distance must be an odd integer >= 3, "
+                f"got {self.distance}"
+            )
+        if not (
+            math.isfinite(self.state_theta) and math.isfinite(self.state_phi)
+        ):
+            raise ValueError("state_theta/state_phi must be finite")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QECSpec":
+        """Build from a JSON object, rejecting unknown fields."""
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown qec field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class StrikeSpec:
+    """Sample fault parameters from the radiation-strike physics.
+
+    Replaces the uniform theta-phi grid with ``count`` fault
+    configurations drawn from the particle-strike model of
+    :mod:`repro.faults.physics`: strike distances are sampled uniformly
+    over a disc of radius ``max_distance_um``, deposited charge decays
+    exponentially with distance, and the phase-shift angle saturates at
+    ``saturation_fraction`` of the qubit's critical charge. Sampling is
+    seeded from the scenario ``seed`` (which therefore becomes
+    mandatory), so strike campaigns stay deterministic, cacheable and
+    kill/resume-safe.
+
+    * ``k=1`` — independent single-qubit strikes: exactly
+      :func:`repro.faults.sampling.sample_strike_faults` (theta from
+      the charge model, phi uniform), swept over every injection point.
+    * ``k=2`` — spatially correlated pair strikes on each physically
+      adjacent couple of the wire frame: the primary qubit takes the
+      full strike, its neighbour the same strike attenuated by one
+      ``spacing_um`` hop, with the direction-scaled phi convention of
+      :class:`repro.faults.physics.StrikeModel`. Records land in the
+      same (first, second) columns as the double-fault sweep.
+    * ``k>2`` — the pair grows into a cluster of the ``k`` nearest
+      qubits by hop distance in the coupling graph; qubits ``h`` hops
+      out are attenuated by ``exp(-h * spacing_um / CHARGE_DECAY_UM)``.
+      The extra faults participate in the simulated physics; the
+      recorded columns remain the primary pair.
+    """
+
+    count: int = 64
+    k: int = 1
+    max_distance_um: float = 0.5
+    saturation_fraction: float = 0.25
+    spacing_um: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"strike count must be positive, got {self.count}")
+        if self.k < 1:
+            raise ValueError(f"strike k must be >= 1, got {self.k}")
+        if self.max_distance_um <= 0:
+            raise ValueError("max_distance_um must be positive")
+        if not 0 < self.saturation_fraction <= 1:
+            raise ValueError(
+                f"saturation_fraction must be in (0, 1], "
+                f"got {self.saturation_fraction}"
+            )
+        if self.spacing_um <= 0:
+            raise ValueError("spacing_um must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StrikeSpec":
+        """Build from a JSON object, rejecting unknown fields."""
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown strike field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """One campaign, declaratively.
@@ -346,6 +487,25 @@ class ScenarioSpec:
     """Cost ceiling for this scenario (see :class:`BudgetSpec`).
     Hash-excluded: a budget bounds *how much* of the campaign runs, and
     completed campaigns are identical with or without one."""
+    qec: Optional[QECSpec] = None
+    """Error-correction-protected campaign (see :class:`QECSpec`).
+    Requires ``algorithm="qec"``; the campaign sweeps faults over the
+    encoded repetition-code circuit instead of a named algorithm, and
+    its QVF column is the logical error probability. Participates in
+    the spec hash whenever set, and drops when absent so pre-QEC spec
+    hashes stay valid."""
+    strike: Optional[StrikeSpec] = None
+    """Physics-sampled fault parameters (see :class:`StrikeSpec`)
+    instead of the uniform grid. Requires a ``seed``; renders the grid
+    fields inert. Participates in the spec hash whenever set, and drops
+    when absent so pre-strike spec hashes stay valid."""
+    mitigation: bool = False
+    """Score QVF from readout-error-mitigated distributions: execution
+    routes through :class:`repro.analysis.mitigation.
+    MitigatedReadoutBackend`, which inverts the noise model's readout
+    confusion before scoring. Pair a mitigated scenario with its raw
+    twin (same spec, flag off) to query mitigated-vs-raw QVF deltas.
+    Participates in the spec hash only when enabled."""
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -430,12 +590,94 @@ class ScenarioSpec:
                 f"budget must be a BudgetSpec (or its dict form), "
                 f"got {type(self.budget).__name__}"
             )
+        if isinstance(self.qec, dict):
+            object.__setattr__(self, "qec", QECSpec.from_dict(self.qec))
+        elif self.qec is not None and not isinstance(self.qec, QECSpec):
+            raise ValueError(
+                f"qec must be a QECSpec (or its dict form), "
+                f"got {type(self.qec).__name__}"
+            )
+        if isinstance(self.strike, dict):
+            object.__setattr__(
+                self, "strike", StrikeSpec.from_dict(self.strike)
+            )
+        elif self.strike is not None and not isinstance(
+            self.strike, StrikeSpec
+        ):
+            raise ValueError(
+                f"strike must be a StrikeSpec (or its dict form), "
+                f"got {type(self.strike).__name__}"
+            )
         if self.adaptive is not None and self.mode != "single":
             raise ValueError(
                 "adaptive campaigns support mode='single' only: the "
                 "double-fault sweep has no theta-phi surface to refine "
                 "per couple"
             )
+        if self.qec is not None:
+            if self.algorithm != "qec":
+                raise ValueError(
+                    "a qec block requires algorithm='qec' (the protected "
+                    "circuit replaces the named algorithm)"
+                )
+            if self.mode != "single":
+                raise ValueError(
+                    "qec campaigns support mode='single' only: injection "
+                    "points are the encoded data wires, not couples"
+                )
+            if self.transpile is not None:
+                raise ValueError(
+                    "qec campaigns cannot be transpiled: routing would "
+                    "move the encoder/decoder boundary the injection "
+                    "points are anchored to"
+                )
+            if self.adaptive is not None:
+                raise ValueError(
+                    "qec campaigns do not support adaptive refinement"
+                )
+            if self.strike is not None:
+                raise ValueError(
+                    "qec and strike blocks are mutually exclusive; "
+                    "split them into two scenarios"
+                )
+            # The protected circuit's width is fixed by the code
+            # distance; normalize so the spec (and its hash) tell the
+            # truth however width was spelled.
+            object.__setattr__(self, "width", self.qec.distance)
+        elif self.algorithm == "qec":
+            raise ValueError(
+                "algorithm='qec' needs a qec block (use \"qec\": {} "
+                "for the defaults)"
+            )
+        if self.strike is not None:
+            if self.mode != "single":
+                raise ValueError(
+                    "strike campaigns use mode='single'; multi-qubit "
+                    "strikes are selected with the block's k field"
+                )
+            if self.adaptive is not None:
+                raise ValueError(
+                    "strike and adaptive blocks are mutually exclusive: "
+                    "both replace the uniform grid"
+                )
+            if self.seed is None:
+                raise ValueError(
+                    "strike campaigns sample fault parameters and need "
+                    "an explicit seed to stay reproducible"
+                )
+        if self.mitigation:
+            if self.fused:
+                raise ValueError(
+                    "mitigation routes execution through a wrapping "
+                    "backend and cannot run on fused segments; set "
+                    "fused=false"
+                )
+            if self.backend in ("machine", "machine-emulator"):
+                raise ValueError(
+                    "mitigation needs the scenario noise model's readout "
+                    "confusion; machine backends own their readout "
+                    "physics and cannot be wrapped"
+                )
         # Normalize the noise profile the chosen backend actually runs
         # under, so the spec, its hash and the manifest all tell the
         # truth: machine backends always execute their calibration's
@@ -496,6 +738,25 @@ class ScenarioSpec:
         data.pop("budget")
         if self.adaptive is None:
             data.pop("adaptive")
+        # ``qec``/``strike`` select which circuit and which fault
+        # parameters the campaign runs — they participate whenever set,
+        # and drop (rather than emitting null) when absent so every
+        # pre-physics spec hash stays valid. ``mitigation`` changes the
+        # scored distributions when enabled and drops at its default
+        # for the same reason.
+        if self.qec is None:
+            data.pop("qec")
+        if self.strike is None:
+            data.pop("strike")
+        else:
+            # Strike sampling replaces the uniform grid: the grid knobs
+            # are inert and null out so spelling differences cannot
+            # split the cache.
+            data["grid_step_deg"] = None
+            data["phi_max_deg"] = None
+            data["include_phi_endpoint"] = None
+        if not self.mitigation:
+            data.pop("mitigation")
         if self.bit_identical or not self.fused:
             data.pop("bit_identical")
         if not self.fused:
@@ -537,6 +798,9 @@ class ScenarioSpec:
                 self.mode != "double"
                 and self.noise != "calibrated"
                 and backend not in ("machine", "machine-emulator")
+                # Correlated strikes read the machine's coupling graph
+                # for adjacency, so the machine stays live for k >= 2.
+                and not (self.strike is not None and self.strike.k >= 2)
             ):
                 data["machine"] = None
         return data

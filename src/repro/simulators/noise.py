@@ -288,6 +288,19 @@ class NoiseModel:
             return None
         return error.matrix
 
+    def readout_error(self, qubit: int) -> Optional[ReadoutError]:
+        """The :class:`ReadoutError` attached to ``qubit``, or ``None``.
+
+        The object form of :meth:`readout_confusion`, for consumers that
+        need the error itself rather than its matrix — readout
+        mitigation builds its inverse-confusion correction from these.
+        Trivial (identity) errors come back as ``None`` too.
+        """
+        error = self._readout.get(int(qubit))
+        if error is None or error.is_trivial():
+            return None
+        return error
+
     def noisy_gate_names(self) -> Tuple[str, ...]:
         names = set(self._default)
         names.update(name for name, _ in self._local)

@@ -31,6 +31,14 @@ class TrajectorySimulator:
 
     name = "trajectory_simulator"
 
+    per_run_seeding = True
+    """Marker consumed by the campaign executors: ``run`` accepts a
+    ``seed`` argument that overrides the instance RNG for that single
+    call. Executors derive the seed from ``(plan.seed, task.index)`` so
+    every task's trajectories are independent of execution order —
+    Serial/Batched/Parallel and fresh-vs-resumed runs all sample the
+    same noise realizations per task."""
+
     def __init__(
         self,
         noise_model: Optional[NoiseModel] = None,

@@ -135,6 +135,48 @@ class TestIterScenarios:
             plain.group("colour")
         assert "machine" in GROUP_KEYS
 
+    def test_physics_group_labels(self, handles):
+        """The physics axes are query group keys with stable labels."""
+        from dataclasses import replace
+
+        plain, _, _ = _by_kind(handles)
+        assert {"mitigation", "qec", "strike"} <= set(GROUP_KEYS)
+        assert plain.group("mitigation") == "raw"
+        assert plain.group("qec") == "none"
+        assert plain.group("strike") == "grid"
+
+        mitigated = replace(
+            plain, spec=replace(plain.spec, mitigation=True)
+        )
+        assert mitigated.group("mitigation") == "mitigated"
+
+        struck = replace(
+            plain,
+            spec=replace(plain.spec, seed=7, strike={"count": 4, "k": 2}),
+        )
+        assert struck.group("strike") == "strike-k2"
+
+        coded_spec = ScenarioSpec(
+            algorithm="qec",
+            noise="none",
+            grid_step_deg=90.0,
+            qec={"code": "bit_flip", "distance": 3},
+            label="qec-grouped",
+        )
+        coded = replace(plain, spec=coded_spec)
+        assert coded.group("qec") == "bit_flip-d3"
+        undecoded = replace(
+            plain,
+            spec=ScenarioSpec(
+                algorithm="qec",
+                noise="none",
+                grid_step_deg=90.0,
+                qec={"code": "bit_flip", "distance": 3, "decode": False},
+                label="qec-grouped-nodecode",
+            ),
+        )
+        assert undecoded.group("qec") == "bit_flip-d3-nodecode"
+
 
 class TestPerQubitComparison:
     def test_matches_campaign_per_qubit(self, handles):

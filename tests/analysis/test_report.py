@@ -87,3 +87,56 @@ class TestReport:
         text = campaign_report(campaign)
         headers = [l for l in text.splitlines() if l.startswith("#")]
         assert len(headers) >= 5  # title + 4 sections
+
+
+class TestPhysicsMarkers:
+    """The physics axes announce themselves in the report header."""
+
+    def test_qec_line(self, campaign):
+        campaign.metadata["qec"] = {
+            "code": "bit_flip",
+            "distance": 3,
+            "decode": True,
+        }
+        text = campaign_report(campaign)
+        assert "`bit_flip` repetition code, distance 3" in text
+        assert "correction on" in text
+        assert "logical error probability" in text
+
+    def test_qec_line_decode_off(self, campaign):
+        campaign.metadata["qec"] = {
+            "code": "bit_flip",
+            "distance": 5,
+            "decode": False,
+        }
+        assert "correction off" in campaign_report(campaign)
+
+    def test_strike_line(self, campaign):
+        campaign.metadata["fault_source"] = "strike_sampling"
+        campaign.metadata["strike"] = {
+            "count": 64,
+            "k": 2,
+            "max_distance_um": 0.5,
+        }
+        text = campaign_report(campaign)
+        assert "physics-sampled particle strikes" in text
+        assert "k=2" in text
+        assert "64 strikes" in text
+
+    def test_strike_line_without_block(self, campaign):
+        """Standalone run_strike_campaign stamps only the scalar."""
+        campaign.metadata["fault_source"] = "strike_sampling"
+        campaign.metadata["max_distance_um"] = 0.5
+        text = campaign_report(campaign)
+        assert "physics-sampled particle strikes" in text
+        assert "max distance 0.5 um" in text
+
+    def test_mitigation_line(self, campaign):
+        campaign.metadata["mitigation"] = True
+        assert "readout mitigation: on" in campaign_report(campaign)
+
+    def test_no_markers_without_metadata(self, campaign):
+        text = campaign_report(campaign)
+        assert "repetition code" not in text
+        assert "particle strikes" not in text
+        assert "readout mitigation" not in text

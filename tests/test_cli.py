@@ -279,6 +279,116 @@ class TestCampaignExecutors:
         assert second["metadata"]["checkpointed"] is True
 
 
+class TestPhysicsFlags:
+    def run_campaign(self, tmp_path, *extra):
+        output = str(tmp_path / "out.json")
+        args = ["campaign", *extra, "--output", output]
+        assert main(args) == 0
+        with open(output) as handle:
+            return json.load(handle)
+
+    def test_qec_campaign(self, tmp_path):
+        data = self.run_campaign(
+            tmp_path,
+            "--algorithm", "qec",
+            "--qec-distance", "3",
+            "--noise", "none",
+            "--grid-step", "90",
+            "--seed", "7",
+        )
+        assert data["metadata"]["qec"]["code"] == "bit_flip"
+        assert data["metadata"]["qec"]["distance"] == 3
+        assert data["circuit_name"].startswith("qec-bit_flip")
+
+    def test_strike_campaign(self, tmp_path):
+        data = self.run_campaign(
+            tmp_path,
+            "--algorithm", "bv",
+            "--width", "3",
+            "--noise", "light",
+            "--seed", "11",
+            "--strike-count", "8",
+        )
+        assert data["metadata"]["fault_source"] == "strike_sampling"
+        assert data["metadata"]["strike"]["count"] == 8
+
+    def test_correlated_strike_campaign(self, tmp_path):
+        data = self.run_campaign(
+            tmp_path,
+            "--algorithm", "bv",
+            "--width", "3",
+            "--noise", "light",
+            "--seed", "11",
+            "--strike-count", "2",
+            "--strike-k", "2",
+        )
+        assert data["metadata"]["strike"]["k"] == 2
+        assert data["metadata"]["cluster_size"] == 2
+        assert data["metadata"]["mode"] == "double"
+
+    def test_trajectory_mitigated_campaign(self, tmp_path):
+        data = self.run_campaign(
+            tmp_path,
+            "--algorithm", "ghz",
+            "--width", "2",
+            "--noise", "light",
+            "--backend", "trajectory",
+            "--trajectories", "16",
+            "--grid-step", "90",
+            "--seed", "5",
+            "--mitigate",
+        )
+        assert data["metadata"]["mitigation"] is True
+        assert data["backend_name"] == "mitigated(trajectory_simulator)"
+
+    def test_strike_without_seed_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="seed"):
+            self.run_campaign(
+                tmp_path,
+                "--algorithm", "bv",
+                "--width", "3",
+                "--strike-count", "8",
+            )
+
+    def test_checkpoint_refuses_correlated_strikes(self, tmp_path):
+        with pytest.raises(SystemExit, match="correlated"):
+            self.run_campaign(
+                tmp_path,
+                "--algorithm", "bv",
+                "--width", "3",
+                "--seed", "11",
+                "--strike-count", "2",
+                "--strike-k", "2",
+                "--checkpoint", str(tmp_path / "ck.ckpt"),
+            )
+
+    def test_qec_checkpoint_matches_plain_run(self, tmp_path):
+        plain = self.run_campaign(
+            tmp_path,
+            "--algorithm", "qec",
+            "--noise", "none",
+            "--grid-step", "90",
+            "--seed", "7",
+        )
+        checkpointed = self.run_campaign(
+            tmp_path,
+            "--algorithm", "qec",
+            "--noise", "none",
+            "--grid-step", "90",
+            "--seed", "7",
+            "--checkpoint", str(tmp_path / "qec.ckpt"),
+        )
+        key = lambda r: (r["position"], r["qubit"], r["theta"], r["phi"])
+        plain_rows = sorted(
+            (key(r), r["qvf"]) for r in plain["records"]
+        )
+        ckpt_rows = sorted(
+            (key(r), r["qvf"]) for r in checkpointed["records"]
+        )
+        assert plain_rows == ckpt_rows
+        assert checkpointed["metadata"]["qec"] == plain["metadata"]["qec"]
+
+
 class TestCampaignTranspile:
     def _run(self, tmp_path, *extra):
         output = str(tmp_path / "out.json")

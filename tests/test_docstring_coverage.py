@@ -19,8 +19,10 @@ _SRC = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
 #: The gated surface: every .py file under these paths (package-relative).
 GATED_PATHS = (
     "scenarios",
+    "qec",
     os.path.join("faults", "executor.py"),
     os.path.join("faults", "layout_map.py"),
+    os.path.join("faults", "physics.py"),
 )
 
 #: Pinned threshold. 100%: the gate is "no undocumented public symbol",
